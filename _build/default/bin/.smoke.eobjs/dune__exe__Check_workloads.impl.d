@@ -1,0 +1,1 @@
+bin/check_workloads.ml: Array Float Format Fun Interp List Printf Sdfg Symbolic Workloads

@@ -1,0 +1,1 @@
+bin/fuzzyflow_cli.ml: Arg Cmd Cmdliner Format Fuzzyflow List Printf Sdfg String Term Transforms Workloads

@@ -1,0 +1,1 @@
+bin/fuzzyflow_cli.mli:

@@ -1,0 +1,1 @@
+bin/smoke.ml: Array Builder Dtype Format Fuzzyflow Graph Interp List Memlet Printf Sdfg Symbolic Transforms Validate

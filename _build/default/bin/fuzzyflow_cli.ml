@@ -1,0 +1,254 @@
+(* The fuzzyflow command-line tool.
+
+     fuzzyflow list                      -- workloads and transformations
+     fuzzyflow test -w atax -x BufferTiling(wrong-schedule) [-t 20] [-s 42]
+     fuzzyflow campaign [-w chain -w atax ...] [--correct] [-t 10]
+     fuzzyflow cutout -w matmul_chain --node N --state S [-D N=8]
+     fuzzyflow dot -w softmax           -- dump a workload as graphviz
+
+   Transformations are addressed by their registry names ("fuzzyflow list"
+   prints them); each site of the chosen transformation is tested. *)
+
+open Cmdliner
+
+let workloads () =
+  Workloads.Npbench.all () @ Workloads.Npb_frontend.all ()
+  @ [
+      ("bert", Workloads.Bert.build ());
+      ("cloudsc", Workloads.Cloudsc.build ());
+      ("fig4", Workloads.Fig4.build ());
+      ("sddmm", (let g, _, _ = Workloads.Sddmm.rank_program () in g));
+    ]
+
+let xform_catalog () =
+  Transforms.Registry.as_shipped () @ Transforms.Registry.all_correct ()
+  @ [
+      Transforms.Map_tiling.make Transforms.Map_tiling.Off_by_one;
+      Transforms.Map_tiling.make Transforms.Map_tiling.No_remainder;
+      Transforms.Gpu_kernel_extraction.make Transforms.Gpu_kernel_extraction.Correct;
+      Transforms.Gpu_kernel_extraction.make Transforms.Gpu_kernel_extraction.Full_copy_back;
+      Transforms.Loop_unrolling.make Transforms.Loop_unrolling.Correct;
+      Transforms.Loop_unrolling.make Transforms.Loop_unrolling.Negative_step_sign_error;
+    ]
+  |> List.fold_left
+       (fun acc (x : Transforms.Xform.t) ->
+         if List.exists (fun (y : Transforms.Xform.t) -> y.name = x.name) acc then acc
+         else x :: acc)
+       []
+  |> List.rev
+
+let find_workload name =
+  match List.assoc_opt name (workloads ()) with
+  | Some g -> g
+  | None ->
+      Printf.eprintf "unknown workload %s (try: fuzzyflow list)\n" name;
+      exit 2
+
+let find_xform name =
+  match Transforms.Registry.by_name (xform_catalog ()) name with
+  | Some x -> x
+  | None ->
+      Printf.eprintf "unknown transformation %s (try: fuzzyflow list)\n" name;
+      exit 2
+
+(* ---------------- arguments ---------------- *)
+
+let workload_arg =
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to operate on.")
+
+let workloads_arg =
+  Arg.(value & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workloads (repeatable; default: all).")
+
+let xform_arg =
+  Arg.(required & opt (some string) None & info [ "x"; "transformation" ] ~docv:"NAME" ~doc:"Transformation to test.")
+
+let trials_arg =
+  Arg.(value & opt int 20 & info [ "t"; "trials" ] ~docv:"N" ~doc:"Fuzzing trials per instance.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Fuzzing seed.")
+
+let max_size_arg =
+  Arg.(value & opt int 12 & info [ "max-size" ] ~docv:"N" ~doc:"Upper bound for sampled size symbols.")
+
+let no_min_cut_arg =
+  Arg.(value & flag & info [ "no-min-cut" ] ~doc:"Disable the minimum input-flow cut.")
+
+let defines_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "D"; "define" ] ~docv:"SYM=VAL" ~doc:"Concretization symbol values (repeatable).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"DIR" ~doc:"Save failing test cases under $(docv).")
+
+let mk_config trials seed max_size no_min_cut defines =
+  {
+    Fuzzyflow.Difftest.default_config with
+    trials;
+    seed;
+    max_size;
+    use_min_cut = not no_min_cut;
+    concretization = defines;
+  }
+
+(* ---------------- commands ---------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "workloads:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) (workloads ());
+    print_endline "transformations:";
+    List.iter (fun (x : Transforms.Xform.t) -> Printf.printf "  %s\n" x.name) (xform_catalog ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads and transformations.")
+    Term.(const run $ const ())
+
+let test_cmd =
+  let run w x trials seed max_size no_min_cut defines save =
+    let g = find_workload w in
+    let xform = find_xform x in
+    let config = mk_config trials seed max_size no_min_cut defines in
+    let sites = xform.find g in
+    if sites = [] then print_endline "no application sites found"
+    else begin
+      let failing = ref 0 in
+      List.iter
+        (fun site ->
+          let r = Fuzzyflow.Difftest.test_instance ~config g xform site in
+          Format.printf "%a@." Fuzzyflow.Difftest.pp_report r;
+          match r.verdict with
+          | Fuzzyflow.Difftest.Pass -> ()
+          | Fuzzyflow.Difftest.Fail _ -> (
+              incr failing;
+              match save with
+              | None -> ()
+              | Some dir -> (
+                  match Fuzzyflow.Testcase.of_report ~config ~original:g r with
+                  | Some tc ->
+                      List.iter (Printf.printf "  wrote %s\n") (Fuzzyflow.Testcase.save dir tc)
+                  | None -> ())))
+        sites;
+      Printf.printf "%d/%d instances failing\n" !failing (List.length sites);
+      if !failing > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Test every instance of a transformation on a workload.")
+    Term.(
+      const run $ workload_arg $ xform_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
+      $ defines_arg $ save_arg)
+
+let campaign_cmd =
+  let correct_arg =
+    Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set instead of the shipped one.")
+  in
+  let run ws correct trials seed max_size no_min_cut defines =
+    let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
+    let config = mk_config trials seed max_size no_min_cut defines in
+    let programs =
+      match ws with [] -> workloads () | ws -> List.map (fun w -> (w, find_workload w)) ws
+    in
+    let xforms =
+      if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
+    in
+    let c = Fuzzyflow.Campaign.run ~config programs xforms in
+    print_string (Fuzzyflow.Campaign.to_table c)
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a transformation campaign over workloads (Table 2 style).")
+    Term.(
+      const run $ workloads_arg $ correct_arg $ trials_arg $ seed_arg $ max_size_arg
+      $ no_min_cut_arg $ defines_arg)
+
+let cutout_cmd =
+  let state_arg =
+    Arg.(required & opt (some int) None & info [ "state" ] ~docv:"ID" ~doc:"State id of the seed.")
+  in
+  let nodes_arg =
+    Arg.(non_empty & opt_all int [] & info [ "node" ] ~docv:"ID" ~doc:"Seed node ids (repeatable).")
+  in
+  let run w state nodes defines =
+    let g = find_workload w in
+    let cut =
+      Fuzzyflow.Cutout.extract_dataflow ~options:{ Fuzzyflow.Cutout.symbols = defines } g ~state
+        ~nodes
+    in
+    Format.printf "%a@." Fuzzyflow.Cutout.pp cut;
+    let cut', stats = Fuzzyflow.Min_cut.minimize g cut ~symbols:defines in
+    Printf.printf "min input-flow cut: %d -> %d elements; inputs {%s}\n" stats.original_elements
+      stats.minimized_elements
+      (String.concat ", " cut'.input_config)
+  in
+  Cmd.v
+    (Cmd.info "cutout" ~doc:"Extract and minimize a cutout around given nodes.")
+    Term.(const run $ workload_arg $ state_arg $ nodes_arg $ defines_arg)
+
+let optimize_cmd =
+  let run w trials seed max_size no_min_cut defines correct =
+    let defines = if defines = [] then [ ("N", 8); ("T", 3); ("H", 4); ("R", 3); ("Q", 4); ("P", 3) ] else defines in
+    let g = find_workload w in
+    let config = mk_config trials seed max_size no_min_cut defines in
+    let xforms =
+      if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
+    in
+    let optimized, log = Fuzzyflow.Pipeline.optimize ~config g xforms in
+    Format.printf "%a" Fuzzyflow.Pipeline.pp_log log;
+    match Sdfg.Validate.check optimized with
+    | [] -> print_endline "optimized program valid"
+    | e :: _ -> Format.printf "optimized program INVALID: %a@." Sdfg.Validate.pp_error e
+  in
+  let correct_arg =
+    Cmdliner.Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Guarded optimization: test each instance, apply only passing ones.")
+    Term.(
+      const run $ workload_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
+      $ defines_arg $ correct_arg)
+
+let localize_cmd =
+  let run w x trials seed max_size no_min_cut defines =
+    let g = find_workload w in
+    let xform = find_xform x in
+    let config = mk_config trials seed max_size no_min_cut defines in
+    List.iter
+      (fun site ->
+        let r = Fuzzyflow.Difftest.test_instance ~config g xform site in
+        match r.verdict with
+        | Fuzzyflow.Difftest.Pass -> ()
+        | Fuzzyflow.Difftest.Fail _ -> (
+            Format.printf "%a@." Fuzzyflow.Difftest.pp_report r;
+            match Fuzzyflow.Localize.of_report ~config ~original:g ~xform r with
+            | Some ds when ds <> [] ->
+                List.iteri
+                  (fun i d ->
+                    if i < 5 then
+                      Format.printf "  %s %a@."
+                        (if i = 0 then "first divergence:" else "then:            ")
+                        Fuzzyflow.Localize.pp_divergence d)
+                  ds
+            | _ -> print_endline "  (no localization available)"))
+      (xform.find g)
+  in
+  Cmd.v
+    (Cmd.info "localize"
+       ~doc:"Test a transformation and point at where along the dataflow values diverge.")
+    Term.(
+      const run $ workload_arg $ xform_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
+      $ defines_arg)
+
+let dot_cmd =
+  let run w =
+    let g = find_workload w in
+    print_string (Sdfg.Dot.to_dot g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Print a workload's dataflow graph as graphviz.")
+    Term.(const run $ workload_arg)
+
+let () =
+  let info = Cmd.info "fuzzyflow" ~version:"1.0.0" ~doc:"Localized optimization testing with dataflow cutouts." in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; test_cmd; campaign_cmd; cutout_cmd; optimize_cmd; localize_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/bert_vectorize.ml: Float Format Fuzzyflow List Printf Sdfg String Transforms Workloads

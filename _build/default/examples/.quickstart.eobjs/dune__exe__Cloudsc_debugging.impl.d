@@ -1,0 +1,1 @@
+examples/cloudsc_debugging.ml: Format Fuzzyflow List Printf Transforms Workloads

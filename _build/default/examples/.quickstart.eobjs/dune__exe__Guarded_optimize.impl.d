@@ -1,0 +1,1 @@
+examples/guarded_optimize.ml: Array Float Format Fuzzyflow Interp List Printf Sdfg Transforms Workloads

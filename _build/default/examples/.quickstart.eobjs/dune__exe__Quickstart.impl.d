@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fuzzyflow List Printf Sdfg Transforms Workloads

@@ -1,0 +1,1 @@
+examples/sddmm_single_node.ml: Array Float Fuzzyflow Printf String Transforms Unix Workloads

@@ -1,0 +1,1 @@
+examples/sddmm_single_node.mli:

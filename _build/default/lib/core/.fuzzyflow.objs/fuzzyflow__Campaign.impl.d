@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Buffer Difftest List Printf String Transforms

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Cutout Format Graph List Memlet Option Sdfg State Symbolic Transforms

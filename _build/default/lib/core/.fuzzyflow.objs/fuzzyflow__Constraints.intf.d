@@ -1,0 +1,1 @@
+lib/core/constraints.mli: Cutout Format Sdfg Symbolic

@@ -1,0 +1,1 @@
+lib/core/cutout.ml: Diff Dtype Format Graph Hashtbl List Memlet Node Printf Propagate Queue Sdfg State String Symbolic

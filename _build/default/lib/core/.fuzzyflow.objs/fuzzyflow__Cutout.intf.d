@@ -1,0 +1,1 @@
+lib/core/cutout.mli: Format Sdfg

@@ -1,0 +1,1 @@
+lib/core/difftest.ml: Array Constraints Cutout Diff Float Format Graph Interp List Min_cut Sampler Sdfg Transforms Unix Validate

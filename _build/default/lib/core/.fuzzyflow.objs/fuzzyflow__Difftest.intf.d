@@ -1,0 +1,1 @@
+lib/core/difftest.mli: Cutout Format Interp Min_cut Sdfg Transforms

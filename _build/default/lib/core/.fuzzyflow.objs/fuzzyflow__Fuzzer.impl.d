@@ -1,0 +1,1 @@
+lib/core/fuzzer.ml: Constraints Cutout Difftest Int Interp List Sampler Set

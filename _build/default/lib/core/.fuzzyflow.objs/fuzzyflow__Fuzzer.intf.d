@@ -1,0 +1,1 @@
+lib/core/fuzzer.mli: Cutout Difftest Sdfg

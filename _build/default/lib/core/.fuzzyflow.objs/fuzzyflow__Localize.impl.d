@@ -1,0 +1,1 @@
+lib/core/localize.ml: Array Cutout Difftest Float Format Graph Hashtbl Interp List Memlet Node Sdfg State Testcase Transforms

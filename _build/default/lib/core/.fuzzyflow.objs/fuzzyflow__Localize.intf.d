@@ -1,0 +1,1 @@
+lib/core/localize.mli: Cutout Difftest Format Sdfg Transforms

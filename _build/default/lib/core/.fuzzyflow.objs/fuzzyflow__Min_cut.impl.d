@@ -1,0 +1,1 @@
+lib/core/min_cut.ml: Array Cutout Flownet Graph Hashtbl List Memlet Node Option Queue Sdfg State Symbolic

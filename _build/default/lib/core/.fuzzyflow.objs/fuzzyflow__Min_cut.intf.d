@@ -1,0 +1,1 @@
+lib/core/min_cut.mli: Cutout Flownet Sdfg

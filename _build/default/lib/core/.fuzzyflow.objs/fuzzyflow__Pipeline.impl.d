@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Difftest Format List Sdfg Transforms

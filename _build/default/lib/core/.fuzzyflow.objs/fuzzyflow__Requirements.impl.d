@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Buffer List Printf String

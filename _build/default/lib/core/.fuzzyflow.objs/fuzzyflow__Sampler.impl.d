@@ -1,0 +1,1 @@
+lib/core/sampler.ml: Array Constraints Cutout Dtype Graph Int64 Interp List Sdfg Symbolic

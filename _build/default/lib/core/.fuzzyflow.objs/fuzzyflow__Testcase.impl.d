@@ -1,0 +1,1 @@
+lib/core/testcase.ml: Array Buffer Constraints Cutout Difftest Filename Format Interp List Option Printf Sampler Sdfg String Sys Transforms Unix

@@ -1,0 +1,1 @@
+lib/core/tuning.ml: Difftest Format List String

@@ -1,0 +1,117 @@
+type instance_result = { program : string; report : Difftest.report }
+
+type row = {
+  xform_name : string;
+  instances : int;
+  passed : int;
+  failed : int;
+  classes : (Difftest.failure_class * int) list;
+  avg_first_trial : float;
+}
+
+type t = {
+  rows : row list;
+  results : instance_result list;
+  total_instances : int;
+  total_failed : int;
+}
+
+let take n l =
+  let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
+  go 0 l
+
+let run ?(config = Difftest.default_config) ?(limit_per = None) programs xforms =
+  let results = ref [] in
+  List.iter
+    (fun (x : Transforms.Xform.t) ->
+      List.iter
+        (fun (pname, g) ->
+          let sites = x.find g in
+          let sites = match limit_per with Some n -> take n sites | None -> sites in
+          List.iter
+            (fun site ->
+              let report = Difftest.test_instance ~config g x site in
+              results := { program = pname; report } :: !results)
+            sites)
+        programs)
+    xforms;
+  let results = List.rev !results in
+  let rows =
+    List.map
+      (fun (x : Transforms.Xform.t) ->
+        let mine = List.filter (fun r -> r.report.xform_name = x.name) results in
+        let failing =
+          List.filter_map
+            (fun r -> match r.report.verdict with Difftest.Fail f -> Some f | Difftest.Pass -> None)
+            mine
+        in
+        let count klass = List.length (List.filter (fun f -> f.Difftest.klass = klass) failing) in
+        let classes =
+          List.filter
+            (fun (_, n) -> n > 0)
+            [
+              (Difftest.Semantics, count Difftest.Semantics);
+              (Difftest.Input_dependent, count Difftest.Input_dependent);
+              (Difftest.Invalid_code, count Difftest.Invalid_code);
+            ]
+        in
+        let real_failures =
+          List.filter (fun (f : Difftest.failing) -> f.first_trial > 0) failing
+        in
+        let avg_first_trial =
+          match real_failures with
+          | [] -> 0.
+          | fs ->
+              List.fold_left (fun a (f : Difftest.failing) -> a +. float_of_int f.first_trial) 0. fs
+              /. float_of_int (List.length fs)
+        in
+        {
+          xform_name = x.name;
+          instances = List.length mine;
+          passed = List.length mine - List.length failing;
+          failed = List.length failing;
+          classes;
+          avg_first_trial;
+        })
+      xforms
+  in
+  {
+    rows;
+    results;
+    total_instances = List.length results;
+    total_failed =
+      List.length
+        (List.filter
+           (fun r -> match r.report.verdict with Difftest.Fail _ -> true | Difftest.Pass -> false)
+           results);
+  }
+
+let class_marker = function
+  | Difftest.Semantics -> "X"
+  | Difftest.Input_dependent -> "/!\\"
+  | Difftest.Invalid_code -> "->"
+
+let to_table t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-42s %10s %8s %8s  %s\n" "Transformation" "Instances" "Passed" "Failed"
+       "Failure classes");
+  Buffer.add_string buf (String.make 96 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      let classes =
+        if r.classes = [] then "-"
+        else
+          String.concat ", "
+            (List.map (fun (c, n) -> Printf.sprintf "%s x%d" (class_marker c) n) r.classes)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-42s %10d %8d %8d  %s\n" r.xform_name r.instances r.passed r.failed
+           classes))
+    t.rows;
+  Buffer.add_string buf (String.make 96 '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "total: %d instances tested, %d failing\n" t.total_instances t.total_failed);
+  Buffer.contents buf

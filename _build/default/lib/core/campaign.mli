@@ -1,0 +1,39 @@
+(** Campaign runner: test every instance of a set of transformations on a set
+    of programs — the NPBench experiment of Sec. 6.3 (Table 2) and the
+    CLOUDSC campaigns of Sec. 6.4. *)
+
+type instance_result = {
+  program : string;
+  report : Difftest.report;
+}
+
+(** Aggregate over all instances of one transformation. *)
+type row = {
+  xform_name : string;
+  instances : int;
+  passed : int;
+  failed : int;
+  classes : (Difftest.failure_class * int) list;  (** failure counts by class *)
+  avg_first_trial : float;  (** mean first failing trial over failing instances *)
+}
+
+type t = {
+  rows : row list;
+  results : instance_result list;
+  total_instances : int;
+  total_failed : int;
+}
+
+(** [run programs xforms] finds and tests every application site. [limit_per]
+    caps the instances tested per (program, transformation) pair to bound
+    campaign time; [None] tests everything. *)
+val run :
+  ?config:Difftest.config ->
+  ?limit_per:int option ->
+  (string * Sdfg.Graph.t) list ->
+  Transforms.Xform.t list ->
+  t
+
+(** Render the Table 2-style summary: transformation, #instances, failure
+    class markers (✗ semantics, ⚠ input dependent, → invalid code). *)
+val to_table : t -> string

@@ -1,0 +1,119 @@
+open Sdfg
+
+type sym_constraint =
+  | Size of int
+  | Bounded of Symbolic.Expr.t * Symbolic.Expr.t
+  | Free of int
+
+type t = {
+  sym_order : (string * sym_constraint) list;
+  value_range : float * float;
+}
+
+(* Symbols appearing in container shapes. *)
+let shape_syms g =
+  List.concat_map
+    (fun (_, (d : Graph.datadesc)) -> List.concat_map Symbolic.Expr.free_syms d.shape)
+    (Graph.containers g)
+  |> List.sort_uniq compare
+
+(* For an index symbol: the shape expressions of every dimension it is used
+   to address, across all memlets of the graph. *)
+let indexed_dims g sym =
+  let acc = ref [] in
+  let scan_memlet (m : Memlet.t) =
+    match Graph.container_opt g m.data with
+    | None -> ()
+    | Some desc ->
+        List.iteri
+          (fun i (r : Symbolic.Subset.range) ->
+            let syms =
+              Symbolic.Expr.free_syms r.lo @ Symbolic.Expr.free_syms r.hi
+              @ Symbolic.Expr.free_syms r.step
+            in
+            if List.mem sym syms then
+              match List.nth_opt desc.shape i with
+              | Some dim -> acc := dim :: !acc
+              | None -> ())
+          m.subset
+  in
+  List.iter
+    (fun (_, st) ->
+      List.iter
+        (fun (e : State.edge) ->
+          Option.iter scan_memlet e.memlet;
+          Option.iter scan_memlet e.dst_memlet)
+        (State.edges st))
+    (Graph.states g);
+  List.sort_uniq compare !acc
+
+(* Loop bounds of [sym] in the original program, when it is an iteration
+   variable of a canonical loop with analyzable bounds. *)
+let loop_bounds original sym =
+  List.find_map
+    (fun (l : Transforms.Xform.loop) ->
+      if l.var <> sym then None
+      else
+        let bound_of_cond =
+          match l.cond with
+          | Symbolic.Cond.Le (Symbolic.Expr.Sym v, e) when v = sym -> Some e
+          | Symbolic.Cond.Lt (Symbolic.Expr.Sym v, e) when v = sym ->
+              Some (Symbolic.Expr.sub e Symbolic.Expr.one)
+          | Symbolic.Cond.Ge (Symbolic.Expr.Sym v, e) when v = sym -> Some e
+          | Symbolic.Cond.Gt (Symbolic.Expr.Sym v, e) when v = sym ->
+              Some (Symbolic.Expr.add e Symbolic.Expr.one)
+          | _ -> None
+        in
+        match bound_of_cond with
+        | None -> None
+        | Some b ->
+            (* the loop spans [min(init, b), max(init, b)] regardless of
+               direction *)
+            Some (Symbolic.Expr.min_ l.init b, Symbolic.Expr.max_ l.init b))
+    (Transforms.Xform.find_loops original)
+
+let derive ?(max_size = 16) ?(value_range = (-100., 100.)) ?(custom = []) ~original
+    (cutout : Cutout.t) =
+  let g = cutout.program in
+  let sizes = shape_syms g in
+  let classify sym =
+    match List.assoc_opt sym custom with
+    | Some (lo, hi) -> Bounded (Symbolic.Expr.int lo, Symbolic.Expr.int hi)
+    | None ->
+        if List.mem sym sizes then Size max_size
+        else (
+          match loop_bounds original sym with
+          | Some (lo, hi) -> Bounded (lo, hi)
+          | None -> (
+              match indexed_dims g sym with
+              | [] -> Free 100
+              | dims ->
+                  let upper =
+                    List.fold_left
+                      (fun acc d -> Symbolic.Expr.min_ acc (Symbolic.Expr.sub d Symbolic.Expr.one))
+                      (Symbolic.Expr.sub (List.hd dims) Symbolic.Expr.one)
+                      (List.tl dims)
+                  in
+                  Bounded (Symbolic.Expr.zero, upper)))
+  in
+  let classified = List.map (fun s -> (s, classify s)) cutout.free_symbols in
+  let order (_, c) = match c with Size _ -> 0 | Bounded _ -> 1 | Free _ -> 1 in
+  let sym_order = List.stable_sort (fun a b -> compare (order a) (order b)) classified in
+  { sym_order; value_range }
+
+let uniform ?(bound = 64) (cutout : Cutout.t) =
+  {
+    sym_order = List.map (fun s -> (s, Free bound)) cutout.free_symbols;
+    value_range = (-1e6, 1e6);
+  }
+
+let pp fmt t =
+  List.iter
+    (fun (s, c) ->
+      match c with
+      | Size n -> Format.fprintf fmt "%s: size [1, %d]@ " s n
+      | Bounded (lo, hi) ->
+          Format.fprintf fmt "%s: [%s, %s]@ " s (Symbolic.Expr.to_string lo)
+            (Symbolic.Expr.to_string hi)
+      | Free n -> Format.fprintf fmt "%s: free [%d, %d]@ " s (-n) n)
+    t.sym_order

@@ -1,0 +1,40 @@
+(** Gray-box constraint derivation (Sec. 5.1).
+
+    Static analysis of the cutout and the original program derives sampling
+    constraints for each free symbol, reducing uninteresting crashes during
+    differential fuzzing:
+
+    - symbols used in container shapes are sizes, sampled in [1, max_size];
+    - symbols used to index containers are bounded by the indexed dimension;
+    - symbols that are loop iteration variables in the original program are
+      bounded by the loop's bounds;
+    - remaining symbols are sampled from a default interval;
+    - engineers may override any of these with custom bounds. *)
+
+type sym_constraint =
+  | Size of int  (** sampled uniformly in [1, n] *)
+  | Bounded of Symbolic.Expr.t * Symbolic.Expr.t
+      (** inclusive symbolic bounds, evaluated under already-sampled sizes *)
+  | Free of int  (** sampled uniformly in [-n, n] *)
+
+type t = {
+  sym_order : (string * sym_constraint) list;
+      (** sizes first, then dependent symbols, in sampling order *)
+  value_range : float * float;  (** container element sampling interval *)
+}
+
+(** [derive ~original cutout] runs both analyses of Sec. 5.1. [custom]
+    bounds win over derived ones. *)
+val derive :
+  ?max_size:int ->
+  ?value_range:float * float ->
+  ?custom:(string * (int * int)) list ->
+  original:Sdfg.Graph.t ->
+  Cutout.t ->
+  t
+
+(** Constraints that sample every symbol uniformly from [1-n, n] with no
+    analysis — the baseline uniform fuzzing of Sec. 5.1. *)
+val uniform : ?bound:int -> Cutout.t -> t
+
+val pp : Format.formatter -> t -> unit

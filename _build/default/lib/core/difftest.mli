@@ -1,0 +1,95 @@
+(** Differential testing of transformations (Sec. 5).
+
+    A transformation instance is tested by extracting its cutout c, applying
+    T to a copy to get c' = T(c), then running both over sampled input
+    configurations and comparing the system state. A trial fails when the two
+    runs diverge: numerically beyond the threshold, or by fault behaviour
+    (one crashes, hangs, or goes out of bounds while the other does not). *)
+
+type failure_kind =
+  | Numerical of { container : string; flat_index : int; original : float; transformed : float }
+  | Fault_divergence of {
+      original : Interp.Exec.fault option;
+      transformed : Interp.Exec.fault option;
+    }
+  | Invalid_transformed of string
+      (** T could not be applied to the cutout, or produced an invalid graph *)
+
+val pp_failure : Format.formatter -> failure_kind -> unit
+
+(** How an instance failed over the whole trial budget — the three failure
+    classes of Table 2. *)
+type failure_class =
+  | Semantics  (** every trial diverged *)
+  | Input_dependent  (** some trials passed, some diverged *)
+  | Invalid_code
+
+val class_to_string : failure_class -> string
+
+type failing = {
+  klass : failure_class;
+  first_trial : int;  (** 1-based trial number of the first divergence *)
+  failing_trials : int;
+  kind : failure_kind;
+  symbols : (string * int) list;  (** the fault-inducing configuration *)
+}
+
+type verdict = Pass | Fail of failing
+
+type config = {
+  trials : int;
+  seed : int;
+  threshold : float;  (** numerical tolerance t_Δ; 0 means bitwise *)
+  max_size : int;  (** Size_max for size symbols *)
+  step_limit : int;
+  use_min_cut : bool;
+  black_box : bool;
+      (** recover Δ_T by structural diff ({!Sdfg.Diff.compute}) instead of
+          trusting the transformation's self-reported change set (Sec. 3,
+          step 2) *)
+  shrink : bool;
+      (** shrink cutout containers to their accessed sub-regions (Sec. 3) *)
+  concretization : (string * int) list;
+      (** symbol values used to concretize overlap checks and min-cut
+          capacities *)
+  custom_constraints : (string * (int * int)) list;
+}
+
+val default_config : config
+
+type report = {
+  xform_name : string;
+  site : Transforms.Xform.site;
+  verdict : verdict;
+  cutout : Cutout.t;
+  min_cut_stats : Min_cut.stats option;
+  shrink_stats : Cutout.shrink_stats option;
+  trials_run : int;
+  elapsed_s : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Test one transformation instance through the full FuzzyFlow pipeline:
+    apply-to-copy for the change set, cutout extraction, optional input
+    minimization, constraint derivation, differential fuzzing. *)
+val test_instance :
+  ?config:config -> Sdfg.Graph.t -> Transforms.Xform.t -> Transforms.Xform.site -> report
+
+(** Baseline: run the whole program against its transformed version (no
+    cutout) — what the paper's 528× speedup is measured against. Returns the
+    verdict and elapsed seconds. *)
+val test_whole_program :
+  ?config:config ->
+  Sdfg.Graph.t ->
+  Transforms.Xform.t ->
+  Transforms.Xform.site ->
+  verdict * float
+
+(** Compare two runs' system state; exposed for the fuzzer. *)
+val compare_outcomes :
+  threshold:float ->
+  system_state:string list ->
+  (Interp.Exec.outcome, Interp.Exec.fault) result ->
+  (Interp.Exec.outcome, Interp.Exec.fault) result ->
+  failure_kind option

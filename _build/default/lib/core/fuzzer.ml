@@ -1,0 +1,119 @@
+type mode = Uniform | Graybox | Coverage
+
+let mode_to_string = function
+  | Uniform -> "uniform"
+  | Graybox -> "gray-box"
+  | Coverage -> "coverage-guided"
+
+type config = {
+  max_trials : int;
+  seed : int;
+  threshold : float;
+  step_limit : int;
+  corpus_init : int;
+}
+
+let default_config =
+  { max_trials = 200; seed = 7; threshold = 1e-5; step_limit = 5_000_000; corpus_init = 4 }
+
+type result = {
+  trials_to_failure : int option;
+  trials_run : int;
+  distinct_coverage : int;
+  uninteresting_crashes : int;
+  failure : Difftest.failure_kind option;
+  failing_symbols : (string * int) list;
+}
+
+module ISet = Set.Make (Int)
+
+let run ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transformed =
+  let constraints =
+    match mode with
+    | Uniform -> Constraints.uniform cutout
+    | Graybox | Coverage -> Constraints.derive ~original cutout
+  in
+  let icfg collect =
+    {
+      Interp.Exec.default_config with
+      step_limit = config.step_limit;
+      collect_coverage = collect;
+    }
+  in
+  let rng = Sampler.create config.seed in
+  let coverage = ref ISet.empty in
+  let corpus = ref [] in
+  let trials = ref 0 in
+  let crashes = ref 0 in
+  let outcome = ref None in
+  let one_trial (symbols, inputs) =
+    incr trials;
+    let collect = mode = Coverage in
+    let o1 = Interp.Exec.run ~config:(icfg collect) cutout.program ~symbols ~inputs in
+    let o2 = Interp.Exec.run ~config:(icfg false) transformed ~symbols ~inputs in
+    let newcov =
+      match o1 with
+      | Ok o ->
+          let pts = ISet.of_list o.coverage in
+          let grew = not (ISet.subset pts !coverage) in
+          coverage := ISet.union pts !coverage;
+          grew
+      | Error _ -> false
+    in
+    (match (o1, o2) with
+    | Error _, Error _ -> incr crashes (* both failed: uninteresting *)
+    | _ -> ());
+    (match
+       Difftest.compare_outcomes ~threshold:config.threshold ~system_state:cutout.system_state o1
+         o2
+     with
+    | Some kind -> outcome := Some (!trials, kind, symbols)
+    | None -> ());
+    newcov
+  in
+  let sample () =
+    let r = Sampler.split rng in
+    let symbols = Sampler.sample_symbols r constraints in
+    let inputs = Sampler.sample_inputs r constraints cutout ~symbols in
+    (symbols, inputs)
+  in
+  (match mode with
+  | Uniform | Graybox ->
+      while !outcome = None && !trials < config.max_trials do
+        ignore (one_trial (sample ()))
+      done
+  | Coverage ->
+      (* seed the corpus *)
+      let i = ref 0 in
+      while !outcome = None && !trials < config.max_trials && !i < config.corpus_init do
+        incr i;
+        let entry = sample () in
+        ignore (one_trial entry);
+        corpus := entry :: !corpus
+      done;
+      while !outcome = None && !trials < config.max_trials do
+        let n = List.length !corpus in
+        let pick = List.nth !corpus (Sampler.int_in rng 0 (n - 1)) in
+        let entry = Sampler.mutate rng constraints cutout pick in
+        let grew = one_trial entry in
+        if grew then corpus := entry :: !corpus
+      done);
+  match !outcome with
+  | Some (t, kind, symbols) ->
+      {
+        trials_to_failure = Some t;
+        trials_run = !trials;
+        distinct_coverage = ISet.cardinal !coverage;
+        uninteresting_crashes = !crashes;
+        failure = Some kind;
+        failing_symbols = symbols;
+      }
+  | None ->
+      {
+        trials_to_failure = None;
+        trials_run = !trials;
+        distinct_coverage = ISet.cardinal !coverage;
+        uninteresting_crashes = !crashes;
+        failure = None;
+        failing_symbols = [];
+      }

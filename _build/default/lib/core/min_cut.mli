@@ -1,0 +1,24 @@
+(** Minimum input-flow cut (Sec. 4 of the paper).
+
+    Reduces a dataflow cutout's input-configuration size by optionally growing
+    the cutout with upstream computation: finding the cheapest set of inputs
+    is reformulated as a minimum s-t cut between the start of the program and
+    the cutout, with data-movement volumes as edge capacities. Data-node
+    out-edges get infinite capacity (a cut must happen {e before} a data
+    node); reaching external data always costs its full size.
+
+    Capacities are concretized under user-provided symbol values
+    (symbolic max-flow is not computable, Sec. 4.2). *)
+
+type stats = {
+  original_elements : int;  (** input-configuration size before *)
+  minimized_elements : int;  (** and after *)
+  extension : int list;  (** nodes added to the cutout *)
+  cut_value : Flownet.Cap.t;  (** the max-flow = min-cut value *)
+}
+
+(** [minimize p cutout ~symbols] returns the (possibly identical) cutout with
+    the smallest input configuration, plus statistics. Multistate cutouts are
+    returned unchanged (the min-cut operates on one dataflow graph). *)
+val minimize :
+  Sdfg.Graph.t -> Cutout.t -> symbols:(string * int) list -> Cutout.t * stats

@@ -1,0 +1,52 @@
+type decision = Applied | Rejected of Difftest.failing | Stale of string
+
+type step = {
+  xform_name : string;
+  site : Transforms.Xform.site;
+  decision : decision;
+}
+
+type log = { steps : step list; applied : int; rejected : int; stale : int }
+
+let pp_log fmt log =
+  Format.fprintf fmt "%d applied, %d rejected, %d stale@." log.applied log.rejected log.stale;
+  List.iter
+    (fun s ->
+      let d =
+        match s.decision with
+        | Applied -> "applied"
+        | Rejected f -> "REJECTED: " ^ Difftest.class_to_string f.Difftest.klass
+        | Stale msg -> "stale: " ^ msg
+      in
+      Format.fprintf fmt "  %s @@ %a: %s@." s.xform_name Transforms.Xform.pp_site s.site d)
+    log.steps
+
+let optimize ?(config = Difftest.default_config) g xforms =
+  let current = Sdfg.Graph.copy g in
+  let steps = ref [] in
+  let applied = ref 0 and rejected = ref 0 and stale = ref 0 in
+  List.iter
+    (fun (x : Transforms.Xform.t) ->
+      (* discover on the current program; apply passing instances one by one *)
+      List.iter
+        (fun site ->
+          let record decision = steps := { xform_name = x.name; site; decision } :: !steps in
+          match Difftest.test_instance ~config current x site with
+          | { verdict = Difftest.Pass; _ } -> (
+              match x.apply current site with
+              | _ ->
+                  incr applied;
+                  record Applied
+              | exception Transforms.Xform.Cannot_apply msg ->
+                  incr stale;
+                  record (Stale msg))
+          | { verdict = Difftest.Fail f; _ } ->
+              incr rejected;
+              record (Rejected f)
+          | exception Transforms.Xform.Cannot_apply msg ->
+              incr stale;
+              record (Stale msg))
+        (x.find current))
+    xforms;
+  ( current,
+    { steps = List.rev !steps; applied = !applied; rejected = !rejected; stale = !stale } )

@@ -1,0 +1,36 @@
+(** Guarded optimization: the workflow of Fig. 1.
+
+    Performance engineers apply custom transformations at scale; FuzzyFlow
+    gates each instance — only instances whose cutout-level differential test
+    passes are applied to the program. The result is an optimized program
+    plus an audit log of what was applied, what was rejected and why. *)
+
+type decision =
+  | Applied
+  | Rejected of Difftest.failing
+  | Stale of string  (** the site no longer matched after earlier rewrites *)
+
+type step = {
+  xform_name : string;
+  site : Transforms.Xform.site;
+  decision : decision;
+}
+
+type log = {
+  steps : step list;
+  applied : int;
+  rejected : int;
+  stale : int;
+}
+
+val pp_log : Format.formatter -> log -> unit
+
+(** [optimize g xforms] returns the optimized copy of [g] (never mutated) and
+    the audit log. For each transformation, sites are discovered on the
+    current program and tested one by one; passing instances are applied
+    immediately, so later sites see the rewritten program. *)
+val optimize :
+  ?config:Difftest.config ->
+  Sdfg.Graph.t ->
+  Transforms.Xform.t list ->
+  Sdfg.Graph.t * log

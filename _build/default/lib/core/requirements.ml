@@ -1,0 +1,94 @@
+type capability =
+  | Scalar_side_effects
+  | Memory_side_effects
+  | Subregion_side_effects
+  | Input_generalization
+  | Size_generalization
+
+type support = Yes | No | Partial of string
+
+type representation = { name : string; support : (capability * support) list }
+
+let capabilities =
+  [
+    Scalar_side_effects;
+    Memory_side_effects;
+    Subregion_side_effects;
+    Input_generalization;
+    Size_generalization;
+  ]
+
+let capability_name = function
+  | Scalar_side_effects -> "Scalar"
+  | Memory_side_effects -> "Memory"
+  | Subregion_side_effects -> "Sub-region"
+  | Input_generalization -> "Inputs"
+  | Size_generalization -> "Sizes"
+
+let all v = List.map (fun c -> (c, v)) capabilities
+
+let representations =
+  [
+    { name = "Abstract Syntax Tree (AST)"; support = all No };
+    {
+      name = "SSA-Form";
+      support =
+        [
+          (Scalar_side_effects, Yes);
+          (Memory_side_effects, No);
+          (Subregion_side_effects, No);
+          (Input_generalization, No);
+          (Size_generalization, No);
+        ];
+    };
+    {
+      name = "PDG";
+      support =
+        [
+          (Scalar_side_effects, Yes);
+          (Memory_side_effects, Yes);
+          (Subregion_side_effects, No);
+          (Input_generalization, No);
+          (Size_generalization, No);
+        ];
+    };
+    {
+      name = "MLIR";
+      support =
+        [
+          (Scalar_side_effects, Yes);
+          (Memory_side_effects, Yes);
+          (Subregion_side_effects, Partial "constant sizes only");
+          (Input_generalization, Yes);
+          (Size_generalization, No);
+        ];
+    };
+    { name = "Parametric Dataflow"; support = all Yes };
+  ]
+
+let parametric_dataflow_is_complete () =
+  let complete r = List.for_all (fun (_, s) -> s = Yes) r.support in
+  List.for_all
+    (fun r -> complete r = (r.name = "Parametric Dataflow"))
+    representations
+
+let support_marker = function Yes -> "yes" | No -> "no" | Partial _ -> "partial"
+
+let to_table () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%-28s" "Representation");
+  List.iter (fun c -> Buffer.add_string buf (Printf.sprintf " %-12s" (capability_name c))) capabilities;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make 90 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "%-28s" r.name);
+      List.iter
+        (fun c ->
+          let s = List.assoc c r.support in
+          Buffer.add_string buf (Printf.sprintf " %-12s" (support_marker s)))
+        capabilities;
+      Buffer.add_char buf '\n')
+    representations;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** The requirements matrix for localized optimization testing (Table 1).
+
+    Encodes, per program representation, which of the five capabilities it
+    provides: scalar / memory / sub-region side-effect analysis, and input /
+    size generalization. The bench harness prints this as Table 1. *)
+
+type capability =
+  | Scalar_side_effects
+  | Memory_side_effects
+  | Subregion_side_effects
+  | Input_generalization
+  | Size_generalization
+
+type support = Yes | No | Partial of string
+
+type representation = {
+  name : string;
+  support : (capability * support) list;
+}
+
+val capabilities : capability list
+val capability_name : capability -> string
+val representations : representation list
+
+(** Check that the parametric-dataflow row claims all five capabilities and
+    that it is the only row that does — the paper's argument for the IR
+    choice. *)
+val parametric_dataflow_is_complete : unit -> bool
+
+val to_table : unit -> string

@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  cutout : Cutout.t;
+  symbols : (string * int) list;
+  inputs : (string * float array) list;
+  failure : Difftest.failure_kind;
+}
+
+(* Reconstruct the fault-inducing inputs: re-run the deterministic sampling
+   sequence up to the failing trial. *)
+let site_slug (s : Transforms.Xform.site) =
+  if s.state >= 0 then
+    Printf.sprintf "s%d_n%s" s.state (String.concat "-" (List.map string_of_int s.nodes))
+  else Printf.sprintf "states_%s" (String.concat "-" (List.map string_of_int s.states))
+
+let of_report ?(config = Difftest.default_config) ~original (report : Difftest.report) =
+  match report.verdict with
+  | Difftest.Pass -> None
+  | Difftest.Fail f when f.first_trial <= 0 ->
+      Some
+        {
+          name = report.xform_name ^ "." ^ site_slug report.site;
+          cutout = report.cutout;
+          symbols = [];
+          inputs = [];
+          failure = f.kind;
+        }
+  | Difftest.Fail f ->
+      let constraints =
+        Constraints.derive ~max_size:config.max_size ~custom:config.custom_constraints ~original
+          report.cutout
+      in
+      let rng = Sampler.create config.seed in
+      let result = ref None in
+      for trial = 1 to f.first_trial do
+        let r = Sampler.split rng in
+        let symbols = Sampler.sample_symbols r constraints in
+        let inputs = Sampler.sample_inputs r constraints report.cutout ~symbols in
+        if trial = f.first_trial then result := Some (symbols, inputs)
+      done;
+      Option.map
+        (fun (symbols, inputs) ->
+          {
+            name = report.xform_name ^ "." ^ site_slug report.site;
+            cutout = report.cutout;
+            symbols;
+            inputs;
+            failure = f.kind;
+          })
+        !result
+
+let render tc =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== FuzzyFlow test case: %s ===\n" tc.name);
+  Buffer.add_string buf (Format.asprintf "%a@." Cutout.pp tc.cutout);
+  Buffer.add_string buf (Format.asprintf "failure: %a@." Difftest.pp_failure tc.failure);
+  Buffer.add_string buf "symbols:\n";
+  List.iter (fun (s, v) -> Buffer.add_string buf (Printf.sprintf "  %s = %d\n" s v)) tc.symbols;
+  Buffer.add_string buf "inputs:\n";
+  List.iter
+    (fun (c, arr) ->
+      let n = Array.length arr in
+      let preview = Array.to_list (Array.sub arr 0 (min 8 n)) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %d elements [%s%s]\n" c n
+           (String.concat ", " (List.map (Printf.sprintf "%g") preview))
+           (if n > 8 then ", ..." else "")))
+    tc.inputs;
+  Buffer.contents buf
+
+let save dir tc =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let safe c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+    | _ -> '_'
+  in
+  let base = Filename.concat dir (String.map safe tc.name) in
+  let txt = base ^ ".case.txt" in
+  let dot = base ^ ".cutout.dot" in
+  let sdfg = base ^ ".cutout.sdfg" in
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  in
+  write txt (render tc);
+  write dot (Sdfg.Dot.to_dot tc.cutout.program);
+  write sdfg (Sdfg.Serialize.to_string tc.cutout.program);
+  [ txt; dot; sdfg ]
+
+let replay ?(step_limit = 5_000_000) tc =
+  let config = { Interp.Exec.default_config with step_limit } in
+  Interp.Exec.run ~config tc.cutout.program ~symbols:tc.symbols ~inputs:tc.inputs

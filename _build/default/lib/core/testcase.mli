@@ -1,0 +1,31 @@
+(** Reproducible minimal test cases.
+
+    When FuzzyFlow finds a fault-inducing transformation instance it emits a
+    self-contained artifact: the cutout graph (dot), the fault-inducing
+    symbol values and inputs, and the failure description — everything needed
+    to debug the transformation on a workstation (Sec. 6.4). *)
+
+type t = {
+  name : string;
+  cutout : Cutout.t;
+  symbols : (string * int) list;
+  inputs : (string * float array) list;
+  failure : Difftest.failure_kind;
+}
+
+(** Build a test case from a failing report by re-deriving the fault-inducing
+    inputs from the recorded trial seed. *)
+val of_report :
+  ?config:Difftest.config -> original:Sdfg.Graph.t -> Difftest.report -> t option
+
+(** Human-readable reproduction bundle. *)
+val render : t -> string
+
+(** [save dir tc] writes [render], the cutout's dot file, and the serialized
+    cutout graph ({!Sdfg.Serialize}) under [dir]; returns the paths written. *)
+val save : string -> t -> string list
+
+(** Replay: run the cutout under the stored configuration and return the
+    outcome — used to confirm a saved case still reproduces. *)
+val replay :
+  ?step_limit:int -> t -> (Interp.Exec.outcome, Interp.Exec.fault) result

@@ -1,0 +1,36 @@
+type outcome = { param : int; verdict : Difftest.verdict; elapsed_s : float }
+
+type result = { outcomes : outcome list; safe : int list; unsafe : int list }
+
+let sweep ?(config = Difftest.default_config) g ~family ~params ~site =
+  let outcomes =
+    List.map
+      (fun param ->
+        let x = family param in
+        let r = Difftest.test_instance ~config g x site in
+        { param; verdict = r.verdict; elapsed_s = r.elapsed_s })
+      params
+  in
+  {
+    outcomes;
+    safe =
+      List.filter_map
+        (fun o -> match o.verdict with Difftest.Pass -> Some o.param | _ -> None)
+        outcomes;
+    unsafe =
+      List.filter_map
+        (fun o -> match o.verdict with Difftest.Fail _ -> Some o.param | _ -> None)
+        outcomes;
+  }
+
+let pp_result fmt r =
+  List.iter
+    (fun o ->
+      Format.fprintf fmt "param %3d: %s@." o.param
+        (match o.verdict with
+        | Difftest.Pass -> "pass"
+        | Difftest.Fail f -> "FAIL (" ^ Difftest.class_to_string f.Difftest.klass ^ ")"))
+    r.outcomes;
+  Format.fprintf fmt "safe: {%s}; unsafe: {%s}@."
+    (String.concat ", " (List.map string_of_int r.safe))
+    (String.concat ", " (List.map string_of_int r.unsafe))

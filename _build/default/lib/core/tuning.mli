@@ -1,0 +1,31 @@
+(** Transformation-parameter fuzzing.
+
+    The paper's conclusion proposes fuzzing not just a cutout's inputs but
+    the {e parameters of the transformation itself} — e.g. the tile size of a
+    tiling optimization — to test transformations under even more varying
+    conditions. [sweep] runs the full FuzzyFlow pipeline once per parameter
+    value of a transformation family and reports which values are safe. *)
+
+type outcome = {
+  param : int;
+  verdict : Difftest.verdict;
+  elapsed_s : float;
+}
+
+type result = {
+  outcomes : outcome list;
+  safe : int list;  (** parameter values whose instance passed *)
+  unsafe : int list;
+}
+
+(** [sweep g ~family ~params ~site] instantiates [family p] for every [p] and
+    tests it at [site]. *)
+val sweep :
+  ?config:Difftest.config ->
+  Sdfg.Graph.t ->
+  family:(int -> Transforms.Xform.t) ->
+  params:int list ->
+  site:Transforms.Xform.site ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

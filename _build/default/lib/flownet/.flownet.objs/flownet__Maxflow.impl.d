@@ -1,0 +1,1 @@
+lib/flownet/maxflow.ml: Array Cap List Queue

@@ -1,0 +1,111 @@
+(* Infinite capacities are handled exactly: any value strictly greater than
+   the sum of all finite capacities can never participate in a minimum cut, so
+   Inf is represented internally by (sum of finite caps + 1) computed at solve
+   time. A computed flow reaching that bound means s and t are joined by an
+   all-infinite path. *)
+
+type arc = { dst : int; mutable cap : int; rev : int; infinite : bool }
+
+type t = { mutable adj : arc array array; mutable n : int; mutable arcs : (int * int * Cap.t) list }
+
+let create () = { adj = [||]; n = 0; arcs = [] }
+
+let add_node g =
+  let id = g.n in
+  g.n <- id + 1;
+  id
+
+let add_edge g u v cap =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Maxflow.add_edge: bad node";
+  g.arcs <- (u, v, cap) :: g.arcs
+
+let num_nodes g = g.n
+
+type result = { max_flow : Cap.t; source_side : bool array }
+
+let build g =
+  let adj = Array.make g.n [] in
+  let finite_sum =
+    List.fold_left
+      (fun acc (_, _, c) -> match c with Cap.Finite n -> acc + n | Cap.Inf -> acc)
+      0 g.arcs
+  in
+  let big = finite_sum + 1 in
+  List.iter
+    (fun (u, v, c) ->
+      let cap, infinite = match c with Cap.Finite n -> (n, false) | Cap.Inf -> (big, true) in
+      let iu = List.length adj.(u) and iv = List.length adj.(v) in
+      adj.(u) <- adj.(u) @ [ { dst = v; cap; rev = iv; infinite } ];
+      adj.(v) <- adj.(v) @ [ { dst = u; cap = 0; rev = iu; infinite = false } ])
+    (List.rev g.arcs);
+  (Array.map Array.of_list adj, big)
+
+let max_flow g ~s ~t =
+  if s < 0 || s >= g.n || t < 0 || t >= g.n then invalid_arg "Maxflow.max_flow: bad node";
+  let adj, big = build g in
+  let flow = ref 0 in
+  let prev = Array.make g.n (-1, -1) in
+  let rec loop () =
+    Array.fill prev 0 g.n (-1, -1);
+    prev.(s) <- (s, -1);
+    let queue = Queue.create () in
+    Queue.add s queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iteri
+        (fun i a ->
+          if a.cap > 0 && fst prev.(a.dst) = -1 then begin
+            prev.(a.dst) <- (u, i);
+            if a.dst = t then found := true else Queue.add a.dst queue
+          end)
+        adj.(u)
+    done;
+    if !found then begin
+      (* bottleneck *)
+      let rec bottleneck v acc =
+        if v = s then acc
+        else
+          let u, i = prev.(v) in
+          bottleneck u (min acc adj.(u).(i).cap)
+      in
+      let b = bottleneck t max_int in
+      let rec push v =
+        if v <> s then begin
+          let u, i = prev.(v) in
+          let a = adj.(u).(i) in
+          a.cap <- a.cap - b;
+          let r = adj.(v).(a.rev) in
+          r.cap <- r.cap + b;
+          push u
+        end
+      in
+      push t;
+      flow := !flow + b;
+      if !flow < big then loop ()
+    end
+  in
+  loop ();
+  (* residual reachability from s *)
+  let side = Array.make g.n false in
+  let queue = Queue.create () in
+  side.(s) <- true;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        if a.cap > 0 && not side.(a.dst) then begin
+          side.(a.dst) <- true;
+          Queue.add a.dst queue
+        end)
+      adj.(u)
+  done;
+  let mf = if !flow >= big then Cap.Inf else Cap.Finite !flow in
+  { max_flow = mf; source_side = side }
+
+let cut_edges g result =
+  List.filter_map
+    (fun (u, v, c) ->
+      if result.source_side.(u) && not result.source_side.(v) then Some (u, v, c) else None)
+    (List.rev g.arcs)

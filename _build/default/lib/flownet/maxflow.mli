@@ -1,0 +1,34 @@
+(** Maximum flow / minimum s-t cut via Edmonds–Karp (BFS Ford–Fulkerson).
+
+    The minimum input-flow cut of Sec. 4.2 reduces minimizing a cutout's input
+    configuration to a minimum s-t cut; the max-flow min-cut theorem lets us
+    compute it with augmenting paths in O(|E|²|V|). *)
+
+type t
+
+val create : unit -> t
+
+(** [add_node g] returns a fresh node id. *)
+val add_node : t -> int
+
+(** [add_edge g u v cap] adds a directed edge. Parallel edges accumulate.
+    A reverse residual edge of capacity 0 is added implicitly. *)
+val add_edge : t -> int -> int -> Cap.t -> unit
+
+val num_nodes : t -> int
+
+(** Result of a max-flow computation. *)
+type result = {
+  max_flow : Cap.t;  (** [Inf] when s and t are connected by ∞ paths *)
+  source_side : bool array;  (** residual reachability from s after saturation *)
+}
+
+(** [max_flow g ~s ~t]. When the flow is infinite (an all-∞ augmenting path
+    exists), augmentation stops along those paths and [source_side] still
+    describes a valid partition of the finite-capacity residual graph.
+    @raise Invalid_argument if [s] or [t] is not a node. *)
+val max_flow : t -> s:int -> t:int -> result
+
+(** Edges crossing the cut, as [(u, v, capacity)] with [u] on the source side
+    and [v] on the sink side. *)
+val cut_edges : t -> result -> (int * int * Cap.t) list

@@ -1,0 +1,1 @@
+lib/frontend/lang.ml: Dtype Format Graph Hashtbl List Memlet Node Option Printf Propagate Sdfg State String Symbolic Tcode Validate

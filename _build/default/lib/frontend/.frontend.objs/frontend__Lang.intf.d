@@ -1,0 +1,1 @@
+lib/frontend/lang.mli: Sdfg

@@ -1,0 +1,654 @@
+open Sdfg
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tid of string
+  | Tnum of string
+  | Tpunct of string  (* one of: [ ] { } ( ) , = += *= min= max= .. and ops *)
+  | Teof
+
+let keywords =
+  [ "program"; "symbol"; "input"; "output"; "inout"; "temp"; "map"; "parallel"; "for"; "to";
+    "downto"; "step" ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let line = ref 1 in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let j = ref !i in
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.'
+           || src.[!j] = 'e' || src.[!j] = 'E'
+           || ((src.[!j] = '+' || src.[!j] = '-') && !j > !i && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      (* ".." must not be swallowed into a number *)
+      let s = String.sub src !i (!j - !i) in
+      let s =
+        if String.length s >= 2 && String.sub s (String.length s - 2) 2 = ".." then begin
+          String.sub s 0 (String.length s - 2)
+        end
+        else s
+      in
+      push (Tnum s);
+      i := !i + String.length s
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && (is_alpha src.[!j] || is_digit src.[!j]) do incr j done;
+      let word = String.sub src !i (!j - !i) in
+      i := !j;
+      (* accumulation tokens min= / max= *)
+      if (word = "min" || word = "max") && !i < n && src.[!i] = '=' && not (!i + 1 < n && src.[!i + 1] = '=')
+      then begin
+        push (Tpunct (word ^ "="));
+        incr i
+      end
+      else push (Tid word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "+=" | "*=" | "**" | "<=" | ">=" | "==" | "!=" ->
+          push (Tpunct two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '[' | ']' | '{' | '}' | '(' | ')' | ',' | '=' | '+' | '-' | '*' | '/' | '%' | '<' | '>' ->
+              push (Tpunct (String.make 1 c));
+              incr i
+          | _ -> err "line %d: unexpected character %c" !line c)
+    end
+  done;
+  push Teof;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { mutable toks : (token * int) list }
+
+let peek p = match p.toks with [] -> (Teof, 0) | t :: _ -> t
+let advance p = match p.toks with [] -> () | _ :: r -> p.toks <- r
+let cur_line p = snd (peek p)
+
+let expect_punct p s =
+  match peek p with
+  | Tpunct x, _ when x = s -> advance p
+  | _, l -> err "line %d: expected '%s'" l s
+
+let expect_kw p s =
+  match peek p with
+  | Tid x, _ when x = s -> advance p
+  | _, l -> err "line %d: expected '%s'" l s
+
+let ident p =
+  match peek p with
+  | Tid x, _ when not (List.mem x keywords) ->
+      advance p;
+      x
+  | _, l -> err "line %d: expected identifier" l
+
+let is_kw p s = match peek p with Tid x, _ -> x = s | _ -> false
+let is_punct p s = match peek p with Tpunct x, _ -> x = s | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Index (symbolic) expressions                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_sym_expr p = parse_sym_add p
+
+and parse_sym_add p =
+  let lhs = ref (parse_sym_mul p) in
+  let continue = ref true in
+  while !continue do
+    if is_punct p "+" then begin advance p; lhs := Symbolic.Expr.add !lhs (parse_sym_mul p) end
+    else if is_punct p "-" then begin advance p; lhs := Symbolic.Expr.sub !lhs (parse_sym_mul p) end
+    else continue := false
+  done;
+  !lhs
+
+and parse_sym_mul p =
+  let lhs = ref (parse_sym_atom p) in
+  let continue = ref true in
+  while !continue do
+    if is_punct p "*" then begin advance p; lhs := Symbolic.Expr.mul !lhs (parse_sym_atom p) end
+    else if is_punct p "/" then begin advance p; lhs := Symbolic.Expr.div !lhs (parse_sym_atom p) end
+    else if is_punct p "%" then begin advance p; lhs := Symbolic.Expr.modulo !lhs (parse_sym_atom p) end
+    else continue := false
+  done;
+  !lhs
+
+and parse_sym_atom p =
+  match peek p with
+  | Tnum s, l ->
+      advance p;
+      (try Symbolic.Expr.int (int_of_string s)
+       with _ -> err "line %d: index expressions take integers, got %s" l s)
+  | Tpunct "-", _ ->
+      advance p;
+      Symbolic.Expr.neg (parse_sym_atom p)
+  | Tpunct "(", _ ->
+      advance p;
+      let e = parse_sym_expr p in
+      expect_punct p ")";
+      e
+  | Tid ("min" | "max" as f), _ ->
+      advance p;
+      expect_punct p "(";
+      let a = parse_sym_expr p in
+      expect_punct p ",";
+      let b = parse_sym_expr p in
+      expect_punct p ")";
+      if f = "min" then Symbolic.Expr.min_ a b else Symbolic.Expr.max_ a b
+  | Tid x, _ when not (List.mem x keywords) ->
+      advance p;
+      Symbolic.Expr.sym x
+  | _, l -> err "line %d: bad index expression" l
+
+(* ------------------------------------------------------------------ *)
+(* Value (tasklet) expressions with container references               *)
+(* ------------------------------------------------------------------ *)
+
+(* A reference table built while parsing one assignment's RHS: distinct
+   (container, subset) pairs map to input connectors. *)
+type refs = {
+  mutable inputs : (string * (string * Symbolic.Subset.t)) list;  (* conn -> access *)
+  mutable counter : int;
+  containers : (string, Graph.datadesc) Hashtbl.t;
+}
+
+let conn_for refs container subset =
+  let key = (container, subset) in
+  match
+    List.find_opt (fun (_, k) -> k = key) refs.inputs
+  with
+  | Some (conn, _) -> conn
+  | None ->
+      refs.counter <- refs.counter + 1;
+      let conn = Printf.sprintf "__in%d" refs.counter in
+      refs.inputs <- refs.inputs @ [ (conn, key) ];
+      conn
+
+let rec parse_val p refs = parse_val_cmp p refs
+
+and parse_val_cmp p refs =
+  let lhs = parse_val_add p refs in
+  let op =
+    if is_punct p "<" then Some Tcode.Lt
+    else if is_punct p "<=" then Some Tcode.Le
+    else if is_punct p ">" then Some Tcode.Gt
+    else if is_punct p ">=" then Some Tcode.Ge
+    else if is_punct p "==" then Some Tcode.Eq
+    else if is_punct p "!=" then Some Tcode.Ne
+    else None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance p;
+      Tcode.Cmp (op, lhs, parse_val_add p refs)
+
+and parse_val_add p refs =
+  let lhs = ref (parse_val_mul p refs) in
+  let continue = ref true in
+  while !continue do
+    if is_punct p "+" then begin advance p; lhs := Tcode.Bin (Tcode.Add, !lhs, parse_val_mul p refs) end
+    else if is_punct p "-" then begin advance p; lhs := Tcode.Bin (Tcode.Sub, !lhs, parse_val_mul p refs) end
+    else continue := false
+  done;
+  !lhs
+
+and parse_val_mul p refs =
+  let lhs = ref (parse_val_pow p refs) in
+  let continue = ref true in
+  while !continue do
+    if is_punct p "*" then begin advance p; lhs := Tcode.Bin (Tcode.Mul, !lhs, parse_val_pow p refs) end
+    else if is_punct p "/" then begin advance p; lhs := Tcode.Bin (Tcode.Div, !lhs, parse_val_pow p refs) end
+    else if is_punct p "%" then begin advance p; lhs := Tcode.Bin (Tcode.Mod, !lhs, parse_val_pow p refs) end
+    else continue := false
+  done;
+  !lhs
+
+and parse_val_pow p refs =
+  let base = parse_val_unary p refs in
+  if is_punct p "**" then begin
+    advance p;
+    Tcode.Bin (Tcode.Pow, base, parse_val_pow p refs)
+  end
+  else base
+
+and parse_val_unary p refs =
+  if is_punct p "-" then begin
+    advance p;
+    Tcode.Un (Tcode.Neg, parse_val_unary p refs)
+  end
+  else parse_val_atom p refs
+
+and parse_val_atom p refs =
+  match peek p with
+  | Tnum s, _ ->
+      advance p;
+      Tcode.Fconst (float_of_string s)
+  | Tpunct "(", _ ->
+      advance p;
+      let e = parse_val p refs in
+      expect_punct p ")";
+      e
+  | Tid name, l when not (List.mem name keywords) -> (
+      advance p;
+      if is_punct p "(" then begin
+        (* function call *)
+        advance p;
+        let args = ref [] in
+        if not (is_punct p ")") then begin
+          args := [ parse_val p refs ];
+          while is_punct p "," do
+            advance p;
+            args := !args @ [ parse_val p refs ]
+          done
+        end;
+        expect_punct p ")";
+        let un op = match !args with [ a ] -> Tcode.Un (op, a) | _ -> err "line %d: %s/1" l name in
+        let bin op = match !args with [ a; b ] -> Tcode.Bin (op, a, b) | _ -> err "line %d: %s/2" l name in
+        match name with
+        | "sqrt" -> un Tcode.Sqrt
+        | "exp" -> un Tcode.Exp
+        | "log" -> un Tcode.Log
+        | "abs" -> un Tcode.Abs
+        | "floor" -> un Tcode.Floor
+        | "sin" -> un Tcode.Sin
+        | "cos" -> un Tcode.Cos
+        | "tanh" -> un Tcode.Tanh
+        | "min" -> bin Tcode.Min
+        | "max" -> bin Tcode.Max
+        | "select" -> (
+            match !args with
+            | [ c; a; b ] -> Tcode.Select (c, a, b)
+            | _ -> err "line %d: select/3" l)
+        | _ -> err "line %d: unknown function %s" l name
+      end
+      else if is_punct p "[" then begin
+        (* container element reference *)
+        advance p;
+        let idxs = ref [ Symbolic.Subset.index (parse_sym_expr p) ] in
+        while is_punct p "," do
+          advance p;
+          idxs := !idxs @ [ Symbolic.Subset.index (parse_sym_expr p) ]
+        done;
+        expect_punct p "]";
+        if not (Hashtbl.mem refs.containers name) then
+          err "line %d: undeclared container %s" l name;
+        Tcode.Ref (conn_for refs name !idxs)
+      end
+      else if Hashtbl.mem refs.containers name then begin
+        (* scalar container read *)
+        match (Hashtbl.find refs.containers name).shape with
+        | [] -> Tcode.Ref (conn_for refs name [])
+        | _ -> err "line %d: array %s used without indices" l name
+      end
+      else
+        (* symbol or map parameter *)
+        Tcode.Ref name)
+  | _, l -> err "line %d: bad expression" l
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type assign = {
+  dst : string;
+  dst_subset : Symbolic.Subset.t;
+  wcr : Memlet.wcr option;
+  rhs : Tcode.expr;
+  rhs_refs : (string * (string * Symbolic.Subset.t)) list;
+  line : int;
+}
+
+type stmt =
+  | Sassign of assign
+  | Smap of { params : (string * Symbolic.Expr.t * Symbolic.Expr.t) list; parallel : bool;
+              body : assign list; line : int }
+  | Sfor of { var : string; lo : Symbolic.Expr.t; hi : Symbolic.Expr.t; step : int;
+              body : stmt list; line : int }
+
+let parse_assign p containers =
+  let l = cur_line p in
+  let dst = ident p in
+  if not (Hashtbl.mem containers dst) then err "line %d: undeclared container %s" l dst;
+  let dst_subset =
+    if is_punct p "[" then begin
+      advance p;
+      let idxs = ref [ Symbolic.Subset.index (parse_sym_expr p) ] in
+      while is_punct p "," do
+        advance p;
+        idxs := !idxs @ [ Symbolic.Subset.index (parse_sym_expr p) ]
+      done;
+      expect_punct p "]";
+      !idxs
+    end
+    else []
+  in
+  let wcr =
+    if is_punct p "=" then begin advance p; None end
+    else if is_punct p "+=" then begin advance p; Some Memlet.Wcr_sum end
+    else if is_punct p "*=" then begin advance p; Some Memlet.Wcr_mul end
+    else if is_punct p "min=" then begin advance p; Some Memlet.Wcr_min end
+    else if is_punct p "max=" then begin advance p; Some Memlet.Wcr_max end
+    else err "line %d: expected assignment operator" l
+  in
+  let refs = { inputs = []; counter = 0; containers } in
+  let rhs = parse_val p refs in
+  { dst; dst_subset; wcr; rhs; rhs_refs = refs.inputs; line = l }
+
+let rec parse_stmt p containers =
+  if is_kw p "for" then begin
+    let l = cur_line p in
+    advance p;
+    let var = ident p in
+    expect_punct p "=";
+    let lo = parse_sym_expr p in
+    let down =
+      if is_kw p "to" then begin advance p; false end
+      else if is_kw p "downto" then begin advance p; true end
+      else err "line %d: expected 'to' or 'downto'" l
+    in
+    let hi = parse_sym_expr p in
+    let step =
+      if is_kw p "step" then begin
+        advance p;
+        match Symbolic.Expr.is_constant (parse_sym_expr p) with
+        | Some s when s <> 0 -> s
+        | _ -> err "line %d: step must be a nonzero constant" l
+      end
+      else if down then -1
+      else 1
+    in
+    expect_punct p "{";
+    let body = ref [] in
+    while not (is_punct p "}") do
+      body := !body @ [ parse_stmt p containers ]
+    done;
+    expect_punct p "}";
+    Sfor { var; lo; hi; step; body = !body; line = l }
+  end
+  else if is_kw p "map" || is_kw p "parallel" then begin
+    let l = cur_line p in
+    let parallel = is_kw p "parallel" in
+    if parallel then begin
+      advance p;
+      expect_kw p "map"
+    end
+    else advance p;
+    let parse_param () =
+      let v = ident p in
+      expect_punct p "=";
+      let lo = parse_sym_expr p in
+      expect_kw p "to";
+      let hi = parse_sym_expr p in
+      (v, lo, hi)
+    in
+    let params = ref [ parse_param () ] in
+    while is_punct p "," do
+      advance p;
+      params := !params @ [ parse_param () ]
+    done;
+    expect_punct p "{";
+    let body = ref [] in
+    while not (is_punct p "}") do
+      body := !body @ [ parse_assign p containers ]
+    done;
+    expect_punct p "}";
+    Smap { params = !params; parallel; body = !body; line = l }
+  end
+  else Sassign (parse_assign p containers)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-dataflow-state lowering context: the last access node that wrote each
+   container (read-after-write, write-after-write) and the completion nodes
+   of statements that read it since (write-after-read). *)
+type lctx = {
+  writers : (string, int) Hashtbl.t;
+  readers : (string, int list) Hashtbl.t;
+}
+
+let dtype_of_string l = function
+  | "f64" -> Dtype.F64
+  | "f32" -> Dtype.F32
+  | "i64" -> Dtype.I64
+  | "i32" -> Dtype.I32
+  | "bool" -> Dtype.Bool
+  | s -> err "line %d: unknown type %s" l s
+
+let lower_assigns _g st lctx ~params ~parallel (assigns : assign list) =
+  (* one mapped (or plain) tasklet per assignment *)
+  List.iter
+    (fun a ->
+      let out_conn = "__out" in
+      let code = Tcode.make [ (out_conn, a.rhs) ] in
+      let inputs =
+        List.map (fun (conn, (c, sub)) -> (conn, Memlet.make c sub)) a.rhs_refs
+      in
+      let outputs = [ (out_conn, Memlet.make ?wcr:a.wcr a.dst a.dst_subset) ] in
+      let input_nodes =
+        List.filter_map
+          (fun (_, (c, _)) ->
+            match Hashtbl.find_opt lctx.writers c with
+            | Some node -> Some (c, node)
+            | None -> None)
+          a.rhs_refs
+        |> List.sort_uniq compare
+      in
+      let prev_writer = Hashtbl.find_opt lctx.writers a.dst in
+      let prev_readers = Option.value ~default:[] (Hashtbl.find_opt lctx.readers a.dst) in
+      let tasklet = State.add_node st (Node.Tasklet { label = Printf.sprintf "line%d" a.line; code }) in
+      (* wire like Builder.mapped_tasklet, but we already have the code *)
+      let find_or_create tbl provided c =
+        match List.assoc_opt c !tbl with
+        | Some id -> id
+        | None ->
+            let id =
+              match List.assoc_opt c provided with
+              | Some id -> id
+              | None -> State.add_node st (Node.Access c)
+            in
+            tbl := (c, id) :: !tbl;
+            id
+      in
+      let in_tbl = ref [] and out_tbl = ref [] in
+      if params = [] then begin
+        List.iter
+          (fun (conn, (m : Memlet.t)) ->
+            ignore
+              (State.add_edge st ~dst_conn:conn ~memlet:m (find_or_create in_tbl input_nodes m.data)
+                 tasklet))
+          inputs;
+        List.iter
+          (fun (conn, (m : Memlet.t)) ->
+            ignore (State.add_edge st ~src_conn:conn ~memlet:m tasklet (find_or_create out_tbl [] m.data)))
+          outputs;
+        (* order after the previous writer (WAW) and readers (WAR) of dst *)
+        (match prev_writer with Some w -> ignore (State.add_edge st w tasklet) | None -> ());
+        List.iter (fun r -> if r <> tasklet then ignore (State.add_edge st r tasklet)) prev_readers;
+        Hashtbl.replace lctx.writers a.dst (List.assoc a.dst !out_tbl);
+        Hashtbl.replace lctx.readers a.dst [];
+        (* this statement reads its inputs until they are next written *)
+        List.iter
+          (fun (_, (c, _)) ->
+            if c <> a.dst then
+              Hashtbl.replace lctx.readers c
+                (tasklet :: Option.value ~default:[] (Hashtbl.find_opt lctx.readers c)))
+          a.rhs_refs
+      end
+      else begin
+        let pnames = List.map (fun (v, _, _) -> v) params in
+        let ranges = List.map (fun (_, lo, hi) -> Symbolic.Subset.dim lo hi) params in
+        let schedule = if parallel then Node.Parallel else Node.Sequential in
+        let entry =
+          State.add_node st
+            (Node.Map_entry { label = Printf.sprintf "map_line%d" a.line; params = pnames; ranges; schedule })
+        in
+        let exit = State.add_node st (Node.Map_exit { entry }) in
+        let widen m = Propagate.memlet_through_map ~params:pnames ~ranges m in
+        List.iter
+          (fun (conn, (m : Memlet.t)) ->
+            let acc = find_or_create in_tbl input_nodes m.data in
+            ignore (State.add_edge st ~dst_conn:("IN_" ^ m.data) ~memlet:(widen m) acc entry);
+            ignore (State.add_edge st ~src_conn:("OUT_" ^ m.data) ~dst_conn:conn ~memlet:m entry tasklet))
+          inputs;
+        if inputs = [] then ignore (State.add_edge st entry tasklet);
+        List.iter
+          (fun (conn, (m : Memlet.t)) ->
+            let acc = find_or_create out_tbl [] m.data in
+            ignore (State.add_edge st ~src_conn:conn ~dst_conn:("IN_" ^ m.data) ~memlet:m tasklet exit);
+            ignore (State.add_edge st ~src_conn:("OUT_" ^ m.data) ~memlet:(widen m) exit acc))
+          outputs;
+        (match prev_writer with Some w -> ignore (State.add_edge st w entry) | None -> ());
+        List.iter (fun r -> if r <> entry then ignore (State.add_edge st r entry)) prev_readers;
+        Hashtbl.replace lctx.writers a.dst (List.assoc a.dst !out_tbl);
+        Hashtbl.replace lctx.readers a.dst [];
+        (* readers are recorded by their completion node (the map exit) *)
+        List.iter
+          (fun (_, (c, _)) ->
+            if c <> a.dst then
+              Hashtbl.replace lctx.readers c
+                (exit :: Option.value ~default:[] (Hashtbl.find_opt lctx.readers c)))
+          a.rhs_refs
+      end)
+    assigns
+
+(* Lower a statement block; returns the state id control flow exits from. *)
+let rec lower_block g ~entry stmts =
+  (* dataflow statements accumulate in a current state, created lazily *)
+  let cur = ref entry in
+  let lctx = ref None in
+  let dataflow_ctx () =
+    match !lctx with
+    | Some c -> c
+    | None ->
+        let c = { writers = Hashtbl.create 8; readers = Hashtbl.create 8 } in
+        lctx := Some c;
+        c
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Sassign a ->
+          lower_assigns g (Graph.state g !cur) (dataflow_ctx ()) ~params:[] ~parallel:false [ a ]
+      | Smap { params; parallel; body; _ } ->
+          lower_assigns g (Graph.state g !cur) (dataflow_ctx ()) ~params ~parallel body
+      | Sfor { var; lo; hi; step; body; line = _ } ->
+          (* finalize the current dataflow state; build the canonical loop *)
+          lctx := None;
+          let guard = Graph.add_state g (Printf.sprintf "%s_guard" var) in
+          ignore (Graph.add_istate_edge g ~assigns:[ (var, lo) ] !cur guard);
+          let body_entry = Graph.add_state g (Printf.sprintf "%s_body" var) in
+          let cond =
+            if step > 0 then Symbolic.Cond.Le (Symbolic.Expr.sym var, hi)
+            else Symbolic.Cond.Ge (Symbolic.Expr.sym var, hi)
+          in
+          ignore (Graph.add_istate_edge g ~cond guard body_entry);
+          let body_exit = lower_block g ~entry:body_entry body in
+          ignore
+            (Graph.add_istate_edge g
+               ~assigns:[ (var, Symbolic.Expr.add (Symbolic.Expr.sym var) (Symbolic.Expr.int step)) ]
+               body_exit guard);
+          let after = Graph.add_state g (Printf.sprintf "%s_after" var) in
+          ignore (Graph.add_istate_edge g ~cond:(Symbolic.Cond.negate cond) guard after);
+          cur := after)
+    stmts;
+  !cur
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_program p =
+  expect_kw p "program";
+  let name = ident p in
+  let g = Graph.create name in
+  let containers = Hashtbl.create 16 in
+  (* declarations *)
+  let continue = ref true in
+  while !continue do
+    if is_kw p "symbol" then begin
+      advance p;
+      Graph.add_symbol g (ident p);
+      while is_punct p "," do
+        advance p;
+        Graph.add_symbol g (ident p)
+      done
+    end
+    else if is_kw p "input" || is_kw p "output" || is_kw p "inout" || is_kw p "temp" then begin
+      let kind = (match peek p with Tid k, _ -> k | _ -> assert false) in
+      advance p;
+      let l = cur_line p in
+      let ty = dtype_of_string l (ident p) in
+      let cname = ident p in
+      let shape =
+        if is_punct p "[" then begin
+          advance p;
+          let dims = ref [ parse_sym_expr p ] in
+          while is_punct p "," do
+            advance p;
+            dims := !dims @ [ parse_sym_expr p ]
+          done;
+          expect_punct p "]";
+          !dims
+        end
+        else []
+      in
+      let transient = kind = "temp" in
+      let desc = { Graph.shape; dtype = ty; transient; storage = Graph.Host } in
+      Graph.add_container g cname desc;
+      Hashtbl.replace containers cname desc
+    end
+    else continue := false
+  done;
+  (* body *)
+  let stmts = ref [] in
+  while peek p <> (Teof, cur_line p) && fst (peek p) <> Teof do
+    stmts := !stmts @ [ parse_stmt p containers ]
+  done;
+  let entry = Graph.add_state g "entry" in
+  ignore (lower_block g ~entry !stmts);
+  g
+
+let compile src =
+  let p = { toks = tokenize src } in
+  parse_program p
+
+let compile_checked src =
+  match compile src with
+  | g -> (
+      match Validate.check g with
+      | [] -> Ok g
+      | e :: _ -> Error (Format.asprintf "%a" Validate.pp_error e))
+  | exception Error msg -> Error msg
+  | exception Symbolic.Expr.Parse_error msg -> Error msg

@@ -1,0 +1,51 @@
+(** A small imperative frontend language, lowered to SDFGs.
+
+    Plays the role of DaCe's Python/C/Fortran frontends: programs are written
+    as text and compiled into the parametric dataflow IR, with maps for
+    parallel loops, write-conflict resolution for reductions, and the
+    canonical guard/body state pattern for sequential [for] loops.
+
+    {v
+    program jacobi1d
+    symbol N, T
+    inout  f64 A[N]
+    inout  f64 B[N]
+
+    for t = 0 to T-1 {
+      map i = 1 to N-2 {
+        B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+      }
+      map i = 1 to N-2 {
+        A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1])
+      }
+    }
+    v}
+
+    Declarations: [symbol a, b], and [input|output|inout|temp TYPE name[dims]]
+    with TYPE one of f64 f32 i64 i32 bool ([temp] declares a transient;
+    the others are externally visible). Scalars omit the brackets.
+
+    Statements:
+    - [map i = lo to hi (, j = lo to hi)* { assignments }] — a parallel map
+      scope; [parallel map] marks it with the parallel schedule (a GPU-kernel
+      candidate).
+    - [for v = lo to hi { ... }] / [for v = lo downto hi { ... }] /
+      [... step k] — a sequential state-machine loop.
+    - assignments [dst[idx] = expr], with accumulation forms [+=], [*=],
+      [min=], [max=] (lowered to write-conflict resolution). Right-hand
+      sides use the tasklet expression language (see {!Sdfg.Tcode}) with
+      container element references [X[i, j]].
+
+    Statements in sequence are ordered through their data dependencies
+    (producer access nodes are reused by consumers within one state). *)
+
+exception Error of string
+(** Parse or lowering failure, with a human-readable message. *)
+
+(** Parse and lower a program.
+    @raise Error on malformed input. *)
+val compile : string -> Sdfg.Graph.t
+
+(** Parse and lower, returning validation errors instead of trusting the
+    lowering (used by property tests). *)
+val compile_checked : string -> (Sdfg.Graph.t, string) result

@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Array Float Format Fun Graph Hashtbl List Memlet Node Option Printf Sdfg State String Symbolic Tcode Validate Value

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Float Hashtbl Int32 Int64 List Printf Sdfg Symbolic

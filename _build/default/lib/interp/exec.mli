@@ -1,0 +1,42 @@
+(** SDFG interpreter.
+
+    Replaces DaCe's C++ code generation for this repository: runs a graph to
+    completion over concrete symbol values and input arrays, producing the
+    final memory image, an execution-coverage set (for coverage-guided
+    fuzzing, Sec. 5.1) and precise fault signals — out-of-bounds accesses,
+    step-limit "hangs" and invalid-graph conditions — that differential
+    testing classifies (Sec. 5). *)
+
+type fault =
+  | Out_of_bounds of { container : string; index : int array; shape : int array; context : string }
+  | Hang of { steps : int }  (** step limit exceeded *)
+  | Invalid_graph of string  (** the "generates invalid code" failure class *)
+  | Runtime_error of string
+
+val pp_fault : Format.formatter -> fault -> unit
+val fault_to_string : fault -> string
+
+type config = {
+  step_limit : int;  (** abort as a hang beyond this many execution steps *)
+  garbage_seed : int;  (** seed for deterministic GPU garbage allocation *)
+  collect_coverage : bool;
+}
+
+val default_config : config
+
+type outcome = {
+  memory : Value.t;  (** final contents of every container *)
+  coverage : int list;  (** sorted coverage-point hashes *)
+  steps : int;  (** total execution steps consumed *)
+}
+
+(** [run g ~symbols ~inputs] validates and executes [g]. All free symbols must
+    be bound in [symbols]. [inputs] initializes non-transient containers;
+    missing ones are zero-filled, and each provided array must match the
+    concretized element count. *)
+val run :
+  ?config:config ->
+  Sdfg.Graph.t ->
+  symbols:(string * int) list ->
+  inputs:(string * float array) list ->
+  (outcome, fault) result

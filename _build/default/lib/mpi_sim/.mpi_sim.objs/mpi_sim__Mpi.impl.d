@@ -1,0 +1,1 @@
+lib/mpi_sim/mpi.ml: Array Printf

@@ -1,0 +1,58 @@
+type comm = { n : int }
+
+let create n =
+  if n <= 0 then invalid_arg "Mpi.create: need at least one rank";
+  { n }
+
+let size c = c.n
+
+let check_ranks c bufs name =
+  if Array.length bufs <> c.n then
+    invalid_arg (Printf.sprintf "Mpi.%s: %d buffers for %d ranks" name (Array.length bufs) c.n)
+
+let bcast c ~root bufs =
+  check_ranks c bufs "bcast";
+  let src = bufs.(root) in
+  Array.iteri
+    (fun r b ->
+      if r <> root then begin
+        if Array.length b <> Array.length src then invalid_arg "Mpi.bcast: size mismatch";
+        Array.blit src 0 b 0 (Array.length src)
+      end)
+    bufs
+
+let allreduce_sum c bufs =
+  check_ranks c bufs "allreduce_sum";
+  let n = Array.length bufs.(0) in
+  Array.iter (fun b -> if Array.length b <> n then invalid_arg "Mpi.allreduce_sum: size mismatch") bufs;
+  for i = 0 to n - 1 do
+    let total = Array.fold_left (fun acc b -> acc +. b.(i)) 0. bufs in
+    Array.iter (fun b -> b.(i) <- total) bufs
+  done
+
+let scatter c ~root ~src bufs =
+  ignore root;
+  check_ranks c bufs "scatter";
+  let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 bufs in
+  if total <> Array.length src then invalid_arg "Mpi.scatter: size mismatch";
+  let off = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit src !off b 0 (Array.length b);
+      off := !off + Array.length b)
+    bufs
+
+let gather c ~root bufs ~dst =
+  ignore root;
+  check_ranks c bufs "gather";
+  let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 bufs in
+  if total <> Array.length dst then invalid_arg "Mpi.gather: size mismatch";
+  let off = ref 0 in
+  Array.iter
+    (fun b ->
+      Array.blit b 0 dst !off (Array.length b);
+      off := !off + Array.length b)
+    bufs
+
+let bcast_messages c = c.n - 1
+let allreduce_messages c = 2 * (c.n - 1)

@@ -1,0 +1,39 @@
+(** Simulated message passing for the multi-node experiments (Sec. 6.2).
+
+    Ranks run sequentially in one process; each rank owns a buffer table.
+    Collectives operate across the per-rank buffers exactly like their MPI
+    counterparts operate across nodes. The point of Sec. 6.2 — that a cutout
+    of a compute kernel excludes communication and can be tested on a single
+    rank — is exercised by comparing a full simulated-distributed run against
+    single-cutout trials. *)
+
+type comm
+
+val create : int -> comm
+(** [create n] makes a communicator of [n] ranks.
+    @raise Invalid_argument when [n <= 0]. *)
+
+val size : comm -> int
+
+(** Per-rank buffers: [buffers.(rank)] is that rank's local array. All
+    collectives require one buffer per rank, equally sized where relevant. *)
+
+val bcast : comm -> root:int -> float array array -> unit
+(** Copy the root's buffer into every rank's buffer. *)
+
+val allreduce_sum : comm -> float array array -> unit
+(** Element-wise sum across ranks; every rank ends with the total. *)
+
+val scatter : comm -> root:int -> src:float array -> float array array -> unit
+(** Split [src] into [size] contiguous chunks; chunk i lands in rank i's
+    buffer. [src] length must equal the sum of buffer lengths. *)
+
+val gather : comm -> root:int -> float array array -> dst:float array -> unit
+(** Concatenate rank buffers into [dst] (available at every rank here, since
+    ranks share the process). *)
+
+(** Number of simulated point-to-point messages a collective costs, used for
+    the cost accounting in benches. *)
+val bcast_messages : comm -> int
+
+val allreduce_messages : comm -> int

@@ -1,0 +1,1 @@
+lib/sdfg/diff.ml: Format Graph Hashtbl List Printf State String

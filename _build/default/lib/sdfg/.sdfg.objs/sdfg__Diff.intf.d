@@ -1,0 +1,1 @@
+lib/sdfg/diff.mli: Format Graph

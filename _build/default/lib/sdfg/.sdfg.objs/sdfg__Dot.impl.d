@@ -1,0 +1,1 @@
+lib/sdfg/dot.ml: Buffer Graph List Memlet Node Printf State String Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/dtype.ml: Format Int32

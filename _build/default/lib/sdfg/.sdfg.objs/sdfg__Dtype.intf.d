@@ -1,0 +1,1 @@
+lib/sdfg/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/sdfg/graph.ml: Dtype Hashtbl List Map Node Option Queue Set State String Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/graph.mli: Dtype State Symbolic

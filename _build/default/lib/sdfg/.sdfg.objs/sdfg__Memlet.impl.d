@@ -1,0 +1,1 @@
+lib/sdfg/memlet.ml: Float Format Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/memlet.mli: Format Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/node.ml: Format List Memlet Printf String Symbolic Tcode

@@ -1,0 +1,1 @@
+lib/sdfg/node.mli: Format Memlet Symbolic Tcode

@@ -1,0 +1,1 @@
+lib/sdfg/propagate.ml: Expr List Memlet Subset Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/propagate.mli: Memlet Symbolic

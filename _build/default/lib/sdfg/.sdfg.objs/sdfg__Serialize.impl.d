@@ -1,0 +1,1 @@
+lib/sdfg/serialize.ml: Buffer Dtype Graph List Memlet Node Option Printf State String Symbolic Tcode

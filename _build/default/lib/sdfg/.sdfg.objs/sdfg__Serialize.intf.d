@@ -1,0 +1,1 @@
+lib/sdfg/serialize.mli: Graph

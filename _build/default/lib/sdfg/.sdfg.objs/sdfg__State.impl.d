@@ -1,0 +1,1 @@
+lib/sdfg/state.ml: Hashtbl List Memlet Node Option Queue

@@ -1,0 +1,1 @@
+lib/sdfg/state.mli: Memlet Node

@@ -1,0 +1,1 @@
+lib/sdfg/tcode.ml: Format List Printf Set String Symbolic

@@ -1,0 +1,1 @@
+lib/sdfg/tcode.mli: Format

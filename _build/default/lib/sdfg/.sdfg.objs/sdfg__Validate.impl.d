@@ -1,0 +1,1 @@
+lib/sdfg/validate.ml: Format Graph List Memlet Node Printf State Symbolic Tcode

@@ -1,0 +1,1 @@
+lib/sdfg/validate.mli: Format Graph

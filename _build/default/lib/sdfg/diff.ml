@@ -1,0 +1,102 @@
+type change_set = { nodes : (int * int) list; states : int list }
+
+let empty = { nodes = []; states = [] }
+
+let union a b =
+  {
+    nodes = List.sort_uniq compare (a.nodes @ b.nodes);
+    states = List.sort_uniq compare (a.states @ b.states);
+  }
+
+let is_empty c = c.nodes = [] && c.states = []
+
+let pp fmt c =
+  Format.fprintf fmt "{nodes: %s; states: %s}"
+    (String.concat ", " (List.map (fun (s, n) -> Printf.sprintf "%d.%d" s n) c.nodes))
+    (String.concat ", " (List.map string_of_int c.states))
+
+let edge_key (e : State.edge) = (e.src, e.src_conn, e.dst, e.dst_conn, e.memlet, e.dst_memlet)
+
+let diff_state ~sid ~(old_st : State.t) ~(new_st : State.t) =
+  let changed = ref [] in
+  let mark n = if State.has_node old_st n then changed := (sid, n) :: !changed in
+  (* nodes removed or modified (same id, different payload) *)
+  List.iter
+    (fun (id, n_old) ->
+      match State.node_opt new_st id with
+      | None -> mark id
+      | Some n_new -> if n_old <> n_new then mark id)
+    (State.nodes old_st);
+  (* nodes added: mark their original-graph neighbours *)
+  List.iter
+    (fun (id, _) ->
+      if not (State.has_node old_st id) then begin
+        List.iter mark (State.predecessors new_st id);
+        List.iter mark (State.successors new_st id)
+      end)
+    (State.nodes new_st);
+  (* edges: multiset comparison by structural key; endpoints of any
+     added/removed edge are marked *)
+  let count tbl k = match Hashtbl.find_opt tbl k with Some n -> n | None -> 0 in
+  let old_keys = Hashtbl.create 16 and new_keys = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace old_keys (edge_key e) (count old_keys (edge_key e) + 1)) (State.edges old_st);
+  List.iter (fun e -> Hashtbl.replace new_keys (edge_key e) (count new_keys (edge_key e) + 1)) (State.edges new_st);
+  List.iter
+    (fun (e : State.edge) ->
+      if count new_keys (edge_key e) < count old_keys (edge_key e) then begin
+        mark e.src;
+        mark e.dst
+      end)
+    (State.edges old_st);
+  List.iter
+    (fun (e : State.edge) ->
+      if count old_keys (edge_key e) < count new_keys (edge_key e) then begin
+        mark e.src;
+        mark e.dst
+      end)
+    (State.edges new_st);
+  !changed
+
+let iedge_key (e : Graph.istate_edge) = (e.src, e.dst, e.cond, e.assigns)
+
+let compute ~original ~transformed =
+  let nodes = ref [] in
+  let states = ref [] in
+  (* per-state dataflow diffs *)
+  List.iter
+    (fun (sid, old_st) ->
+      match Graph.state_opt transformed sid with
+      | None -> states := sid :: !states
+      | Some new_st -> nodes := diff_state ~sid ~old_st ~new_st @ !nodes)
+    (Graph.states original);
+  (* states added: mark their neighbour states in the original *)
+  List.iter
+    (fun (sid, _) ->
+      if Graph.state_opt original sid = None then
+        List.iter
+          (fun (e : Graph.istate_edge) ->
+            if e.dst = sid && Graph.state_opt original e.src <> None then states := e.src :: !states;
+            if e.src = sid && Graph.state_opt original e.dst <> None then states := e.dst :: !states)
+          (Graph.istate_edges transformed))
+    (Graph.states transformed);
+  (* interstate edge changes mark endpoint states *)
+  let count tbl k = match Hashtbl.find_opt tbl k with Some n -> n | None -> 0 in
+  let old_keys = Hashtbl.create 16 and new_keys = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace old_keys (iedge_key e) (count old_keys (iedge_key e) + 1)) (Graph.istate_edges original);
+  List.iter (fun e -> Hashtbl.replace new_keys (iedge_key e) (count new_keys (iedge_key e) + 1)) (Graph.istate_edges transformed);
+  let mark_state s = if Graph.state_opt original s <> None then states := s :: !states in
+  List.iter
+    (fun (e : Graph.istate_edge) ->
+      if count new_keys (iedge_key e) < count old_keys (iedge_key e) then begin
+        mark_state e.src;
+        mark_state e.dst
+      end)
+    (Graph.istate_edges original);
+  List.iter
+    (fun (e : Graph.istate_edge) ->
+      if count old_keys (iedge_key e) < count new_keys (iedge_key e) then begin
+        mark_state e.src;
+        mark_state e.dst
+      end)
+    (Graph.istate_edges transformed);
+  { nodes = List.sort_uniq compare !nodes; states = List.sort_uniq compare !states }

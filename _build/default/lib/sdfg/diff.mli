@@ -1,0 +1,28 @@
+(** Structural difference between an SDFG and its transformed version.
+
+    This implements the *black-box* change-isolation path of Sec. 3 (step 2):
+    when a transformation does not self-report its change set, the set of
+    modified nodes [Δ_T] is recovered by comparing the program graphs before
+    and after. Node and state ids are stable across transformation
+    application (transformations mutate a copy), so the diff is id-based. *)
+
+(** A change set, expressed over the {e original} graph: the nodes to seed
+    cutout extraction with (Sec. 3, step 3). *)
+type change_set = {
+  nodes : (int * int) list;  (** (state id, node id) pairs, in the original *)
+  states : int list;
+      (** states whose control-flow context changed (loop restructuring,
+          state elimination); cutouts for these must include whole states *)
+}
+
+val empty : change_set
+val union : change_set -> change_set -> change_set
+val is_empty : change_set -> bool
+val pp : Format.formatter -> change_set -> unit
+
+(** [compute ~original ~transformed] recovers the change set. Modified, added
+    and removed nodes and edges are detected per state; for elements that only
+    exist in the transformed graph, their still-existing neighbours in the
+    original are marked instead. Interstate-edge changes mark both endpoint
+    states as control-flow-affected. *)
+val compute : original:Graph.t -> transformed:Graph.t -> change_set

@@ -1,0 +1,39 @@
+type wcr = Wcr_sum | Wcr_mul | Wcr_min | Wcr_max
+
+type t = { data : string; subset : Symbolic.Subset.t; wcr : wcr option }
+
+let make ?wcr data subset = { data; subset; wcr }
+let simple ?wcr data str = { data; subset = Symbolic.Subset.of_string str; wcr }
+let volume t = Symbolic.Expr.simplify (Symbolic.Subset.volume t.subset)
+
+let rename_data ~from ~into t = if t.data = from then { t with data = into } else t
+
+let rename_sym ~from ~into t =
+  { t with subset = Symbolic.Subset.rename_sym ~from ~into t.subset }
+
+let subst map t = { t with subset = Symbolic.Subset.subst map t.subset }
+
+let wcr_identity = function
+  | Wcr_sum -> 0.
+  | Wcr_mul -> 1.
+  | Wcr_min -> infinity
+  | Wcr_max -> neg_infinity
+
+let apply_wcr op acc v =
+  match op with
+  | Wcr_sum -> acc +. v
+  | Wcr_mul -> acc *. v
+  | Wcr_min -> Float.min acc v
+  | Wcr_max -> Float.max acc v
+
+let wcr_to_string = function
+  | Wcr_sum -> "sum"
+  | Wcr_mul -> "mul"
+  | Wcr_min -> "min"
+  | Wcr_max -> "max"
+
+let pp fmt t =
+  Format.fprintf fmt "%s%a%s" t.data Symbolic.Subset.pp t.subset
+    (match t.wcr with None -> "" | Some w -> " (wcr: " ^ wcr_to_string w ^ ")")
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,31 @@
+(** Memlets: data-movement annotations on dataflow edges.
+
+    Every edge that moves data names the container it touches and the exact
+    (parametric) subset accessed — the property that makes side-effect and
+    sub-region analysis tractable (Table 1 of the paper). *)
+
+(** Write-conflict resolution for accumulating writes (reductions). *)
+type wcr = Wcr_sum | Wcr_mul | Wcr_min | Wcr_max
+
+type t = {
+  data : string;  (** container name *)
+  subset : Symbolic.Subset.t;
+  wcr : wcr option;
+}
+
+val make : ?wcr:wcr -> string -> Symbolic.Subset.t -> t
+
+(** [simple data str] parses [str] as a subset, e.g. [simple "A" "i, 0:N-1"]. *)
+val simple : ?wcr:wcr -> string -> string -> t
+
+(** Symbolic element count moved across this memlet. *)
+val volume : t -> Symbolic.Expr.t
+
+val rename_data : from:string -> into:string -> t -> t
+val rename_sym : from:string -> into:string -> t -> t
+val subst : Symbolic.Expr.t Symbolic.Expr.Env.t -> t -> t
+val wcr_identity : wcr -> float
+val apply_wcr : wcr -> float -> float -> float
+val wcr_to_string : wcr -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

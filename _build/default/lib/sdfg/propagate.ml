@@ -1,0 +1,26 @@
+open Symbolic
+
+let widen_range ~param ~(prange : Subset.range) (r : Subset.range) =
+  let has e = List.mem param (Expr.free_syms e) in
+  if not (has r.lo || has r.hi) then r
+  else begin
+    (* Substitute both endpoints of the parameter's span and take the
+       enclosing interval; handles decreasing ranges and negative
+       coefficients conservatively. *)
+    let at v e = Expr.simplify (Expr.subst (Expr.Env.singleton param v) e) in
+    let lo1 = at prange.lo r.lo and lo2 = at prange.hi r.lo in
+    let hi1 = at prange.lo r.hi and hi2 = at prange.hi r.hi in
+    {
+      Subset.lo = Expr.simplify (Expr.min_ lo1 lo2);
+      hi = Expr.simplify (Expr.max_ hi1 hi2);
+      step = Expr.one;
+    }
+  end
+
+let through_map ~params ~ranges subset =
+  List.fold_left2
+    (fun acc param prange -> List.map (widen_range ~param ~prange) acc)
+    subset params ranges
+
+let memlet_through_map ~params ~ranges (m : Memlet.t) =
+  { m with subset = through_map ~params ~ranges m.subset }

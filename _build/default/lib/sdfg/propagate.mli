@@ -1,0 +1,18 @@
+(** Memlet propagation through map scopes.
+
+    An edge crossing a map entry/exit covers the union over all parameter
+    values of the inner accesses. We over-approximate that union with a
+    bounding box, substituting each parameter by its range endpoints — the
+    conservative direction required by side-effect analysis (Sec. 3.1). *)
+
+(** [through_map ~params ~ranges subset] widens [subset] over all values each
+    parameter takes in its range. *)
+val through_map :
+  params:string list ->
+  ranges:Symbolic.Subset.range list ->
+  Symbolic.Subset.t ->
+  Symbolic.Subset.t
+
+(** Widen a memlet. *)
+val memlet_through_map :
+  params:string list -> ranges:Symbolic.Subset.range list -> Memlet.t -> Memlet.t

@@ -1,0 +1,377 @@
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* A minimal s-expression layer                                        *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+let needs_quoting s =
+  s = ""
+  || String.exists (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t') s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec print_sexp buf indent = function
+  | Atom s -> Buffer.add_string buf (if needs_quoting s then quote s else s)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then
+            if List.exists (function List _ -> true | Atom _ -> false) items then begin
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make (indent + 1) ' ')
+            end
+            else Buffer.add_char buf ' ';
+          print_sexp buf (indent + 1) item)
+        items;
+      Buffer.add_char buf ')'
+
+let sexp_to_string s =
+  let buf = Buffer.create 4096 in
+  print_sexp buf 0 s;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let parse_sexp src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\n' || src.[!pos] = '\t' || src.[!pos] = '\r') do
+      incr pos
+    done
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        skip_ws ();
+        while peek () <> Some ')' do
+          if peek () = None then raise (Parse_error "unclosed list");
+          items := parse () :: !items;
+          skip_ws ()
+        done;
+        incr pos;
+        List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' ->
+        incr pos;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          match peek () with
+          | None -> raise (Parse_error "unclosed string")
+          | Some '"' -> incr pos
+          | Some '\\' ->
+              incr pos;
+              (match peek () with
+              | Some 'n' -> Buffer.add_char buf '\n'
+              | Some c -> Buffer.add_char buf c
+              | None -> raise (Parse_error "bad escape"));
+              incr pos;
+              go ()
+          | Some c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+        in
+        go ();
+        Atom (Buffer.contents buf)
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && not
+               (src.[!pos] = ' ' || src.[!pos] = '(' || src.[!pos] = ')' || src.[!pos] = '\n'
+              || src.[!pos] = '\t' || src.[!pos] = '\r')
+        do
+          incr pos
+        done;
+        Atom (String.sub src start (!pos - start))
+  in
+  let s = parse () in
+  skip_ws ();
+  if !pos <> n then raise (Parse_error "trailing input");
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_int i = Atom (string_of_int i)
+let atom_bool b = Atom (string_of_bool b)
+
+let subset_to_atom s = Atom (Symbolic.Subset.to_string s)
+
+let memlet_to_sexp tag (m : Memlet.t) =
+  List
+    ([ Atom tag; Atom m.data; subset_to_atom m.subset ]
+    @ match m.wcr with None -> [] | Some w -> [ Atom (Memlet.wcr_to_string w) ])
+
+let node_to_sexp (id, n) =
+  let payload =
+    match n with
+    | Node.Access d -> List [ Atom "access"; Atom d ]
+    | Node.Tasklet { label; code } -> List [ Atom "tasklet"; Atom label; Atom (Tcode.to_string code) ]
+    | Node.Map_entry { label; params; ranges; schedule } ->
+        List
+          [
+            Atom "map_entry";
+            Atom label;
+            List (Atom "params" :: List.map (fun p -> Atom p) params);
+            List [ Atom "ranges"; subset_to_atom ranges ];
+            Atom
+              (match schedule with
+              | Node.Sequential -> "seq"
+              | Node.Parallel -> "par"
+              | Node.Gpu_device -> "gpu");
+          ]
+    | Node.Map_exit { entry } -> List [ Atom "map_exit"; atom_int entry ]
+    | Node.Library { label; kind } ->
+        let k =
+          match kind with
+          | Node.Mat_mul -> [ Atom "matmul" ]
+          | Node.Batched_mat_mul -> [ Atom "batched_matmul" ]
+          | Node.Reduce (op, axes) ->
+              [
+                Atom "reduce";
+                Atom (Memlet.wcr_to_string op);
+                List (Atom "axes" :: List.map atom_int axes);
+              ]
+        in
+        List (Atom "library" :: Atom label :: k)
+  in
+  List [ Atom "node"; atom_int id; payload ]
+
+let edge_to_sexp (e : State.edge) =
+  let opt tag = function None -> [] | Some v -> [ List [ Atom tag; Atom v ] ] in
+  let optm tag = function None -> [] | Some m -> [ memlet_to_sexp tag m ] in
+  List
+    ([ Atom "edge"; atom_int e.src; atom_int e.dst ]
+    @ opt "src_conn" e.src_conn @ opt "dst_conn" e.dst_conn @ optm "memlet" e.memlet
+    @ optm "dst_memlet" e.dst_memlet)
+
+let state_to_sexp (sid, st) =
+  List
+    [
+      Atom "state";
+      atom_int sid;
+      Atom (State.label st);
+      List (Atom "nodes" :: List.map node_to_sexp (State.nodes st));
+      List (Atom "edges" :: List.map edge_to_sexp (State.edges st));
+    ]
+
+let iedge_to_sexp (e : Graph.istate_edge) =
+  List
+    [
+      Atom "iedge";
+      atom_int e.src;
+      atom_int e.dst;
+      List [ Atom "cond"; Atom (Symbolic.Cond.to_string e.cond) ];
+      List
+        (Atom "assigns"
+        :: List.map
+             (fun (s, rhs) -> List [ Atom s; Atom (Symbolic.Expr.to_string rhs) ])
+             e.assigns);
+    ]
+
+let container_to_sexp (name, (d : Graph.datadesc)) =
+  List
+    [
+      Atom "container";
+      Atom name;
+      List (Atom "shape" :: List.map (fun e -> Atom (Symbolic.Expr.to_string e)) d.shape);
+      List [ Atom "dtype"; Atom (Dtype.to_string d.dtype) ];
+      List [ Atom "transient"; atom_bool d.transient ];
+      List [ Atom "storage"; Atom (match d.storage with Graph.Host -> "host" | Graph.Gpu -> "gpu") ];
+    ]
+
+let to_string g =
+  sexp_to_string
+    (List
+       [
+         Atom "sdfg";
+         Atom (Graph.name g);
+         List (Atom "symbols" :: List.map (fun s -> Atom s) (Graph.symbols g));
+         List (Atom "containers" :: List.map container_to_sexp (Graph.containers g));
+         List (Atom "states" :: List.map state_to_sexp (Graph.states g));
+         List (Atom "iedges" :: List.map iedge_to_sexp (Graph.istate_edges g));
+         List [ Atom "start"; atom_int (Graph.start_state g) ];
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let as_atom = function Atom s -> s | List _ -> fail "expected atom"
+let as_int s = try int_of_string (as_atom s) with _ -> fail "expected integer"
+let as_bool s = try bool_of_string (as_atom s) with _ -> fail "expected bool"
+
+let tagged tag = function
+  | List (Atom t :: rest) when t = tag -> rest
+  | _ -> fail "expected (%s ...)" tag
+
+let find_tagged tag items =
+  List.find_map (function List (Atom t :: rest) when t = tag -> Some rest | _ -> None) items
+
+let dtype_of_string = function
+  | "f64" -> Dtype.F64
+  | "f32" -> Dtype.F32
+  | "i64" -> Dtype.I64
+  | "i32" -> Dtype.I32
+  | "bool" -> Dtype.Bool
+  | s -> fail "unknown dtype %s" s
+
+let wcr_of_string = function
+  | "sum" -> Memlet.Wcr_sum
+  | "mul" -> Memlet.Wcr_mul
+  | "min" -> Memlet.Wcr_min
+  | "max" -> Memlet.Wcr_max
+  | s -> fail "unknown wcr %s" s
+
+let memlet_of_sexp rest =
+  match rest with
+  | [ data; subset ] -> Memlet.make (as_atom data) (Symbolic.Subset.of_string (as_atom subset))
+  | [ data; subset; wcr ] ->
+      Memlet.make
+        ~wcr:(wcr_of_string (as_atom wcr))
+        (as_atom data)
+        (Symbolic.Subset.of_string (as_atom subset))
+  | _ -> fail "bad memlet"
+
+let node_of_sexp = function
+  | List [ Atom "node"; id; payload ] ->
+      let n =
+        match payload with
+        | List [ Atom "access"; d ] -> Node.Access (as_atom d)
+        | List [ Atom "tasklet"; label; code ] ->
+            Node.Tasklet { label = as_atom label; code = Tcode.of_string (as_atom code) }
+        | List [ Atom "map_entry"; label; params; ranges; schedule ] ->
+            let params = List.map as_atom (tagged "params" params) in
+            let ranges =
+              match tagged "ranges" ranges with
+              | [ r ] -> Symbolic.Subset.of_string (as_atom r)
+              | _ -> fail "bad ranges"
+            in
+            let schedule =
+              match as_atom schedule with
+              | "seq" -> Node.Sequential
+              | "par" -> Node.Parallel
+              | "gpu" -> Node.Gpu_device
+              | s -> fail "unknown schedule %s" s
+            in
+            Node.Map_entry { label = as_atom label; params; ranges; schedule }
+        | List [ Atom "map_exit"; entry ] -> Node.Map_exit { entry = as_int entry }
+        | List [ Atom "library"; label; Atom "matmul" ] ->
+            Node.Library { label = as_atom label; kind = Node.Mat_mul }
+        | List [ Atom "library"; label; Atom "batched_matmul" ] ->
+            Node.Library { label = as_atom label; kind = Node.Batched_mat_mul }
+        | List [ Atom "library"; label; Atom "reduce"; op; axes ] ->
+            Node.Library
+              {
+                label = as_atom label;
+                kind = Node.Reduce (wcr_of_string (as_atom op), List.map as_int (tagged "axes" axes));
+              }
+        | _ -> fail "bad node payload"
+      in
+      (as_int id, n)
+  | _ -> fail "bad node"
+
+let edge_of_sexp st = function
+  | List (Atom "edge" :: src :: dst :: rest) ->
+      let src_conn = Option.map (function [ c ] -> as_atom c | _ -> fail "bad src_conn") (find_tagged "src_conn" rest) in
+      let dst_conn = Option.map (function [ c ] -> as_atom c | _ -> fail "bad dst_conn") (find_tagged "dst_conn" rest) in
+      let memlet = Option.map memlet_of_sexp (find_tagged "memlet" rest) in
+      let dst_memlet = Option.map memlet_of_sexp (find_tagged "dst_memlet" rest) in
+      ignore
+        (State.add_edge st ?src_conn ?dst_conn ?memlet ?dst_memlet (as_int src) (as_int dst))
+  | _ -> fail "bad edge"
+
+let state_of_sexp g = function
+  | List [ Atom "state"; sid; label; nodes; edges ] ->
+      let st = State.create (as_atom label) in
+      List.iter
+        (fun n ->
+          let id, payload = node_of_sexp n in
+          State.add_node_with_id st id payload)
+        (tagged "nodes" nodes);
+      List.iter (edge_of_sexp st) (tagged "edges" edges);
+      Graph.add_state_with_id g (as_int sid) st
+  | _ -> fail "bad state"
+
+let iedge_of_sexp g = function
+  | List [ Atom "iedge"; src; dst; cond; assigns ] ->
+      let cond =
+        match tagged "cond" cond with
+        | [ c ] -> Symbolic.Cond.of_string (as_atom c)
+        | _ -> fail "bad cond"
+      in
+      let assigns =
+        List.map
+          (function
+            | List [ s; rhs ] -> (as_atom s, Symbolic.Expr.of_string (as_atom rhs))
+            | _ -> fail "bad assign")
+          (tagged "assigns" assigns)
+      in
+      ignore (Graph.add_istate_edge g ~cond ~assigns (as_int src) (as_int dst))
+  | _ -> fail "bad iedge"
+
+let container_of_sexp g = function
+  | List [ Atom "container"; name; shape; dtype; transient; storage ] ->
+      let shape = List.map (fun e -> Symbolic.Expr.of_string (as_atom e)) (tagged "shape" shape) in
+      let dtype = match tagged "dtype" dtype with [ d ] -> dtype_of_string (as_atom d) | _ -> fail "bad dtype" in
+      let transient = match tagged "transient" transient with [ b ] -> as_bool b | _ -> fail "bad transient" in
+      let storage =
+        match tagged "storage" storage with
+        | [ Atom "host" ] -> Graph.Host
+        | [ Atom "gpu" ] -> Graph.Gpu
+        | _ -> fail "bad storage"
+      in
+      Graph.add_container g (as_atom name) { shape; dtype; transient; storage }
+  | _ -> fail "bad container"
+
+let of_string src =
+  try
+    match parse_sexp src with
+    | List [ Atom "sdfg"; name; symbols; containers; states; iedges; start ] ->
+        let g = Graph.create (as_atom name) in
+        List.iter (fun s -> Graph.add_symbol g (as_atom s)) (tagged "symbols" symbols);
+        List.iter (container_of_sexp g) (tagged "containers" containers);
+        List.iter (state_of_sexp g) (tagged "states" states);
+        List.iter (iedge_of_sexp g) (tagged "iedges" iedges);
+        (match start with
+        | List [ Atom "start"; s ] -> Graph.set_start_state g (as_int s)
+        | _ -> fail "bad start");
+        g
+    | _ -> fail "expected (sdfg ...)"
+  with Symbolic.Expr.Parse_error msg -> raise (Parse_error msg)
+
+let save path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

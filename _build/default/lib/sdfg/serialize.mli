@@ -1,0 +1,20 @@
+(** SDFG serialization: a stable, human-readable s-expression format.
+
+    Used by test-case artifacts so a failing cutout can be stored next to its
+    fault-inducing inputs and reloaded for replay in a later session, and by
+    tools exchanging graphs. Node, edge and state ids are preserved exactly —
+    a transformation site recorded against a saved graph stays valid after a
+    round-trip. *)
+
+exception Parse_error of string
+
+val to_string : Graph.t -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> Graph.t
+
+val save : string -> Graph.t -> unit
+(** [save path g] writes [to_string g] to [path]. *)
+
+val load : string -> Graph.t
+(** @raise Parse_error or [Sys_error]. *)

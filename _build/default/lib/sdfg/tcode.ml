@@ -1,0 +1,295 @@
+type binop = Add | Sub | Mul | Div | Pow | Mod | Min | Max
+type unop = Neg | Sqrt | Exp | Log | Abs | Floor | Sin | Cos | Tanh
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Fconst of float
+  | Ref of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cmp of cmpop * expr * expr
+  | Select of expr * expr * expr
+
+type t = { assignments : (string * expr) list }
+
+let make assignments = { assignments }
+
+module Sset = Set.Make (String)
+
+let rec expr_refs acc = function
+  | Fconst _ -> acc
+  | Ref s -> Sset.add s acc
+  | Bin (_, a, b) | Cmp (_, a, b) -> expr_refs (expr_refs acc a) b
+  | Un (_, a) -> expr_refs acc a
+  | Select (c, a, b) -> expr_refs (expr_refs (expr_refs acc c) a) b
+
+let refs t =
+  Sset.elements (List.fold_left (fun acc (_, e) -> expr_refs acc e) Sset.empty t.assignments)
+
+let outputs t = List.map fst t.assignments
+
+let rec map_refs f = function
+  | Fconst _ as e -> e
+  | Ref s -> Ref (f s)
+  | Bin (op, a, b) -> Bin (op, map_refs f a, map_refs f b)
+  | Un (op, a) -> Un (op, map_refs f a)
+  | Cmp (op, a, b) -> Cmp (op, map_refs f a, map_refs f b)
+  | Select (c, a, b) -> Select (map_refs f c, map_refs f a, map_refs f b)
+
+let rename_ref ~from ~into t =
+  let f s = if s = from then into else s in
+  { assignments = List.map (fun (o, e) -> (o, map_refs f e)) t.assignments }
+
+let rename_output ~from ~into t =
+  { assignments = List.map (fun (o, e) -> ((if o = from then into else o), e)) t.assignments }
+
+let rec subst_const_expr name v = function
+  | Fconst _ as e -> e
+  | Ref s -> if s = name then Fconst v else Ref s
+  | Bin (op, a, b) -> Bin (op, subst_const_expr name v a, subst_const_expr name v b)
+  | Un (op, a) -> Un (op, subst_const_expr name v a)
+  | Cmp (op, a, b) -> Cmp (op, subst_const_expr name v a, subst_const_expr name v b)
+  | Select (c, a, b) ->
+      Select (subst_const_expr name v c, subst_const_expr name v a, subst_const_expr name v b)
+
+let subst_const name v t =
+  { assignments = List.map (fun (o, e) -> (o, subst_const_expr name v e)) t.assignments }
+
+let inline ~producer ~out ~consumer ~conn =
+  let internal = "__fused_" ^ out in
+  let prod = rename_output ~from:out ~into:internal producer in
+  let cons = rename_ref ~from:conn ~into:internal consumer in
+  { assignments = prod.assignments @ cons.assignments }
+
+let rec expr_selects = function
+  | Fconst _ | Ref _ -> 0
+  | Bin (_, a, b) | Cmp (_, a, b) -> expr_selects a + expr_selects b
+  | Un (_, a) -> expr_selects a
+  | Select (c, a, b) -> 1 + expr_selects c + expr_selects a + expr_selects b
+
+let num_selects t = List.fold_left (fun acc (_, e) -> acc + expr_selects e) 0 t.assignments
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Pow -> "**" | Mod -> "%"
+  | Min -> "min" | Max -> "max"
+
+let unop_str = function
+  | Neg -> "-" | Sqrt -> "sqrt" | Exp -> "exp" | Log -> "log" | Abs -> "abs"
+  | Floor -> "floor" | Sin -> "sin" | Cos -> "cos" | Tanh -> "tanh"
+
+let cmpop_str = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let rec pp_expr fmt = function
+  | Fconst f -> Format.fprintf fmt "%g" f
+  | Ref s -> Format.pp_print_string fmt s
+  | Bin ((Min | Max) as op, a, b) ->
+      Format.fprintf fmt "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Bin (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Un (Neg, a) -> Format.fprintf fmt "(-%a)" pp_expr a
+  | Un (op, a) -> Format.fprintf fmt "%s(%a)" (unop_str op) pp_expr a
+  | Cmp (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (cmpop_str op) pp_expr b
+  | Select (c, a, b) -> Format.fprintf fmt "select(%a, %a, %a)" pp_expr c pp_expr a pp_expr b
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+    (fun fmt (o, e) -> Format.fprintf fmt "%s = %a" o pp_expr e)
+    fmt t.assignments
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | TNum of float
+  | TId of string
+  | TOp of string
+  | TLpar
+  | TRpar
+  | TComma
+  | TEof
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref !i in
+      while
+        !j < n
+        && (is_digit s.[!j] || s.[!j] = '.'
+           || s.[!j] = 'e' || s.[!j] = 'E'
+           || ((s.[!j] = '+' || s.[!j] = '-') && !j > !i && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      toks := TNum (float_of_string (String.sub s !i (!j - !i))) :: !toks;
+      i := !j
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && (is_alpha s.[!j] || is_digit s.[!j]) do incr j done;
+      toks := TId (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else begin
+      (match c with
+      | '(' -> toks := TLpar :: !toks; incr i
+      | ')' -> toks := TRpar :: !toks; incr i
+      | ',' -> toks := TComma :: !toks; incr i
+      | '*' when !i + 1 < n && s.[!i + 1] = '*' -> toks := TOp "**" :: !toks; i := !i + 2
+      | '<' when !i + 1 < n && s.[!i + 1] = '=' -> toks := TOp "<=" :: !toks; i := !i + 2
+      | '>' when !i + 1 < n && s.[!i + 1] = '=' -> toks := TOp ">=" :: !toks; i := !i + 2
+      | '=' when !i + 1 < n && s.[!i + 1] = '=' -> toks := TOp "==" :: !toks; i := !i + 2
+      | '!' when !i + 1 < n && s.[!i + 1] = '=' -> toks := TOp "!=" :: !toks; i := !i + 2
+      | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' ->
+          toks := TOp (String.make 1 c) :: !toks;
+          incr i
+      | _ -> raise (Symbolic.Expr.Parse_error (Printf.sprintf "tasklet code: bad character %c" c)))
+    end
+  done;
+  List.rev (TEof :: !toks)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEof | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else raise (Symbolic.Expr.Parse_error ("tasklet code: expected " ^ what))
+
+let rec parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | TOp ("<" | "<=" | ">" | ">=" | "==" | "!=" as op) ->
+      advance st;
+      let rhs = parse_add st in
+      let c = match op with
+        | "<" -> Lt | "<=" -> Le | ">" -> Gt | ">=" -> Ge | "==" -> Eq | _ -> Ne
+      in
+      Cmp (c, lhs, rhs)
+  | _ -> lhs
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | TOp "+" -> advance st; lhs := Bin (Add, !lhs, parse_mul st)
+    | TOp "-" -> advance st; lhs := Bin (Sub, !lhs, parse_mul st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_pow st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | TOp "*" -> advance st; lhs := Bin (Mul, !lhs, parse_pow st)
+    | TOp "/" -> advance st; lhs := Bin (Div, !lhs, parse_pow st)
+    | TOp "%" -> advance st; lhs := Bin (Mod, !lhs, parse_pow st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_pow st =
+  let base = parse_unary st in
+  match peek st with
+  | TOp "**" ->
+      advance st;
+      Bin (Pow, base, parse_pow st)
+  | _ -> base
+
+and parse_unary st =
+  match peek st with
+  | TOp "-" -> advance st; Un (Neg, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | TNum f -> advance st; Fconst f
+  | TLpar ->
+      advance st;
+      let e = parse_cmp st in
+      expect st TRpar ")";
+      e
+  | TId name -> (
+      advance st;
+      match peek st with
+      | TLpar ->
+          advance st;
+          let args = parse_args st in
+          expect st TRpar ")";
+          apply_fn name args
+      | _ -> Ref name)
+  | _ -> raise (Symbolic.Expr.Parse_error "tasklet code: unexpected token")
+
+and parse_args st =
+  if peek st = TRpar then []
+  else
+    let rec go acc =
+      let e = parse_cmp st in
+      match peek st with
+      | TComma -> advance st; go (e :: acc)
+      | _ -> List.rev (e :: acc)
+    in
+    go []
+
+and apply_fn name args =
+  let un op = function
+    | [ a ] -> Un (op, a)
+    | _ -> raise (Symbolic.Expr.Parse_error (name ^ " takes 1 argument"))
+  in
+  let bin op = function
+    | [ a; b ] -> Bin (op, a, b)
+    | _ -> raise (Symbolic.Expr.Parse_error (name ^ " takes 2 arguments"))
+  in
+  match name with
+  | "sqrt" -> un Sqrt args
+  | "exp" -> un Exp args
+  | "log" -> un Log args
+  | "abs" -> un Abs args
+  | "floor" -> un Floor args
+  | "sin" -> un Sin args
+  | "cos" -> un Cos args
+  | "tanh" -> un Tanh args
+  | "min" -> bin Min args
+  | "max" -> bin Max args
+  | "select" -> (
+      match args with
+      | [ c; a; b ] -> Select (c, a, b)
+      | _ -> raise (Symbolic.Expr.Parse_error "select takes 3 arguments"))
+  | _ -> raise (Symbolic.Expr.Parse_error ("unknown function " ^ name))
+
+let parse_assignment s =
+  match String.index_opt s '=' with
+  | Some i
+    when (i = 0 || (s.[i - 1] <> '<' && s.[i - 1] <> '>' && s.[i - 1] <> '!' && s.[i - 1] <> '='))
+         && (i + 1 >= String.length s || s.[i + 1] <> '=') ->
+      let lhs = String.trim (String.sub s 0 i) in
+      let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+      let st = { toks = tokenize rhs } in
+      let e = parse_cmp st in
+      (match peek st with
+      | TEof -> ()
+      | _ -> raise (Symbolic.Expr.Parse_error ("tasklet code: trailing input in " ^ rhs)));
+      (lhs, e)
+  | _ -> raise (Symbolic.Expr.Parse_error ("tasklet code: missing '=' in " ^ s))
+
+let of_string s =
+  let stmts =
+    String.split_on_char ';' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  { assignments = List.map parse_assignment stmts }

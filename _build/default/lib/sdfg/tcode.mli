@@ -1,0 +1,62 @@
+(** The tasklet code language.
+
+    Tasklets are the leaf computations of the dataflow graph. Their code is a
+    list of assignments from pure expressions over input connectors, symbols
+    (map parameters and SDFG symbols) and constants to output connectors.
+    Branching is expressed with [Select], which the interpreter instruments
+    for coverage-guided fuzzing (Sec. 5.1). *)
+
+type binop = Add | Sub | Mul | Div | Pow | Mod | Min | Max
+type unop = Neg | Sqrt | Exp | Log | Abs | Floor | Sin | Cos | Tanh
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Fconst of float
+  | Ref of string  (** input connector or symbol; resolved at execution *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Cmp of cmpop * expr * expr  (** evaluates to 1.0 / 0.0 *)
+  | Select of expr * expr * expr
+      (** [Select (c, a, b)] is [a] if [c <> 0.], else [b]; a coverage point *)
+
+type t = {
+  assignments : (string * expr) list;  (** output connector := expression *)
+}
+
+val make : (string * expr) list -> t
+
+(** All [Ref] names appearing in the code, sorted, without duplicates. *)
+val refs : t -> string list
+
+(** Output connector names in assignment order. *)
+val outputs : t -> string list
+
+(** Rename a [Ref] (input connector or symbol) throughout the code. *)
+val rename_ref : from:string -> into:string -> t -> t
+
+(** Rename an output connector. *)
+val rename_output : from:string -> into:string -> t -> t
+
+(** Replace a [Ref] by a floating-point constant (e.g. a loop variable during
+    unrolling). *)
+val subst_const : string -> float -> t -> t
+
+(** [inline ~producer ~out ~consumer ~conn] composes two tasklets: the
+    producer's output [out] feeds the consumer's input connector [conn]
+    through a fresh internal name; the result computes both codes. *)
+val inline : producer:t -> out:string -> consumer:t -> conn:string -> t
+
+(** Number of [Select] nodes, each a distinct coverage point. *)
+val num_selects : t -> int
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Parse a semicolon- or newline-separated list of assignments, e.g.
+    ["out = a * b + 1.5; aux = select(a < b, a, b)"]. Recognized functions:
+    sqrt, exp, log, abs, floor, sin, cos, tanh, min, max, select; [**] is
+    power.
+    @raise Symbolic.Expr.Parse_error on malformed input. *)
+val of_string : string -> t

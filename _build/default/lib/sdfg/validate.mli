@@ -1,0 +1,18 @@
+(** Structural validation of SDFGs.
+
+    A transformation that produces a graph failing validation corresponds to
+    the "generates invalid code" failure class of Table 2 in the paper. *)
+
+type error = { state : int option; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** All structural problems found; the empty list means the graph is valid.
+    Checks: container references, subset dimensionality, map entry/exit
+    pairing, tasklet/library connector wiring, GPU-schedule storage
+    discipline, interstate edge endpoints, dataflow acyclicity. *)
+val check : Graph.t -> error list
+
+(** [check_exn g] raises [Failure] with a readable message on the first
+    problem. *)
+val check_exn : Graph.t -> unit

@@ -1,0 +1,1 @@
+lib/symbolic/cond.ml: Array Expr Format List Set String

@@ -1,0 +1,1 @@
+lib/symbolic/cond.mli: Expr Format

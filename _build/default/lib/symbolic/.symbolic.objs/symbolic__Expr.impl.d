@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Format List Map Printf Set Stdlib String

@@ -1,0 +1,155 @@
+type t =
+  | True
+  | False
+  | Lt of Expr.t * Expr.t
+  | Le of Expr.t * Expr.t
+  | Gt of Expr.t * Expr.t
+  | Ge of Expr.t * Expr.t
+  | Eq of Expr.t * Expr.t
+  | Ne of Expr.t * Expr.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec eval env c =
+  let e = Expr.eval env in
+  match c with
+  | True -> true
+  | False -> false
+  | Lt (a, b) -> e a < e b
+  | Le (a, b) -> e a <= e b
+  | Gt (a, b) -> e a > e b
+  | Ge (a, b) -> e a >= e b
+  | Eq (a, b) -> e a = e b
+  | Ne (a, b) -> e a <> e b
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Not a -> not (eval env a)
+
+module Sset = Set.Make (String)
+
+let free_syms c =
+  let rec go acc = function
+    | True | False -> acc
+    | Lt (a, b) | Le (a, b) | Gt (a, b) | Ge (a, b) | Eq (a, b) | Ne (a, b) ->
+        List.fold_left (fun s x -> Sset.add x s) acc (Expr.free_syms a @ Expr.free_syms b)
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  Sset.elements (go Sset.empty c)
+
+let rec subst map c =
+  let s = Expr.subst map in
+  match c with
+  | True -> True
+  | False -> False
+  | Lt (a, b) -> Lt (s a, s b)
+  | Le (a, b) -> Le (s a, s b)
+  | Gt (a, b) -> Gt (s a, s b)
+  | Ge (a, b) -> Ge (s a, s b)
+  | Eq (a, b) -> Eq (s a, s b)
+  | Ne (a, b) -> Ne (s a, s b)
+  | And (a, b) -> And (subst map a, subst map b)
+  | Or (a, b) -> Or (subst map a, subst map b)
+  | Not a -> Not (subst map a)
+
+let rename_sym ~from ~into c = subst (Expr.Env.singleton from (Expr.Sym into)) c
+
+let negate = function
+  | True -> False
+  | False -> True
+  | Lt (a, b) -> Ge (a, b)
+  | Le (a, b) -> Gt (a, b)
+  | Gt (a, b) -> Le (a, b)
+  | Ge (a, b) -> Lt (a, b)
+  | Eq (a, b) -> Ne (a, b)
+  | Ne (a, b) -> Eq (a, b)
+  | c -> Not c
+
+let rec pp fmt c =
+  let e = Expr.pp in
+  match c with
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Lt (a, b) -> Format.fprintf fmt "%a < %a" e a e b
+  | Le (a, b) -> Format.fprintf fmt "%a <= %a" e a e b
+  | Gt (a, b) -> Format.fprintf fmt "%a > %a" e a e b
+  | Ge (a, b) -> Format.fprintf fmt "%a >= %a" e a e b
+  | Eq (a, b) -> Format.fprintf fmt "%a == %a" e a e b
+  | Ne (a, b) -> Format.fprintf fmt "%a != %a" e a e b
+  | And (a, b) -> Format.fprintf fmt "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "not (%a)" pp a
+
+let to_string c = Format.asprintf "%a" pp c
+
+(* A small splitter on top of Expr's parser: find top-level connectives and
+   comparison operators outside parentheses. *)
+let of_string s =
+  let rec parse s =
+    let s = String.trim s in
+    let n = String.length s in
+    let depth_at = Array.make (n + 1) 0 in
+    let d = ref 0 in
+    for i = 0 to n - 1 do
+      (match s.[i] with '(' -> incr d | ')' -> decr d | _ -> ());
+      depth_at.(i + 1) <- !d
+    done;
+    let split_word w =
+      let lw = String.length w in
+      let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' in
+      let rec go i =
+        if i + lw > n then None
+        else if depth_at.(i) = 0 && String.sub s i lw = w
+                && (i = 0 || not (is_ident s.[i - 1]))
+                && (i + lw = n || not (is_ident s.[i + lw]))
+        then Some (String.sub s 0 i, String.sub s (i + lw) (n - i - lw))
+        else go (i + 1)
+      in
+      go 0
+    in
+    match split_word "or" with
+    | Some (l, r) -> Or (parse l, parse r)
+    | None -> (
+        match split_word "and" with
+        | Some (l, r) -> And (parse l, parse r)
+        | None ->
+            if n >= 4 && String.sub s 0 4 = "not " then Not (parse (String.sub s 4 (n - 4)))
+            else if s = "true" then True
+            else if s = "false" then False
+            else begin
+              (* comparison at top level *)
+              let find_op ops =
+                let rec go i =
+                  if i >= n then None
+                  else if depth_at.(i) = 0 then
+                    let rec try_ops = function
+                      | [] -> None
+                      | op :: rest ->
+                          let lo = String.length op in
+                          if i + lo <= n && String.sub s i lo = op then Some (i, op) else try_ops rest
+                    in
+                    match try_ops ops with Some r -> Some r | None -> go (i + 1)
+                  else go (i + 1)
+                in
+                go 0
+              in
+              match find_op [ "<="; ">="; "=="; "!="; "<"; ">" ] with
+              | Some (i, op) ->
+                  let l = Expr.of_string (String.sub s 0 i) in
+                  let r = Expr.of_string (String.sub s (i + String.length op) (n - i - String.length op)) in
+                  (match op with
+                  | "<" -> Lt (l, r)
+                  | "<=" -> Le (l, r)
+                  | ">" -> Gt (l, r)
+                  | ">=" -> Ge (l, r)
+                  | "==" -> Eq (l, r)
+                  | "!=" -> Ne (l, r)
+                  | _ -> assert false)
+              | None ->
+                  if n >= 2 && s.[0] = '(' && s.[n - 1] = ')' && depth_at.(n - 1) = 1 then
+                    parse (String.sub s 1 (n - 2))
+                  else raise (Expr.Parse_error ("no comparison operator in condition: " ^ s))
+            end)
+  in
+  parse s

@@ -1,0 +1,31 @@
+(** Symbolic boolean conditions over {!Expr} terms.
+
+    Used on interstate edges (loop guards, branches) and for the gray-box
+    constraint analysis of Sec. 5.1. *)
+
+type t =
+  | True
+  | False
+  | Lt of Expr.t * Expr.t
+  | Le of Expr.t * Expr.t
+  | Gt of Expr.t * Expr.t
+  | Ge of Expr.t * Expr.t
+  | Eq of Expr.t * Expr.t
+  | Ne of Expr.t * Expr.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eval : int Expr.Env.t -> t -> bool
+val free_syms : t -> string list
+val subst : Expr.t Expr.Env.t -> t -> t
+val rename_sym : from:string -> into:string -> t -> t
+val negate : t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parse conditions of the grammar
+    [c ::= e < e | e <= e | e > e | e >= e | e == e | e != e
+         | c and c | c or c | not c | true | false | (c)].
+    @raise Expr.Parse_error on malformed input. *)
+val of_string : string -> t

@@ -1,0 +1,257 @@
+type t =
+  | Int of int
+  | Sym of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Min of t * t
+  | Max of t * t
+  | Neg of t
+
+exception Unbound_symbol of string
+exception Division_by_zero
+exception Parse_error of string
+
+module Env = struct
+  include Map.Make (String)
+
+  let of_list l = List.fold_left (fun acc (k, v) -> add k v acc) empty l
+end
+
+let int n = Int n
+let sym s = Sym s
+let zero = Int 0
+let one = Int 1
+let add a b = Add (a, b)
+let sub a b = Sub (a, b)
+let mul a b = Mul (a, b)
+let div a b = Div (a, b)
+let modulo a b = Mod (a, b)
+let min_ a b = Min (a, b)
+let max_ a b = Max (a, b)
+let neg a = Neg a
+
+(* Floor division: rounds towards negative infinity, so that ranges with
+   negative bounds keep their expected tile/chunk semantics. *)
+let fdiv a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+
+let rec eval env e =
+  match e with
+  | Int n -> n
+  | Sym s -> ( match Env.find_opt s env with Some v -> v | None -> raise (Unbound_symbol s))
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) -> fdiv (eval env a) (eval env b)
+  | Mod (a, b) -> fmod (eval env a) (eval env b)
+  | Min (a, b) -> Stdlib.min (eval env a) (eval env b)
+  | Max (a, b) -> Stdlib.max (eval env a) (eval env b)
+  | Neg a -> -eval env a
+
+module Sset = Set.Make (String)
+
+let free_syms e =
+  let rec go acc = function
+    | Int _ -> acc
+    | Sym s -> Sset.add s acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b) | Min (a, b) | Max (a, b) ->
+        go (go acc a) b
+    | Neg a -> go acc a
+  in
+  Sset.elements (go Sset.empty e)
+
+let rec subst map e =
+  match e with
+  | Int _ -> e
+  | Sym s -> ( match Env.find_opt s map with Some e' -> e' | None -> e)
+  | Add (a, b) -> Add (subst map a, subst map b)
+  | Sub (a, b) -> Sub (subst map a, subst map b)
+  | Mul (a, b) -> Mul (subst map a, subst map b)
+  | Div (a, b) -> Div (subst map a, subst map b)
+  | Mod (a, b) -> Mod (subst map a, subst map b)
+  | Min (a, b) -> Min (subst map a, subst map b)
+  | Max (a, b) -> Max (subst map a, subst map b)
+  | Neg a -> Neg (subst map a)
+
+let rename_sym ~from ~into e = subst (Env.singleton from (Sym into)) e
+
+let rec simplify e =
+  match e with
+  | Int _ | Sym _ -> e
+  | Add (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y -> Int (x + y)
+      | Int 0, b' -> b'
+      | a', Int 0 -> a'
+      | a', b' -> Add (a', b'))
+  | Sub (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y -> Int (x - y)
+      | a', Int 0 -> a'
+      | a', b' when a' = b' -> Int 0
+      | a', b' -> Sub (a', b'))
+  | Mul (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y -> Int (x * y)
+      | Int 0, _ | _, Int 0 -> Int 0
+      | Int 1, b' -> b'
+      | a', Int 1 -> a'
+      | a', b' -> Mul (a', b'))
+  | Div (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y when y <> 0 -> Int (fdiv x y)
+      | a', Int 1 -> a'
+      | Int 0, b' -> Div (Int 0, b')
+      | a', b' -> Div (a', b'))
+  | Mod (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y when y <> 0 -> Int (fmod x y)
+      | _, Int 1 -> Int 0
+      | a', b' -> Mod (a', b'))
+  | Min (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y -> Int (Stdlib.min x y)
+      | a', b' when a' = b' -> a'
+      | a', b' -> Min (a', b'))
+  | Max (a, b) -> (
+      match (simplify a, simplify b) with
+      | Int x, Int y -> Int (Stdlib.max x y)
+      | a', b' when a' = b' -> a'
+      | a', b' -> Max (a', b'))
+  | Neg a -> ( match simplify a with Int x -> Int (-x) | Neg a' -> a' | a' -> Neg a')
+
+let equal a b = simplify a = simplify b
+let is_constant e = match simplify e with Int n -> Some n | _ -> None
+
+let rec pp_prec prec fmt e =
+  let paren p body =
+    if prec > p then Format.fprintf fmt "(%t)" body else body fmt
+  in
+  match e with
+  | Int n -> if n < 0 then paren 10 (fun fmt -> Format.fprintf fmt "%d" n) else Format.fprintf fmt "%d" n
+  | Sym s -> Format.pp_print_string fmt s
+  | Add (a, b) -> paren 1 (fun fmt -> Format.fprintf fmt "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) -> paren 1 (fun fmt -> Format.fprintf fmt "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) -> paren 2 (fun fmt -> Format.fprintf fmt "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Div (a, b) -> paren 2 (fun fmt -> Format.fprintf fmt "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+  | Mod (a, b) -> paren 2 (fun fmt -> Format.fprintf fmt "%a %% %a" (pp_prec 2) a (pp_prec 3) b)
+  | Min (a, b) -> Format.fprintf fmt "min(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Max (a, b) -> Format.fprintf fmt "max(%a, %a)" (pp_prec 0) a (pp_prec 0) b
+  | Neg a -> paren 3 (fun fmt -> Format.fprintf fmt "-%a" (pp_prec 3) a)
+
+let pp fmt e = pp_prec 0 fmt e
+let to_string e = Format.asprintf "%a" pp e
+
+(* Recursive-descent parser for the documented grammar. *)
+module Parser = struct
+  type token = TInt of int | TIdent of string | TPlus | TMinus | TStar | TSlash | TPercent | TLpar | TRpar | TComma | TEof
+
+  let tokenize s =
+    let n = String.length s in
+    let toks = ref [] in
+    let i = ref 0 in
+    let is_digit c = c >= '0' && c <= '9' in
+    let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_' in
+    while !i < n do
+      let c = s.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' then incr i
+      else if is_digit c then begin
+        let j = ref !i in
+        while !j < n && is_digit s.[!j] do incr j done;
+        toks := TInt (int_of_string (String.sub s !i (!j - !i))) :: !toks;
+        i := !j
+      end
+      else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+        let j = ref !i in
+        while !j < n && is_ident s.[!j] do incr j done;
+        toks := TIdent (String.sub s !i (!j - !i)) :: !toks;
+        i := !j
+      end
+      else begin
+        (match c with
+        | '+' -> toks := TPlus :: !toks
+        | '-' -> toks := TMinus :: !toks
+        | '*' -> toks := TStar :: !toks
+        | '/' -> toks := TSlash :: !toks
+        | '%' -> toks := TPercent :: !toks
+        | '(' -> toks := TLpar :: !toks
+        | ')' -> toks := TRpar :: !toks
+        | ',' -> toks := TComma :: !toks
+        | _ -> raise (Parse_error (Printf.sprintf "unexpected character %c in %S" c s)));
+        incr i
+      end
+    done;
+    List.rev (TEof :: !toks)
+
+  type state = { mutable toks : token list }
+
+  let peek st = match st.toks with [] -> TEof | t :: _ -> t
+
+  let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+  let expect st tok what =
+    if peek st = tok then advance st else raise (Parse_error ("expected " ^ what))
+
+  let rec parse_expr st =
+    let lhs = ref (parse_term st) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | TPlus -> advance st; lhs := Add (!lhs, parse_term st)
+      | TMinus -> advance st; lhs := Sub (!lhs, parse_term st)
+      | _ -> continue := false
+    done;
+    !lhs
+
+  and parse_term st =
+    let lhs = ref (parse_factor st) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | TStar -> advance st; lhs := Mul (!lhs, parse_factor st)
+      | TSlash -> advance st; lhs := Div (!lhs, parse_factor st)
+      | TPercent -> advance st; lhs := Mod (!lhs, parse_factor st)
+      | _ -> continue := false
+    done;
+    !lhs
+
+  and parse_factor st =
+    match peek st with
+    | TInt n -> advance st; Int n
+    | TMinus -> advance st; Neg (parse_factor st)
+    | TLpar ->
+        advance st;
+        let e = parse_expr st in
+        expect st TRpar ")";
+        e
+    | TIdent ("min" | "max" as f) when (match st.toks with _ :: TLpar :: _ -> true | _ -> false) ->
+        advance st;
+        expect st TLpar "(";
+        let a = parse_expr st in
+        expect st TComma ",";
+        let b = parse_expr st in
+        expect st TRpar ")";
+        if f = "min" then Min (a, b) else Max (a, b)
+    | TIdent s -> advance st; Sym s
+    | _ -> raise (Parse_error "unexpected token")
+
+  let run s =
+    let st = { toks = tokenize s } in
+    let e = parse_expr st in
+    (match peek st with TEof -> () | _ -> raise (Parse_error ("trailing input in " ^ s)));
+    e
+end
+
+let of_string = Parser.run

@@ -1,0 +1,80 @@
+(** Symbolic integer expressions.
+
+    Parametric dataflow representations (Sec. 2.1 of the FuzzyFlow paper)
+    require data-container sizes and memlet subsets to be expressions over
+    program parameters rather than opaque pointers. This module provides that
+    expression language: integer-valued terms over named symbols with the
+    arithmetic needed for shapes, strides, ranges and volumes. *)
+
+type t =
+  | Int of int
+  | Sym of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** floor division; evaluation raises on division by zero *)
+  | Mod of t * t  (** euclidean remainder, always non-negative for positive divisor *)
+  | Min of t * t
+  | Max of t * t
+  | Neg of t
+
+exception Unbound_symbol of string
+exception Division_by_zero
+
+(** Evaluation environments binding symbol names to concrete integers. *)
+module Env : sig
+  include Map.S with type key = string
+
+  val of_list : (string * int) list -> int t
+end
+
+val int : int -> t
+val sym : string -> t
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val modulo : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val neg : t -> t
+
+(** [eval env e] evaluates [e] to a concrete integer.
+    @raise Unbound_symbol if a symbol of [e] is missing from [env].
+    @raise Division_by_zero on division or modulo by zero. *)
+val eval : int Env.t -> t -> int
+
+(** Free symbols of an expression, in sorted order without duplicates. *)
+val free_syms : t -> string list
+
+(** [subst map e] replaces every symbol bound in [map] by its image. *)
+val subst : t Env.t -> t -> t
+
+(** [rename_sym ~from ~into e] renames one symbol. *)
+val rename_sym : from:string -> into:string -> t -> t
+
+(** Constant folding and algebraic identity simplification (x+0, x*1, x*0,
+    constant subtrees, double negation). The result evaluates identically. *)
+val simplify : t -> t
+
+(** Structural equality after simplification. A [false] answer does not prove
+    semantic inequality. *)
+val equal : t -> t -> bool
+
+(** [is_constant e] returns [Some n] when [e] simplifies to the literal [n]. *)
+val is_constant : t -> int option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parse expressions of the grammar
+    [e ::= int | ident | e + e | e - e | e * e | e / e | e % e
+         | min(e, e) | max(e, e) | -e | (e)]
+    with the usual precedence.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+exception Parse_error of string

@@ -1,0 +1,1 @@
+lib/transforms/buffer_tiling.ml: Diff Graph List Memlet Node Option Sdfg State Symbolic Xform

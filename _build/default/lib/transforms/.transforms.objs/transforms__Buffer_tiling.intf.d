@@ -1,0 +1,1 @@
+lib/transforms/buffer_tiling.mli: Xform

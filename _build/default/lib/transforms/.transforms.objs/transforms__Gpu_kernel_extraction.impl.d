@@ -1,0 +1,1 @@
+lib/transforms/gpu_kernel_extraction.ml: Diff Graph List Memlet Node Option Sdfg State Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transforms/gpu_kernel_extraction.mli: Xform

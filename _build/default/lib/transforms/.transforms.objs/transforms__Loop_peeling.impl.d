@@ -1,0 +1,1 @@
+lib/transforms/loop_peeling.ml: Diff Graph List Printf Sdfg State Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transforms/loop_peeling.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/loop_unrolling.ml: Diff Graph List Printf Sdfg State Symbolic Xform

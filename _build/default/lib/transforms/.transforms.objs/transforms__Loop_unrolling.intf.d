@@ -1,0 +1,1 @@
+lib/transforms/loop_unrolling.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/map_collapse.ml: Diff Graph List Node Sdfg State Symbolic Xform

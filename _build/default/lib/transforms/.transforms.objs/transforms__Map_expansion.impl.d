@@ -1,0 +1,1 @@
+lib/transforms/map_expansion.ml: Diff Graph List Node Sdfg State Tiling_util Xform

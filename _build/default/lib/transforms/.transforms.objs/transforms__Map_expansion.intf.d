@@ -1,0 +1,1 @@
+lib/transforms/map_expansion.mli: Xform

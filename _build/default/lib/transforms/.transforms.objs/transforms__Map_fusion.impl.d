@@ -1,0 +1,1 @@
+lib/transforms/map_fusion.ml: Diff Graph Hashtbl List Node Sdfg State Symbolic Xform

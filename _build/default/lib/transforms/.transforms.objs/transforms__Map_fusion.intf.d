@@ -1,0 +1,1 @@
+lib/transforms/map_fusion.mli: Xform

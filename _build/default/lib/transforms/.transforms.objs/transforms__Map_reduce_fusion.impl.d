@@ -1,0 +1,1 @@
+lib/transforms/map_reduce_fusion.ml: Diff Graph List Memlet Node Printf Sdfg State Symbolic Xform

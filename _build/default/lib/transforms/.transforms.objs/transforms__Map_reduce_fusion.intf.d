@@ -1,0 +1,1 @@
+lib/transforms/map_reduce_fusion.mli: Xform

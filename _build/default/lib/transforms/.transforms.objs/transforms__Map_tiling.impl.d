@@ -1,0 +1,1 @@
+lib/transforms/map_tiling.ml: Diff Graph List Node Sdfg State Symbolic Tiling_util Xform

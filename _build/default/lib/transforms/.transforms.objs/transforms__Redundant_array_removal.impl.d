@@ -1,0 +1,1 @@
+lib/transforms/redundant_array_removal.ml: Diff Graph List Memlet Node Printf Sdfg State Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transforms/redundant_array_removal.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/registry.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/state_assign_elimination.ml: Diff Graph List Memlet Node Printf Sdfg State Symbolic Tcode Xform

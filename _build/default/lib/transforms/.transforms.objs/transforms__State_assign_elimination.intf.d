@@ -1,0 +1,1 @@
+lib/transforms/state_assign_elimination.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/state_fusion.ml: Diff Graph List Node Printf Sdfg State Symbolic Xform

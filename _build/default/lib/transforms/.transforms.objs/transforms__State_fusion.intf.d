@@ -1,0 +1,1 @@
+lib/transforms/state_fusion.mli: Xform

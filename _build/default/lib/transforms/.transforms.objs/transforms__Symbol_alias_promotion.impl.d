@@ -1,0 +1,1 @@
+lib/transforms/symbol_alias_promotion.ml: Diff Graph List Printf Sdfg Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transforms/symbol_alias_promotion.mli: Xform

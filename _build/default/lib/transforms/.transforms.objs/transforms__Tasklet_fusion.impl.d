@@ -1,0 +1,1 @@
+lib/transforms/tasklet_fusion.ml: Diff Graph Hashtbl List Node Printf Sdfg State Tcode Xform

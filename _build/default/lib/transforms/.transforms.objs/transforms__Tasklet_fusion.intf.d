@@ -1,0 +1,1 @@
+lib/transforms/tasklet_fusion.mli: Xform

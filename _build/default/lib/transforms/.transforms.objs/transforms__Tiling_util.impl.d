@@ -1,0 +1,1 @@
+lib/transforms/tiling_util.ml: Fun List Node Sdfg State Symbolic Xform

@@ -1,0 +1,1 @@
+lib/transforms/tiling_util.mli: Sdfg Symbolic

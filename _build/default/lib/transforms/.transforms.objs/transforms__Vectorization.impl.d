@@ -1,0 +1,1 @@
+lib/transforms/vectorization.ml: Diff Graph List Node Sdfg State String Symbolic Tiling_util Xform

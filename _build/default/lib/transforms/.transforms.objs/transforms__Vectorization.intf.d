@@ -1,0 +1,1 @@
+lib/transforms/vectorization.mli: Xform

@@ -1,0 +1,1 @@
+lib/transforms/xform.ml: Diff Format Graph List Memlet Node Option Printf Sdfg State String Symbolic Tcode

@@ -1,0 +1,1 @@
+lib/transforms/xform.mli: Format Sdfg Symbolic

@@ -1,0 +1,99 @@
+open Sdfg
+
+type variant = Correct | Wrong_scheduling
+
+(* Pattern: map_exit -> access(tmp) -> map_entry with tmp transient and
+   one-dimensional. *)
+let find tile variant g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun (nid, n) ->
+          match n with
+          | Node.Access tmp -> (
+              match Graph.container_opt g tmp with
+              | Some desc when desc.transient && List.length desc.shape = 1 -> (
+                  let produced =
+                    List.exists
+                      (fun (e : State.edge) ->
+                        match State.node_opt st e.src with
+                        | Some (Node.Map_exit _) -> true
+                        | _ -> false)
+                      (State.in_edges st nid)
+                  and consumed =
+                    List.exists
+                      (fun (e : State.edge) ->
+                        match State.node_opt st e.dst with
+                        | Some (Node.Map_entry _) -> true
+                        | _ -> false)
+                      (State.out_edges st nid)
+                  in
+                  let size_fits =
+                    match Symbolic.Expr.is_constant (List.hd desc.shape) with
+                    | Some n -> n <= tile
+                    | None -> false
+                  in
+                  if produced && consumed && (variant = Wrong_scheduling || size_fits) then
+                    Some (Xform.dataflow_site ~state:sid ~nodes:[ nid ] ~descr:("tile buffer " ^ tmp))
+                  else None)
+              | _ -> None)
+          | _ -> None)
+        (State.nodes st))
+    (Graph.states g)
+
+let apply tile g (site : Xform.site) =
+  match site.nodes with
+  | [ acc ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "buffer_tiling: state not in graph")
+      in
+      if not (State.has_node st acc) then raise (Xform.Cannot_apply "buffer_tiling: node not in graph");
+      match State.node st acc with
+      | Node.Access tmp ->
+          let desc = Graph.container g tmp in
+          Graph.add_container g tmp { desc with shape = [ Symbolic.Expr.int tile ] };
+          (* rewrite every memlet on tmp in this state: index e -> e mod tile *)
+          let rewrite (m : Memlet.t) =
+            if m.data <> tmp then m
+            else
+              {
+                m with
+                subset =
+                  List.map
+                    (fun (r : Symbolic.Subset.range) ->
+                      if Symbolic.Expr.equal r.lo r.hi then
+                        Symbolic.Subset.index
+                          (Symbolic.Expr.modulo r.lo (Symbolic.Expr.int tile))
+                      else
+                        Symbolic.Subset.dim Symbolic.Expr.zero
+                          (Symbolic.Expr.int (tile - 1)))
+                    m.subset;
+              }
+          in
+          let touched = ref [] in
+          List.iter
+            (fun (e : State.edge) ->
+              let has_tmp = function Some (m : Memlet.t) -> m.data = tmp | None -> false in
+              if has_tmp e.memlet || has_tmp e.dst_memlet then begin
+                touched := e.src :: e.dst :: !touched;
+                State.remove_edge st e.e_id;
+                ignore
+                  (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn
+                     ?memlet:(Option.map rewrite e.memlet)
+                     ?dst_memlet:(Option.map rewrite e.dst_memlet) e.src e.dst)
+              end)
+            (State.edges st);
+          {
+            Diff.nodes = List.sort_uniq compare (List.map (fun n -> (site.state, n)) (acc :: !touched));
+            states = [];
+          }
+      | _ -> raise (Xform.Cannot_apply "buffer_tiling: not an access node"))
+  | _ -> raise (Xform.Cannot_apply "buffer_tiling: bad site")
+
+let make ?(tile = 8) variant =
+  let name =
+    match variant with Correct -> "BufferTiling" | Wrong_scheduling -> "BufferTiling(wrong-schedule)"
+  in
+  { Xform.name; find = find tile variant; apply = apply tile }

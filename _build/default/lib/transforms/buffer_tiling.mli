@@ -1,0 +1,12 @@
+(** Buffer tiling between loops (Table 2 ✗).
+
+    Shrinks a transient buffer produced by one map and consumed by another to
+    a tile-sized window, rewriting indices modulo the tile size. The
+    [Wrong_scheduling] variant reproduces the semantics bug: it shrinks the
+    buffer without restructuring the producer/consumer schedule, so the
+    consumer observes only the last tile's values. The [Correct] variant only
+    matches when the whole buffer provably fits in one tile. *)
+
+type variant = Correct | Wrong_scheduling
+
+val make : ?tile:int -> variant -> Xform.t

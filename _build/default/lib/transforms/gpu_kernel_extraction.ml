@@ -1,0 +1,220 @@
+open Sdfg
+
+type variant = Correct | Full_copy_back
+
+(* Kernel candidates: top-level Parallel maps whose scope contains no nested
+   GPU scopes and whose surrounding edges connect to access nodes. *)
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun entry ->
+          match State.node st entry with
+          | Node.Map_entry ({ schedule = Node.Parallel; _ } as info) -> (
+              match State.scope_of st entry with
+              | Some _ -> None
+              | None ->
+                  let boundary_ok =
+                    List.for_all
+                      (fun (e : State.edge) ->
+                        match State.node_opt st e.src with
+                        | Some (Node.Access _) -> true
+                        | _ -> false)
+                      (State.in_edges st entry)
+                    &&
+                    match State.exit_of st entry with
+                    | exit ->
+                        List.for_all
+                          (fun (e : State.edge) ->
+                            match State.node_opt st e.dst with
+                            | Some (Node.Access _) -> true
+                            | _ -> false)
+                          (State.out_edges st exit)
+                    | exception Not_found -> false
+                  in
+                  if boundary_ok then
+                    Some
+                      (Xform.dataflow_site ~state:sid ~nodes:[ entry ]
+                         ~descr:("extract GPU kernel " ^ info.label))
+                  else None)
+          | _ -> None)
+        (Xform.map_entries st))
+    (Graph.states g)
+
+let apply variant g (site : Xform.site) =
+  match site.nodes with
+  | [ entry ] ->
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "gpu_extraction: state not in graph")
+      in
+      if not (State.has_node st entry) then
+        raise (Xform.Cannot_apply "gpu_extraction: entry not in graph");
+      let info =
+        match State.node st entry with
+        | Node.Map_entry i -> i
+        | _ -> raise (Xform.Cannot_apply "gpu_extraction: not a map entry")
+      in
+      let exit =
+        try State.exit_of st entry
+        with Not_found -> raise (Xform.Cannot_apply "gpu_extraction: no exit")
+      in
+      (* containers read / written across the scope boundary *)
+      let read_edges = State.in_edges st entry in
+      let write_edges = State.out_edges st exit in
+      let memlet_data (e : State.edge) = Option.map (fun (m : Memlet.t) -> m.data) e.memlet in
+      let reads = List.filter_map memlet_data read_edges |> List.sort_uniq compare in
+      let writes = List.filter_map memlet_data write_edges |> List.sort_uniq compare in
+      let touched = List.sort_uniq compare (reads @ writes) in
+      (* declare device twins *)
+      let twin =
+        List.map
+          (fun c ->
+            let dev = Xform.fresh_container g (c ^ "_gpu") in
+            let desc = Graph.container g c in
+            Graph.add_container g dev { desc with transient = true; storage = Graph.Gpu };
+            (c, dev))
+          touched
+      in
+      let dev_of c = List.assoc c twin in
+      (* device-side access nodes *)
+      let dev_in_nodes = List.map (fun c -> (c, State.add_node st (Node.Access (dev_of c)))) touched in
+      let dev_out_nodes =
+        List.map (fun c -> (c, State.add_node st (Node.Access (dev_of c)))) writes
+      in
+      (* host->device copies: all touched containers when Correct, read-only
+         containers when buggy *)
+      let copied_in = match variant with Correct -> touched | Full_copy_back -> reads in
+      List.iter
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m ->
+              (* host access -> entry becomes host -> device copy -> entry *)
+              let dev_node = List.assoc m.data dev_in_nodes in
+              State.remove_edge st e.e_id;
+              if List.mem m.data copied_in then begin
+                let desc = Graph.container g m.data in
+                let fullsub = Symbolic.Subset.full desc.shape in
+                ignore
+                  (State.add_edge st
+                     ~memlet:(Memlet.make m.data fullsub)
+                     ~dst_memlet:(Memlet.make (dev_of m.data) fullsub)
+                     e.src dev_node)
+              end;
+              ignore
+                (State.add_edge st ?dst_conn:e.dst_conn
+                   ~memlet:(Memlet.rename_data ~from:m.data ~into:(dev_of m.data) m) dev_node entry)
+          | None -> ())
+        read_edges;
+      (* write-only containers still feed the kernel scope for ordering; when
+         the variant copies them in (Correct), stage the host contents first *)
+      List.iter
+        (fun c ->
+          if not (List.mem c reads) then begin
+            let dev_node = List.assoc c dev_in_nodes in
+            if List.mem c copied_in then begin
+              let host = State.add_node st (Node.Access c) in
+              let desc = Graph.container g c in
+              let fullsub = Symbolic.Subset.full desc.shape in
+              ignore
+                (State.add_edge st
+                   ~memlet:(Memlet.make c fullsub)
+                   ~dst_memlet:(Memlet.make (dev_of c) fullsub)
+                   host dev_node)
+            end;
+            ignore (State.add_edge st dev_node entry)
+          end)
+        writes;
+      (* device->host copies after the exit *)
+      List.iter
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m ->
+              let dev_node = List.assoc m.data dev_out_nodes in
+              State.remove_edge st e.e_id;
+              ignore
+                (State.add_edge st ?src_conn:e.src_conn
+                   ~memlet:(Memlet.rename_data ~from:m.data ~into:(dev_of m.data) m) exit dev_node);
+              let copy_sub =
+                match variant with
+                | Full_copy_back ->
+                    let desc = Graph.container g m.data in
+                    Symbolic.Subset.full desc.shape
+                | Correct -> m.subset
+              in
+              ignore
+                (State.add_edge st
+                   ~memlet:(Memlet.make (dev_of m.data) copy_sub)
+                   ~dst_memlet:(Memlet.make m.data copy_sub)
+                   dev_node e.dst)
+          | None -> ())
+        write_edges;
+      (* scope-local containers (accessed only inside the kernel) get device
+         twins too, with no copies — they live and die on the device *)
+      let scope = State.scope_nodes st entry in
+      let local_names =
+        List.filter_map
+          (fun nid ->
+            match State.node_opt st nid with
+            | Some (Node.Access c) when not (List.mem_assoc c twin) -> Some c
+            | _ -> None)
+          scope
+        |> List.sort_uniq compare
+      in
+      let local_twins =
+        List.map
+          (fun c ->
+            let dev = Xform.fresh_container g (c ^ "_gpu") in
+            let desc = Graph.container g c in
+            Graph.add_container g dev { desc with transient = true; storage = Graph.Gpu };
+            (c, dev))
+          local_names
+      in
+      let twin = twin @ local_twins in
+      let dev_of c = List.assoc c twin in
+      let in_scope n = n = entry || n = exit || List.mem n scope in
+      List.iter
+        (fun (e : State.edge) ->
+          if in_scope e.src && in_scope e.dst then
+            match e.memlet with
+            | Some m when List.mem_assoc m.data twin ->
+                State.remove_edge st e.e_id;
+                ignore
+                  (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn
+                     ~memlet:(Memlet.rename_data ~from:m.data ~into:(dev_of m.data) m)
+                     ?dst_memlet:e.dst_memlet e.src e.dst)
+            | _ -> ())
+        (State.edges st);
+      (* in-scope access nodes to touched containers become device accesses *)
+      List.iter
+        (fun nid ->
+          match State.node_opt st nid with
+          | Some (Node.Access c) when List.mem_assoc c twin ->
+              State.replace_node st nid (Node.Access (dev_of c))
+          | _ -> ())
+        scope;
+      (* scope-local containers may be read later in the program: copy them
+         back to the host after the kernel (ordered via a dependency edge) *)
+      List.iter
+        (fun (c, dev) ->
+          let dev_acc = State.add_node st (Node.Access dev) in
+          let host_acc = State.add_node st (Node.Access c) in
+          ignore (State.add_edge st exit dev_acc);
+          let desc = Graph.container g c in
+          let fullsub = Symbolic.Subset.full desc.shape in
+          ignore
+            (State.add_edge st ~memlet:(Memlet.make dev fullsub)
+               ~dst_memlet:(Memlet.make c fullsub) dev_acc host_acc))
+        local_twins;
+      State.replace_node st entry (Node.Map_entry { info with schedule = Node.Gpu_device });
+      { Diff.nodes = [ (site.state, entry); (site.state, exit) ]; states = [] }
+  | _ -> raise (Xform.Cannot_apply "gpu_extraction: bad site")
+
+let make variant =
+  let name =
+    match variant with
+    | Correct -> "GpuKernelExtraction"
+    | Full_copy_back -> "GpuKernelExtraction(full-copy-back)"
+  in
+  { Xform.name; find; apply = apply variant }

@@ -1,0 +1,15 @@
+(** GPU kernel extraction (Sec. 6.4, Fig. 7).
+
+    Converts a top-level parallel map into a GPU-scheduled kernel: device
+    copies of every container the scope touches are allocated, host→device
+    copies feed the kernel, and device→host copies return results. The
+    [Full_copy_back] variant reproduces the engineers' bug the paper
+    debugged: the device→host copy moves the *entire* container while the
+    host→device copy only covers containers the kernel reads — so when the
+    kernel writes only a sub-region, uninitialized (garbage) device memory
+    overwrites valid host data. The [Correct] variant also copies
+    written containers to the device first. *)
+
+type variant = Correct | Full_copy_back
+
+val make : variant -> Xform.t

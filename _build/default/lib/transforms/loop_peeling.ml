@@ -1,0 +1,74 @@
+open Sdfg
+
+type variant = Correct | Assume_nonempty
+
+(* Is the guard condition provably true at the first iteration? Only constant
+   conditions qualify (e.g. [for i = 0 to 9]): symbolic bounds could be
+   empty for some parameter values. *)
+let provably_nonempty (l : Xform.loop) =
+  match Symbolic.Expr.is_constant l.init with
+  | None -> false
+  | Some lo -> (
+      let env = Symbolic.Expr.Env.singleton l.var lo in
+      match Symbolic.Cond.eval env l.cond with
+      | holds -> holds
+      | exception Symbolic.Expr.Unbound_symbol _ -> false
+      | exception Symbolic.Expr.Division_by_zero -> false)
+
+let find variant g =
+  List.filter_map
+    (fun (l : Xform.loop) ->
+      let const_init = Symbolic.Expr.is_constant l.init <> None in
+      let const_step = Symbolic.Expr.is_constant l.update = None in
+      ignore const_step;
+      let ok =
+        const_init
+        && match variant with Correct -> provably_nonempty l | Assume_nonempty -> true
+      in
+      if ok then
+        Some
+          (Xform.controlflow_site ~states:[ l.guard; l.body ]
+             ~descr:(Printf.sprintf "peel first iteration of %s" l.var))
+      else None)
+    (Xform.find_loops g)
+
+let apply g (site : Xform.site) =
+  match site.states with
+  | [ guard; body ] -> (
+      let loop =
+        List.find_opt
+          (fun (l : Xform.loop) -> l.guard = guard && l.body = body)
+          (Xform.find_loops g)
+      in
+      match loop with
+      | None -> raise (Xform.Cannot_apply "loop_peeling: loop pattern not found")
+      | Some l -> (
+          match Symbolic.Expr.is_constant l.init with
+          | None -> raise (Xform.Cannot_apply "loop_peeling: non-constant init")
+          | Some lo ->
+              let entry = Graph.istate_edge g l.entry_edge in
+              (* the peeled copy of the body, with the variable fixed to lo *)
+              let peel =
+                Graph.add_state g (State.label (Graph.state g l.body) ^ "_peel")
+              in
+              let pst = Graph.state g peel in
+              ignore (Xform.copy_state_into ~src:(Graph.state g l.body) ~dst:pst);
+              Xform.subst_symbol_in_state pst l.var (Symbolic.Expr.int lo);
+              (* entry -> peel -> guard, with the loop starting one step in *)
+              Graph.remove_istate_edge g l.entry_edge;
+              ignore (Graph.add_istate_edge g ~cond:entry.cond entry.src peel);
+              let update_at_lo =
+                Symbolic.Expr.simplify
+                  (Symbolic.Expr.subst
+                     (Symbolic.Expr.Env.singleton l.var (Symbolic.Expr.int lo))
+                     l.update)
+              in
+              ignore (Graph.add_istate_edge g ~assigns:[ (l.var, update_at_lo) ] peel guard);
+              { Diff.nodes = []; states = [ guard; body; l.after ] }))
+  | _ -> raise (Xform.Cannot_apply "loop_peeling: bad site")
+
+let make variant =
+  let name =
+    match variant with Correct -> "LoopPeeling" | Assume_nonempty -> "LoopPeeling(assume-nonempty)"
+  in
+  { Xform.name; find = find variant; apply }

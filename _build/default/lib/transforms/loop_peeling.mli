@@ -1,0 +1,12 @@
+(** Loop peeling: hoist the first iteration of a canonical for-loop out in
+    front of the guard, starting the remaining loop one step later.
+
+    The [Assume_nonempty] variant reproduces a common peeling bug: it peels
+    without proving the loop executes at least once, so for parameter values
+    where the trip count is zero the peeled iteration runs anyway — an
+    input-dependent semantic change. The [Correct] variant only matches loops
+    whose first-iteration guard is a constant tautology. *)
+
+type variant = Correct | Assume_nonempty
+
+val make : variant -> Xform.t

@@ -1,0 +1,102 @@
+open Sdfg
+
+type variant = Correct | Negative_step_sign_error
+
+(* A loop is unrollable when init is constant, the update is var +/- a
+   constant step, and the guard compares the variable against a constant
+   bound, yielding a constant trip count. *)
+type parms = { lo : int; step : int; trips : int }
+
+let analyze (l : Xform.loop) =
+  match Symbolic.Expr.is_constant l.init with
+  | None -> None
+  | Some lo -> (
+      let step =
+        match Symbolic.Expr.simplify l.update with
+        | Symbolic.Expr.Add (Symbolic.Expr.Sym v, Symbolic.Expr.Int s) when v = l.var -> Some s
+        | Symbolic.Expr.Add (Symbolic.Expr.Int s, Symbolic.Expr.Sym v) when v = l.var -> Some s
+        | Symbolic.Expr.Sub (Symbolic.Expr.Sym v, Symbolic.Expr.Int s) when v = l.var -> Some (-s)
+        | _ -> None
+      in
+      match step with
+      | None | Some 0 -> None
+      | Some step -> (
+          (* count satisfied guard iterations directly *)
+          let holds i =
+            try Symbolic.Cond.eval (Symbolic.Expr.Env.singleton l.var i) l.cond
+            with Symbolic.Expr.Unbound_symbol _ -> false
+          in
+          let rec count i n =
+            if n > 1024 || not (holds i) then n else count (i + step) (n + 1)
+          in
+          let trips = count lo 0 in
+          match trips with 0 -> None | t when t > 1024 -> None | t -> Some { lo; step; trips = t }))
+
+let find max_trip g =
+  List.filter_map
+    (fun l ->
+      match analyze l with
+      | Some p when p.trips <= max_trip ->
+          Some
+            (Xform.controlflow_site
+               ~states:[ l.guard; l.body ]
+               ~descr:(Printf.sprintf "unroll %s (%d trips)" l.var p.trips))
+      | _ -> None)
+    (Xform.find_loops g)
+
+let apply variant g (site : Xform.site) =
+  match site.states with
+  | [ guard; body ] -> (
+      let loop =
+        List.find_opt (fun (l : Xform.loop) -> l.guard = guard && l.body = body) (Xform.find_loops g)
+      in
+      match loop with
+      | None -> raise (Xform.Cannot_apply "loop_unrolling: loop pattern not found")
+      | Some l -> (
+          match analyze l with
+          | None -> raise (Xform.Cannot_apply "loop_unrolling: not constant-trip")
+          | Some p ->
+              let copies =
+                match variant with
+                | Correct -> p.trips
+                | Negative_step_sign_error ->
+                    if p.step >= 0 then p.trips
+                    else
+                      (* positive-step formula applied blindly: (hi-lo+1)/step
+                         where hi is the last satisfied value *)
+                      let hi = p.lo + ((p.trips - 1) * p.step) in
+                      max 1 ((hi - p.lo + 1) / p.step)
+              in
+              (* build the unrolled chain in place of the loop *)
+              let entry = Graph.istate_edge g l.entry_edge in
+              let after = l.after in
+              Graph.remove_istate_edge g l.entry_edge;
+              Graph.remove_istate_edge g l.enter_edge;
+              Graph.remove_istate_edge g l.back_edge;
+              Graph.remove_istate_edge g l.exit_edge;
+              let body_st = Graph.state g l.body in
+              let prev = ref entry.src in
+              for k = 0 to copies - 1 do
+                let v = p.lo + (k * p.step) in
+                let sid = Graph.add_state g (Printf.sprintf "%s_unroll_%d" (State.label body_st) k) in
+                let st = Graph.state g sid in
+                ignore (Xform.copy_state_into ~src:body_st ~dst:st);
+                Xform.subst_symbol_in_state st l.var (Symbolic.Expr.int v);
+                ignore (Graph.add_istate_edge g !prev sid);
+                prev := sid
+              done;
+              ignore (Graph.add_istate_edge g !prev after);
+              Graph.remove_state g l.guard;
+              Graph.remove_state g l.body;
+              (* the after state is rewired, so a cutout must include it for
+                 the transformation to re-apply *)
+              { Diff.nodes = []; states = [ guard; body; after ] }))
+  | _ -> raise (Xform.Cannot_apply "loop_unrolling: bad site")
+
+let make ?(max_trip = 64) variant =
+  let name =
+    match variant with
+    | Correct -> "LoopUnrolling"
+    | Negative_step_sign_error -> "LoopUnrolling(negative-step)"
+  in
+  { Xform.name; find = find max_trip; apply = apply variant }

@@ -1,0 +1,13 @@
+(** Loop unrolling on the state machine (Sec. 6.4).
+
+    Replaces a constant-trip-count for-loop (guard/body/back-edge pattern)
+    with a chain of body copies, the iteration variable substituted as a
+    constant in each. The [Negative_step_sign_error] variant reproduces the
+    CLOUDSC bug: for negative-step loops it computes the trip count with the
+    positive-step formula [(hi - lo + 1) / step], creating too few copies —
+    exactly 2 instead of 4 for the paper's [i = 4 down to 1] example. *)
+
+type variant = Correct | Negative_step_sign_error
+
+(** Only loops with at most [max_trip] iterations are unrolled. *)
+val make : ?max_trip:int -> variant -> Xform.t

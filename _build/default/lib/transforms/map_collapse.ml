@@ -1,0 +1,104 @@
+open Sdfg
+
+(* Perfectly nested: every out-edge of the outer entry leads to the inner
+   entry and every in-edge of the outer exit comes from the inner exit, and
+   the inner ranges do not depend on the outer parameters. *)
+let perfectly_nested st outer =
+  match State.exit_of st outer with
+  | exception Not_found -> None
+  | outer_exit -> (
+      let outs = State.out_edges st outer in
+      let inner_candidates =
+        List.filter_map
+          (fun (e : State.edge) ->
+            match State.node_opt st e.dst with
+            | Some (Node.Map_entry _) -> Some e.dst
+            | _ -> None)
+          outs
+        |> List.sort_uniq compare
+      in
+      match inner_candidates with
+      | [ inner ] when List.for_all (fun (e : State.edge) -> e.dst = inner) outs -> (
+          match State.exit_of st inner with
+          | exception Not_found -> None
+          | inner_exit ->
+              if
+                List.for_all
+                  (fun (e : State.edge) -> e.src = inner_exit)
+                  (State.in_edges st outer_exit)
+              then
+                match (State.node st outer, State.node st inner) with
+                | Node.Map_entry oi, Node.Map_entry ii ->
+                    let independent =
+                      List.for_all
+                        (fun (r : Symbolic.Subset.range) ->
+                          List.for_all
+                            (fun p -> not (List.mem p (Symbolic.Expr.free_syms r.lo
+                                                       @ Symbolic.Expr.free_syms r.hi
+                                                       @ Symbolic.Expr.free_syms r.step)))
+                            oi.params)
+                        ii.ranges
+                    in
+                    if independent && oi.schedule = ii.schedule then
+                      Some (inner, inner_exit, outer_exit)
+                    else None
+                | _ -> None
+              else None)
+      | _ -> None)
+
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun outer ->
+          match perfectly_nested st outer with
+          | Some _ ->
+              Some (Xform.dataflow_site ~state:sid ~nodes:[ outer ] ~descr:"collapse nested maps")
+          | None -> None)
+        (Xform.map_entries st))
+    (Graph.states g)
+
+let apply g (site : Xform.site) =
+  match site.nodes with
+  | [ outer ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "map_collapse: state not in graph")
+      in
+      if not (State.has_node st outer) then
+        raise (Xform.Cannot_apply "map_collapse: node not in graph");
+      match perfectly_nested st outer with
+      | None -> raise (Xform.Cannot_apply "map_collapse: not perfectly nested")
+      | Some (inner, inner_exit, outer_exit) -> (
+          match (State.node st outer, State.node st inner) with
+          | Node.Map_entry oi, Node.Map_entry ii ->
+              State.replace_node st outer
+                (Node.Map_entry
+                   { oi with params = oi.params @ ii.params; ranges = oi.ranges @ ii.ranges });
+              (* splice out the inner pair *)
+              List.iter
+                (fun (e : State.edge) ->
+                  State.remove_edge st e.e_id;
+                  ignore
+                    (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+                       ?dst_memlet:e.dst_memlet outer e.dst))
+                (State.out_edges st inner);
+              List.iter
+                (fun (e : State.edge) ->
+                  State.remove_edge st e.e_id;
+                  ignore
+                    (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+                       ?dst_memlet:e.dst_memlet e.src outer_exit))
+                (State.in_edges st inner_exit);
+              State.remove_node st inner;
+              State.remove_node st inner_exit;
+              {
+                Diff.nodes =
+                  [ (site.state, outer); (site.state, inner); (site.state, inner_exit); (site.state, outer_exit) ];
+                states = [];
+              }
+          | _ -> raise (Xform.Cannot_apply "map_collapse: not maps")))
+  | _ -> raise (Xform.Cannot_apply "map_collapse: bad site")
+
+let make () = { Xform.name = "MapCollapse"; find; apply }

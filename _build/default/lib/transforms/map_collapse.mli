@@ -1,0 +1,5 @@
+(** Map collapse: merge a perfectly nested pair of maps into one
+    multi-dimensional map. Correct-only; contributes passing instances to the
+    NPBench campaign (Sec. 6.3) like most of DaCe's built-ins. *)
+
+val make : unit -> Xform.t

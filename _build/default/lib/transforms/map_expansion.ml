@@ -1,0 +1,65 @@
+open Sdfg
+
+type variant = Correct | Bad_exit_wiring
+
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun entry ->
+          match State.node st entry with
+          | Node.Map_entry info when List.length info.params >= 2 ->
+              Some
+                (Xform.dataflow_site ~state:sid ~nodes:[ entry ]
+                   ~descr:("expand map " ^ info.label))
+          | _ -> None)
+        (Xform.map_entries st))
+    (Graph.states g)
+
+let apply variant g (site : Xform.site) =
+  match site.nodes with
+  | [ entry ] ->
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "map_expansion: state not in graph")
+      in
+      if not (State.has_node st entry) then
+        raise (Xform.Cannot_apply "map_expansion: entry not in graph");
+      let info =
+        match State.node st entry with
+        | Node.Map_entry i -> i
+        | _ -> raise (Xform.Cannot_apply "map_expansion: not a map entry")
+      in
+      if List.length info.params < 2 then
+        raise (Xform.Cannot_apply "map_expansion: not multi-dimensional");
+      let exit =
+        try State.exit_of st entry
+        with Not_found -> raise (Xform.Cannot_apply "map_expansion: no exit")
+      in
+      let outer =
+        {
+          info with
+          params = [ List.hd info.params ];
+          ranges = [ List.hd info.ranges ];
+        }
+      in
+      let inner =
+        {
+          Node.label = info.label ^ "_rest";
+          params = List.tl info.params;
+          ranges = List.tl info.ranges;
+          schedule = info.schedule;
+        }
+      in
+      ignore
+        (Tiling_util.split_map st entry ~outer ~inner
+           ~miswire_exit:(variant = Bad_exit_wiring));
+      { Diff.nodes = [ (site.state, entry); (site.state, exit) ]; states = [] }
+  | _ -> raise (Xform.Cannot_apply "map_expansion: bad site")
+
+let make variant =
+  let name =
+    match variant with Correct -> "MapExpansion" | Bad_exit_wiring -> "MapExpansion(bad-exit)"
+  in
+  { Xform.name; find; apply = apply variant }

@@ -1,0 +1,11 @@
+(** Map expansion (Table 2).
+
+    Expands a multi-dimensional map into a nest of one outer map (first
+    parameter) and one inner map (remaining parameters). The
+    [Bad_exit_wiring] variant reproduces the invalid-code bug class: the
+    inner map exit is wired to the *outer* entry, leaving the inner entry
+    without a matching exit — the transformed graph fails validation. *)
+
+type variant = Correct | Bad_exit_wiring
+
+val make : variant -> Xform.t

@@ -1,0 +1,188 @@
+open Sdfg
+
+type variant = Correct | Ignore_offsets
+
+(* The consumer reads the transient exactly at the producer's iteration
+   point: every inner memlet on [tmp] inside B's scope indexes with B's
+   parameters, one per dimension, in order. *)
+let reads_at_point st entry_b tmp =
+  let params =
+    match State.node st entry_b with
+    | Node.Map_entry { params; _ } -> params
+    | _ -> []
+  in
+  let point =
+    List.map (fun p -> Symbolic.Subset.index (Symbolic.Expr.sym p)) params
+  in
+  List.for_all
+    (fun nid ->
+      List.for_all
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m when m.data = tmp ->
+              (* compare up to the dimensionality of tmp *)
+              List.length m.subset <= List.length point
+              && List.for_all2
+                   (fun a b -> a = b)
+                   m.subset
+                   (List.filteri (fun i _ -> i < List.length m.subset) point)
+          | _ -> true)
+        (State.in_edges st nid))
+    (State.scope_nodes st entry_b)
+
+(* Fusion legality: no dataflow path from the producer's exit to the
+   consumer's entry other than through the transient — otherwise contracting
+   the two scopes creates a cycle (e.g. an intermediate statement that
+   overwrites one of the consumer's other inputs). *)
+let independent st ~exit_a ~entry_b ~tmp_acc =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    n <> entry_b
+    && (Hashtbl.mem seen n
+       ||
+       (Hashtbl.replace seen n ();
+        n = tmp_acc || List.for_all go (State.successors st n)))
+  in
+  List.for_all go (List.filter (fun n -> n <> tmp_acc) (State.successors st exit_a))
+
+(* Pattern: exit_a -> access(tmp, transient) -> entry_b with matching
+   params/ranges. *)
+let match_sites variant g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun (nid, n) ->
+          match n with
+          | Node.Access tmp -> (
+              match Graph.container_opt g tmp with
+              | Some desc when desc.transient -> (
+                  match (State.in_edges st nid, State.out_edges st nid) with
+                  | [ ein ], [ eout ] -> (
+                      match (State.node_opt st ein.src, State.node_opt st eout.dst) with
+                      | Some (Node.Map_exit { entry = entry_a }), Some (Node.Map_entry ib) -> (
+                          let entry_b = eout.dst in
+                          (* a WCR (reduction) producer is never fusable:
+                             the transient holds partial accumulations until
+                             the whole map completes *)
+                          let wcr_free =
+                            List.for_all
+                              (fun (e : State.edge) ->
+                                match e.memlet with
+                                | Some m when m.data = tmp -> m.wcr = None
+                                | _ -> true)
+                              (State.in_edges st ein.src)
+                          in
+                          match State.node st entry_a with
+                          | Node.Map_entry ia
+                            when ia.params = ib.params && ia.ranges = ib.ranges
+                                 && ia.schedule = ib.schedule
+                                 && independent st ~exit_a:ein.src ~entry_b ~tmp_acc:nid
+                                 && (variant = Ignore_offsets
+                                    || (wcr_free && reads_at_point st entry_b tmp))
+                            ->
+                              Some
+                                (Xform.dataflow_site ~state:sid
+                                   ~nodes:[ entry_a; nid; entry_b ]
+                                   ~descr:("fuse maps over " ^ tmp))
+                          | _ -> None)
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+        (State.nodes st))
+    (Graph.states g)
+
+let apply g (site : Xform.site) =
+  match site.nodes with
+  | [ entry_a; tmp_acc; entry_b ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "map_fusion: state not in graph")
+      in
+      List.iter
+        (fun n ->
+          if not (State.has_node st n) then raise (Xform.Cannot_apply "map_fusion: nodes missing"))
+        site.nodes;
+      let exit_a =
+        try State.exit_of st entry_a with Not_found -> raise (Xform.Cannot_apply "no exit A")
+      in
+      let exit_b =
+        try State.exit_of st entry_b with Not_found -> raise (Xform.Cannot_apply "no exit B")
+      in
+      let tmp =
+        match State.node st tmp_acc with
+        | Node.Access d -> d
+        | _ -> raise (Xform.Cannot_apply "map_fusion: bad tmp access")
+      in
+      (* scope-local access node for the transient *)
+      let acc_local = State.add_node st (Node.Access tmp) in
+      (* producer writes now land on the local access *)
+      List.iter
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m when m.data = tmp ->
+              State.remove_edge st e.e_id;
+              ignore (State.add_edge st ?src_conn:e.src_conn ~memlet:m e.src acc_local)
+          | _ -> ())
+        (State.in_edges st exit_a);
+      (* the stale exit_a -> tmp_acc routing disappears *)
+      List.iter
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m when m.data = tmp && e.dst = tmp_acc -> State.remove_edge st e.e_id
+          | _ -> ())
+        (State.out_edges st exit_a);
+      (* B's inner reads of tmp come from the local access; other inner
+         inputs route from A's entry *)
+      List.iter
+        (fun (e : State.edge) ->
+          State.remove_edge st e.e_id;
+          match e.memlet with
+          | Some m when m.data = tmp ->
+              ignore (State.add_edge st ?dst_conn:e.dst_conn ~memlet:m acc_local e.dst)
+          | _ ->
+              ignore
+                (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+                   entry_a e.dst))
+        (State.out_edges st entry_b);
+      (* B's outer inputs re-point to A's entry *)
+      List.iter
+        (fun (e : State.edge) ->
+          if e.src <> tmp_acc then begin
+            State.remove_edge st e.e_id;
+            ignore
+              (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+                 ?dst_memlet:e.dst_memlet e.src entry_a)
+          end)
+        (State.in_edges st entry_b);
+      (* B's inner and outer outputs go through A's exit *)
+      List.iter
+        (fun (e : State.edge) ->
+          State.remove_edge st e.e_id;
+          ignore
+            (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+               ?dst_memlet:e.dst_memlet e.src exit_a))
+        (State.in_edges st exit_b);
+      List.iter
+        (fun (e : State.edge) ->
+          State.remove_edge st e.e_id;
+          ignore
+            (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+               ?dst_memlet:e.dst_memlet exit_a e.dst))
+        (State.out_edges st exit_b);
+      (* the old top-level transient access and B's scope frame disappear *)
+      State.remove_node st entry_b;
+      State.remove_node st exit_b;
+      if State.in_edges st tmp_acc = [] && State.out_edges st tmp_acc = [] then
+        State.remove_node st tmp_acc;
+      {
+        Diff.nodes =
+          [ (site.state, entry_a); (site.state, exit_a); (site.state, tmp_acc); (site.state, entry_b) ];
+        states = [];
+      })
+  | _ -> raise (Xform.Cannot_apply "map_fusion: bad site")
+
+let make variant =
+  let name = match variant with Correct -> "MapFusion" | Ignore_offsets -> "MapFusion(ignore-offsets)" in
+  { Xform.name; find = match_sites variant; apply }

@@ -1,0 +1,14 @@
+(** Map fusion: merge a producer map and a consumer map that agree on
+    parameters and ranges, turning the transient between them into a
+    scope-local buffer so each element is produced and consumed in the same
+    iteration.
+
+    The [Ignore_offsets] variant reproduces a classic fusion bug: it skips
+    the check that the consumer reads the transient at exactly the iteration
+    point the producer writes, so stencil-style consumers (reading
+    [tmp\[i-1\]] or [tmp\[i+1\]]) get fused incorrectly and observe stale or
+    unwritten values. *)
+
+type variant = Correct | Ignore_offsets
+
+val make : variant -> Xform.t

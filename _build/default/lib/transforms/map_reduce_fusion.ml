@@ -1,0 +1,163 @@
+open Sdfg
+
+type variant = Correct | Missing_init
+
+(* Pattern, all in one state:
+     map_exit(entry) --(full tmp)--> access(tmp) --in--> Reduce --out--> access(out)
+   with tmp transient, written exactly once, where the in-scope tasklet writes
+   tmp[params...] (one index expression per dimension). *)
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun (nid, n) ->
+          match n with
+          | Node.Library { kind = Node.Reduce (_, _); _ } -> (
+              let ins = State.in_edges st nid and outs = State.out_edges st nid in
+              match (ins, outs) with
+              | [ ein ], [ eout ] -> (
+                  match (State.node_opt st ein.src, State.node_opt st eout.dst, ein.memlet) with
+                  | Some (Node.Access tmp), Some (Node.Access _), Some m
+                    when m.data = tmp -> (
+                      match Graph.container_opt g tmp with
+                      | Some desc when desc.transient -> (
+                          (* producer: a map exit writing all of tmp *)
+                          match State.in_edges st ein.src with
+                          | [ eprod ] -> (
+                              match State.node_opt st eprod.src with
+                              | Some (Node.Map_exit { entry }) ->
+                                  Some
+                                    (Xform.dataflow_site ~state:sid
+                                       ~nodes:[ entry; ein.src; nid; eout.dst ]
+                                       ~descr:("fuse map+reduce over " ^ tmp))
+                              | _ -> None)
+                          | _ -> None)
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+        (State.nodes st))
+    (Graph.states g)
+
+(* Map a tasklet's tmp-subset (one range per tmp dim) to the reduced output
+   subset by dropping the reduced axes. *)
+let reduce_subset axes subset =
+  List.filteri (fun i _ -> not (List.mem i axes)) subset
+
+let apply variant g (site : Xform.site) =
+  match site.nodes with
+  | [ entry; tmp_acc; red; out_acc ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "map_reduce_fusion: state not in graph")
+      in
+      List.iter
+        (fun n ->
+          if not (State.has_node st n) then
+            raise (Xform.Cannot_apply "map_reduce_fusion: nodes not in graph"))
+        site.nodes;
+      let op, axes =
+        match State.node st red with
+        | Node.Library { kind = Node.Reduce (op, axes); _ } -> (op, axes)
+        | _ -> raise (Xform.Cannot_apply "map_reduce_fusion: not a reduce")
+      in
+      let out_memlet =
+        match List.find_opt (fun (e : State.edge) -> e.dst = out_acc) (State.out_edges st red) with
+        | Some { memlet = Some m; _ } -> m
+        | _ -> raise (Xform.Cannot_apply "map_reduce_fusion: reduce output edge gone")
+      in
+      let tmp =
+        match State.node st tmp_acc with
+        | Node.Access d -> d
+        | _ -> raise (Xform.Cannot_apply "map_reduce_fusion: bad tmp access")
+      in
+      let exit = try State.exit_of st entry with Not_found -> raise (Xform.Cannot_apply "no exit") in
+      (* rewrite every in-scope write to tmp into a WCR write to out *)
+      let scope = State.scope_nodes st entry in
+      List.iter
+        (fun nid ->
+          List.iter
+            (fun (e : State.edge) ->
+              match e.memlet with
+              | Some m when m.data = tmp ->
+                  let m' =
+                    Memlet.make ~wcr:op out_memlet.data (reduce_subset axes m.subset)
+                  in
+                  State.remove_edge st e.e_id;
+                  ignore
+                    (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ~memlet:m' e.src
+                       e.dst)
+              | _ -> ())
+            (State.out_edges st nid))
+        (scope @ [ exit ]);
+      (* the exit now feeds the out access directly *)
+      List.iter
+        (fun (e : State.edge) ->
+          match e.memlet with
+          | Some m when m.data = tmp || m.data = out_memlet.data ->
+              State.remove_edge st e.e_id;
+              ignore
+                (State.add_edge st ?src_conn:e.src_conn
+                   ~memlet:(Memlet.make ~wcr:op out_memlet.data out_memlet.subset) exit out_acc)
+          | _ -> ())
+        (State.out_edges st exit);
+      State.remove_node st red;
+      State.remove_node st tmp_acc;
+      (* Correct variant: initialize out to the reduction identity before the
+         fused map runs (an init map writing the identity, ordered before the
+         scope via a dependency edge). *)
+      if variant = Correct then begin
+        let init_acc = State.add_node st (Node.Access out_memlet.data) in
+        let out_desc = Graph.container g out_memlet.data in
+        let params = List.mapi (fun i _ -> Printf.sprintf "__init_i%d" i) out_desc.shape in
+        let identity = Memlet.wcr_identity op in
+        let id_str =
+          if identity = 0. then "0.0"
+          else if identity = infinity then "1e308"
+          else if identity = neg_infinity then "-1e308"
+          else "1.0"
+        in
+        if params = [] then begin
+          let t =
+            State.add_node st (Node.tasklet "init" (Printf.sprintf "o = %s" id_str))
+          in
+          ignore
+            (State.add_edge st ~src_conn:"o" ~memlet:(Memlet.make out_memlet.data []) t init_acc)
+        end
+        else begin
+          let ranges =
+            List.map
+              (fun d -> Symbolic.Subset.dim Symbolic.Expr.zero (Symbolic.Expr.sub d Symbolic.Expr.one))
+              out_desc.shape
+          in
+          let ientry =
+            State.add_node st
+              (Node.Map_entry { label = "init_" ^ out_memlet.data; params; ranges; schedule = Node.Sequential })
+          in
+          let iexit = State.add_node st (Node.Map_exit { entry = ientry }) in
+          let t = State.add_node st (Node.tasklet "init" (Printf.sprintf "o = %s" id_str)) in
+          ignore (State.add_edge st ientry t);
+          let inner =
+            Memlet.make out_memlet.data
+              (List.map (fun p -> Symbolic.Subset.index (Symbolic.Expr.sym p)) params)
+          in
+          ignore (State.add_edge st ~src_conn:"o" ~dst_conn:("IN_" ^ out_memlet.data) ~memlet:inner t iexit);
+          ignore
+            (State.add_edge st ~src_conn:("OUT_" ^ out_memlet.data)
+               ~memlet:(Memlet.make out_memlet.data (Symbolic.Subset.full out_desc.shape)) iexit init_acc)
+        end;
+        (* order: init before the fused scope *)
+        ignore (State.add_edge st init_acc entry)
+      end;
+      {
+        Diff.nodes = List.map (fun n -> (site.state, n)) (entry :: exit :: site.nodes);
+        states = [];
+      })
+  | _ -> raise (Xform.Cannot_apply "map_reduce_fusion: bad site")
+
+let make variant =
+  let name =
+    match variant with Correct -> "MapReduceFusion" | Missing_init -> "MapReduceFusion(missing-init)"
+  in
+  { Xform.name; find; apply = apply variant }

@@ -1,0 +1,12 @@
+(** Map-reduce fusion (Table 2 ✗).
+
+    Fuses a map that materializes a transient tensor with the reduction that
+    consumes it, turning the tasklet's write into a write-conflict-resolution
+    accumulation directly into the reduction output. The [Missing_init]
+    variant reproduces a semantics bug: it forgets to initialize the output
+    to the reduction identity, so stale contents of the output container leak
+    into the result. *)
+
+type variant = Correct | Missing_init
+
+val make : variant -> Xform.t

@@ -1,0 +1,51 @@
+open Sdfg
+
+type variant = Correct | Off_by_one | No_remainder
+
+let mode_of = function
+  | Correct -> Tiling_util.Exact
+  | Off_by_one -> Tiling_util.Off_by_one
+  | No_remainder -> Tiling_util.No_remainder
+
+(* Tile only maps whose ranges all have step 1 (do not re-tile tile loops). *)
+let tileable (info : Node.map_info) =
+  info.ranges <> []
+  && List.for_all (fun (r : Symbolic.Subset.range) -> Symbolic.Expr.equal r.step Symbolic.Expr.one) info.ranges
+
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun entry ->
+          match State.node st entry with
+          | Node.Map_entry info when tileable info ->
+              Some (Xform.dataflow_site ~state:sid ~nodes:[ entry ] ~descr:("tile " ^ info.label))
+          | _ -> None)
+        (Xform.map_entries st))
+    (Graph.states g)
+
+let apply tile_size variant g (site : Xform.site) =
+  match site.nodes with
+  | [ entry ] ->
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "map_tiling: state not in graph")
+      in
+      if not (State.has_node st entry) then raise (Xform.Cannot_apply "map_tiling: entry not in graph");
+      let exit =
+        try State.exit_of st entry
+        with Not_found -> raise (Xform.Cannot_apply "map_tiling: no exit in graph")
+      in
+      ignore (Tiling_util.tile_map g st entry ~tile_size ~mode:(mode_of variant) ~dims:None);
+      { Diff.nodes = [ (site.state, entry); (site.state, exit) ]; states = [] }
+  | _ -> raise (Xform.Cannot_apply "map_tiling: bad site")
+
+let make ?(tile_size = 32) variant =
+  let name =
+    match variant with
+    | Correct -> "MapTiling"
+    | Off_by_one -> "MapTiling(off-by-one)"
+    | No_remainder -> "MapTiling(no-remainder)"
+  in
+  { Xform.name; find; apply = apply tile_size variant }

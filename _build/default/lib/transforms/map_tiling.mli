@@ -1,0 +1,13 @@
+(** Loop/map tiling (Fig. 2 of the paper).
+
+    Splits every dimension of a map into an outer tile loop and an inner
+    intra-tile loop. The [Off_by_one] variant reproduces the paper's
+    motivating bug: the inner bound uses [<=] (one extra iteration per tile),
+    which corrupts results whenever the scope accumulates (write-conflict
+    resolution). The [No_remainder] variant reproduces the second bug of
+    Sec. 2.1: the inner bound ignores the range end entirely, going out of
+    bounds unless the span is a multiple of the tile size. *)
+
+type variant = Correct | Off_by_one | No_remainder
+
+val make : ?tile_size:int -> variant -> Xform.t

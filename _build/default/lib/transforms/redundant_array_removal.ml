@@ -1,0 +1,113 @@
+open Sdfg
+
+(* [B] is redundant when it is transient, written exactly once by a
+   whole-container copy from [A], the shapes match, and [A] is never written
+   anywhere in the program. *)
+let writes_anywhere g cont =
+  List.exists
+    (fun (_, st) ->
+      List.exists
+        (fun acc -> State.in_edges st acc <> [])
+        (State.access_nodes st cont))
+    (Graph.states g)
+
+let full_copy g (e : State.edge) =
+  match (e.memlet, e.dst_memlet) with
+  | Some m, Some dm ->
+      let full c (m : Memlet.t) =
+        match Graph.container_opt g c with
+        | Some desc -> m.subset = Symbolic.Subset.full desc.shape
+        | None -> false
+      in
+      if full m.data m && full dm.data dm then Some (m.data, dm.data) else None
+  | _ -> None
+
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun (nid, n) ->
+          match n with
+          | Node.Access b -> (
+              match Graph.container_opt g b with
+              | Some bdesc when bdesc.transient -> (
+                  match State.in_edges st nid with
+                  | [ e ] -> (
+                      match (full_copy g e, State.node_opt st e.src) with
+                      | Some (a, _), Some (Node.Access a') when a = a' -> (
+                          let adesc = Graph.container g a in
+                          let same_shape =
+                            List.length adesc.shape = List.length bdesc.shape
+                            && List.for_all2 Symbolic.Expr.equal adesc.shape bdesc.shape
+                          in
+                          let b_written_once =
+                            List.for_all
+                              (fun (sid', st') ->
+                                List.for_all
+                                  (fun acc ->
+                                    (sid' = sid && acc = nid) || State.in_edges st' acc = [])
+                                  (State.access_nodes st' b))
+                              (Graph.states g)
+                          in
+                          if same_shape && b_written_once && not (writes_anywhere g a) then
+                            Some
+                              (Xform.dataflow_site ~state:sid ~nodes:[ e.src; nid ]
+                                 ~descr:(Printf.sprintf "remove redundant copy %s of %s" b a))
+                          else None)
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+        (State.nodes st))
+    (Graph.states g)
+
+let apply g (site : Xform.site) =
+  match site.nodes with
+  | [ src_acc; b_acc ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "redundant_array_removal: state not in graph")
+      in
+      if not (State.has_node st b_acc) then
+        raise (Xform.Cannot_apply "redundant_array_removal: node not in graph");
+      match (State.node st src_acc, State.node st b_acc) with
+      | Node.Access a, Node.Access b ->
+          (* every node whose edges reference B is modified by the rename and
+             belongs to the change set (Sec. 3 step 2) *)
+          let touched =
+            List.concat_map
+              (fun (sid', st') ->
+                List.concat_map
+                  (fun (e : State.edge) ->
+                    let refs_b = function
+                      | Some (m : Memlet.t) -> m.data = b
+                      | None -> false
+                    in
+                    if refs_b e.memlet || refs_b e.dst_memlet then
+                      [ (sid', e.src); (sid', e.dst) ]
+                    else [])
+                  (State.edges st'))
+              (Graph.states g)
+            |> List.sort_uniq compare
+          in
+          (* rewire all reads of B to A, in every state *)
+          List.iter
+            (fun (_, st') -> Xform.rename_container_in_state st' ~from:b ~into:a)
+            (Graph.states g);
+          (* the copy edge is now a self-copy A->A; drop it and the stale node *)
+          List.iter
+            (fun (e : State.edge) -> if e.src = src_acc && e.dst = b_acc then State.remove_edge st e.e_id)
+            (State.edges st);
+          if State.in_edges st b_acc = [] && State.out_edges st b_acc = [] then
+            State.remove_node st b_acc;
+          Graph.remove_container g b;
+          {
+            Diff.nodes =
+              List.sort_uniq compare (((site.state, src_acc) :: (site.state, b_acc) :: touched));
+            states = [];
+          }
+      | _ -> raise (Xform.Cannot_apply "redundant_array_removal: not access nodes"))
+  | _ -> raise (Xform.Cannot_apply "redundant_array_removal: bad site")
+
+let make () = { Xform.name = "RedundantArrayRemoval"; find; apply }

@@ -1,0 +1,5 @@
+(** Redundant array removal: eliminate a transient copy [B] of a read-only
+    container [A], rewiring all uses of [B] to [A]. Correct-only; contributes
+    passing instances to campaigns. *)
+
+val make : unit -> Xform.t

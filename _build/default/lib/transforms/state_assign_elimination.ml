@@ -1,0 +1,82 @@
+open Sdfg
+
+type variant = Correct | Ignore_conditions
+
+(* Uses of a symbol inside one state's dataflow: memlet subsets and map
+   ranges (tasklet code reads of symbols count too). *)
+let used_in_state st sym =
+  List.exists
+    (fun (e : State.edge) ->
+      let in_memlet = function
+        | Some (m : Memlet.t) -> List.mem sym (Symbolic.Subset.free_syms m.subset)
+        | None -> false
+      in
+      in_memlet e.memlet || in_memlet e.dst_memlet)
+    (State.edges st)
+  || List.exists
+       (fun (_, n) ->
+         match n with
+         | Node.Map_entry { ranges; _ } ->
+             List.exists
+               (fun (r : Symbolic.Subset.range) ->
+                 List.mem sym
+                   (Symbolic.Expr.free_syms r.lo @ Symbolic.Expr.free_syms r.hi
+                  @ Symbolic.Expr.free_syms r.step))
+               ranges
+         | Node.Tasklet { code; _ } -> List.mem sym (Tcode.refs code)
+         | _ -> false)
+       (State.nodes st)
+
+(* Uses of a symbol anywhere at or after a state (conditions, assignments'
+   right-hand sides, and state dataflow). *)
+let used_downstream g start sym =
+  let region = start :: Graph.reachable_states g start in
+  List.exists (fun sid -> used_in_state (Graph.state g sid) sym) region
+  || List.exists
+       (fun (e : Graph.istate_edge) ->
+         (List.mem e.src region || List.mem e.dst region)
+         && (List.mem sym (Symbolic.Cond.free_syms e.cond)
+            || List.exists (fun (_, rhs) -> List.mem sym (Symbolic.Expr.free_syms rhs)) e.assigns))
+       (Graph.istate_edges g)
+
+let find variant g =
+  List.filter_map
+    (fun (e : Graph.istate_edge) ->
+      match e.assigns with
+      | [ (sym, _) ] ->
+          let dead =
+            match variant with
+            | Ignore_conditions -> not (used_in_state (Graph.state g e.dst) sym)
+            | Correct -> not (used_downstream g e.dst sym)
+          in
+          if dead then
+            Some
+              (Xform.controlflow_site ~states:[ e.src; e.dst ]
+                 ~descr:(Printf.sprintf "eliminate assignment %s on edge %d" sym e.ie_id))
+          else None
+      | _ -> None)
+    (Graph.istate_edges g)
+
+let apply g (site : Xform.site) =
+  match site.states with
+  | [ src; dst ] -> (
+      let edge =
+        List.find_opt
+          (fun (e : Graph.istate_edge) -> e.src = src && e.dst = dst && e.assigns <> [])
+          (Graph.istate_edges g)
+      in
+      match edge with
+      | None -> raise (Xform.Cannot_apply "state_assign_elimination: edge not found")
+      | Some e ->
+          Graph.remove_istate_edge g e.ie_id;
+          ignore (Graph.add_istate_edge g ~cond:e.cond ~assigns:[] e.src e.dst);
+          { Diff.nodes = []; states = [ src; dst ] })
+  | _ -> raise (Xform.Cannot_apply "state_assign_elimination: bad site")
+
+let make variant =
+  let name =
+    match variant with
+    | Correct -> "StateAssignElimination"
+    | Ignore_conditions -> "StateAssignElimination(ignore-conditions)"
+  in
+  { Xform.name; find = find variant; apply }

@@ -1,0 +1,12 @@
+(** Interstate-assignment elimination (Table 2).
+
+    Removes symbol assignments from interstate edges when the symbol appears
+    dead. The [Ignore_conditions] variant reproduces the DaCe bug class: it
+    only checks the destination state's dataflow for uses, missing uses in
+    later interstate *conditions* — removing a loop counter update this way
+    turns the loop infinite (a hang) or leaves the guard reading an unbound
+    symbol. *)
+
+type variant = Correct | Ignore_conditions
+
+val make : variant -> Xform.t

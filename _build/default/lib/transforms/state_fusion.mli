@@ -1,0 +1,11 @@
+(** State fusion: merge a state into its unique predecessor when the
+    connecting edge is unconditional and assignment-free.
+
+    The [Missing_dependencies] variant reproduces the classic fusion hazard:
+    it copies the second state's dataflow without adding ordering edges
+    between the first state's writers and the second state's readers of the
+    same containers, so fused consumers can execute before their producers. *)
+
+type variant = Correct | Missing_dependencies
+
+val make : variant -> Xform.t

@@ -1,0 +1,87 @@
+open Sdfg
+
+type variant = Correct | Clobber_redefinition
+
+let assigned_downstream g start sym =
+  let region = start :: Graph.reachable_states g start in
+  List.exists
+    (fun (e : Graph.istate_edge) ->
+      List.mem e.src region && List.exists (fun (s, _) -> s = sym) e.assigns)
+    (Graph.istate_edges g)
+
+let find variant g =
+  List.filter_map
+    (fun (e : Graph.istate_edge) ->
+      match e.assigns with
+      | [ (s2, Symbolic.Expr.Sym s1) ] when s1 <> s2 ->
+          let ok =
+            match variant with
+            | Clobber_redefinition -> true
+            | Correct ->
+                (not (assigned_downstream g e.dst s1)) && not (assigned_downstream g e.dst s2)
+          in
+          if ok then
+            Some
+              (Xform.controlflow_site ~states:[ e.src; e.dst ]
+                 ~descr:(Printf.sprintf "promote alias %s := %s" s2 s1))
+          else None
+      | _ -> None)
+    (Graph.istate_edges g)
+
+let subst_state st ~from ~into =
+  Xform.subst_symbol_in_state st from (Symbolic.Expr.sym into)
+
+let apply g (site : Xform.site) =
+  match site.states with
+  | [ src; dst ] -> (
+      let edge =
+        List.find_opt
+          (fun (e : Graph.istate_edge) ->
+            e.src = src && e.dst = dst
+            && match e.assigns with [ (_, Symbolic.Expr.Sym _) ] -> true | _ -> false)
+          (Graph.istate_edges g)
+      in
+      match edge with
+      | None -> raise (Xform.Cannot_apply "symbol_alias_promotion: edge not found")
+      | Some e ->
+          let s2, s1 =
+            match e.assigns with
+            | [ (s2, Symbolic.Expr.Sym s1) ] -> (s2, s1)
+            | _ -> assert false
+          in
+          (* drop the aliasing assignment *)
+          Graph.remove_istate_edge g e.ie_id;
+          ignore (Graph.add_istate_edge g ~cond:e.cond ~assigns:[] e.src e.dst);
+          (* substitute downstream: states, conditions and assignment RHSs *)
+          let region = e.dst :: Graph.reachable_states g e.dst in
+          List.iter
+            (fun sid ->
+              match Graph.state_opt g sid with
+              | Some st -> subst_state st ~from:s2 ~into:s1
+              | None -> ())
+            region;
+          List.iter
+            (fun (ie : Graph.istate_edge) ->
+              if List.mem ie.src region then begin
+                let cond = Symbolic.Cond.rename_sym ~from:s2 ~into:s1 ie.cond in
+                let assigns =
+                  List.map
+                    (fun (s, rhs) -> (s, Symbolic.Expr.rename_sym ~from:s2 ~into:s1 rhs))
+                    ie.assigns
+                in
+                if cond <> ie.cond || assigns <> ie.assigns then begin
+                  Graph.remove_istate_edge g ie.ie_id;
+                  ignore (Graph.add_istate_edge g ~cond ~assigns ie.src ie.dst)
+                end
+              end)
+            (Graph.istate_edges g);
+          { Diff.nodes = []; states = List.sort_uniq compare (src :: dst :: region) })
+  | _ -> raise (Xform.Cannot_apply "symbol_alias_promotion: bad site")
+
+let make variant =
+  let name =
+    match variant with
+    | Correct -> "SymbolAliasPromotion"
+    | Clobber_redefinition -> "SymbolAliasPromotion(clobber)"
+  in
+  { Xform.name; find = find variant; apply }

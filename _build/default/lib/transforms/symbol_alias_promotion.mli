@@ -1,0 +1,11 @@
+(** Symbol-alias promotion (Table 2).
+
+    When an interstate edge assigns [s2 := s1], every later use of [s2] can be
+    replaced by [s1] and the assignment dropped. The [Clobber_redefinition]
+    variant reproduces the bug class: it substitutes without checking that
+    [s1] keeps its value — if [s1] or [s2] is reassigned downstream the
+    promoted program reads the wrong value or an undefined symbol. *)
+
+type variant = Correct | Clobber_redefinition
+
+val make : variant -> Xform.t

@@ -1,0 +1,157 @@
+open Sdfg
+
+type variant = Correct | Ignore_system_state
+
+(* Is [tmp] read anywhere in the program other than through [reader_edge]?
+   Reads are edges whose source is an access node of tmp. Writes elsewhere do
+   not block fusion; later reads do. *)
+let read_elsewhere g ~tmp ~except_state ~except_edge =
+  List.exists
+    (fun (sid, st) ->
+      List.exists
+        (fun acc ->
+          List.exists
+            (fun (e : State.edge) -> not (sid = except_state && e.e_id = except_edge))
+            (State.out_edges st acc))
+        (State.access_nodes st tmp))
+    (Graph.states g)
+
+(* Fusion legality: merging t1 and t2 must not create a cycle — no dataflow
+   path from t1 to t2 other than through the transient access. *)
+let independent st ~t1 ~t2 ~tmp_acc =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    n <> t2
+    && (Hashtbl.mem seen n
+       ||
+       (Hashtbl.replace seen n ();
+        n = tmp_acc || List.for_all go (State.successors st n)))
+  in
+  List.for_all go (List.filter (fun n -> n <> tmp_acc) (State.successors st t1))
+
+(* Pattern: t1 --(out c1, volume-1 memlet on transient tmp)--> access(tmp)
+   --(volume-1 memlet, conn c2)--> t2, all in the same scope. *)
+let match_at g st sid t1 =
+  match State.node st t1 with
+  | Node.Tasklet _ ->
+      List.filter_map
+        (fun (e1 : State.edge) ->
+          match (e1.memlet, State.node_opt st e1.dst) with
+          | Some m1, Some (Node.Access tmp) when m1.wcr = None -> (
+              match Graph.container_opt g tmp with
+              | Some desc when desc.transient -> (
+                  match (State.out_edges st e1.dst, State.in_edges st e1.dst) with
+                  | [ e2 ], [ _ ] -> (
+                      match (e2.memlet, State.node_opt st e2.dst) with
+                      | Some m2, Some (Node.Tasklet _)
+                        when m2.wcr = None && e2.dst <> t1
+                             && independent st ~t1 ~t2:e2.dst ~tmp_acc:e1.dst ->
+                          Some (e1, e2, tmp)
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+        (State.out_edges st t1)
+      |> List.map (fun ((e1 : State.edge), (e2 : State.edge), tmp) ->
+             Xform.dataflow_site ~state:sid
+               ~nodes:[ t1; e1.dst; e2.dst ]
+               ~descr:(Printf.sprintf "fuse tasklets %d+%d over %s" t1 e2.dst tmp))
+  | _ -> []
+
+let find variant g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.concat_map (fun (nid, _) -> match_at g st sid nid) (State.nodes st)
+      |> List.filter (fun (s : Xform.site) ->
+             match (variant, s.nodes) with
+             | Ignore_system_state, _ -> true
+             | Correct, [ _; acc; _ ] -> (
+                 (* refuse when tmp is read anywhere else *)
+                 match State.node st acc with
+                 | Node.Access tmp ->
+                     let reader = List.hd (State.out_edges st acc) in
+                     not (read_elsewhere g ~tmp ~except_state:sid ~except_edge:reader.e_id)
+                 | _ -> false)
+             | _ -> false))
+    (Graph.states g)
+
+let apply g (site : Xform.site) =
+  match site.nodes with
+  | [ t1; acc; t2 ] -> (
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "tasklet_fusion: state not in graph")
+      in
+      if not (State.has_node st t1 && State.has_node st acc && State.has_node st t2) then
+        raise (Xform.Cannot_apply "tasklet_fusion: nodes not in graph");
+      match (State.node st t1, State.node st t2) with
+      | Node.Tasklet p1, Node.Tasklet p2 ->
+          let e1 =
+            match List.find_opt (fun (e : State.edge) -> e.dst = acc) (State.out_edges st t1) with
+            | Some e -> e
+            | None -> raise (Xform.Cannot_apply "tasklet_fusion: producer edge gone")
+          in
+          let e2 =
+            match List.find_opt (fun (e : State.edge) -> e.src = acc) (State.in_edges st t2) with
+            | Some e -> e
+            | None -> raise (Xform.Cannot_apply "tasklet_fusion: consumer edge gone")
+          in
+          let out_conn = match e1.src_conn with Some c -> c | None -> raise (Xform.Cannot_apply "no src conn") in
+          let in_conn = match e2.dst_conn with Some c -> c | None -> raise (Xform.Cannot_apply "no dst conn") in
+          (* rename the consumer's connectors that collide with producer
+             names, in both its code and its edges *)
+          let p1_names = Tcode.outputs p1.code @ Tcode.refs p1.code in
+          let rename_needed c = List.mem c p1_names in
+          let fresh c = "__f2_" ^ c in
+          let consumer_in_conns =
+            List.filter_map
+              (fun (e : State.edge) -> if e.src <> acc then e.dst_conn else None)
+              (State.in_edges st t2)
+          in
+          let consumer_outs = Tcode.outputs p2.code in
+          let p2_code =
+            List.fold_left
+              (fun code c ->
+                if rename_needed c then Tcode.rename_ref ~from:c ~into:(fresh c) code else code)
+              p2.code consumer_in_conns
+          in
+          let p2_code =
+            List.fold_left
+              (fun code o ->
+                if rename_needed o then Tcode.rename_output ~from:o ~into:(fresh o) code else code)
+              p2_code consumer_outs
+          in
+          let fix_conn c = match c with Some c when rename_needed c -> Some (fresh c) | c -> c in
+          let code = Tcode.inline ~producer:p1.code ~out:out_conn ~consumer:p2_code ~conn:in_conn in
+          State.replace_node st t1 (Node.Tasklet { label = p1.label ^ "+" ^ p2.label; code });
+          (* move t2's remaining inputs and all outputs onto t1 *)
+          List.iter
+            (fun (e : State.edge) ->
+              if e.src <> acc then
+                ignore
+                  (State.add_edge st ?src_conn:e.src_conn ?dst_conn:(fix_conn e.dst_conn)
+                     ?memlet:e.memlet ?dst_memlet:e.dst_memlet e.src t1))
+            (State.in_edges st t2);
+          List.iter
+            (fun (e : State.edge) ->
+              ignore
+                (State.add_edge st ?src_conn:(fix_conn e.src_conn) ?dst_conn:e.dst_conn
+                   ?memlet:e.memlet ?dst_memlet:e.dst_memlet t1 e.dst))
+            (State.out_edges st t2);
+          State.remove_node st t2;
+          State.remove_node st acc;
+          {
+            Diff.nodes = [ (site.state, t1); (site.state, acc); (site.state, t2) ];
+            states = [];
+          }
+      | _ -> raise (Xform.Cannot_apply "tasklet_fusion: not tasklets"))
+  | _ -> raise (Xform.Cannot_apply "tasklet_fusion: bad site")
+
+let make variant =
+  let name =
+    match variant with
+    | Correct -> "TaskletFusion"
+    | Ignore_system_state -> "TaskletFusion(drop-live-write)"
+  in
+  { Xform.name; find = find variant; apply }

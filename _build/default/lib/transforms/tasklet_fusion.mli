@@ -1,0 +1,12 @@
+(** Tasklet fusion / temporary-write elimination (Table 2 ✗, Sec. 6.4).
+
+    Fuses [t1 -> access(tmp) -> t2] into a single tasklet, eliminating the
+    write to [tmp]. The [Ignore_system_state] variant reproduces the bug the
+    paper found in both NPBench and CLOUDSC: it removes the write even when
+    [tmp] is read again later (i.e. belongs to the enclosing system state),
+    silently dropping a live value. The [Correct] variant refuses in that
+    case. *)
+
+type variant = Correct | Ignore_system_state
+
+val make : variant -> Xform.t

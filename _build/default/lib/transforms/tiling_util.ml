@@ -1,0 +1,107 @@
+(* Shared mechanics for scope-splitting transformations (MapTiling,
+   Vectorization, MapExpansion): replace a map entry's parameters with an
+   outer set and insert an inner entry/exit pair carrying the rest, rewiring
+   all scope-crossing edges through the new pair. *)
+
+open Sdfg
+
+(* How the inner (intra-tile) upper bound is formed; the non-[Exact] modes are
+   the bugs of Fig. 2 and Table 2. *)
+type bound_mode =
+  | Exact  (* min(t + ts - 1, hi) *)
+  | Off_by_one  (* min(t + ts, hi): one extra iteration per tile *)
+  | No_remainder  (* t + ts - 1: out of bounds unless span divides evenly *)
+
+let inner_hi mode ~tile_var ~tile_size ~orig_hi =
+  let open Symbolic.Expr in
+  let t = sym tile_var in
+  match mode with
+  | Exact -> min_ (add t (int (tile_size - 1))) orig_hi
+  | Off_by_one -> min_ (add t (int tile_size)) orig_hi
+  | No_remainder -> add t (int (tile_size - 1))
+
+(* Replace [entry]'s map info by [outer] and insert a fresh inner scope with
+   map info [inner] directly inside it, rewiring all edges that crossed the
+   original boundary. When [miswire_exit] is set the inner exit references the
+   outer entry — the invalid-code bug of MapExpansion in Table 2. *)
+let split_map st entry ~(outer : Node.map_info) ~(inner : Node.map_info) ~miswire_exit =
+  let exit =
+    try State.exit_of st entry
+    with Not_found -> raise (Xform.Cannot_apply "split_map: no matching exit")
+  in
+  State.replace_node st entry (Node.Map_entry outer);
+  let inner_entry = State.add_node st (Node.Map_entry inner) in
+  let inner_exit =
+    State.add_node st (Node.Map_exit { entry = (if miswire_exit then entry else inner_entry) })
+  in
+  List.iter
+    (fun (e : State.edge) ->
+      State.remove_edge st e.e_id;
+      ignore
+        (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+           ?dst_memlet:e.dst_memlet inner_entry e.dst);
+      match e.src_conn with
+      | Some conn ->
+          ignore (State.add_edge st ~src_conn:conn ~dst_conn:conn ?memlet:e.memlet entry inner_entry)
+      | None -> ignore (State.add_edge st entry inner_entry))
+    (State.out_edges st entry);
+  List.iter
+    (fun (e : State.edge) ->
+      State.remove_edge st e.e_id;
+      ignore
+        (State.add_edge st ?src_conn:e.src_conn ?dst_conn:e.dst_conn ?memlet:e.memlet
+           ?dst_memlet:e.dst_memlet e.src inner_exit);
+      match e.dst_conn with
+      | Some conn ->
+          ignore (State.add_edge st ~src_conn:conn ~dst_conn:conn ?memlet:e.memlet inner_exit exit)
+      | None -> ignore (State.add_edge st inner_exit exit))
+    (State.in_edges st exit);
+  (inner_entry, inner_exit)
+
+(* Tile the listed parameter indices of a map scope (all of them when [dims]
+   is [None]). Returns the new inner entry/exit ids. *)
+let tile_map g st entry ~tile_size ~mode ~dims =
+  ignore g;
+  let info =
+    match State.node st entry with
+    | Node.Map_entry i -> i
+    | _ -> raise (Xform.Cannot_apply "tile_map: not a map entry")
+  in
+  let n = List.length info.params in
+  let tiled = match dims with Some l -> l | None -> List.init n Fun.id in
+  let tile_name p = p ^ "_tile" in
+  let outer_params =
+    List.mapi (fun i p -> if List.mem i tiled then tile_name p else p) info.params
+  in
+  let outer_ranges =
+    List.mapi
+      (fun i (r : Symbolic.Subset.range) ->
+        if List.mem i tiled then { r with step = Symbolic.Expr.int tile_size } else r)
+      info.ranges
+  in
+  let inner_params = List.filteri (fun i _ -> List.mem i tiled) info.params in
+  let inner_ranges =
+    List.concat
+      (List.mapi
+         (fun i (p, (r : Symbolic.Subset.range)) ->
+           if List.mem i tiled then
+             [
+               {
+                 Symbolic.Subset.lo = Symbolic.Expr.sym (tile_name p);
+                 hi = inner_hi mode ~tile_var:(tile_name p) ~tile_size ~orig_hi:r.hi;
+                 step = r.step;
+               };
+             ]
+           else [])
+         (List.combine info.params info.ranges))
+  in
+  split_map st entry
+    ~outer:{ info with params = outer_params; ranges = outer_ranges }
+    ~inner:
+      {
+        label = info.label ^ "_inner";
+        params = inner_params;
+        ranges = inner_ranges;
+        schedule = info.schedule;
+      }
+    ~miswire_exit:false

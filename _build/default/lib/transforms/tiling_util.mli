@@ -1,0 +1,40 @@
+(** Shared mechanics for scope-splitting transformations (MapTiling,
+    Vectorization, MapExpansion): replace a map entry's parameters with an
+    outer set and insert an inner entry/exit pair carrying the rest, rewiring
+    every scope-crossing edge through the new pair. *)
+
+(** How the inner (intra-tile) upper bound is formed; the non-[Exact] modes
+    are the bugs of Fig. 2 and Table 2 of the paper. *)
+type bound_mode =
+  | Exact  (** min(t + ts - 1, hi) *)
+  | Off_by_one  (** min(t + ts, hi): one extra iteration per tile *)
+  | No_remainder  (** t + ts - 1: out of bounds unless the span divides evenly *)
+
+val inner_hi :
+  bound_mode -> tile_var:string -> tile_size:int -> orig_hi:Symbolic.Expr.t -> Symbolic.Expr.t
+
+(** [split_map st entry ~outer ~inner ~miswire_exit] replaces [entry]'s map
+    info by [outer] and inserts a fresh inner scope with map info [inner]
+    directly inside it. When [miswire_exit] is set the inner exit references
+    the outer entry — the invalid-code bug of MapExpansion. Returns the inner
+    (entry, exit) node ids.
+    @raise Xform.Cannot_apply when [entry] has no matching exit. *)
+val split_map :
+  Sdfg.State.t ->
+  int ->
+  outer:Sdfg.Node.map_info ->
+  inner:Sdfg.Node.map_info ->
+  miswire_exit:bool ->
+  int * int
+
+(** [tile_map g st entry ~tile_size ~mode ~dims] tiles the listed parameter
+    indices of a map scope (all of them when [dims] is [None]). Returns the
+    new inner entry/exit ids. *)
+val tile_map :
+  Sdfg.Graph.t ->
+  Sdfg.State.t ->
+  int ->
+  tile_size:int ->
+  mode:bound_mode ->
+  dims:int list option ->
+  int * int

@@ -1,0 +1,59 @@
+open Sdfg
+
+type variant = Correct | Assume_divisible
+
+(* Vectorize maps whose innermost range has unit step; skip already-vectorized
+   scopes (label marker). *)
+let find g =
+  List.concat_map
+    (fun (sid, st) ->
+      List.filter_map
+        (fun entry ->
+          match State.node st entry with
+          | Node.Map_entry info
+            when info.ranges <> []
+                 && (not (String.length info.label > 4 && String.sub info.label 0 4 = "vec_"))
+                 && Symbolic.Expr.equal
+                      (List.nth info.ranges (List.length info.ranges - 1)).step Symbolic.Expr.one
+            ->
+              Some (Xform.dataflow_site ~state:sid ~nodes:[ entry ] ~descr:("vectorize " ^ info.label))
+          | _ -> None)
+        (Xform.map_entries st))
+    (Graph.states g)
+
+let apply width variant g (site : Xform.site) =
+  match site.nodes with
+  | [ entry ] ->
+      let st =
+        match Graph.state_opt g site.state with
+        | Some st -> st
+        | None -> raise (Xform.Cannot_apply "vectorization: state not in graph")
+      in
+      if not (State.has_node st entry) then
+        raise (Xform.Cannot_apply "vectorization: entry not in graph");
+      let info =
+        match State.node st entry with
+        | Node.Map_entry i -> i
+        | _ -> raise (Xform.Cannot_apply "vectorization: not a map entry")
+      in
+      let exit =
+        try State.exit_of st entry
+        with Not_found -> raise (Xform.Cannot_apply "vectorization: no exit in graph")
+      in
+      let mode =
+        match variant with
+        | Correct -> Tiling_util.Exact
+        | Assume_divisible -> Tiling_util.No_remainder
+      in
+      let last = List.length info.params - 1 in
+      ignore (Tiling_util.tile_map g st entry ~tile_size:width ~mode ~dims:(Some [ last ]));
+      (* mark as vectorized so find does not match it again *)
+      (match State.node st entry with
+      | Node.Map_entry i -> State.replace_node st entry (Node.Map_entry { i with label = "vec_" ^ i.label })
+      | _ -> ());
+      { Diff.nodes = [ (site.state, entry); (site.state, exit) ]; states = [] }
+  | _ -> raise (Xform.Cannot_apply "vectorization: bad site")
+
+let make ?(width = 4) variant =
+  let name = match variant with Correct -> "Vectorization" | Assume_divisible -> "Vectorization(assume-divisible)" in
+  { Xform.name; find; apply = apply width variant }

@@ -1,0 +1,11 @@
+(** Loop vectorization (Sec. 6.1 / Table 2).
+
+    Tiles the innermost dimension of a map by the vector width. The
+    [Assume_divisible] variant reproduces DaCe's input-size-dependent bug
+    from Table 2 (⚠): it assumes the dimension span is a multiple of the
+    vector width, going out of bounds — or computing spurious elements —
+    otherwise. The [Correct] variant clamps the intra-vector bound. *)
+
+type variant = Correct | Assume_divisible
+
+val make : ?width:int -> variant -> Xform.t

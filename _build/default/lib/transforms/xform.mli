@@ -1,0 +1,72 @@
+(** The transformation framework.
+
+    A transformation is a named pair of [find] (enumerate application sites on
+    a graph) and [apply] (mutate the graph at one site). [apply] returns the
+    *white-box change set* of Sec. 3 step 2 — the Δ_T node/state set expressed
+    over the pre-transformation ids — which seeds cutout extraction. Node and
+    state ids are stable, so a site found on a program remains valid on an
+    extracted cutout that preserves ids; applying the transformation to the
+    cutout is therefore exactly "testing T on c" (Sec. 5).
+
+    Transformations come in a correct and (where the paper found one) a buggy
+    variant; the buggy variants reproduce the failures of Table 2 and
+    Sec. 6.4. *)
+
+type site = {
+  state : int;  (** state of a dataflow site; [-1] for control-flow sites *)
+  nodes : int list;  (** primary matched nodes in [state] *)
+  states : int list;  (** matched states for control-flow sites *)
+  descr : string;
+}
+
+val dataflow_site : state:int -> nodes:int list -> descr:string -> site
+val controlflow_site : states:int list -> descr:string -> site
+val pp_site : Format.formatter -> site -> unit
+
+exception Cannot_apply of string
+(** Raised by [apply] when a site no longer matches (e.g. the cutout did not
+    capture an element the transformation touches — itself a finding, see
+    Sec. 3 step 2). *)
+
+type t = {
+  name : string;
+  find : Sdfg.Graph.t -> site list;
+  apply : Sdfg.Graph.t -> site -> Sdfg.Diff.change_set;
+}
+
+(** {1 Helpers shared by concrete transformations} *)
+
+(** Substitute a symbol throughout one state: memlet subsets, map ranges and
+    tasklet code (as a numeric constant). *)
+val subst_symbol_in_state : Sdfg.State.t -> string -> Symbolic.Expr.t -> unit
+
+(** Rename a container in all memlets and access nodes of a state. *)
+val rename_container_in_state : Sdfg.State.t -> from:string -> into:string -> unit
+
+(** Copy all nodes and edges of [src] into [dst] (fresh ids in [dst]);
+    returns the node-id mapping. *)
+val copy_state_into : src:Sdfg.State.t -> dst:Sdfg.State.t -> (int * int) list
+
+(** A container name not yet declared in the graph, derived from [base]. *)
+val fresh_container : Sdfg.Graph.t -> string -> string
+
+(** All map-entry node ids of a state, sorted. *)
+val map_entries : Sdfg.State.t -> int list
+
+(** The detected canonical for-loop patterns of a graph
+    (built by {!Builder.Build.for_loop}). *)
+type loop = {
+  guard : int;
+  body : int;
+  after : int;
+  var : string;
+  init : Symbolic.Expr.t;  (** from the entry edge assignment *)
+  cond : Symbolic.Cond.t;  (** guard -> body condition *)
+  update : Symbolic.Expr.t;  (** back-edge assignment *)
+  entry_edge : int;  (** interstate edge carrying the init assignment *)
+  enter_edge : int;  (** guard -> body edge *)
+  back_edge : int;  (** body -> guard edge *)
+  exit_edge : int;  (** guard -> after edge *)
+}
+
+val find_loops : Sdfg.Graph.t -> loop list

@@ -1,0 +1,1 @@
+lib/workloads/bert.ml: Builder Dtype Graph List Memlet Sdfg Symbolic

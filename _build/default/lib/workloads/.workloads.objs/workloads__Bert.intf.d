@@ -1,0 +1,1 @@
+lib/workloads/bert.mli: Sdfg

@@ -1,0 +1,1 @@
+lib/workloads/chain.ml: Builder Dtype Graph List Memlet Sdfg Symbolic

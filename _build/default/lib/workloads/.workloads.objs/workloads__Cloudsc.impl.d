@@ -1,0 +1,1 @@
+lib/workloads/cloudsc.ml: Builder Dtype Graph List Memlet Node Printf Sdfg State Symbolic Tcode

@@ -1,0 +1,1 @@
+lib/workloads/fig4.ml: Builder Dtype Graph List Printf Sdfg Symbolic

@@ -1,0 +1,1 @@
+lib/workloads/npbench.ml: Builder Chain Dtype Graph List Memlet Node Sdfg State Symbolic

@@ -1,0 +1,1 @@
+lib/workloads/npbench.mli: Sdfg

@@ -1,0 +1,1 @@
+lib/workloads/sddmm.ml: Array Builder Dtype Graph Interp List Memlet Mpi_sim Node Sdfg Symbolic

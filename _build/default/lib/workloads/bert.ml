@@ -1,0 +1,94 @@
+open Sdfg
+
+let default_symbols = [ ("B", 2); ("H", 2); ("SM", 32); ("P", 4) ]
+
+let build_with_site ?(layers = 1) () =
+  let g = Graph.create "bert_encoder" in
+  List.iter (Graph.add_symbol g) [ "B"; "H"; "SM"; "P" ];
+  let b = Symbolic.Expr.sym "B"
+  and h = Symbolic.Expr.sym "H"
+  and sm = Symbolic.Expr.sym "SM"
+  and p = Symbolic.Expr.sym "P" in
+  (* query/key/value projections, pre-transposed to [P, B, H, SM] *)
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ p; b; h; sm ]) [ "Aq"; "Bk"; "Vv" ];
+  Graph.add_scalar g "scale" Dtype.F64;
+  Graph.add_array g "out" Dtype.F64 [ Symbolic.Expr.sym "P"; b; h; sm ];
+  List.iter
+    (fun c -> Graph.add_array g ~transient:true c Dtype.F64 [ b; h; sm; sm ])
+    [ "tmp"; "beta"; "gamma"; "omega" ];
+  Graph.add_array g ~transient:true "denom" Dtype.F64 [ b; h; sm ];
+  let sid =
+    if layers <= 1 then Graph.add_state g "encoder"
+    else begin
+      let s0 = Graph.add_state g "init" in
+      let _, body, _ =
+        Builder.Build.for_loop g ~entry_from:s0 ~var:"layer" ~init:Symbolic.Expr.zero
+          ~cond:(Symbolic.Cond.Lt (Symbolic.Expr.sym "layer", Symbolic.Expr.int layers))
+          ~update:(Symbolic.Expr.add (Symbolic.Expr.sym "layer") Symbolic.Expr.one)
+          ~body_label:"encoder" ~after_label:"done"
+      in
+      body
+    end
+  in
+  let st = Graph.state g sid in
+  let mem = Builder.Build.mem in
+  let mt = Builder.Build.mapped_tasklet in
+  let bhij = [ ("b", "0:B-1"); ("h", "0:H-1"); ("i", "0:SM-1"); ("j", "0:SM-1") ] in
+  (* attention scores: tmp[b,h,i,j] = sum_p Aq[p,b,h,i] * Bk[p,b,h,j] *)
+  let scores =
+    mt g st ~label:"qk_scores"
+      ~map:(bhij @ [ ("pp", "0:P-1") ])
+      ~inputs:[ ("a", mem "Aq" "pp, b, h, i"); ("k", mem "Bk" "pp, b, h, j") ]
+      ~code:"o = a * k"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "tmp" "b, h, i, j") ]
+      ()
+  in
+  (* the Fig. 5 scaling loop nest: beta = tmp * scale *)
+  let scaling =
+    mt g st ~label:"beta_scale" ~map:bhij
+      ~inputs:[ ("t", mem "tmp" "b, h, i, j"); ("s", mem "scale" "") ]
+      ~code:"o = t * s"
+      ~outputs:[ ("o", mem "beta" "b, h, i, j") ]
+      ~input_nodes:[ ("tmp", List.assoc "tmp" scores.out_access) ]
+      ()
+  in
+  (* softmax over j: exp, row-sum, normalize *)
+  let expm =
+    mt g st ~label:"att_exp" ~map:bhij
+      ~inputs:[ ("x", mem "beta" "b, h, i, j") ]
+      ~code:"o = exp(x)"
+      ~outputs:[ ("o", mem "gamma" "b, h, i, j") ]
+      ~input_nodes:[ ("beta", List.assoc "beta" scaling.out_access) ]
+      ()
+  in
+  let gamma_acc = List.assoc "gamma" expm.out_access in
+  let sum =
+    mt g st ~label:"att_sum" ~map:bhij
+      ~inputs:[ ("x", mem "gamma" "b, h, i, j") ]
+      ~code:"o = x"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "denom" "b, h, i") ]
+      ~input_nodes:[ ("gamma", gamma_acc) ]
+      ()
+  in
+  let norm =
+    mt g st ~label:"att_norm" ~map:bhij
+      ~inputs:[ ("x", mem "gamma" "b, h, i, j"); ("d", mem "denom" "b, h, i") ]
+      ~code:"o = x / (d + 1e-9)"
+      ~outputs:[ ("o", mem "omega" "b, h, i, j") ]
+      ~input_nodes:[ ("gamma", gamma_acc); ("denom", List.assoc "denom" sum.out_access) ]
+      ()
+  in
+  (* output contraction: out[p,b,h,i] = sum_j Vv[p,b,h,j] * omega[b,h,i,j] *)
+  ignore
+    (mt g st ~label:"att_out"
+       ~map:(bhij @ [ ("pp", "0:P-1") ])
+       ~inputs:[ ("v", mem "Vv" "pp, b, h, j"); ("w", mem "omega" "b, h, i, j") ]
+       ~code:"o = v * w"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "out" "pp, b, h, i") ]
+       ~input_nodes:[ ("omega", List.assoc "omega" norm.out_access) ]
+       ());
+  (g, sid, scaling.entry)
+
+let build () =
+  let g, _, _ = build_with_site () in
+  g

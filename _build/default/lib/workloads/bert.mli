@@ -1,0 +1,24 @@
+(** A BERT-style multi-head-attention encoder core (Sec. 6.1, Fig. 5).
+
+    Shapes follow the paper's parameterization: batch B, heads H, sequence
+    length SM, projection size P. The attention-score contraction
+    tmp\[b,h,i,j\] = Σ_p A\[p,b,h,i\]·Bt\[p,b,h,j\] feeds the scaling loop
+    nest of Fig. 5 (beta = tmp · scale), followed by a softmax and the
+    value contraction. The program optionally repeats the encoder block L
+    times (interstate loop) so whole-application testing costs realistically
+    more than cutout trials.
+
+    With P = SM/8 the minimum input-flow cut turns the scaling cutout's
+    input configuration {tmp, scale} into {A, Bt, scale} — a 75 % reduction,
+    the paper's headline number. *)
+
+(** [build ~layers ()] returns the graph, the state id of the encoder body,
+    and the map-entry node of the Fig. 5 scaling loop nest (the
+    vectorization / min-cut target). *)
+val build_with_site : ?layers:int -> unit -> Sdfg.Graph.t * int * int
+
+val build : unit -> Sdfg.Graph.t
+
+(** The paper's BERT-large symbol values scaled down with identical shape
+    relations (P = SM/8): B, H, SM, P. *)
+val default_symbols : (string * int) list

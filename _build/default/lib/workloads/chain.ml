@@ -1,0 +1,28 @@
+open Sdfg
+
+let build_with_site () =
+  let g = Graph.create "matmul_chain" in
+  let n = Symbolic.Expr.sym "N" in
+  Graph.add_symbol g "N";
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ n; n ]) [ "A"; "B"; "C"; "D"; "R" ];
+  List.iter (fun c -> Graph.add_array g ~transient:true c Dtype.F64 [ n; n ]) [ "U"; "V" ];
+  let sid = Graph.add_state g "main" in
+  let st = Graph.state g sid in
+  let mem = Builder.Build.mem in
+  let mm label x y out ?input_nodes () =
+    Builder.Build.mapped_tasklet g st ~label
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1"); ("k", "0:N-1") ]
+      ~inputs:[ ("a", mem x "i, k"); ("b", mem y "k, j") ]
+      ~code:"o = a * b"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum out "i, j") ]
+      ?input_nodes ()
+  in
+  let m1 = mm "mm1" "A" "B" "U" () in
+  let m2 = mm "mm2" "U" "C" "V" ~input_nodes:[ ("U", List.assoc "U" m1.out_access) ] () in
+  let m3 = mm "mm3" "V" "D" "R" ~input_nodes:[ ("V", List.assoc "V" m2.out_access) ] () in
+  ignore m3;
+  (g, sid, m2.entry)
+
+let build () =
+  let g, _, _ = build_with_site () in
+  g

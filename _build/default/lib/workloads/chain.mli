@@ -1,0 +1,12 @@
+(** The motivating example of Figs. 2–3: a matrix chain multiplication
+    R = ((A·B)·C)·D with N×N matrices, written as three WCR contraction maps
+    over transients U = A·B and V = U·C. Tiling the second multiplication
+    with the off-by-one bug corrupts V — the cutout of that map has input
+    configuration {U, C, N} and system state {V}, exactly the paper's
+    figure. *)
+
+(** Returns the graph plus the state id and the map-entry node of the second
+    multiplication (the transformation target). *)
+val build_with_site : unit -> Sdfg.Graph.t * int * int
+
+val build : unit -> Sdfg.Graph.t

@@ -1,0 +1,203 @@
+open Sdfg
+
+let default_symbols = [ ("KLEV", 10); ("KLON", 12) ]
+
+let sym = Symbolic.Expr.sym
+let mem = Builder.Build.mem
+let mt = Builder.Build.mapped_tasklet
+
+(* One microphysics-like kernel: a parallel map over (part of) the grid. When
+   [partial] is set the kernel writes only levels 0..KLEV-2 — the sub-region
+   writes that expose the GPU extraction bug. *)
+let kernel g st ~label ~partial ~code ~ins ~out ?input_nodes () =
+  let krange = if partial then "0:KLEV-2" else "0:KLEV-1" in
+  mt g st ~label ~schedule:Node.Parallel
+    ~map:[ ("k", krange); ("c", "0:KLON-1") ]
+    ~inputs:(List.map (fun (conn, data) -> (conn, mem data "k, c")) ins)
+    ~code
+    ~outputs:[ ("o", mem out "k, c") ]
+    ?input_nodes ()
+
+let build () =
+  let g = Graph.create "cloudsc_synth" in
+  List.iter (Graph.add_symbol g) [ "KLEV"; "KLON" ];
+  let shape = [ sym "KLEV"; sym "KLON" ] in
+  (* prognostic fields (externally visible state) *)
+  List.iter
+    (fun c -> Graph.add_array g c Dtype.F64 shape)
+    [ "t"; "q"; "ql"; "qi"; "lude"; "supsat"; "tend_t"; "tend_q"; "fplsl"; "fplsn" ];
+  (* transients *)
+  List.iter
+    (fun c -> Graph.add_array g ~transient:true c Dtype.F64 shape)
+    [ "zliq"; "zice"; "zcond"; "zevap"; "zfall"; "corr" ];
+  Graph.add_array g ~transient:true "zsum" Dtype.F64 [ sym "KLON" ];
+
+  (* phase 1: saturation adjustment — four parallel kernels, three of which
+     write partial level ranges *)
+  let s1 = Graph.add_state g "saturation" in
+  let st1 = Graph.state g s1 in
+  let k1 =
+    kernel g st1 ~label:"liq_frac" ~partial:false ~code:"o = max(0.0, tv - 273.15) * 0.05"
+      ~ins:[ ("tv", "t") ] ~out:"zliq" ()
+  in
+  let k2 =
+    kernel g st1 ~label:"ice_frac" ~partial:true ~code:"o = max(0.0, 273.15 - tv) * 0.05"
+      ~ins:[ ("tv", "t") ] ~out:"zice" ()
+  in
+  let k3 =
+    kernel g st1 ~label:"condense" ~partial:true ~code:"o = max(qv - sv, 0.0) * 0.5"
+      ~ins:[ ("qv", "q"); ("sv", "supsat") ]
+      ~out:"zcond" ()
+  in
+  ignore
+    (kernel g st1 ~label:"cloud_liq" ~partial:true ~code:"o = lv + zl * 0.3 + zc * 0.2"
+       ~ins:[ ("lv", "ql"); ("zl", "zliq"); ("zc", "zcond") ]
+       ~out:"ql"
+       ~input_nodes:
+         [ ("zliq", List.assoc "zliq" k1.out_access); ("zcond", List.assoc "zcond" k3.out_access) ]
+       ());
+  ignore
+    (kernel g st1 ~label:"cloud_ice" ~partial:true ~code:"o = iv + zi * 0.3"
+       ~ins:[ ("iv", "qi"); ("zi", "zice") ]
+       ~out:"qi"
+       ~input_nodes:[ ("zice", List.assoc "zice" k2.out_access) ]
+       ());
+
+  (* phase 2: evaporation with a chained transient (write-elimination sites).
+     corr is written through a two-tasklet chain inside the map; corr is read
+     again in phase 4 -> dropping the write is a caught bug. *)
+  let s2 = Graph.add_state_after g s1 "evaporation" in
+  let st2 = Graph.state g s2 in
+  let ev =
+    kernel g st2 ~label:"evap_base" ~partial:false ~code:"o = max(sv * 0.1, 0.0)"
+      ~ins:[ ("sv", "supsat") ] ~out:"zevap" ()
+  in
+  (* chain a second tasklet through a volume-1 transient inside the scope *)
+  let chain st (m : Builder.Build.mapped) ~tmp ~out ~code2 =
+    let t2 = State.add_node st (Node.tasklet "chain2" code2) in
+    let tacc = State.add_node st (Node.Access tmp) in
+    let oacc = State.add_node st (Node.Access out) in
+    ignore (State.add_edge st ~src_conn:"o2" ~memlet:(mem tmp "k, c") m.tasklet tacc);
+    ignore (State.add_edge st ~dst_conn:"tv" ~memlet:(mem tmp "k, c") tacc t2);
+    ignore (State.add_edge st ~src_conn:"o" ~dst_conn:("IN_" ^ out) ~memlet:(mem out "k, c") t2 m.exit);
+    ignore
+      (State.add_edge st ~src_conn:("OUT_" ^ out)
+         ~memlet:(mem out "0:KLEV-1, 0:KLON-1") m.exit oacc)
+  in
+  (* extend evap_base's tasklet with a second output and chain through corr *)
+  (match State.node st2 ev.tasklet with
+  | Node.Tasklet { label; code } ->
+      let extra = ("o2", Tcode.Bin (Tcode.Mul, Tcode.Ref "o", Tcode.Fconst 0.5)) in
+      let code' = Tcode.make (code.Tcode.assignments @ [ extra ]) in
+      State.replace_node st2 ev.tasklet (Node.Tasklet { label; code = code' })
+  | _ -> assert false);
+  chain st2 ev ~tmp:"corr" ~out:"tend_q" ~code2:"o = tv + 0.01";
+
+  (* phase 3: a negative-step constant loop over the topmost 4 levels (the
+     unrolling bug target) plus a forward constant loop *)
+  let _, body, after =
+    Builder.Build.for_loop g ~entry_from:s2 ~var:"lev" ~init:(Symbolic.Expr.int 4)
+      ~cond:(Symbolic.Cond.Ge (sym "lev", Symbolic.Expr.one))
+      ~update:(Symbolic.Expr.sub (sym "lev") Symbolic.Expr.one)
+      ~body_label:"sediment" ~after_label:"sediment_done"
+  in
+  let stb = Graph.state g body in
+  ignore
+    (mt g stb ~label:"fall"
+       ~map:[ ("c", "0:KLON-1") ]
+       ~inputs:[ ("f", mem "zfall" "lev, c"); ("lv", mem "ql" "lev, c") ]
+       ~code:"o = f * 0.9 + lv * 0.1"
+       ~outputs:[ ("o", mem "zfall" "lev-1, c") ]
+       ());
+  let _, body2, after2 =
+    Builder.Build.for_loop g ~entry_from:after ~var:"it" ~init:Symbolic.Expr.zero
+      ~cond:(Symbolic.Cond.Lt (sym "it", Symbolic.Expr.int 3))
+      ~update:(Symbolic.Expr.add (sym "it") Symbolic.Expr.one)
+      ~body_label:"relax" ~after_label:"relax_done"
+  in
+  let stb2 = Graph.state g body2 in
+  ignore
+    (mt g stb2 ~label:"relax_step"
+       ~map:[ ("c", "0:KLON-1") ]
+       ~inputs:[ ("v", mem "zsum" "c") ]
+       ~code:"o = v * 0.5"
+       ~outputs:[ ("o", mem "zsum" "c") ]
+       ());
+
+  (* phase 4: flux accumulation — reads corr (keeping its write live) and
+     produces the surface fluxes; two more partial-writing parallel kernels *)
+  let s4 = Graph.add_state_after g after2 "fluxes" in
+  let st4 = Graph.state g s4 in
+  (* the flux kernels write their outputs without reading them, over partial
+     level ranges: exactly the Fig. 7 situation *)
+  ignore
+    (kernel g st4 ~label:"flux_liq" ~partial:true ~code:"o = zf * 0.4 + cr * 0.1"
+       ~ins:[ ("zf", "zfall"); ("cr", "corr") ]
+       ~out:"fplsl" ());
+  ignore
+    (kernel g st4 ~label:"flux_ice" ~partial:true ~code:"o = zi * 0.2"
+       ~ins:[ ("zi", "zice") ]
+       ~out:"fplsn" ());
+  ignore
+    (kernel g st4 ~label:"tend_heat" ~partial:false ~code:"o = tt + ev * 0.05"
+       ~ins:[ ("tt", "tend_t"); ("ev", "zevap") ]
+       ~out:"tend_t" ());
+
+  (* phase 5: diagnostics, mostly partial write-only kernels over external
+     fields (the GPU-extraction failure majority), a few full writers that
+     survive extraction *)
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 shape)
+    [ "diag_rain"; "diag_snow"; "diag_cover"; "diag_rh"; "diag_lwc"; "diag_iwc" ];
+  let s5 = Graph.add_state_after g s4 "diagnostics" in
+  let st5 = Graph.state g s5 in
+  ignore
+    (kernel g st5 ~label:"diag_rain" ~partial:true ~code:"o = max(qv - 0.2, 0.0) * tv * 0.001"
+       ~ins:[ ("qv", "q"); ("tv", "t") ] ~out:"diag_rain" ());
+  ignore
+    (kernel g st5 ~label:"diag_snow" ~partial:true ~code:"o = max(0.0, 263.15 - tv) * 0.002"
+       ~ins:[ ("tv", "t") ] ~out:"diag_snow" ());
+  ignore
+    (kernel g st5 ~label:"diag_cover" ~partial:true ~code:"o = min(1.0, lv * 5.0 + iv * 5.0)"
+       ~ins:[ ("lv", "ql"); ("iv", "qi") ] ~out:"diag_cover" ());
+  ignore
+    (kernel g st5 ~label:"diag_rh" ~partial:true ~code:"o = qv / (sv + 0.001)"
+       ~ins:[ ("qv", "q"); ("sv", "supsat") ] ~out:"diag_rh" ());
+  ignore
+    (kernel g st5 ~label:"diag_lwc" ~partial:false ~code:"o = lv * 1000.0"
+       ~ins:[ ("lv", "ql") ] ~out:"diag_lwc" ());
+  ignore
+    (kernel g st5 ~label:"diag_iwc" ~partial:false ~code:"o = iv * 1000.0"
+       ~ins:[ ("iv", "qi") ] ~out:"diag_iwc" ());
+
+  (* phase 6: post-processing kernels chained through *dead* transients —
+     write-elimination sites where the buggy TaskletFusion is harmless, so
+     the campaign shows one live-write failure among several passes *)
+  List.iter
+    (fun c -> Graph.add_array g ~transient:true c Dtype.F64 shape)
+    [ "scratch1"; "scratch2"; "scratch3"; "scratch4" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 shape) [ "post_t"; "post_q"; "post_l"; "post_i" ];
+  let s6 = Graph.add_state_after g s5 "postproc" in
+  let st6 = Graph.state g s6 in
+  let chained label ~scratch ~inp ~out =
+    let m =
+      kernel g st6 ~label ~partial:true ~code:(Printf.sprintf "o = %s; o2 = o * 2.0" "iv * 0.5")
+        ~ins:[ ("iv", inp) ] ~out
+    in
+    let m = m () in
+    (* reroute: tasklet o2 -> scratch -> second tasklet -> exit *)
+    let t2 = State.add_node st6 (Node.tasklet (label ^ "_b") "o = tv - 0.25") in
+    let tacc = State.add_node st6 (Node.Access scratch) in
+    ignore (State.add_edge st6 ~src_conn:"o2" ~memlet:(mem scratch "k, c") m.tasklet tacc);
+    ignore (State.add_edge st6 ~dst_conn:"tv" ~memlet:(mem scratch "k, c") tacc t2);
+    ignore
+      (State.add_edge st6 ~src_conn:"o" ~dst_conn:("IN2_" ^ out) ~memlet:(mem out ~wcr:Memlet.Wcr_sum "k, c") t2 m.exit);
+    let oacc = List.assoc out m.out_access in
+    ignore
+      (State.add_edge st6 ~src_conn:("OUT2_" ^ out)
+         ~memlet:(mem out "0:KLEV-1, 0:KLON-1") m.exit oacc)
+  in
+  chained "post_heat" ~scratch:"scratch1" ~inp:"t" ~out:"post_t";
+  chained "post_moist" ~scratch:"scratch2" ~inp:"q" ~out:"post_q";
+  chained "post_liq" ~scratch:"scratch3" ~inp:"ql" ~out:"post_l";
+  chained "post_ice" ~scratch:"scratch4" ~inp:"qi" ~out:"post_i";
+  g

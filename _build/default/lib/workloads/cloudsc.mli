@@ -1,0 +1,18 @@
+(** A synthetic stand-in for the ECMWF CLOUDSC cloud-microphysics scheme
+    (Sec. 6.4).
+
+    The real CLOUDSC is 3,163 lines of Fortran; this stand-in reproduces the
+    program *features* the paper's three Sec. 6.4 campaigns need, over a
+    KLEV×KLON (levels × columns) grid:
+
+    - a sequence of top-level parallel kernels, most of which write only a
+      sub-region of their output containers — the GPU-kernel-extraction bug
+      (Fig. 7) corrupts exactly those;
+    - constant-trip loops including one iterating k = 4 down to 1 with step
+      −1 — the loop-unrolling bug unrolls it twice instead of four times;
+    - chained tasklets over transients, one of which is read again later —
+      the write-elimination bug drops that live write. *)
+
+val build : unit -> Sdfg.Graph.t
+
+val default_symbols : (string * int) list

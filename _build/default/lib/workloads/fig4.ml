@@ -1,0 +1,40 @@
+open Sdfg
+
+let build_with_seed () =
+  let g = Graph.create "fig4" in
+  let n = Symbolic.Expr.sym "N" in
+  Graph.add_symbol g "N";
+  Graph.add_array g "x" Dtype.F64 [ n ];
+  Graph.add_array g "w" Dtype.F64 [ n ];
+  List.iter (fun c -> Graph.add_array g ~transient:true c Dtype.F64 [ n ]) [ "y"; "z"; "tmp" ];
+  let sid = Graph.add_state g "main" in
+  let st = Graph.state g sid in
+  let mem = Builder.Build.mem in
+  let unary label f inp out ?input_nodes () =
+    Builder.Build.mapped_tasklet g st ~label
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("v", mem inp "i") ]
+      ~code:(Printf.sprintf "o = %s" f)
+      ~outputs:[ ("o", mem out "i") ]
+      ?input_nodes ()
+  in
+  let mf = unary "f" "tanh(v)" "x" "y" () in
+  let y_acc = List.assoc "y" mf.out_access in
+  let mg = unary "g" "v * v + 1.0" "y" "z" ~input_nodes:[ ("y", y_acc) ] () in
+  let mmul =
+    unary "mul2" "v * 2.0" "z" "tmp" ~input_nodes:[ ("z", List.assoc "z" mg.out_access) ] ()
+  in
+  let mh =
+    Builder.Build.mapped_tasklet g st ~label:"h"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("t", mem "tmp" "i"); ("yv", mem "y" "i") ]
+      ~code:"o = sqrt(abs(t)) + yv"
+      ~outputs:[ ("o", mem "w" "i") ]
+      ~input_nodes:[ ("tmp", List.assoc "tmp" mmul.out_access); ("y", y_acc) ]
+      ()
+  in
+  (g, sid, [ mmul.entry; mh.entry ])
+
+let build () =
+  let g, _, _ = build_with_seed () in
+  g

@@ -1,0 +1,13 @@
+(** The minimum input-flow cut illustration of Fig. 4:
+
+    {v y = f(x);  z = g(y);  tmp = z * 2;  w = h(tmp, y) v}
+
+    The cutout seeded at the multiplication and the call to h has the input
+    configuration {y, z}; growing it with f and g (one min-cut step) shrinks
+    the inputs to {x}, halving the input space. *)
+
+(** Returns the graph, the state id, and the seed nodes (the mul map entry
+    and the h map entry) for cutout extraction. *)
+val build_with_seed : unit -> Sdfg.Graph.t * int * int list
+
+val build : unit -> Sdfg.Graph.t

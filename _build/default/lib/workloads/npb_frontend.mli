@@ -1,0 +1,12 @@
+(** NPBench kernels written in the {!Frontend.Lang} source language.
+
+    These extend the builder-based suite of {!Npbench} toward the paper's 52
+    applications and double as end-to-end exercise of the textual frontend:
+    every kernel is compiled from source at construction time. *)
+
+val sources : (string * string) list
+(** Kernel name and program text. *)
+
+val all : unit -> (string * Sdfg.Graph.t) list
+(** Compiled and validated. Compilation failures raise {!Frontend.Lang.Error}
+    — the test suite pins every kernel. *)

@@ -1,0 +1,819 @@
+open Sdfg
+
+let sym = Symbolic.Expr.sym
+let ( -- ) a b = Symbolic.Expr.sub a b
+let i1 = Symbolic.Expr.one
+let mem = Builder.Build.mem
+let mt = Builder.Build.mapped_tasklet
+
+let fresh name =
+  let g = Graph.create name in
+  Graph.add_symbol g "N";
+  g
+
+let single_state g = Graph.state g (Graph.add_state g "main")
+
+(* z = a * x + y *)
+let axpy () =
+  let g = fresh "axpy" in
+  Graph.add_scalar g "a" Dtype.F64;
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y"; "z" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"axpy"
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("a", mem "a" ""); ("xv", mem "x" "i"); ("yv", mem "y" "i") ]
+       ~code:"o = a * xv + yv"
+       ~outputs:[ ("o", mem "z" "i") ]
+       ());
+  g
+
+(* y = a * x *)
+let scale () =
+  let g = fresh "scale" in
+  Graph.add_scalar g "a" Dtype.F64;
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"scale"
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("a", mem "a" ""); ("xv", mem "x" "i") ]
+       ~code:"o = a * xv"
+       ~outputs:[ ("o", mem "y" "i") ]
+       ());
+  g
+
+(* out = sum(x), via the Reduce library operator *)
+let sum1d () =
+  let g = fresh "sum1d" in
+  Graph.add_array g "x" Dtype.F64 [ sym "N" ];
+  Graph.add_scalar g "out" Dtype.F64;
+  let st = single_state g in
+  ignore
+    (Builder.Build.library g st ~label:"sum" ~kind:(Node.Reduce (Memlet.Wcr_sum, [ 0 ]))
+       ~inputs:[ ("in", mem "x" "0:N-1") ]
+       ~outputs:[ ("out", mem "out" "") ]
+       ());
+  g
+
+(* C = alpha * A@B + beta * C, contraction written as a WCR map *)
+let gemm () =
+  let g = fresh "gemm" in
+  List.iter (fun s -> Graph.add_scalar g s Dtype.F64) [ "alpha"; "beta" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "A"; "B"; "C" ];
+  Graph.add_array g ~transient:true "tmp" Dtype.F64 [ sym "N"; sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"contract"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1"); ("k", "0:N-1") ]
+      ~inputs:[ ("a", mem "A" "i, k"); ("b", mem "B" "k, j") ]
+      ~code:"o = a * b"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "tmp" "i, j") ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"update"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:
+         [
+           ("al", mem "alpha" "");
+           ("be", mem "beta" "");
+           ("t", mem "tmp" "i, j");
+           ("c", mem "C" "i, j");
+         ]
+       ~code:"o = al * t + be * c"
+       ~outputs:[ ("o", mem "C" "i, j") ]
+       ~input_nodes:[ ("tmp", List.assoc "tmp" m1.out_access) ]
+       ());
+  g
+
+(* C = A@B via the MatMul library node *)
+let mm_lib () =
+  let g = fresh "mm_lib" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "A"; "B"; "C" ];
+  let st = single_state g in
+  ignore
+    (Builder.Build.library g st ~label:"matmul" ~kind:Node.Mat_mul
+       ~inputs:[ ("A", mem "A" "0:N-1, 0:N-1"); ("B", mem "B" "0:N-1, 0:N-1") ]
+       ~outputs:[ ("C", mem "C" "0:N-1, 0:N-1") ]
+       ());
+  g
+
+(* x1 += A @ y1;  x2 += A^T @ y2 *)
+let mvt () =
+  let g = fresh "mvt" in
+  Graph.add_array g "A" Dtype.F64 [ sym "N"; sym "N" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x1"; "x2"; "y1"; "y2" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"mvt1"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("a", mem "A" "i, j"); ("y", mem "y1" "j") ]
+       ~code:"o = a * y"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "x1" "i") ]
+       ());
+  ignore
+    (mt g st ~label:"mvt2"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("a", mem "A" "j, i"); ("y", mem "y2" "j") ]
+       ~code:"o = a * y"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "x2" "i") ]
+       ());
+  g
+
+(* y = A^T @ (A @ x); the 1-D transient between the two products is a
+   BufferTiling candidate *)
+let atax () =
+  let g = fresh "atax" in
+  Graph.add_array g "A" Dtype.F64 [ sym "N"; sym "N" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y" ];
+  Graph.add_array g ~transient:true "tmp" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"ax"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("a", mem "A" "i, j"); ("xv", mem "x" "j") ]
+      ~code:"o = a * xv"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "tmp" "i") ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"aty"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("a", mem "A" "j, i"); ("t", mem "tmp" "j") ]
+       ~code:"o = a * t"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "y" "i") ]
+       ~input_nodes:[ ("tmp", List.assoc "tmp" m1.out_access) ]
+       ());
+  g
+
+(* s = A^T @ r;  q = A @ p *)
+let bicg () =
+  let g = fresh "bicg" in
+  Graph.add_array g "A" Dtype.F64 [ sym "N"; sym "N" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "p"; "r"; "s"; "q" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"s"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("a", mem "A" "j, i"); ("rv", mem "r" "j") ]
+       ~code:"o = a * rv"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "s" "i") ]
+       ());
+  ignore
+    (mt g st ~label:"q"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("a", mem "A" "i, j"); ("pv", mem "p" "j") ]
+       ~code:"o = a * pv"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "q" "i") ]
+       ());
+  g
+
+(* A2 = A + u1 v1^T + u2 v2^T; x += beta * A2^T y; x += z; w += alpha * A2 x *)
+let gemver () =
+  let g = fresh "gemver" in
+  List.iter (fun s -> Graph.add_scalar g s Dtype.F64) [ "alpha"; "beta" ];
+  Graph.add_array g "A" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g ~transient:true "A2" Dtype.F64 [ sym "N"; sym "N" ];
+  List.iter
+    (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ])
+    [ "u1"; "v1"; "u2"; "v2"; "x"; "y"; "z"; "w" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"rank2"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:
+        [
+          ("a", mem "A" "i, j");
+          ("p", mem "u1" "i");
+          ("q", mem "v1" "j");
+          ("r", mem "u2" "i");
+          ("s", mem "v2" "j");
+        ]
+      ~code:"o = a + p * q + r * s"
+      ~outputs:[ ("o", mem "A2" "i, j") ]
+      ()
+  in
+  let a2 = List.assoc "A2" m1.out_access in
+  let m2 =
+    mt g st ~label:"xupdate"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("be", mem "beta" ""); ("a", mem "A2" "j, i"); ("yv", mem "y" "j") ]
+      ~code:"o = be * a * yv"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "x" "i") ]
+      ~input_nodes:[ ("A2", a2) ]
+      ()
+  in
+  let m3 =
+    mt g st ~label:"xz"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("xv", mem "x" "i"); ("zv", mem "z" "i") ]
+      ~code:"o = xv + zv"
+      ~outputs:[ ("o", mem "x" "i") ]
+      ~input_nodes:[ ("x", List.assoc "x" m2.out_access) ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"wupdate"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("al", mem "alpha" ""); ("a", mem "A2" "i, j"); ("xv", mem "x" "j") ]
+       ~code:"o = al * a * xv"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "w" "i") ]
+       ~input_nodes:[ ("A2", a2); ("x", List.assoc "x" m3.out_access) ]
+       ());
+  g
+
+(* D = (alpha * A@B) @ C + beta * D, with library matmuls *)
+let two_mm () =
+  let g = fresh "two_mm" in
+  List.iter (fun s -> Graph.add_scalar g s Dtype.F64) [ "alpha"; "beta" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "A"; "B"; "C"; "D" ];
+  List.iter
+    (fun c -> Graph.add_array g ~transient:true c Dtype.F64 [ sym "N"; sym "N" ])
+    [ "t1"; "t2"; "t3" ];
+  let st = single_state g in
+  let _, _, out1 =
+    Builder.Build.library g st ~label:"mm1" ~kind:Node.Mat_mul
+      ~inputs:[ ("A", mem "A" "0:N-1, 0:N-1"); ("B", mem "B" "0:N-1, 0:N-1") ]
+      ~outputs:[ ("C", mem "t1" "0:N-1, 0:N-1") ]
+      ()
+  in
+  let m2 =
+    mt g st ~label:"scale_t1"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("al", mem "alpha" ""); ("t", mem "t1" "i, j") ]
+      ~code:"o = al * t"
+      ~outputs:[ ("o", mem "t2" "i, j") ]
+      ~input_nodes:[ ("t1", List.assoc "t1" out1) ]
+      ()
+  in
+  let _, _, out3 =
+    Builder.Build.library g st ~label:"mm2" ~kind:Node.Mat_mul
+      ~inputs:[ ("A", mem "t2" "0:N-1, 0:N-1"); ("B", mem "C" "0:N-1, 0:N-1") ]
+      ~outputs:[ ("C", mem "t3" "0:N-1, 0:N-1") ]
+      ~input_nodes:[ ("t2", List.assoc "t2" m2.out_access) ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"dupdate"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("be", mem "beta" ""); ("t", mem "t3" "i, j"); ("d", mem "D" "i, j") ]
+       ~code:"o = t + be * d"
+       ~outputs:[ ("o", mem "D" "i, j") ]
+       ~input_nodes:[ ("t3", List.assoc "t3" out3) ]
+       ());
+  g
+
+(* G = (A@B) @ (C@D) *)
+let three_mm () =
+  let g = fresh "three_mm" in
+  List.iter
+    (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ])
+    [ "A"; "B"; "C"; "D"; "G" ];
+  List.iter
+    (fun c -> Graph.add_array g ~transient:true c Dtype.F64 [ sym "N"; sym "N" ])
+    [ "E"; "F" ];
+  let st = single_state g in
+  let full2 = "0:N-1, 0:N-1" in
+  let _, _, oe =
+    Builder.Build.library g st ~label:"mmE" ~kind:Node.Mat_mul
+      ~inputs:[ ("A", mem "A" full2); ("B", mem "B" full2) ]
+      ~outputs:[ ("C", mem "E" full2) ]
+      ()
+  in
+  let _, _, of_ =
+    Builder.Build.library g st ~label:"mmF" ~kind:Node.Mat_mul
+      ~inputs:[ ("A", mem "C" full2); ("B", mem "D" full2) ]
+      ~outputs:[ ("C", mem "F" full2) ]
+      ()
+  in
+  ignore
+    (Builder.Build.library g st ~label:"mmG" ~kind:Node.Mat_mul
+       ~inputs:[ ("A", mem "E" full2); ("B", mem "F" full2) ]
+       ~outputs:[ ("C", mem "G" full2) ]
+       ~input_nodes:[ ("E", List.assoc "E" oe); ("F", List.assoc "F" of_) ]
+       ());
+  g
+
+(* row-wise softmax with max-shift *)
+let softmax () =
+  let g = fresh "softmax" in
+  Graph.add_array g "inp" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g "out" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g ~transient:true "rowmax" Dtype.F64 [ sym "N" ];
+  Graph.add_array g ~transient:true "e" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g ~transient:true "rowsum" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"rowmax"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("x", mem "inp" "i, j") ]
+      ~code:"o = x"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_max "rowmax" "i") ]
+      ()
+  in
+  let m2 =
+    mt g st ~label:"exp"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("x", mem "inp" "i, j"); ("m", mem "rowmax" "i") ]
+      ~code:"o = exp(x - m)"
+      ~outputs:[ ("o", mem "e" "i, j") ]
+      ~input_nodes:[ ("rowmax", List.assoc "rowmax" m1.out_access) ]
+      ()
+  in
+  let e_acc = List.assoc "e" m2.out_access in
+  let m3 =
+    mt g st ~label:"rowsum"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("x", mem "e" "i, j") ]
+      ~code:"o = x"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "rowsum" "i") ]
+      ~input_nodes:[ ("e", e_acc) ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"normalize"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("x", mem "e" "i, j"); ("s", mem "rowsum" "i") ]
+       ~code:"o = x / s"
+       ~outputs:[ ("o", mem "out" "i, j") ]
+       ~input_nodes:[ ("e", e_acc); ("rowsum", List.assoc "rowsum" m3.out_access) ]
+       ());
+  g
+
+(* T steps of the 1-D Jacobi smoother, alternating A -> B -> A *)
+let jacobi_1d () =
+  let g = fresh "jacobi_1d" in
+  Graph.add_symbol g "T";
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "A"; "B" ];
+  let s0 = Graph.add_state g "init" in
+  let _, body, _ =
+    Builder.Build.for_loop g ~entry_from:s0 ~var:"t" ~init:Symbolic.Expr.zero
+      ~cond:(Symbolic.Cond.Lt (sym "t", sym "T"))
+      ~update:(Symbolic.Expr.add (sym "t") i1)
+      ~body_label:"step" ~after_label:"done"
+  in
+  let st = Graph.state g body in
+  let m1 =
+    mt g st ~label:"fwd"
+      ~map:[ ("i", "1:N-2") ]
+      ~inputs:[ ("a", mem "A" "i-1"); ("b", mem "A" "i"); ("c", mem "A" "i+1") ]
+      ~code:"o = 0.33333 * (a + b + c)"
+      ~outputs:[ ("o", mem "B" "i") ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"bwd"
+       ~map:[ ("i", "1:N-2") ]
+       ~inputs:[ ("a", mem "B" "i-1"); ("b", mem "B" "i"); ("c", mem "B" "i+1") ]
+       ~code:"o = 0.33333 * (a + b + c)"
+       ~outputs:[ ("o", mem "A" "i") ]
+       ~input_nodes:[ ("B", List.assoc "B" m1.out_access) ]
+       ());
+  g
+
+(* T steps of the 2-D Jacobi smoother *)
+let jacobi_2d () =
+  let g = fresh "jacobi_2d" in
+  Graph.add_symbol g "T";
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "A"; "B" ];
+  let s0 = Graph.add_state g "init" in
+  let _, body, _ =
+    Builder.Build.for_loop g ~entry_from:s0 ~var:"t" ~init:Symbolic.Expr.zero
+      ~cond:(Symbolic.Cond.Lt (sym "t", sym "T"))
+      ~update:(Symbolic.Expr.add (sym "t") i1)
+      ~body_label:"step" ~after_label:"done"
+  in
+  let st = Graph.state g body in
+  let stencil out inp dep =
+    mt g st ~label:("jac_" ^ out)
+      ~map:[ ("i", "1:N-2"); ("j", "1:N-2") ]
+      ~inputs:
+        [
+          ("c", mem inp "i, j");
+          ("n", mem inp "i-1, j");
+          ("s", mem inp "i+1, j");
+          ("w", mem inp "i, j-1");
+          ("e", mem inp "i, j+1");
+        ]
+      ~code:"o = 0.2 * (c + n + s + w + e)"
+      ~outputs:[ ("o", mem out "i, j") ]
+      ?input_nodes:dep ()
+  in
+  let m1 = stencil "B" "A" None in
+  ignore (stencil "A" "B" (Some [ ("B", List.assoc "B" m1.out_access) ]));
+  g
+
+(* simplified 2-D FDTD time loop (three coupled stencil updates per step) *)
+let fdtd_2d () =
+  let g = fresh "fdtd_2d" in
+  Graph.add_symbol g "T";
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "ex"; "ey"; "hz" ];
+  let s0 = Graph.add_state g "init" in
+  let _, body, _ =
+    Builder.Build.for_loop g ~entry_from:s0 ~var:"t" ~init:Symbolic.Expr.zero
+      ~cond:(Symbolic.Cond.Lt (sym "t", sym "T"))
+      ~update:(Symbolic.Expr.add (sym "t") i1)
+      ~body_label:"tick" ~after_label:"done"
+  in
+  let st = Graph.state g body in
+  let m1 =
+    mt g st ~label:"ey_up"
+      ~map:[ ("i", "1:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("e", mem "ey" "i, j"); ("h", mem "hz" "i, j"); ("hm", mem "hz" "i-1, j") ]
+      ~code:"o = e - 0.5 * (h - hm)"
+      ~outputs:[ ("o", mem "ey" "i, j") ]
+      ()
+  in
+  let m2 =
+    mt g st ~label:"ex_up"
+      ~map:[ ("i", "0:N-1"); ("j", "1:N-1") ]
+      ~inputs:[ ("e", mem "ex" "i, j"); ("h", mem "hz" "i, j"); ("hm", mem "hz" "i, j-1") ]
+      ~code:"o = e - 0.5 * (h - hm)"
+      ~outputs:[ ("o", mem "ex" "i, j") ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"hz_up"
+       ~map:[ ("i", "0:N-2"); ("j", "0:N-2") ]
+       ~inputs:
+         [
+           ("h", mem "hz" "i, j");
+           ("exv", mem "ex" "i, j+1");
+           ("ex0", mem "ex" "i, j");
+           ("eyv", mem "ey" "i+1, j");
+           ("ey0", mem "ey" "i, j");
+         ]
+       ~code:"o = h - 0.7 * (exv - ex0 + eyv - ey0)"
+       ~outputs:[ ("o", mem "hz" "i, j") ]
+       ~input_nodes:
+         [ ("ex", List.assoc "ex" m2.out_access); ("ey", List.assoc "ey" m1.out_access) ]
+       ());
+  g
+
+(* one 5-point stencil application *)
+let stencil5 () =
+  let g = fresh "stencil5" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "inp"; "out" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"stencil"
+       ~map:[ ("i", "1:N-2"); ("j", "1:N-2") ]
+       ~inputs:
+         [
+           ("c", mem "inp" "i, j");
+           ("n", mem "inp" "i-1, j");
+           ("s", mem "inp" "i+1, j");
+           ("w", mem "inp" "i, j-1");
+           ("e", mem "inp" "i, j+1");
+         ]
+       ~code:"o = c + 0.25 * (n + s + w + e)"
+       ~outputs:[ ("o", mem "out" "i, j") ]
+       ());
+  g
+
+(* 3x3 convolution as a 4-parameter WCR map *)
+let conv2d () =
+  let g = fresh "conv2d" in
+  let np2 = Symbolic.Expr.add (sym "N") (Symbolic.Expr.int 2) in
+  Graph.add_array g "inp" Dtype.F64 [ np2; np2 ];
+  Graph.add_array g "w" Dtype.F64 [ Symbolic.Expr.int 3; Symbolic.Expr.int 3 ];
+  Graph.add_array g "out" Dtype.F64 [ sym "N"; sym "N" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"conv"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1"); ("ki", "0:2"); ("kj", "0:2") ]
+       ~inputs:[ ("x", mem "inp" "i+ki, j+kj"); ("wv", mem "w" "ki, kj") ]
+       ~code:"o = x * wv"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "out" "i, j") ]
+       ());
+  g
+
+(* pairwise 1-D gravitational forces; the i != j guard is a Select coverage
+   point *)
+let nbody_force () =
+  let g = fresh "nbody_force" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "pos"; "mass"; "force" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"forces"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:
+         [
+           ("xi", mem "pos" "i");
+           ("xj", mem "pos" "j");
+           ("mi", mem "mass" "i");
+           ("mj", mem "mass" "j");
+         ]
+       ~code:"d = xj - xi; o = select(i != j, mi * mj * d / (abs(d * d * d) + 0.001), 0.0)"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "force" "i") ]
+       ());
+  g
+
+(* two chained tasklets over a transient element buffer inside one map scope:
+   the canonical TaskletFusion site *)
+let go_fast () =
+  let g = fresh "go_fast" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y" ];
+  Graph.add_array g ~transient:true "t" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let m =
+    mt g st ~label:"stage1"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("xv", mem "x" "i") ]
+      ~code:"o = tanh(xv) + 1.0"
+      ~outputs:[ ("o", mem "t" "i") ]
+      ()
+  in
+  (* second tasklet inside the same scope, fed through the transient *)
+  let t2 = State.add_node st (Node.tasklet "stage2" "o = tv * tv") in
+  let tacc = State.add_node st (Node.Access "t") in
+  let yacc = State.add_node st (Node.Access "y") in
+  ignore (State.add_edge st ~src_conn:"o" ~memlet:(mem "t" "i") m.tasklet tacc);
+  ignore (State.add_edge st ~dst_conn:"tv" ~memlet:(mem "t" "i") tacc t2);
+  ignore (State.add_edge st ~src_conn:"o" ~dst_conn:"IN_y" ~memlet:(mem "y" "i") t2 m.exit);
+  ignore
+    (State.add_edge st ~src_conn:"OUT_y" ~memlet:(mem "y" "0:N-1") m.exit yacc);
+  (* drop the original direct write of stage1 to t at the exit *)
+  List.iter
+    (fun (e : State.edge) ->
+      match e.memlet with
+      | Some mm when mm.data = "t" && e.src = m.tasklet && e.dst = m.exit -> State.remove_edge st e.e_id
+      | _ -> ())
+    (State.edges st);
+  List.iter
+    (fun (e : State.edge) ->
+      match e.memlet with
+      | Some mm when mm.data = "t" && e.src = m.exit -> State.remove_edge st e.e_id
+      | _ -> ())
+    (State.edges st);
+  (* remove the now-disconnected outer access node for t *)
+  List.iter
+    (fun (id, n) ->
+      match n with
+      | Node.Access "t" when State.in_edges st id = [] && State.out_edges st id = [] ->
+          State.remove_node st id
+      | _ -> ())
+    (State.nodes st);
+  g
+
+(* like go_fast, but the transient is read again in a later state: the buggy
+   TaskletFusion drops a live write here *)
+let fusion_live () =
+  let g = go_fast () in
+  let sid = Graph.start_state g in
+  Graph.add_array g "z" Dtype.F64 [ sym "N" ];
+  let s2 = Graph.add_state_after g sid "reuse" in
+  let st2 = Graph.state g s2 in
+  ignore
+    (mt g st2 ~label:"reuse_t"
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("tv", mem "t" "i") ]
+       ~code:"o = tv + 1.0"
+       ~outputs:[ ("o", mem "z" "i") ]
+       ());
+  g
+
+(* interstate symbol aliasing with a later redefinition: the
+   SymbolAliasPromotion clobber site *)
+let alias_chain () =
+  let g = fresh "alias_chain" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y"; "w" ];
+  let s0 = Graph.add_state g "start" in
+  let s1 = Graph.add_state g "first" in
+  let s2 = Graph.add_state g "second" in
+  let s3 = Graph.add_state g "third" in
+  (* off := N-1; off2 := off; off := 0; use both *)
+  ignore (Graph.add_istate_edge g ~assigns:[ ("off", sym "N" -- i1) ] s0 s1);
+  ignore (Graph.add_istate_edge g ~assigns:[ ("off2", sym "off") ] s1 s2);
+  ignore (Graph.add_istate_edge g ~assigns:[ ("off", Symbolic.Expr.zero) ] s2 s3);
+  let st1 = Graph.state g s1 in
+  ignore
+    (mt g st1 ~label:"use_off" ~inputs:[ ("xv", mem "x" "off") ] ~code:"o = xv * 2.0"
+       ~outputs:[ ("o", mem "y" "off") ]
+       ());
+  let st3 = Graph.state g s3 in
+  ignore
+    (mt g st3 ~label:"use_both"
+       ~inputs:[ ("a", mem "x" "off"); ("b", mem "x" "off2") ]
+       ~code:"o = a + b"
+       ~outputs:[ ("o", mem "w" "off2") ]
+       ());
+  g
+
+(* y += (mask * A) @ x, a dense formulation of SpMV *)
+let spmv_dense () =
+  let g = fresh "spmv_dense" in
+  Graph.add_array g "A" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g "mask" Dtype.F64 [ sym "N"; sym "N" ];
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y" ];
+  let st = single_state g in
+  ignore
+    (mt g st ~label:"spmv"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+       ~inputs:[ ("m", mem "mask" "i, j"); ("a", mem "A" "i, j"); ("xv", mem "x" "j") ]
+       ~code:"o = m * a * xv"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "y" "i") ]
+       ());
+  g
+
+(* column means, centering, and the covariance contraction *)
+let covariance () =
+  let g = fresh "covariance" in
+  Graph.add_array g "data" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g "cov" Dtype.F64 [ sym "N"; sym "N" ];
+  Graph.add_array g ~transient:true "meanv" Dtype.F64 [ sym "N" ];
+  Graph.add_array g ~transient:true "cent" Dtype.F64 [ sym "N"; sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"mean"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("d", mem "data" "i, j") ]
+      ~code:"o = d / N"
+      ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "meanv" "j") ]
+      ()
+  in
+  let m2 =
+    mt g st ~label:"center"
+      ~map:[ ("i", "0:N-1"); ("j", "0:N-1") ]
+      ~inputs:[ ("d", mem "data" "i, j"); ("m", mem "meanv" "j") ]
+      ~code:"o = d - m"
+      ~outputs:[ ("o", mem "cent" "i, j") ]
+      ~input_nodes:[ ("meanv", List.assoc "meanv" m1.out_access) ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"contract"
+       ~map:[ ("i", "0:N-1"); ("j", "0:N-1"); ("k", "0:N-1") ]
+       ~inputs:[ ("a", mem "cent" "k, i"); ("b", mem "cent" "k, j") ]
+       ~code:"o = a * b / max(N - 1, 1)"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "cov" "i, j") ]
+       ~input_nodes:[ ("cent", List.assoc "cent" m2.out_access) ]
+       ());
+  g
+
+(* a vertical-advection-style chain of dependent elementwise updates *)
+let vadv_chain () =
+  let g = fresh "vadv_chain" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "wfield"; "ccol"; "dcol"; "res" ];
+  Graph.add_array g ~transient:true "gav" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"gav"
+      ~map:[ ("i", "1:N-1") ]
+      ~inputs:[ ("w", mem "wfield" "i") ]
+      ~code:"o = -0.25 * w"
+      ~outputs:[ ("o", mem "gav" "i") ]
+      ()
+  in
+  let m2 =
+    mt g st ~label:"ccol"
+      ~map:[ ("i", "1:N-1") ]
+      ~inputs:[ ("gv", mem "gav" "i") ]
+      ~code:"o = gv * 0.5"
+      ~outputs:[ ("o", mem "ccol" "i") ]
+      ~input_nodes:[ ("gav", List.assoc "gav" m1.out_access) ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"res"
+       ~map:[ ("i", "1:N-1") ]
+       ~inputs:[ ("c", mem "ccol" "i"); ("d", mem "dcol" "i") ]
+       ~code:"o = d - c"
+       ~outputs:[ ("o", mem "res" "i") ]
+       ~input_nodes:[ ("ccol", List.assoc "ccol" m2.out_access) ]
+       ());
+  g
+
+(* the Fig. 2 matrix chain R = ((A B) C) D, WCR-map formulation *)
+let matmul_chain () = Chain.build ()
+
+(* integer/bool mix: thresholding with an i32 accumulator *)
+let crc_mix () =
+  let g = fresh "crc_mix" in
+  Graph.add_array g "x" Dtype.F64 [ sym "N" ];
+  Graph.add_array g "bits" Dtype.I32 [ sym "N" ];
+  Graph.add_scalar g "count" Dtype.I64;
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"threshold"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("xv", mem "x" "i") ]
+      ~code:"o = select(xv > 0.5, 1.0, 0.0)"
+      ~outputs:[ ("o", mem "bits" "i") ]
+      ()
+  in
+  ignore
+    (mt g st ~label:"popcount"
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("b", mem "bits" "i") ]
+       ~code:"o = b"
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum "count" "") ]
+       ~input_nodes:[ ("bits", List.assoc "bits" m1.out_access) ]
+       ());
+  g
+
+(* squares into a transient, then a library reduction: the MapReduceFusion
+   pattern *)
+let l2norm () =
+  let g = fresh "l2norm" in
+  Graph.add_array g "x" Dtype.F64 [ sym "N" ];
+  Graph.add_scalar g "out" Dtype.F64;
+  Graph.add_array g ~transient:true "sq" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let m1 =
+    mt g st ~label:"square"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("xv", mem "x" "i") ]
+      ~code:"o = xv * xv"
+      ~outputs:[ ("o", mem "sq" "i") ]
+      ()
+  in
+  ignore
+    (Builder.Build.library g st ~label:"sum_sq" ~kind:(Node.Reduce (Memlet.Wcr_sum, [ 0 ]))
+       ~inputs:[ ("in", mem "sq" "0:N-1") ]
+       ~outputs:[ ("out", mem "out" "") ]
+       ~input_nodes:[ ("sq", List.assoc "sq" m1.out_access) ]
+       ());
+  g
+
+(* a whole-array copy of a read-only input: the RedundantArrayRemoval site *)
+let copy_chain () =
+  let g = fresh "copy_chain" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N" ]) [ "x"; "y" ];
+  Graph.add_array g ~transient:true "xc" Dtype.F64 [ sym "N" ];
+  let st = single_state g in
+  let _, xc_node = Builder.Build.copy g st ~src:"x" ~dst:"xc" () in
+  ignore
+    (mt g st ~label:"use_copy"
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("v", mem "xc" "i") ]
+       ~code:"o = v * 2.0"
+       ~outputs:[ ("o", mem "y" "i") ]
+       ~input_nodes:[ ("xc", xc_node) ]
+       ());
+  g
+
+(* a hand-built perfect map nest: the MapCollapse site *)
+let nested_scale () =
+  let g = fresh "nested_scale" in
+  List.iter (fun c -> Graph.add_array g c Dtype.F64 [ sym "N"; sym "N" ]) [ "x"; "y" ];
+  let st = single_state g in
+  let xin = State.add_node st (Node.Access "x") in
+  let yout = State.add_node st (Node.Access "y") in
+  let range () = Symbolic.Subset.dim Symbolic.Expr.zero (sym "N" -- i1) in
+  let outer =
+    State.add_node st
+      (Node.Map_entry
+         { label = "rows"; params = [ "i" ]; ranges = [ range () ]; schedule = Node.Sequential })
+  in
+  let oexit = State.add_node st (Node.Map_exit { entry = outer }) in
+  let inner =
+    State.add_node st
+      (Node.Map_entry
+         { label = "cols"; params = [ "j" ]; ranges = [ range () ]; schedule = Node.Sequential })
+  in
+  let iexit = State.add_node st (Node.Map_exit { entry = inner }) in
+  let t = State.add_node st (Node.tasklet "scale2" "o = v * 2.0") in
+  let full = mem "x" "0:N-1, 0:N-1" in
+  let fully = mem "y" "0:N-1, 0:N-1" in
+  ignore (State.add_edge st ~dst_conn:"IN_x" ~memlet:full xin outer);
+  ignore (State.add_edge st ~src_conn:"OUT_x" ~dst_conn:"IN_x" ~memlet:full outer inner);
+  ignore (State.add_edge st ~src_conn:"OUT_x" ~dst_conn:"v" ~memlet:(mem "x" "i, j") inner t);
+  ignore (State.add_edge st ~src_conn:"o" ~dst_conn:"IN_y" ~memlet:(mem "y" "i, j") t iexit);
+  ignore (State.add_edge st ~src_conn:"OUT_y" ~dst_conn:"IN_y" ~memlet:fully iexit oexit);
+  ignore (State.add_edge st ~src_conn:"OUT_y" ~memlet:fully oexit yout);
+  g
+
+let all () =
+  [
+    ("axpy", axpy ());
+    ("scale", scale ());
+    ("sum1d", sum1d ());
+    ("gemm", gemm ());
+    ("mm_lib", mm_lib ());
+    ("mvt", mvt ());
+    ("atax", atax ());
+    ("bicg", bicg ());
+    ("gemver", gemver ());
+    ("2mm", two_mm ());
+    ("3mm", three_mm ());
+    ("softmax", softmax ());
+    ("jacobi_1d", jacobi_1d ());
+    ("jacobi_2d", jacobi_2d ());
+    ("fdtd_2d", fdtd_2d ());
+    ("stencil5", stencil5 ());
+    ("conv2d", conv2d ());
+    ("nbody_force", nbody_force ());
+    ("go_fast", go_fast ());
+    ("fusion_live", fusion_live ());
+    ("alias_chain", alias_chain ());
+    ("spmv_dense", spmv_dense ());
+    ("covariance", covariance ());
+    ("vadv_chain", vadv_chain ());
+    ("matmul_chain", matmul_chain ());
+    ("crc_mix", crc_mix ());
+    ("l2norm", l2norm ());
+    ("copy_chain", copy_chain ());
+    ("nested_scale", nested_scale ());
+  ]

@@ -1,0 +1,44 @@
+(** NPBench-style kernel suite (Sec. 6.3).
+
+    Re-implementations of representative NPBench benchmarks against this
+    repository's IR builder. Together they cover every program feature the
+    campaign exercises: elementwise maps, write-conflict reductions, library
+    operators, transient intermediates, multi-state time loops, interstate
+    symbol arithmetic, and data-dependent selects.
+
+    Each builder returns a validated, runnable {!Sdfg.Graph.t}. [all]
+    enumerates the suite with its canonical names. *)
+
+val all : unit -> (string * Sdfg.Graph.t) list
+
+(** Individual kernels (see [all] for the full set). *)
+
+val axpy : unit -> Sdfg.Graph.t
+val scale : unit -> Sdfg.Graph.t
+val sum1d : unit -> Sdfg.Graph.t
+val gemm : unit -> Sdfg.Graph.t
+val mm_lib : unit -> Sdfg.Graph.t
+val mvt : unit -> Sdfg.Graph.t
+val atax : unit -> Sdfg.Graph.t
+val bicg : unit -> Sdfg.Graph.t
+val gemver : unit -> Sdfg.Graph.t
+val two_mm : unit -> Sdfg.Graph.t
+val three_mm : unit -> Sdfg.Graph.t
+val softmax : unit -> Sdfg.Graph.t
+val jacobi_1d : unit -> Sdfg.Graph.t
+val jacobi_2d : unit -> Sdfg.Graph.t
+val fdtd_2d : unit -> Sdfg.Graph.t
+val stencil5 : unit -> Sdfg.Graph.t
+val conv2d : unit -> Sdfg.Graph.t
+val nbody_force : unit -> Sdfg.Graph.t
+val go_fast : unit -> Sdfg.Graph.t
+val fusion_live : unit -> Sdfg.Graph.t
+val alias_chain : unit -> Sdfg.Graph.t
+val spmv_dense : unit -> Sdfg.Graph.t
+val covariance : unit -> Sdfg.Graph.t
+val vadv_chain : unit -> Sdfg.Graph.t
+val matmul_chain : unit -> Sdfg.Graph.t
+val crc_mix : unit -> Sdfg.Graph.t
+val l2norm : unit -> Sdfg.Graph.t
+val copy_chain : unit -> Sdfg.Graph.t
+val nested_scale : unit -> Sdfg.Graph.t

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Builder Dtype Graph Interp List Node Printf Sdfg State Symbolic Transforms Validate Workloads

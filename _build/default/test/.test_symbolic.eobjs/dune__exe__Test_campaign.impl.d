@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Campaign Difftest Fuzzyflow List Requirements String Transforms Workloads

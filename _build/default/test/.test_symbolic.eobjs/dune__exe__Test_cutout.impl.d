@@ -1,0 +1,1 @@
+test/test_cutout.ml: Alcotest Array Cutout Diff Frontend Fuzzyflow Graph Interp List Node Sdfg State Symbolic Transforms Validate Workloads

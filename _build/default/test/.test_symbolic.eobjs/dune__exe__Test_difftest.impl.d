@@ -1,0 +1,1 @@
+test/test_difftest.ml: Alcotest Array Constraints Cutout Difftest Filename Format Fuzzyflow Hashtbl Interp List Sampler Sdfg String Symbolic Sys Testcase Transforms Workloads

@@ -1,0 +1,1 @@
+test/test_flownet.ml: Alcotest Array Cap Flownet Format List Maxflow QCheck QCheck_alcotest

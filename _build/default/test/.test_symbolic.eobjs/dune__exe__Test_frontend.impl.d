@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Float Frontend Fuzzyflow Interp List Transforms Workloads

@@ -1,0 +1,1 @@
+test/test_fuzzer.ml: Alcotest Cutout Fuzzer Fuzzyflow List Sdfg Transforms Workloads

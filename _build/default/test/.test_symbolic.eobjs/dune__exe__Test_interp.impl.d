@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Dtype Float Graph Interp List Memlet Node Sdfg State Symbolic Workloads

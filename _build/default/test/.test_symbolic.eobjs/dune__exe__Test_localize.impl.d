@@ -1,0 +1,1 @@
+test/test_localize.ml: Alcotest Array Cutout Difftest Frontend Fuzzyflow List Localize Sdfg Transforms Workloads

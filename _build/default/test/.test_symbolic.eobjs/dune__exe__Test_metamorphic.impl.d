@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Array Float Format Frontend Fuzzyflow Graph Interp List Printf QCheck QCheck_alcotest Scanf Sdfg Serialize String Symbolic Transforms Validate

@@ -1,0 +1,1 @@
+test/test_min_cut.ml: Alcotest Array Cutout Float Flownet Fuzzyflow Interp List Min_cut Sdfg Transforms Workloads

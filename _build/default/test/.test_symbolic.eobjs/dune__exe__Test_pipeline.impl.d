@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Difftest Float Fuzzyflow Interp List Pipeline Sdfg Transforms Workloads

@@ -1,0 +1,1 @@
+test/test_sdfg.ml: Alcotest Builder Diff Dot Dtype Graph List Memlet Node Propagate Sdfg State String Symbolic Tcode Transforms Validate Workloads

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Dtype Filename Float Graph Interp List Sdfg Serialize State Symbolic Sys Transforms Validate Workloads

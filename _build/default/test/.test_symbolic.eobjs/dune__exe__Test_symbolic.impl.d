@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Cond Expr List QCheck QCheck_alcotest Subset Symbolic

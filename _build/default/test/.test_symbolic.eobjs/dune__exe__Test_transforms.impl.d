@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Array Builder Dtype Float Format Frontend Fuzzyflow Graph Interp List Node Sdfg State String Symbolic Transforms Validate Workloads

@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Difftest Fuzzyflow List Sdfg Transforms Tuning Workloads

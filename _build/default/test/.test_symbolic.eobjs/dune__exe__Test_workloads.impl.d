@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Format Graph Interp List Printf Sdfg Symbolic Validate Workloads

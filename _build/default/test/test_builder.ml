@@ -1,0 +1,71 @@
+(* Builder API: wiring validity, loop patterns, propagation of outer memlets. *)
+
+open Sdfg
+
+let se = Symbolic.Expr.sym
+
+let builder_tests =
+  [
+    Alcotest.test_case "mapped tasklet validates" `Quick (fun () ->
+        let g = Workloads.Npbench.axpy () in
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check g)));
+    Alcotest.test_case "plain tasklet (no map) validates" `Quick (fun () ->
+        let g = Workloads.Npbench.alias_chain () in
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check g)));
+    Alcotest.test_case "input_nodes reuse access nodes" `Quick (fun () ->
+        let g = Workloads.Npbench.atax () in
+        let st = Graph.state g (Graph.start_state g) in
+        (* tmp has exactly one access node reused between producer/consumer *)
+        Alcotest.(check int) "tmp nodes" 1 (List.length (State.access_nodes st "tmp")));
+    Alcotest.test_case "outer memlets are propagated" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let st = Graph.state g (Graph.start_state g) in
+        let entry =
+          List.find (fun id -> Node.is_map_entry (State.node st id)) (State.node_ids st)
+        in
+        let outer =
+          List.find
+            (fun (e : State.edge) ->
+              match e.memlet with Some m -> m.data = "x" | None -> false)
+            (State.in_edges st entry)
+        in
+        match outer.memlet with
+        | Some m ->
+            let env = Symbolic.Expr.Env.of_list [ ("N", 9) ] in
+            Alcotest.(check int) "full container" 9 (Symbolic.Subset.volume_eval env m.subset)
+        | None -> Alcotest.fail "missing outer memlet");
+    Alcotest.test_case "for_loop pattern recognized" `Quick (fun () ->
+        let g = Graph.create "l" in
+        let s0 = Graph.add_state g "s0" in
+        let guard, body, _ =
+          Builder.Build.for_loop g ~entry_from:s0 ~var:"i" ~init:Symbolic.Expr.zero
+            ~cond:(Symbolic.Cond.Lt (se "i", se "N"))
+            ~update:(Symbolic.Expr.add (se "i") Symbolic.Expr.one)
+            ~body_label:"b" ~after_label:"a"
+        in
+        match Transforms.Xform.find_loops g with
+        | [ l ] ->
+            Alcotest.(check int) "guard" guard l.guard;
+            Alcotest.(check int) "body" body l.body;
+            Alcotest.(check string) "var" "i" l.var
+        | l -> Alcotest.fail (Printf.sprintf "expected 1 loop, got %d" (List.length l)));
+    Alcotest.test_case "copy requires equal volumes at runtime" `Quick (fun () ->
+        let g = Graph.create "cp" in
+        Graph.add_array g "a" Dtype.F64 [ Symbolic.Expr.int 4 ];
+        Graph.add_array g "b" Dtype.F64 [ Symbolic.Expr.int 2 ];
+        let st = Graph.state g (Graph.add_state g "s") in
+        ignore (Builder.Build.copy g st ~src:"a" ~dst:"b" ());
+        match Interp.Exec.run g ~symbols:[] ~inputs:[ ("a", Array.make 4 1.) ] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected volume mismatch fault");
+    Alcotest.test_case "library helper wires connectors" `Quick (fun () ->
+        let g = Workloads.Npbench.mm_lib () in
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check g)));
+    Alcotest.test_case "full memlet helper covers container" `Quick (fun () ->
+        let g = Workloads.Npbench.mm_lib () in
+        let m = Builder.Build.full g "A" in
+        let env = Symbolic.Expr.Env.of_list [ ("N", 5) ] in
+        Alcotest.(check int) "vol" 25 (Symbolic.Subset.volume_eval env m.subset));
+  ]
+
+let () = Alcotest.run "builder" [ ("builder", builder_tests) ]

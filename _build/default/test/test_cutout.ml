@@ -1,0 +1,228 @@
+(* Cutout extraction: closure, input configuration, system state,
+   id preservation, multistate regions. *)
+
+open Sdfg
+open Fuzzyflow
+
+let opts = { Cutout.symbols = [ ("N", 8) ] }
+
+let chain_cutout () =
+  let g, sid, mm2 = Workloads.Chain.build_with_site () in
+  (g, sid, Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ mm2 ])
+
+let extraction_tests =
+  [
+    Alcotest.test_case "Fig. 3: mm2 cutout has inputs {C,U} and state {V}" `Quick (fun () ->
+        let _, _, cut = chain_cutout () in
+        Alcotest.(check (list string)) "inputs" [ "C"; "U" ] cut.input_config;
+        Alcotest.(check (list string)) "system state" [ "V" ] cut.system_state;
+        Alcotest.(check (list string)) "free symbols" [ "N" ] cut.free_symbols);
+    Alcotest.test_case "cutout is a valid standalone program" `Quick (fun () ->
+        let _, _, cut = chain_cutout () in
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check cut.program)));
+    Alcotest.test_case "cutout runs standalone" `Quick (fun () ->
+        let _, _, cut = chain_cutout () in
+        let n = 4 in
+        let u = Array.init (n * n) (fun i -> float_of_int (i mod 5)) in
+        let c = Array.init (n * n) (fun i -> float_of_int ((i mod 3) - 1)) in
+        match
+          Interp.Exec.run cut.program ~symbols:[ ("N", n) ] ~inputs:[ ("U", u); ("C", c) ]
+        with
+        | Ok o ->
+            let v = (Interp.Value.buffer o.memory "V").data in
+            (* reference V = U C *)
+            let expect = Array.make (n * n) 0. in
+            for i = 0 to n - 1 do
+              for j = 0 to n - 1 do
+                for k = 0 to n - 1 do
+                  expect.((i * n) + j) <-
+                    expect.((i * n) + j) +. (u.((i * n) + k) *. c.((k * n) + j))
+                done
+              done
+            done;
+            Alcotest.(check (array (float 1e-9))) "V" expect v
+        | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f));
+    Alcotest.test_case "node and state ids preserved" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let cut = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ mm2 ] in
+        Alcotest.(check bool) "state kept" true (Graph.state_opt cut.program sid <> None);
+        Alcotest.(check bool) "entry kept" true (State.has_node (Graph.state cut.program sid) mm2));
+    Alcotest.test_case "closure pulls whole scope" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let st = Graph.state g sid in
+        let cut = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ mm2 ] in
+        (match cut.kind with
+        | Cutout.Dataflow { nodes; _ } ->
+            let exit = State.exit_of st mm2 in
+            Alcotest.(check bool) "exit included" true (List.mem exit nodes);
+            List.iter
+              (fun n -> Alcotest.(check bool) "scope member" true (List.mem n nodes))
+              (State.scope_nodes st mm2)
+        | _ -> Alcotest.fail "expected dataflow cutout"));
+    Alcotest.test_case "non-transient write always in system state" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let sid = Graph.start_state g in
+        let st = Graph.state g sid in
+        let entry = List.hd (Transforms.Xform.map_entries st) in
+        let cut = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ entry ] in
+        Alcotest.(check (list string)) "y out" [ "y" ] cut.system_state;
+        Alcotest.(check (list string)) "x,a in" [ "a"; "x" ] cut.input_config);
+    Alcotest.test_case "transient unread downstream excluded from system state" `Quick
+      (fun () ->
+        let g = Workloads.Fig4.build () in
+        let sid = Graph.start_state g in
+        let st = Graph.state g sid in
+        (* cutout of the f map alone: y is read later so it IS system state *)
+        let f_entry =
+          List.find
+            (fun id ->
+              match State.node st id with
+              | Node.Map_entry { label = "f"; _ } -> true
+              | _ -> false)
+            (State.node_ids st)
+        in
+        let cut = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ f_entry ] in
+        Alcotest.(check (list string)) "y live" [ "y" ] cut.system_state;
+        (* and the h map: w is external output; tmp/y are inputs *)
+        let h_entry =
+          List.find
+            (fun id ->
+              match State.node st id with
+              | Node.Map_entry { label = "h"; _ } -> true
+              | _ -> false)
+            (State.node_ids st)
+        in
+        let cut2 = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ h_entry ] in
+        Alcotest.(check (list string)) "inputs" [ "tmp"; "y" ] cut2.input_config;
+        Alcotest.(check (list string)) "w out" [ "w" ] cut2.system_state);
+    Alcotest.test_case "wcr write makes the container an input too" `Quick (fun () ->
+        (* mvt: x1 += ... ; the WCR read-modify-write needs x1's prior value *)
+        let g = Workloads.Npbench.mvt () in
+        let sid = Graph.start_state g in
+        let st = Graph.state g sid in
+        let entry = List.hd (Transforms.Xform.map_entries st) in
+        let cut = Cutout.extract_dataflow ~options:opts g ~state:sid ~nodes:[ entry ] in
+        Alcotest.(check bool) "x1 is input" true (List.mem "x1" cut.input_config));
+    Alcotest.test_case "input volume accounting" `Quick (fun () ->
+        let _, _, cut = chain_cutout () in
+        Alcotest.(check int) "2 N^2 matrices" 128 (Cutout.input_elements cut ~symbols:[ ("N", 8) ]);
+        Alcotest.(check int) "bytes" 1024 (Cutout.input_bytes cut ~symbols:[ ("N", 8) ]));
+    Alcotest.test_case "empty change set rejected" `Quick (fun () ->
+        let g, _, _ = Workloads.Chain.build_with_site () in
+        match Cutout.extract g Diff.empty with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+  ]
+
+let multistate_tests =
+  [
+    Alcotest.test_case "loop region becomes runnable multistate cutout" `Quick (fun () ->
+        let g = Workloads.Npbench.jacobi_1d () in
+        let loop = List.hd (Transforms.Xform.find_loops g) in
+        let cs = { Diff.nodes = []; states = [ loop.guard; loop.body; loop.after ] } in
+        let cut = Cutout.extract ~options:opts g cs in
+        (match cut.kind with
+        | Cutout.Multistate { states } ->
+            Alcotest.(check bool) "guard in" true (List.mem loop.guard states)
+        | _ -> Alcotest.fail "expected multistate");
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check cut.program));
+        (* runnable: loop variable bound by the synthetic entry edge *)
+        match
+          Interp.Exec.run cut.program
+            ~symbols:[ ("N", 6); ("T", 2) ]
+            ~inputs:[ ("A", Array.make 6 1.); ("B", Array.make 6 0.) ]
+        with
+        | Ok _ -> ()
+        | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f));
+    Alcotest.test_case "entering-edge assignments replicated" `Quick (fun () ->
+        let g = Workloads.Npbench.jacobi_1d () in
+        let loop = List.hd (Transforms.Xform.find_loops g) in
+        let cs = { Diff.nodes = []; states = [ loop.guard; loop.body ] } in
+        let cut = Cutout.extract ~options:opts g cs in
+        (* the loop variable t must not be free: bound by the synthetic edge *)
+        Alcotest.(check bool) "t bound" true (not (List.mem "t" cut.free_symbols)));
+    Alcotest.test_case "alias chain region keeps interstate assignments" `Quick (fun () ->
+        let g = Workloads.Npbench.alias_chain () in
+        let cs = { Diff.nodes = []; states = Graph.state_ids g } in
+        let cut = Cutout.extract ~options:opts g cs in
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check cut.program));
+        match
+          Interp.Exec.run cut.program ~symbols:[ ("N", 8) ]
+            ~inputs:[ ("x", Array.init 8 float_of_int); ("y", Array.make 8 0.); ("w", Array.make 8 0.) ]
+        with
+        | Ok o ->
+            let w = (Interp.Value.buffer o.memory "w").data in
+            (* w[off2=7] = x[0] + x[7] *)
+            Alcotest.(check (float 1e-9)) "w[7]" 7. w.(7)
+        | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f));
+  ]
+
+
+(* appended: sub-region container minimization *)
+let shrink_tests =
+  [
+    Alcotest.test_case "constant-prefix access shrinks the container" `Quick (fun () ->
+        let g = Frontend.Lang.compile {|
+          program prefix
+          symbol N
+          input  f64 big[N]
+          output f64 y[10]
+          map i = 0 to 9 { y[i] = big[i] * 2.0 }
+        |} in
+        let sid = Sdfg.Graph.start_state g in
+        let st = Sdfg.Graph.state g sid in
+        let entry = List.hd (Transforms.Xform.map_entries st) in
+        let symbols = [ ("N", 100) ] in
+        let cut =
+          Fuzzyflow.Cutout.extract_dataflow ~options:{ Fuzzyflow.Cutout.symbols } g ~state:sid
+            ~nodes:[ entry ]
+        in
+        let cut', stats = Fuzzyflow.Cutout.shrink_containers cut ~symbols in
+        (* big[100] shrinks to big[10] *)
+        let d = Sdfg.Graph.container cut'.program "big" in
+        let env = Symbolic.Expr.Env.of_list symbols in
+        Alcotest.(check int) "big shrunk" 10
+          (Symbolic.Expr.eval env (List.hd d.shape));
+        Alcotest.(check bool) "bytes reduced" true (stats.shrunk_bytes < stats.original_bytes);
+        (* the shrunk cutout still runs and computes the same values *)
+        match
+          Interp.Exec.run cut'.program ~symbols:[ ("N", 100) ]
+            ~inputs:[ ("big", Array.init 10 float_of_int) ]
+        with
+        | Ok o ->
+            let y = (Interp.Value.buffer o.memory "y").data in
+            Alcotest.(check (float 1e-9)) "y[3]" 6. y.(3)
+        | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f));
+    Alcotest.test_case "full-range accesses do not shrink" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let symbols = [ ("N", 8) ] in
+        let cut =
+          Fuzzyflow.Cutout.extract_dataflow ~options:{ Fuzzyflow.Cutout.symbols } g ~state:sid
+            ~nodes:[ mm2 ]
+        in
+        let _, stats = Fuzzyflow.Cutout.shrink_containers cut ~symbols in
+        Alcotest.(check int) "nothing resized" 0 (List.length stats.resized));
+    Alcotest.test_case "difftest with shrinking still catches the bug" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let x = Transforms.Map_tiling.make ~tile_size:3 Transforms.Map_tiling.Off_by_one in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ mm2 ] ~descr:"t" in
+        let config =
+          {
+            Fuzzyflow.Difftest.default_config with
+            trials = 10;
+            max_size = 8;
+            shrink = true;
+            concretization = [ ("N", 8) ];
+          }
+        in
+        let r = Fuzzyflow.Difftest.test_instance ~config g x site in
+        Alcotest.(check bool) "caught" true (r.verdict <> Fuzzyflow.Difftest.Pass));
+  ]
+
+let () =
+  Alcotest.run "cutout"
+    [
+      ("extraction", extraction_tests);
+      ("multistate", multistate_tests);
+      ("shrink", shrink_tests);
+    ]

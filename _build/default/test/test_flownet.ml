@@ -1,0 +1,150 @@
+(* Max-flow / min-cut on known networks plus randomized invariants. *)
+
+open Flownet
+
+let cap = Alcotest.testable (fun fmt c -> Format.pp_print_string fmt (Cap.to_string c)) (fun a b -> Cap.compare a b = 0)
+
+let cap_tests =
+  [
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.check cap "add" (Cap.finite 5) (Cap.add (Cap.finite 2) (Cap.finite 3));
+        Alcotest.check cap "add inf" Cap.Inf (Cap.add Cap.Inf (Cap.finite 3));
+        Alcotest.check cap "sub" (Cap.finite 1) (Cap.sub (Cap.finite 3) (Cap.finite 2));
+        Alcotest.check cap "min" (Cap.finite 2) (Cap.min (Cap.finite 2) Cap.Inf);
+        Alcotest.(check bool) "cmp" true (Cap.compare (Cap.finite 5) Cap.Inf < 0));
+    Alcotest.test_case "negative rejected" `Quick (fun () ->
+        match Cap.finite (-1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "sub underflow rejected" `Quick (fun () ->
+        match Cap.sub (Cap.finite 1) (Cap.finite 2) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+  ]
+
+(* classic CLRS example: max flow 23 *)
+let clrs () =
+  let g = Maxflow.create () in
+  let s = Maxflow.add_node g in
+  let v1 = Maxflow.add_node g and v2 = Maxflow.add_node g in
+  let v3 = Maxflow.add_node g and v4 = Maxflow.add_node g in
+  let t = Maxflow.add_node g in
+  Maxflow.add_edge g s v1 (Cap.finite 16);
+  Maxflow.add_edge g s v2 (Cap.finite 13);
+  Maxflow.add_edge g v1 v3 (Cap.finite 12);
+  Maxflow.add_edge g v2 v1 (Cap.finite 4);
+  Maxflow.add_edge g v2 v4 (Cap.finite 14);
+  Maxflow.add_edge g v3 v2 (Cap.finite 9);
+  Maxflow.add_edge g v3 t (Cap.finite 20);
+  Maxflow.add_edge g v4 v3 (Cap.finite 7);
+  Maxflow.add_edge g v4 t (Cap.finite 4);
+  (g, s, t)
+
+let flow_tests =
+  [
+    Alcotest.test_case "single edge" `Quick (fun () ->
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g and t = Maxflow.add_node g in
+        Maxflow.add_edge g s t (Cap.finite 7);
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" (Cap.finite 7) r.max_flow);
+    Alcotest.test_case "disconnected = 0" `Quick (fun () ->
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g and t = Maxflow.add_node g in
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" (Cap.finite 0) r.max_flow);
+    Alcotest.test_case "CLRS network = 23" `Quick (fun () ->
+        let g, s, t = clrs () in
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" (Cap.finite 23) r.max_flow);
+    Alcotest.test_case "cut value equals flow" `Quick (fun () ->
+        let g, s, t = clrs () in
+        let r = Maxflow.max_flow g ~s ~t in
+        let cut = Maxflow.cut_edges g r in
+        let total = List.fold_left (fun acc (_, _, c) -> Cap.add acc c) Cap.zero cut in
+        Alcotest.check cap "cut = flow" r.max_flow total);
+    Alcotest.test_case "infinite path reports Inf" `Quick (fun () ->
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g and m = Maxflow.add_node g and t = Maxflow.add_node g in
+        Maxflow.add_edge g s m Cap.Inf;
+        Maxflow.add_edge g m t Cap.Inf;
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" Cap.Inf r.max_flow);
+    Alcotest.test_case "inf edge avoided when finite path cheaper to cut" `Quick (fun () ->
+        (* s -inf-> a -3-> t and s -5-> t : min cut = 8 across both paths *)
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g and a = Maxflow.add_node g and t = Maxflow.add_node g in
+        Maxflow.add_edge g s a Cap.Inf;
+        Maxflow.add_edge g a t (Cap.finite 3);
+        Maxflow.add_edge g s t (Cap.finite 5);
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" (Cap.finite 8) r.max_flow;
+        Alcotest.(check bool) "a on source side" true r.source_side.(a));
+    Alcotest.test_case "parallel edges accumulate" `Quick (fun () ->
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g and t = Maxflow.add_node g in
+        Maxflow.add_edge g s t (Cap.finite 2);
+        Maxflow.add_edge g s t (Cap.finite 3);
+        let r = Maxflow.max_flow g ~s ~t in
+        Alcotest.check cap "flow" (Cap.finite 5) r.max_flow);
+    Alcotest.test_case "bad node rejected" `Quick (fun () ->
+        let g = Maxflow.create () in
+        let s = Maxflow.add_node g in
+        match Maxflow.add_edge g s 99 (Cap.finite 1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+  ]
+
+(* random DAG property: max-flow equals min-cut and never exceeds the
+   capacity out of s *)
+let gen_graph =
+  QCheck.Gen.(
+    let* n = int_range 2 8 in
+    let* edges =
+      list_size (int_range 1 20)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 0 15))
+    in
+    return (n, edges))
+
+let arb_graph = QCheck.make gen_graph
+
+let build (n, edges) =
+  let g = Maxflow.create () in
+  let ids = Array.init n (fun _ -> Maxflow.add_node g) in
+  List.iter (fun (u, v, c) -> if u <> v then Maxflow.add_edge g ids.(u) ids.(v) (Cap.finite c)) edges;
+  (g, ids.(0), ids.(n - 1))
+
+let prop_flow_bounded =
+  QCheck.Test.make ~name:"flow bounded by source capacity" ~count:300 arb_graph (fun spec ->
+      let n, edges = spec in
+      let g, s, t = build (n, edges) in
+      let out_s =
+        List.fold_left (fun acc (u, v, c) -> if u = 0 && v <> 0 then acc + c else acc) 0 edges
+      in
+      let r = Maxflow.max_flow g ~s ~t in
+      Cap.compare r.max_flow (Cap.finite out_s) <= 0)
+
+let prop_cut_equals_flow =
+  QCheck.Test.make ~name:"min-cut capacity equals max flow" ~count:300 arb_graph (fun spec ->
+      let g, s, t = build spec in
+      let r = Maxflow.max_flow g ~s ~t in
+      let cut = Maxflow.cut_edges g r in
+      let total = List.fold_left (fun acc (_, _, c) -> Cap.add acc c) Cap.zero cut in
+      Cap.compare total r.max_flow = 0)
+
+let prop_partition_separates =
+  QCheck.Test.make ~name:"s and t end up on opposite sides (finite flow)" ~count:300 arb_graph
+    (fun spec ->
+      let g, s, t = build spec in
+      let r = Maxflow.max_flow g ~s ~t in
+      r.source_side.(s) && not r.source_side.(t))
+
+let () =
+  Alcotest.run "flownet"
+    [
+      ("cap", cap_tests);
+      ("maxflow", flow_tests);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_flow_bounded; prop_cut_equals_flow; prop_partition_separates ] );
+    ]

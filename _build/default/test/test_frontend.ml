@@ -1,0 +1,279 @@
+(* Frontend language: parsing, lowering, execution semantics, error cases. *)
+
+let farr = Alcotest.(array (float 1e-9))
+
+let compile src =
+  match Frontend.Lang.compile_checked src with
+  | Ok g -> g
+  | Error msg -> Alcotest.fail ("compile failed: " ^ msg)
+
+let run g ~symbols ~inputs =
+  match Interp.Exec.run g ~symbols ~inputs with
+  | Ok o -> o
+  | Error f -> Alcotest.fail ("run failed: " ^ Interp.Exec.fault_to_string f)
+
+let buf o name = (Interp.Value.buffer o.Interp.Exec.memory name).data
+
+let basic_tests =
+  [
+    Alcotest.test_case "scalar assignment" `Quick (fun () ->
+        let g = compile {|
+          program s
+          input  f64 x
+          output f64 y
+          y = x * 2.0 + 1.0
+        |} in
+        let o = run g ~symbols:[] ~inputs:[ ("x", [| 3. |]) ] in
+        Alcotest.check farr "y" [| 7. |] (buf o "y"));
+    Alcotest.test_case "elementwise map" `Quick (fun () ->
+        let g = compile {|
+          program axpy
+          symbol N
+          input  f64 a
+          input  f64 x[N]
+          input  f64 y[N]
+          output f64 z[N]
+          map i = 0 to N-1 {
+            z[i] = a * x[i] + y[i]
+          }
+        |} in
+        let o =
+          run g ~symbols:[ ("N", 4) ]
+            ~inputs:[ ("a", [| 2. |]); ("x", [| 1.; 2.; 3.; 4. |]); ("y", [| 10.; 10.; 10.; 10. |]) ]
+        in
+        Alcotest.check farr "z" [| 12.; 14.; 16.; 18. |] (buf o "z"));
+    Alcotest.test_case "accumulation lowers to WCR matmul" `Quick (fun () ->
+        let g = compile {|
+          program mm
+          symbol N
+          input  f64 A[N, N]
+          input  f64 B[N, N]
+          output f64 C[N, N]
+          map i = 0 to N-1, j = 0 to N-1, k = 0 to N-1 {
+            C[i, j] += A[i, k] * B[k, j]
+          }
+        |} in
+        let n = 3 in
+        let a = Array.init (n * n) (fun i -> float_of_int (i + 1)) in
+        let b = Array.init (n * n) (fun i -> float_of_int (i mod 2)) in
+        let o =
+          run g ~symbols:[ ("N", n) ]
+            ~inputs:[ ("A", a); ("B", b); ("C", Array.make (n * n) 0.) ]
+        in
+        let expect = Array.make (n * n) 0. in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              expect.((i * n) + j) <- expect.((i * n) + j) +. (a.((i * n) + k) *. b.((k * n) + j))
+            done
+          done
+        done;
+        Alcotest.check farr "C" expect (buf o "C"));
+    Alcotest.test_case "data dependencies order statements" `Quick (fun () ->
+        let g = compile {|
+          program chain
+          symbol N
+          input  f64 x[N]
+          temp   f64 t[N]
+          output f64 y[N]
+          map i = 0 to N-1 { t[i] = x[i] + 1.0 }
+          map i = 0 to N-1 { y[i] = t[i] * t[i] }
+        |} in
+        let o = run g ~symbols:[ ("N", 3) ] ~inputs:[ ("x", [| 0.; 1.; 2. |]) ] in
+        Alcotest.check farr "y" [| 1.; 4.; 9. |] (buf o "y"));
+    Alcotest.test_case "write-after-write is ordered" `Quick (fun () ->
+        let g = compile {|
+          program waw
+          symbol N
+          output f64 y[N]
+          map i = 0 to N-1 { y[i] = 1.0 }
+          map i = 0 to N-1 { y[i] = 2.0 }
+        |} in
+        let o = run g ~symbols:[ ("N", 3) ] ~inputs:[] in
+        Alcotest.check farr "y" [| 2.; 2.; 2. |] (buf o "y"));
+    Alcotest.test_case "min= and max= accumulate" `Quick (fun () ->
+        let g = compile {|
+          program extremes
+          symbol N
+          input  f64 x[N]
+          output f64 lo
+          output f64 hi
+          map i = 0 to N-1 { lo min= x[i] }
+          map i = 0 to N-1 { hi max= x[i] }
+        |} in
+        let o =
+          run g ~symbols:[ ("N", 4) ]
+            ~inputs:[ ("x", [| 3.; -7.; 5.; 1. |]); ("lo", [| 100. |]); ("hi", [| -100. |]) ]
+        in
+        Alcotest.check farr "lo" [| -7. |] (buf o "lo");
+        Alcotest.check farr "hi" [| 5. |] (buf o "hi"));
+    Alcotest.test_case "select and functions" `Quick (fun () ->
+        let g = compile {|
+          program reluish
+          symbol N
+          input  f64 x[N]
+          output f64 y[N]
+          map i = 0 to N-1 {
+            y[i] = select(x[i] > 0.0, sqrt(x[i]), 0.0 - tanh(abs(x[i])))
+          }
+        |} in
+        let o = run g ~symbols:[ ("N", 2) ] ~inputs:[ ("x", [| 4.; -1. |]) ] in
+        Alcotest.check farr "y" [| 2.; -.Float.tanh 1. |] (buf o "y"));
+  ]
+
+let loop_tests =
+  [
+    Alcotest.test_case "for loop matches hand-built jacobi" `Quick (fun () ->
+        let g = compile {|
+          program jacobi1d
+          symbol N, T
+          inout  f64 A[N]
+          inout  f64 B[N]
+          for t = 0 to T-1 {
+            map i = 1 to N-2 { B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]) }
+            map i = 1 to N-2 { A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]) }
+          }
+        |} in
+        let reference = Workloads.Npbench.jacobi_1d () in
+        let n = 8 in
+        let a0 = Array.init n (fun i -> float_of_int (i * i)) in
+        let inputs () = [ ("A", Array.copy a0); ("B", Array.make n 0.) ] in
+        let o1 = run g ~symbols:[ ("N", n); ("T", 3) ] ~inputs:(inputs ()) in
+        let o2 = run reference ~symbols:[ ("N", n); ("T", 3) ] ~inputs:(inputs ()) in
+        Alcotest.check farr "same A" (buf o2 "A") (buf o1 "A"));
+    Alcotest.test_case "downto loop runs backwards" `Quick (fun () ->
+        let g = compile {|
+          program down
+          input  f64 x[6]
+          output f64 y[6]
+          for i = 4 downto 1 {
+            map c = 0 to 0 { y[i] = x[i] + i }
+          }
+        |} in
+        let o = run g ~symbols:[] ~inputs:[ ("x", Array.make 6 0.) ] in
+        Alcotest.check farr "y" [| 0.; 1.; 2.; 3.; 4.; 0. |] (buf o "y"));
+    Alcotest.test_case "loop pattern is recognized by find_loops" `Quick (fun () ->
+        let g = compile {|
+          program l
+          symbol N, T
+          inout f64 A[N]
+          for t = 0 to T-1 {
+            map i = 0 to N-1 { A[i] = A[i] * 0.5 }
+          }
+        |} in
+        Alcotest.(check int) "one loop" 1 (List.length (Transforms.Xform.find_loops g)));
+    Alcotest.test_case "nested for loops" `Quick (fun () ->
+        let g = compile {|
+          program nest
+          output f64 count
+          for i = 0 to 2 {
+            for j = 0 to 3 {
+              count += 1.0
+            }
+          }
+        |} in
+        let o = run g ~symbols:[] ~inputs:[ ("count", [| 0. |]) ] in
+        Alcotest.check farr "count" [| 12. |] (buf o "count"));
+    Alcotest.test_case "step loops" `Quick (fun () ->
+        let g = compile {|
+          program strided
+          output f64 acc
+          for i = 0 to 9 step 3 {
+            acc += 1.0
+          }
+        |} in
+        let o = run g ~symbols:[] ~inputs:[ ("acc", [| 0. |]) ] in
+        Alcotest.check farr "4 iterations" [| 4. |] (buf o "acc"));
+  ]
+
+let error_tests =
+  let expect_error name src =
+    Alcotest.test_case name `Quick (fun () ->
+        match Frontend.Lang.compile_checked src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected a compile error")
+  in
+  [
+    expect_error "undeclared container" {|
+      program bad
+      symbol N
+      map i = 0 to N-1 { y[i] = 1.0 }
+    |};
+    expect_error "array used without indices" {|
+      program bad
+      symbol N
+      input f64 x[N]
+      output f64 y
+      y = x + 1.0
+    |};
+    expect_error "missing brace" {|
+      program bad
+      symbol N
+      output f64 y[N]
+      map i = 0 to N-1 { y[i] = 1.0
+    |};
+    expect_error "bad operator" {|
+      program bad
+      output f64 y
+      y == 1.0
+    |};
+    expect_error "unknown function" {|
+      program bad
+      output f64 y
+      y = gamma(1.0)
+    |};
+    expect_error "float index" {|
+      program bad
+      symbol N
+      output f64 y[N]
+      map i = 0 to N-1 { y[i + 0.5] = 1.0 }
+    |};
+    expect_error "non-constant step" {|
+      program bad
+      symbol N, S
+      output f64 y
+      for i = 0 to N step S { y = 1.0 }
+    |};
+  ]
+
+(* every frontend program is compatible with the full FuzzyFlow pipeline *)
+let pipeline_tests =
+  [
+    Alcotest.test_case "frontend program through difftest" `Quick (fun () ->
+        let g = compile {|
+          program fe_scale
+          symbol N
+          input  f64 a
+          input  f64 x[N]
+          output f64 y[N]
+          map i = 0 to N-1 { y[i] = a * x[i] }
+        |} in
+        let x = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible in
+        let site = List.hd (x.find g) in
+        let config =
+          { Fuzzyflow.Difftest.default_config with trials = 20; max_size = 9; concretization = [ ("N", 8) ] }
+        in
+        let r = Fuzzyflow.Difftest.test_instance ~config g x site in
+        match r.verdict with
+        | Fuzzyflow.Difftest.Fail _ -> ()
+        | Fuzzyflow.Difftest.Pass -> Alcotest.fail "size bug should be caught");
+    Alcotest.test_case "parallel maps are GPU-extraction candidates" `Quick (fun () ->
+        let g = compile {|
+          program fe_kernel
+          symbol N
+          input  f64 x[N]
+          output f64 y[N]
+          parallel map i = 0 to N-2 { y[i] = x[i] * 2.0 }
+        |} in
+        let x = Transforms.Gpu_kernel_extraction.make Transforms.Gpu_kernel_extraction.Full_copy_back in
+        Alcotest.(check int) "one site" 1 (List.length (x.find g)));
+  ]
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ("basics", basic_tests);
+      ("loops", loop_tests);
+      ("errors", error_tests);
+      ("pipeline", pipeline_tests);
+    ]

@@ -1,0 +1,77 @@
+(* Fuzzing strategies: all modes find the vectorization size bug, coverage
+   grows over trials, runs are seed-deterministic. *)
+
+open Fuzzyflow
+
+let vec_setup () =
+  let g = Workloads.Npbench.scale () in
+  let x = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible in
+  let site = List.hd (x.find g) in
+  let g' = Sdfg.Graph.copy g in
+  let cs = x.apply g' site in
+  let cut = Cutout.extract ~options:{ Cutout.symbols = [ ("N", 8) ] } g cs in
+  let transformed = Sdfg.Graph.copy cut.program in
+  ignore (x.apply transformed site);
+  (g, cut, transformed)
+
+let config = { Fuzzer.default_config with max_trials = 120 }
+
+let fuzzer_tests =
+  [
+    Alcotest.test_case "gray-box finds the size bug quickly" `Quick (fun () ->
+        let g, cut, transformed = vec_setup () in
+        let r = Fuzzer.run ~config Fuzzer.Graybox ~original:g ~cutout:cut ~transformed in
+        match r.trials_to_failure with
+        | Some t -> Alcotest.(check bool) "fast" true (t <= 10)
+        | None -> Alcotest.fail "bug not found");
+    Alcotest.test_case "uniform eventually finds it too" `Quick (fun () ->
+        let g, cut, transformed = vec_setup () in
+        let r = Fuzzer.run ~config Fuzzer.Uniform ~original:g ~cutout:cut ~transformed in
+        Alcotest.(check bool) "found" true (r.trials_to_failure <> None));
+    Alcotest.test_case "coverage mode accumulates coverage" `Quick (fun () ->
+        let g, cut, transformed = vec_setup () in
+        let r = Fuzzer.run ~config Fuzzer.Coverage ~original:g ~cutout:cut ~transformed in
+        Alcotest.(check bool) "coverage nonzero" true (r.distinct_coverage > 0));
+    Alcotest.test_case "no false positive on the correct variant" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let x = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Correct in
+        let site = List.hd (x.find g) in
+        let g' = Sdfg.Graph.copy g in
+        let cs = x.apply g' site in
+        let cut = Cutout.extract ~options:{ Cutout.symbols = [ ("N", 8) ] } g cs in
+        let transformed = Sdfg.Graph.copy cut.program in
+        ignore (x.apply transformed site);
+        let r =
+          Fuzzer.run ~config:{ config with max_trials = 40 } Fuzzer.Graybox ~original:g
+            ~cutout:cut ~transformed
+        in
+        Alcotest.(check bool) "no failure" true (r.trials_to_failure = None);
+        Alcotest.(check int) "all trials run" 40 r.trials_run);
+    Alcotest.test_case "seed determinism" `Quick (fun () ->
+        let g, cut, transformed = vec_setup () in
+        let run seed =
+          (Fuzzer.run ~config:{ config with seed } Fuzzer.Graybox ~original:g ~cutout:cut
+             ~transformed).trials_to_failure
+        in
+        Alcotest.(check bool) "same seed same result" true (run 11 = run 11));
+    Alcotest.test_case "coverage-guided explores rare select branches" `Quick (fun () ->
+        (* nbody_force has an i != j select; coverage should include both
+           branch outcomes after a few trials *)
+        let g = Workloads.Npbench.nbody_force () in
+        let sid = Sdfg.Graph.start_state g in
+        let st = Sdfg.Graph.state g sid in
+        let entry = List.hd (Transforms.Xform.map_entries st) in
+        let cut =
+          Cutout.extract_dataflow ~options:{ Cutout.symbols = [ ("N", 6) ] } g ~state:sid
+            ~nodes:[ entry ]
+        in
+        let transformed = Sdfg.Graph.copy cut.program in
+        let r =
+          Fuzzer.run
+            ~config:{ config with max_trials = 6 }
+            Fuzzer.Coverage ~original:g ~cutout:cut ~transformed
+        in
+        Alcotest.(check bool) "covers selects" true (r.distinct_coverage >= 2));
+  ]
+
+let () = Alcotest.run "fuzzer" [ ("fuzzer", fuzzer_tests) ]

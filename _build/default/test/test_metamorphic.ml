@@ -1,0 +1,222 @@
+(* Metamorphic property tests: random programs are generated in the frontend
+   language; every *correct* transformation must preserve their semantics at
+   every site, every cutout extracted from them must be a valid runnable
+   program, and serialization must round-trip them. This is the library
+   eating its own dog food: FuzzyFlow's premise is that correct
+   transformations leave the system state untouched. *)
+
+open Sdfg
+
+(* ---------------- random program generation ---------------- *)
+
+let arrays = [| "a0"; "a1"; "a2"; "a3" |]
+
+(* One random map statement writing a random array from 1-3 reads. *)
+let gen_stmt =
+  QCheck.Gen.(
+    let* dst = int_range 0 (Array.length arrays - 1) in
+    let* acc = frequency [ (3, return ""); (1, return "+"); (1, return "max") ] in
+    let* nreads = int_range 1 3 in
+    let* reads =
+      list_repeat nreads
+        (oneof
+           [
+             map (fun i -> Printf.sprintf "%s[i]" arrays.(i)) (int_range 0 (Array.length arrays - 1));
+             return "s0";
+             map (fun c -> Printf.sprintf "%.1f" (float_of_int c /. 2.)) (int_range (-4) 8);
+           ])
+    in
+    let* op = oneofl [ "+"; "*" ] in
+    let* wrap = oneofl [ "%s"; "tanh(%s)"; "min(%s, 8.0)"; "abs(%s)" ] in
+    let rhs = Printf.sprintf (Scanf.format_from_string wrap "%s") (String.concat (" " ^ op ^ " ") reads) in
+    return (Printf.sprintf "  map i = 0 to N-1 { %s[i] %s= %s }" arrays.(dst) acc rhs))
+
+let gen_program =
+  QCheck.Gen.(
+    let* nstmts = int_range 2 6 in
+    let* stmts = list_repeat nstmts gen_stmt in
+    let* temp_mask = int_range 0 3 in
+    let decls =
+      Array.to_list
+        (Array.mapi
+           (fun i a ->
+             let kind = if i = temp_mask then "temp  " else "inout " in
+             Printf.sprintf "%s f64 %s[N]" kind a)
+           arrays)
+    in
+    return
+      (String.concat "\n"
+         (("program rnd" :: "symbol N" :: "input f64 s0" :: decls) @ stmts)))
+
+let arb_program =
+  QCheck.make ~print:(fun s -> s) gen_program
+
+let compile_ok src =
+  match Frontend.Lang.compile_checked src with
+  | Ok g -> g
+  | Error msg -> QCheck.Test.fail_reportf "generated program does not compile: %s\n%s" msg src
+
+let deterministic_inputs g ~symbols =
+  let env = Symbolic.Expr.Env.of_list symbols in
+  List.filter_map
+    (fun (c, (d : Graph.datadesc)) ->
+      if d.transient then None
+      else
+        let n = List.fold_left (fun v e -> v * max 1 (Symbolic.Expr.eval env e)) 1 d.shape in
+        Some (c, Array.init n (fun i -> (0.125 *. float_of_int ((i * 7 mod 19) - 9)) +. 0.25)))
+    (Graph.containers g)
+
+let run g ~symbols ~inputs = Interp.Exec.run g ~symbols ~inputs
+
+let outputs_equal g o1 o2 =
+  List.for_all
+    (fun c ->
+      let b1 = (Interp.Value.buffer o1.Interp.Exec.memory c).data in
+      let b2 = (Interp.Value.buffer o2.Interp.Exec.memory c).data in
+      Array.for_all2 (fun a b -> a = b || Float.abs (a -. b) < 1e-9) b1 b2)
+    (Graph.external_containers g)
+
+let take n l =
+  let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
+  go 0 l
+
+(* ---------------- properties ---------------- *)
+
+let symbols = [ ("N", 7) ]
+
+let prop_programs_run =
+  QCheck.Test.make ~name:"generated programs compile, validate and run" ~count:60 arb_program
+    (fun src ->
+      let g = compile_ok src in
+      match run g ~symbols ~inputs:(deterministic_inputs g ~symbols) with
+      | Ok _ -> true
+      | Error f -> QCheck.Test.fail_reportf "run failed: %s\n%s" (Interp.Exec.fault_to_string f) src)
+
+let prop_correct_transformations_preserve =
+  QCheck.Test.make ~name:"every correct transformation preserves random programs" ~count:40
+    arb_program (fun src ->
+      let g = compile_ok src in
+      let inputs = deterministic_inputs g ~symbols in
+      let reference =
+        match run g ~symbols ~inputs with
+        | Ok o -> o
+        | Error f -> QCheck.Test.fail_reportf "base run failed: %s" (Interp.Exec.fault_to_string f)
+      in
+      List.for_all
+        (fun (x : Transforms.Xform.t) ->
+          List.for_all
+            (fun site ->
+              let g' = Graph.copy g in
+              match x.apply g' site with
+              | exception Transforms.Xform.Cannot_apply _ -> true
+              | _ -> (
+                  match Validate.check g' with
+                  | _ :: _ ->
+                      QCheck.Test.fail_reportf "%s produced an invalid graph on\n%s" x.name src
+                  | [] -> (
+                      match run g' ~symbols ~inputs with
+                      | Error f ->
+                          QCheck.Test.fail_reportf "%s broke execution (%s) on\n%s" x.name
+                            (Interp.Exec.fault_to_string f) src
+                      | Ok o ->
+                          outputs_equal g reference o
+                          || QCheck.Test.fail_reportf "%s changed semantics on\n%s" x.name src)))
+            (take 3 (x.find g)))
+        (Transforms.Registry.all_correct ()))
+
+let prop_cutouts_runnable =
+  QCheck.Test.make ~name:"cutouts of random programs are valid and runnable" ~count:40
+    arb_program (fun src ->
+      let g = compile_ok src in
+      let sid = Graph.start_state g in
+      let st = Graph.state g sid in
+      let entries = Transforms.Xform.map_entries st in
+      QCheck.assume (entries <> []);
+      List.for_all
+        (fun entry ->
+          let cut =
+            Fuzzyflow.Cutout.extract_dataflow ~options:{ Fuzzyflow.Cutout.symbols } g ~state:sid
+              ~nodes:[ entry ]
+          in
+          (match Validate.check cut.program with
+          | [] -> ()
+          | e :: _ ->
+              ignore
+                (QCheck.Test.fail_reportf "invalid cutout (%s) from\n%s"
+                   (Format.asprintf "%a" Validate.pp_error e)
+                   src));
+          let env = Symbolic.Expr.Env.of_list symbols in
+          let inputs =
+            List.map
+              (fun c ->
+                let d = Graph.container cut.program c in
+                let n = List.fold_left (fun v e -> v * max 1 (Symbolic.Expr.eval env e)) 1 d.shape in
+                (c, Array.init n (fun i -> float_of_int (i mod 5))))
+              cut.input_config
+          in
+          match run cut.program ~symbols ~inputs with
+          | Ok _ -> true
+          | Error f ->
+              QCheck.Test.fail_reportf "cutout failed to run (%s) from\n%s"
+                (Interp.Exec.fault_to_string f) src)
+        (take 3 entries))
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialization round-trips random programs" ~count:60 arb_program
+    (fun src ->
+      let g = compile_ok src in
+      let g' = Serialize.of_string (Serialize.to_string g) in
+      let inputs = deterministic_inputs g ~symbols in
+      match (run g ~symbols ~inputs, run g' ~symbols ~inputs) with
+      | Ok o1, Ok o2 -> outputs_equal g o1 o2
+      | _ -> false)
+
+let prop_minimized_cutouts_agree =
+  QCheck.Test.make ~name:"min-cut-grown cutouts compute the same system state" ~count:25
+    arb_program (fun src ->
+      let g = compile_ok src in
+      let sid = Graph.start_state g in
+      let st = Graph.state g sid in
+      let entries = Transforms.Xform.map_entries st in
+      QCheck.assume (List.length entries >= 2);
+      (* the last map usually depends on earlier ones: a min-cut candidate *)
+      let entry = List.nth entries (List.length entries - 1) in
+      let cut =
+        Fuzzyflow.Cutout.extract_dataflow ~options:{ Fuzzyflow.Cutout.symbols } g ~state:sid
+          ~nodes:[ entry ]
+      in
+      let cut', _ = Fuzzyflow.Min_cut.minimize g cut ~symbols in
+      (* both cutouts, run inside the full program's context, must produce
+         identical values for the original cutout's system state; here we
+         check the minimized one is at least valid and runnable *)
+      (match Validate.check cut'.program with
+      | [] -> ()
+      | e :: _ ->
+          ignore
+            (QCheck.Test.fail_reportf "invalid minimized cutout (%s) from\n%s"
+               (Format.asprintf "%a" Validate.pp_error e)
+               src));
+      let env = Symbolic.Expr.Env.of_list symbols in
+      let inputs =
+        List.map
+          (fun c ->
+            let d = Graph.container cut'.program c in
+            let n = List.fold_left (fun v e -> v * max 1 (Symbolic.Expr.eval env e)) 1 d.shape in
+            (c, Array.init n (fun i -> float_of_int (i mod 3))))
+          cut'.input_config
+      in
+      match run cut'.program ~symbols ~inputs with Ok _ -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_programs_run;
+            prop_correct_transformations_preserve;
+            prop_cutouts_runnable;
+            prop_serialize_roundtrip;
+            prop_minimized_cutouts_agree;
+          ] );
+    ]

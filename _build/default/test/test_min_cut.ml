@@ -1,0 +1,85 @@
+(* Minimum input-flow cut: the Fig. 4 halving, the BERT 75 % reduction, and
+   no-improvement cases. *)
+
+open Fuzzyflow
+
+let min_cut_tests =
+  [
+    Alcotest.test_case "Fig. 4: input space halves, inputs become {x}" `Quick (fun () ->
+        let g, sid, seed = Workloads.Fig4.build_with_seed () in
+        let symbols = [ ("N", 16) ] in
+        let cut = Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:seed in
+        Alcotest.(check (list string)) "before" [ "y"; "z" ] cut.input_config;
+        let cut', stats = Min_cut.minimize g cut ~symbols in
+        Alcotest.(check (list string)) "after" [ "x" ] cut'.input_config;
+        Alcotest.(check int) "halved" (stats.original_elements / 2) stats.minimized_elements);
+    Alcotest.test_case "BERT: 75% input reduction with P = SM/8" `Quick (fun () ->
+        let g, sid, scaling = Workloads.Bert.build_with_site () in
+        let symbols = Workloads.Bert.default_symbols in
+        let cut =
+          Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:[ scaling ]
+        in
+        Alcotest.(check (list string)) "before" [ "scale"; "tmp" ] cut.input_config;
+        let cut', stats = Min_cut.minimize g cut ~symbols in
+        Alcotest.(check (list string)) "after" [ "Aq"; "Bk"; "scale" ] cut'.input_config;
+        let reduction =
+          1. -. (float_of_int stats.minimized_elements /. float_of_int stats.original_elements)
+        in
+        Alcotest.(check bool) "about 75%" true (Float.abs (reduction -. 0.75) < 0.01));
+    Alcotest.test_case "minimized cutout still behaves like the original region" `Quick
+      (fun () ->
+        let g, sid, seed = Workloads.Fig4.build_with_seed () in
+        let symbols = [ ("N", 8) ] in
+        let cut = Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:seed in
+        let cut', _ = Min_cut.minimize g cut ~symbols in
+        let x = Array.init 8 (fun i -> 0.2 *. float_of_int (i - 4)) in
+        match Interp.Exec.run cut'.program ~symbols ~inputs:[ ("x", x) ] with
+        | Ok o ->
+            let w = (Interp.Value.buffer o.memory "w").data in
+            Array.iteri
+              (fun i xi ->
+                let y = Float.tanh xi in
+                let z = (y *. y) +. 1. in
+                let expect = Float.sqrt (Float.abs (z *. 2.)) +. y in
+                Alcotest.(check (float 1e-9)) "w" expect w.(i))
+              x
+        | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f));
+    Alcotest.test_case "no improvement keeps the cutout" `Quick (fun () ->
+        (* the chain's mm2 cutout: upstream needs A,B (2N^2) = current (2N^2);
+           the cut keeps the original *)
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let symbols = [ ("N", 8) ] in
+        let cut = Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:[ mm2 ] in
+        let cut', stats = Min_cut.minimize g cut ~symbols in
+        Alcotest.(check (list string)) "unchanged" cut.input_config cut'.input_config;
+        Alcotest.(check int) "same size" stats.original_elements stats.minimized_elements);
+    Alcotest.test_case "multistate cutouts pass through" `Quick (fun () ->
+        let g = Workloads.Npbench.jacobi_1d () in
+        let loop = List.hd (Transforms.Xform.find_loops g) in
+        let cs = { Sdfg.Diff.nodes = []; states = [ loop.guard; loop.body ] } in
+        let cut = Cutout.extract g cs in
+        let cut', stats = Min_cut.minimize g cut ~symbols:[ ("N", 8); ("T", 2) ] in
+        Alcotest.(check (list string)) "unchanged" cut.input_config cut'.input_config;
+        Alcotest.(check int) "no extension" 0 (List.length stats.extension));
+    Alcotest.test_case "loop-carried accumulations block the reduction" `Quick (fun () ->
+        (* inside the layer loop the attention scores accumulate across
+           iterations: the previous iteration's tmp legitimately flows into
+           the next, so the min-cut must NOT drop tmp from the inputs *)
+        let g, sid, scaling = Workloads.Bert.build_with_site ~layers:4 () in
+        let symbols = Workloads.Bert.default_symbols in
+        let cut =
+          Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:[ scaling ]
+        in
+        let cut', _ = Min_cut.minimize g cut ~symbols in
+        Alcotest.(check bool) "tmp stays an input" true (List.mem "tmp" cut'.input_config));
+    Alcotest.test_case "cut value matches minimized input size" `Quick (fun () ->
+        let g, sid, seed = Workloads.Fig4.build_with_seed () in
+        let symbols = [ ("N", 16) ] in
+        let cut = Cutout.extract_dataflow ~options:{ Cutout.symbols } g ~state:sid ~nodes:seed in
+        let _, stats = Min_cut.minimize g cut ~symbols in
+        match stats.cut_value with
+        | Flownet.Cap.Finite v -> Alcotest.(check int) "flow = inputs" stats.minimized_elements v
+        | Flownet.Cap.Inf -> Alcotest.fail "unexpected infinite cut");
+  ]
+
+let () = Alcotest.run "min_cut" [ ("min_cut", min_cut_tests) ]

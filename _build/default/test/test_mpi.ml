@@ -1,0 +1,41 @@
+(* Simulated collectives. *)
+
+let farr = Alcotest.(array (float 1e-12))
+
+let mpi_tests =
+  [
+    Alcotest.test_case "bcast copies root to all" `Quick (fun () ->
+        let c = Mpi_sim.Mpi.create 3 in
+        let bufs = [| [| 1.; 2. |]; [| 0.; 0. |]; [| 0.; 0. |] |] in
+        Mpi_sim.Mpi.bcast c ~root:0 bufs;
+        Array.iter (fun b -> Alcotest.check farr "same" [| 1.; 2. |] b) bufs);
+    Alcotest.test_case "allreduce sums elementwise" `Quick (fun () ->
+        let c = Mpi_sim.Mpi.create 3 in
+        let bufs = [| [| 1.; 0. |]; [| 2.; 1. |]; [| 3.; 2. |] |] in
+        Mpi_sim.Mpi.allreduce_sum c bufs;
+        Array.iter (fun b -> Alcotest.check farr "sum" [| 6.; 3. |] b) bufs);
+    Alcotest.test_case "scatter then gather round-trips" `Quick (fun () ->
+        let c = Mpi_sim.Mpi.create 2 in
+        let src = [| 1.; 2.; 3.; 4. |] in
+        let bufs = [| Array.make 2 0.; Array.make 2 0. |] in
+        Mpi_sim.Mpi.scatter c ~root:0 ~src bufs;
+        Alcotest.check farr "rank1 chunk" [| 3.; 4. |] bufs.(1);
+        let dst = Array.make 4 0. in
+        Mpi_sim.Mpi.gather c ~root:0 bufs ~dst;
+        Alcotest.check farr "roundtrip" src dst);
+    Alcotest.test_case "size mismatch rejected" `Quick (fun () ->
+        let c = Mpi_sim.Mpi.create 2 in
+        match Mpi_sim.Mpi.allreduce_sum c [| [| 1. |]; [| 1.; 2. |] |] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    Alcotest.test_case "zero ranks rejected" `Quick (fun () ->
+        match Mpi_sim.Mpi.create 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected invalid_arg");
+    Alcotest.test_case "message cost accounting" `Quick (fun () ->
+        let c = Mpi_sim.Mpi.create 4 in
+        Alcotest.(check int) "bcast" 3 (Mpi_sim.Mpi.bcast_messages c);
+        Alcotest.(check int) "allreduce" 6 (Mpi_sim.Mpi.allreduce_messages c));
+  ]
+
+let () = Alcotest.run "mpi_sim" [ ("collectives", mpi_tests) ]

@@ -1,0 +1,62 @@
+(* Guarded optimization: buggy instances are rejected, the optimized program
+   stays semantically identical, and passing instances actually land. *)
+
+open Fuzzyflow
+
+let config =
+  { Difftest.default_config with trials = 8; max_size = 8; concretization = [ ("N", 8) ] }
+
+let externals_equal g o1 o2 =
+  List.for_all
+    (fun c ->
+      let b1 = (Interp.Value.buffer o1.Interp.Exec.memory c).data in
+      let b2 = (Interp.Value.buffer o2.Interp.Exec.memory c).data in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) b1 b2)
+    (Sdfg.Graph.external_containers g)
+
+let run_ok g ~symbols ~inputs =
+  match Interp.Exec.run g ~symbols ~inputs with
+  | Ok o -> o
+  | Error f -> Alcotest.fail (Interp.Exec.fault_to_string f)
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "correct tiling applied, buggy vectorization rejected" `Quick (fun () ->
+        let g = Workloads.Npbench.stencil5 () in
+        let xforms =
+          [
+            Transforms.Map_tiling.make ~tile_size:4 Transforms.Map_tiling.Correct;
+            Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible;
+          ]
+        in
+        let optimized, log = Pipeline.optimize ~config g xforms in
+        Alcotest.(check bool) "something applied" true (log.applied >= 1);
+        Alcotest.(check bool) "something rejected" true (log.rejected >= 1);
+        (* the gated result is semantically identical to the original *)
+        let n = 8 in
+        let inputs =
+          [ ("inp", Array.init (n * n) (fun i -> Float.sin (float_of_int i))); ("out", Array.make (n * n) 0.) ]
+        in
+        let o1 = run_ok g ~symbols:[ ("N", n) ] ~inputs in
+        let o2 = run_ok optimized ~symbols:[ ("N", n) ] ~inputs in
+        Alcotest.(check bool) "same results" true (externals_equal g o1 o2);
+        Alcotest.(check int) "still valid" 0 (List.length (Sdfg.Validate.check optimized)));
+    Alcotest.test_case "original program is never mutated" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let before = Sdfg.Serialize.to_string g in
+        let _ =
+          Pipeline.optimize ~config g [ Transforms.Map_tiling.make Transforms.Map_tiling.Correct ]
+        in
+        Alcotest.(check string) "unchanged" before (Sdfg.Serialize.to_string g));
+    Alcotest.test_case "log accounts for every step" `Quick (fun () ->
+        let g = Workloads.Npbench.atax () in
+        let _, log =
+          Pipeline.optimize ~config g
+            [ Transforms.Buffer_tiling.make ~tile:4 Transforms.Buffer_tiling.Wrong_scheduling ]
+        in
+        Alcotest.(check int) "steps" (log.applied + log.rejected + log.stale)
+          (List.length log.steps);
+        Alcotest.(check bool) "buggy rejected" true (log.rejected >= 1));
+  ]
+
+let () = Alcotest.run "pipeline" [ ("pipeline", pipeline_tests) ]

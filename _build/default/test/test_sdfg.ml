@@ -1,0 +1,379 @@
+(* Tests for the SDFG IR: tasklet code, memlets, state graphs, scopes,
+   validation, structural diff and memlet propagation. *)
+
+open Sdfg
+
+let se = Symbolic.Expr.sym
+let ienv = Symbolic.Expr.Env.of_list [ ("N", 8) ]
+
+(* ---------------- tasklet code ---------------- *)
+
+let tcode_tests =
+  [
+    Alcotest.test_case "parse refs and outputs" `Quick (fun () ->
+        let c = Tcode.of_string "out = a * b + 1.5; aux = select(a < b, a, b)" in
+        Alcotest.(check (list string)) "refs" [ "a"; "b" ] (Tcode.refs c);
+        Alcotest.(check (list string)) "outs" [ "out"; "aux" ] (Tcode.outputs c);
+        Alcotest.(check int) "selects" 1 (Tcode.num_selects c));
+    Alcotest.test_case "parse functions" `Quick (fun () ->
+        let c = Tcode.of_string "o = sqrt(abs(x)) + exp(y) - min(x, y) + x ** 2.0" in
+        Alcotest.(check (list string)) "refs" [ "x"; "y" ] (Tcode.refs c));
+    Alcotest.test_case "parse comparison in select" `Quick (fun () ->
+        let c = Tcode.of_string "o = select(x >= 0.0, x, -x)" in
+        Alcotest.(check int) "selects" 1 (Tcode.num_selects c));
+    Alcotest.test_case "rename ref" `Quick (fun () ->
+        let c = Tcode.rename_ref ~from:"a" ~into:"z" (Tcode.of_string "o = a + a * b") in
+        Alcotest.(check (list string)) "refs" [ "b"; "z" ] (Tcode.refs c));
+    Alcotest.test_case "rename output" `Quick (fun () ->
+        let c = Tcode.rename_output ~from:"o" ~into:"w" (Tcode.of_string "o = a") in
+        Alcotest.(check (list string)) "outs" [ "w" ] (Tcode.outputs c));
+    Alcotest.test_case "subst const" `Quick (fun () ->
+        let c = Tcode.subst_const "i" 3. (Tcode.of_string "o = i * x") in
+        Alcotest.(check (list string)) "refs" [ "x" ] (Tcode.refs c));
+    Alcotest.test_case "inline composes" `Quick (fun () ->
+        let producer = Tcode.of_string "t = x * 2.0" in
+        let consumer = Tcode.of_string "o = t + 1.0" in
+        let c = Tcode.inline ~producer ~out:"t" ~consumer ~conn:"t" in
+        Alcotest.(check (list string)) "only x free" [ "x" ]
+          (List.filter (fun r -> not (List.mem r (Tcode.outputs c))) (Tcode.refs c));
+        Alcotest.(check int) "two assignments" 2 (List.length (Tcode.outputs c)));
+    Alcotest.test_case "print/parse roundtrip" `Quick (fun () ->
+        let c = Tcode.of_string "o = (a + b) * max(a, 2.0); p = select(a != b, a, b)" in
+        let c' = Tcode.of_string (Tcode.to_string c) in
+        Alcotest.(check (list string)) "refs stable" (Tcode.refs c) (Tcode.refs c'));
+    Alcotest.test_case "bad code raises" `Quick (fun () ->
+        match Tcode.of_string "o = frobnicate(x)" with
+        | exception Symbolic.Expr.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected parse error");
+  ]
+
+(* ---------------- memlets ---------------- *)
+
+let memlet_tests =
+  [
+    Alcotest.test_case "volume" `Quick (fun () ->
+        let m = Memlet.simple "A" "0:N-1, 3" in
+        Alcotest.(check int) "vol" 8 (Symbolic.Expr.eval ienv (Memlet.volume m)));
+    Alcotest.test_case "wcr ops" `Quick (fun () ->
+        Alcotest.(check (float 0.)) "sum id" 0. (Memlet.wcr_identity Memlet.Wcr_sum);
+        Alcotest.(check (float 0.)) "mul id" 1. (Memlet.wcr_identity Memlet.Wcr_mul);
+        Alcotest.(check (float 0.)) "apply sum" 5. (Memlet.apply_wcr Memlet.Wcr_sum 2. 3.);
+        Alcotest.(check (float 0.)) "apply max" 3. (Memlet.apply_wcr Memlet.Wcr_max 2. 3.);
+        Alcotest.(check (float 0.)) "apply min" 2. (Memlet.apply_wcr Memlet.Wcr_min 2. 3.));
+    Alcotest.test_case "rename data" `Quick (fun () ->
+        let m = Memlet.rename_data ~from:"A" ~into:"B" (Memlet.simple "A" "i") in
+        Alcotest.(check string) "renamed" "B" m.data);
+  ]
+
+(* ---------------- state graphs & scopes ---------------- *)
+
+let mk_simple_state () =
+  (* x -> tasklet -> y *)
+  let st = State.create "s" in
+  let x = State.add_node st (Node.Access "x") in
+  let t = State.add_node st (Node.tasklet "double" "o = v * 2.0") in
+  let y = State.add_node st (Node.Access "y") in
+  ignore (State.add_edge st ~dst_conn:"v" ~memlet:(Memlet.simple "x" "0") x t);
+  ignore (State.add_edge st ~src_conn:"o" ~memlet:(Memlet.simple "y" "0") t y);
+  (st, x, t, y)
+
+let mk_map_state () =
+  let g = Graph.create "g" in
+  Graph.add_symbol g "N";
+  Graph.add_array g "x" Dtype.F64 [ se "N" ];
+  Graph.add_array g "y" Dtype.F64 [ se "N" ];
+  let sid = Graph.add_state g "main" in
+  let st = Graph.state g sid in
+  let m =
+    Builder.Build.mapped_tasklet g st ~label:"scalemap"
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("v", Memlet.simple "x" "i") ]
+      ~code:"o = v * 2.0"
+      ~outputs:[ ("o", Memlet.simple "y" "i") ]
+      ()
+  in
+  (g, sid, st, m)
+
+let index_of x l =
+  let rec go i = function
+    | [] -> Alcotest.fail "element not found"
+    | y :: r -> if x = y then i else go (i + 1) r
+  in
+  go 0 l
+
+let state_tests =
+  [
+    Alcotest.test_case "add and query nodes/edges" `Quick (fun () ->
+        let st, x, t, y = mk_simple_state () in
+        Alcotest.(check int) "nodes" 3 (State.num_nodes st);
+        Alcotest.(check int) "edges" 2 (State.num_edges st);
+        Alcotest.(check (list int)) "succ x" [ t ] (State.successors st x);
+        Alcotest.(check (list int)) "pred y" [ t ] (State.predecessors st y);
+        Alcotest.(check (list int)) "sources" [ x ] (State.source_nodes st);
+        Alcotest.(check (list int)) "sinks" [ y ] (State.sink_nodes st));
+    Alcotest.test_case "remove node removes incident edges" `Quick (fun () ->
+        let st, _, t, _ = mk_simple_state () in
+        State.remove_node st t;
+        Alcotest.(check int) "edges gone" 0 (State.num_edges st));
+    Alcotest.test_case "topological respects edges" `Quick (fun () ->
+        let st, x, t, y = mk_simple_state () in
+        let order = State.topological st in
+        Alcotest.(check bool) "x before t" true (index_of x order < index_of t order);
+        Alcotest.(check bool) "t before y" true (index_of t order < index_of y order));
+    Alcotest.test_case "topological rejects cycles" `Quick (fun () ->
+        let st = State.create "c" in
+        let a = State.add_node st (Node.Access "a") in
+        let b = State.add_node st (Node.Access "b") in
+        ignore (State.add_edge st a b);
+        ignore (State.add_edge st b a);
+        match State.topological st with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected cycle failure");
+    Alcotest.test_case "scope structure of a mapped tasklet" `Quick (fun () ->
+        let _, _, st, m = mk_map_state () in
+        Alcotest.(check int) "exit found" m.exit (State.exit_of st m.entry);
+        let inside = State.scope_nodes st m.entry in
+        Alcotest.(check bool) "tasklet in scope" true (List.mem m.tasklet inside);
+        Alcotest.(check (option int)) "tasklet scope" (Some m.entry) (State.scope_of st m.tasklet);
+        Alcotest.(check (option int)) "entry at top" None (State.scope_of st m.entry));
+    Alcotest.test_case "copy is deep w.r.t. structure" `Quick (fun () ->
+        let st, _, t, _ = mk_simple_state () in
+        let st' = State.copy st in
+        State.remove_node st' t;
+        Alcotest.(check int) "original intact" 3 (State.num_nodes st));
+    Alcotest.test_case "access_nodes and referenced_containers" `Quick (fun () ->
+        let st, _, _, _ = mk_simple_state () in
+        Alcotest.(check int) "x nodes" 1 (List.length (State.access_nodes st "x"));
+        Alcotest.(check (list string)) "containers" [ "x"; "y" ] (State.referenced_containers st));
+    Alcotest.test_case "add_node_with_id preserves ids" `Quick (fun () ->
+        let st = State.create "ids" in
+        State.add_node_with_id st 7 (Node.Access "a");
+        Alcotest.(check bool) "has 7" true (State.has_node st 7);
+        let fresh = State.add_node st (Node.Access "b") in
+        Alcotest.(check bool) "fresh above" true (fresh > 7));
+  ]
+
+(* ---------------- graph-level ---------------- *)
+
+let graph_tests =
+  [
+    Alcotest.test_case "containers and symbols" `Quick (fun () ->
+        let g = Graph.create "t" in
+        Graph.add_symbol g "N";
+        Graph.add_array g "A" Dtype.F64 [ se "N" ];
+        Graph.add_scalar g ~transient:true "s" Dtype.I32;
+        Alcotest.(check bool) "has A" true (Graph.has_container g "A");
+        Alcotest.(check (list string)) "external" [ "A" ] (Graph.external_containers g);
+        Graph.set_transient g "A" true;
+        Alcotest.(check (list string)) "none external" [] (Graph.external_containers g));
+    Alcotest.test_case "state machine edges" `Quick (fun () ->
+        let g = Graph.create "t" in
+        let a = Graph.add_state g "a" in
+        let b = Graph.add_state_after g a "b" in
+        let c = Graph.add_state_after g b "c" in
+        Alcotest.(check (list int)) "bfs" [ a; b; c ] (Graph.states_bfs g);
+        Alcotest.(check (list int)) "reach a" [ b; c ] (Graph.reachable_states g a);
+        Alcotest.(check (list int)) "coreach c" [ b; a ] (Graph.coreachable_states g c));
+    Alcotest.test_case "loop reachability includes cycle" `Quick (fun () ->
+        let g = Graph.create "t" in
+        let s0 = Graph.add_state g "s0" in
+        let guard, body, after =
+          Builder.Build.for_loop g ~entry_from:s0 ~var:"i" ~init:Symbolic.Expr.zero
+            ~cond:(Symbolic.Cond.Lt (se "i", se "N"))
+            ~update:(Symbolic.Expr.add (se "i") Symbolic.Expr.one)
+            ~body_label:"body" ~after_label:"after"
+        in
+        let reach = Graph.reachable_states g body in
+        Alcotest.(check bool) "guard reachable" true (List.mem guard reach);
+        Alcotest.(check bool) "body re-reachable" true (List.mem body reach);
+        Alcotest.(check bool) "after reachable" true (List.mem after reach));
+    Alcotest.test_case "free symbols exclude bound ones" `Quick (fun () ->
+        let g, _, _, _ = mk_map_state () in
+        Alcotest.(check (list string)) "only N" [ "N" ] (Graph.all_free_syms g));
+    Alcotest.test_case "graph copy is independent" `Quick (fun () ->
+        let g, sid, _, m = mk_map_state () in
+        let g' = Graph.copy g in
+        State.remove_node (Graph.state g' sid) m.tasklet;
+        Alcotest.(check bool) "original intact" true
+          (State.has_node (Graph.state g sid) m.tasklet));
+  ]
+
+(* ---------------- validation ---------------- *)
+
+let validate_tests =
+  [
+    Alcotest.test_case "valid graph passes" `Quick (fun () ->
+        let g, _, _, _ = mk_map_state () in
+        Alcotest.(check int) "no errors" 0 (List.length (Validate.check g)));
+    Alcotest.test_case "undeclared container flagged" `Quick (fun () ->
+        let g = Graph.create "bad" in
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        ignore (State.add_node st (Node.Access "ghost"));
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "dimension mismatch flagged" `Quick (fun () ->
+        let g = Graph.create "bad" in
+        Graph.add_array g "A" Dtype.F64 [ se "N"; se "N" ];
+        Graph.add_array g "y" Dtype.F64 [ se "N" ];
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        let a = State.add_node st (Node.Access "A") in
+        let t = State.add_node st (Node.tasklet "t" "o = v") in
+        let y = State.add_node st (Node.Access "y") in
+        ignore (State.add_edge st ~dst_conn:"v" ~memlet:(Memlet.simple "A" "0") a t);
+        ignore (State.add_edge st ~src_conn:"o" ~memlet:(Memlet.simple "y" "0") t y);
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "unmatched map entry flagged" `Quick (fun () ->
+        let g, sid, st, m = mk_map_state () in
+        ignore sid;
+        State.remove_node st m.exit;
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "tasklet bad out connector flagged" `Quick (fun () ->
+        let g = Graph.create "bad" in
+        Graph.add_array g "y" Dtype.F64 [ se "N" ];
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        let t = State.add_node st (Node.tasklet "t" "o = 1.0") in
+        let y = State.add_node st (Node.Access "y") in
+        ignore (State.add_edge st ~src_conn:"nonexistent" ~memlet:(Memlet.simple "y" "0") t y);
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "gpu scope with host container flagged" `Quick (fun () ->
+        let g = Graph.create "bad" in
+        Graph.add_symbol g "N";
+        Graph.add_array g "x" Dtype.F64 [ se "N" ];
+        Graph.add_array g "y" Dtype.F64 [ se "N" ];
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        ignore
+          (Builder.Build.mapped_tasklet g st ~label:"k" ~schedule:Node.Gpu_device
+             ~map:[ ("i", "0:N-1") ]
+             ~inputs:[ ("v", Memlet.simple "x" "i") ]
+             ~code:"o = v"
+             ~outputs:[ ("o", Memlet.simple "y" "i") ]
+             ());
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "library missing input flagged" `Quick (fun () ->
+        let g = Graph.create "bad" in
+        Graph.add_array g "C" Dtype.F64 [ se "N"; se "N" ];
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        let l = State.add_node st (Node.Library { label = "mm"; kind = Node.Mat_mul }) in
+        let c = State.add_node st (Node.Access "C") in
+        ignore (State.add_edge st ~src_conn:"C" ~memlet:(Memlet.simple "C" "0:N-1, 0:N-1") l c);
+        Alcotest.(check bool) "errors" true (Validate.check g <> []));
+  ]
+
+(* ---------------- structural diff ---------------- *)
+
+let diff_tests =
+  [
+    Alcotest.test_case "identical graphs diff empty" `Quick (fun () ->
+        let g, _, _, _ = mk_map_state () in
+        let d = Diff.compute ~original:g ~transformed:(Graph.copy g) in
+        Alcotest.(check bool) "empty" true (Diff.is_empty d));
+    Alcotest.test_case "payload change detected" `Quick (fun () ->
+        let g, sid, _, m = mk_map_state () in
+        let g' = Graph.copy g in
+        State.replace_node (Graph.state g' sid) m.tasklet (Node.tasklet "double" "o = v * 3.0");
+        let d = Diff.compute ~original:g ~transformed:g' in
+        Alcotest.(check bool) "tasklet marked" true (List.mem (sid, m.tasklet) d.nodes));
+    Alcotest.test_case "removed node detected" `Quick (fun () ->
+        let g, sid, _, m = mk_map_state () in
+        let g' = Graph.copy g in
+        State.remove_node (Graph.state g' sid) m.tasklet;
+        let d = Diff.compute ~original:g ~transformed:g' in
+        Alcotest.(check bool) "tasklet marked" true (List.mem (sid, m.tasklet) d.nodes));
+    Alcotest.test_case "added node marks neighbours" `Quick (fun () ->
+        let g, sid, _, m = mk_map_state () in
+        let g' = Graph.copy g in
+        let st' = Graph.state g' sid in
+        let extra = State.add_node st' (Node.tasklet "extra" "o = 1.0") in
+        ignore
+          (State.add_edge st' ~src_conn:"o" ~memlet:(Memlet.simple "y" "0") extra
+             (List.assoc "y" m.out_access));
+        let d = Diff.compute ~original:g ~transformed:g' in
+        Alcotest.(check bool) "neighbour marked" true
+          (List.mem (sid, List.assoc "y" m.out_access) d.nodes));
+    Alcotest.test_case "interstate change marks states" `Quick (fun () ->
+        let g = Graph.create "t" in
+        let a = Graph.add_state g "a" in
+        let b = Graph.add_state_after g a "b" in
+        let g' = Graph.copy g in
+        List.iter
+          (fun (e : Graph.istate_edge) -> Graph.remove_istate_edge g' e.ie_id)
+          (Graph.istate_edges g');
+        ignore (Graph.add_istate_edge g' ~assigns:[ ("k", Symbolic.Expr.zero) ] a b);
+        let d = Diff.compute ~original:g ~transformed:g' in
+        Alcotest.(check bool) "states marked" true (List.mem a d.states && List.mem b d.states));
+    Alcotest.test_case "black-box diff of a real transformation seeds a cutout" `Quick (fun () ->
+        let g, sid, entry = Workloads.Chain.build_with_site () in
+        let x = Transforms.Map_tiling.make Transforms.Map_tiling.Correct in
+        let g' = Graph.copy g in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ entry ] ~descr:"t" in
+        ignore (x.apply g' site);
+        let d = Diff.compute ~original:g ~transformed:g' in
+        Alcotest.(check bool) "entry marked" true (List.mem (sid, entry) d.nodes));
+  ]
+
+(* ---------------- propagation ---------------- *)
+
+let propagate_tests =
+  [
+    Alcotest.test_case "param widened to range bbox" `Quick (fun () ->
+        let sub = Symbolic.Subset.of_string "i, 0:N-1" in
+        let out =
+          Propagate.through_map ~params:[ "i" ]
+            ~ranges:
+              [ Symbolic.Subset.dim Symbolic.Expr.zero (Symbolic.Expr.sub (se "N") Symbolic.Expr.one) ]
+            sub
+        in
+        Alcotest.(check int) "vol" 64 (Symbolic.Subset.volume_eval ienv out));
+    Alcotest.test_case "offset expressions widen conservatively" `Quick (fun () ->
+        let sub = Symbolic.Subset.of_string "i+1" in
+        let out =
+          Propagate.through_map ~params:[ "i" ]
+            ~ranges:[ Symbolic.Subset.dim (Symbolic.Expr.int 0) (Symbolic.Expr.int 5) ]
+            sub
+        in
+        let cs = Symbolic.Subset.concretize ienv out in
+        Alcotest.(check bool) "covers 1..6" true
+          (Symbolic.Subset.covers cs
+             (Symbolic.Subset.concretize ienv (Symbolic.Subset.of_string "1:6"))));
+    Alcotest.test_case "independent dims untouched" `Quick (fun () ->
+        let sub = Symbolic.Subset.of_string "3, j" in
+        let out =
+          Propagate.through_map ~params:[ "j" ]
+            ~ranges:[ Symbolic.Subset.dim (Symbolic.Expr.int 0) (Symbolic.Expr.int 7) ]
+            sub
+        in
+        Alcotest.(check int) "vol" 8 (Symbolic.Subset.volume_eval ienv out));
+  ]
+
+(* ---------------- dot export ---------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let dot_tests =
+  [
+    Alcotest.test_case "dot export contains nodes and states" `Quick (fun () ->
+        let g, _, _, _ = mk_map_state () in
+        let dot = Dot.to_dot g in
+        Alcotest.(check bool) "digraph" true (contains dot "digraph");
+        Alcotest.(check bool) "has map" true (contains dot "scalemap"));
+  ]
+
+let () =
+  Alcotest.run "sdfg"
+    [
+      ("tcode", tcode_tests);
+      ("memlet", memlet_tests);
+      ("state", state_tests);
+      ("graph", graph_tests);
+      ("validate", validate_tests);
+      ("diff", diff_tests);
+      ("propagate", propagate_tests);
+      ("dot", dot_tests);
+    ]

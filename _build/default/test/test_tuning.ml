@@ -1,0 +1,65 @@
+(* Black-box change isolation and transformation-parameter fuzzing. *)
+
+open Fuzzyflow
+
+let config =
+  { Difftest.default_config with trials = 10; max_size = 8; concretization = [ ("N", 8) ] }
+
+let blackbox_tests =
+  [
+    Alcotest.test_case "black-box and white-box agree on the tiling bug" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let x = Transforms.Map_tiling.make ~tile_size:3 Transforms.Map_tiling.Off_by_one in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ mm2 ] ~descr:"t" in
+        let white = Difftest.test_instance ~config g x site in
+        let black = Difftest.test_instance ~config:{ config with black_box = true } g x site in
+        let failed = function Difftest.Fail _ -> true | Difftest.Pass -> false in
+        Alcotest.(check bool) "both fail" true (failed white.verdict && failed black.verdict);
+        Alcotest.(check (list string)) "same inputs" white.cutout.input_config
+          black.cutout.input_config;
+        Alcotest.(check (list string)) "same system state" white.cutout.system_state
+          black.cutout.system_state);
+    Alcotest.test_case "black-box passes the correct variant" `Quick (fun () ->
+        let g, sid, mm2 = Workloads.Chain.build_with_site () in
+        let x = Transforms.Map_tiling.make ~tile_size:3 Transforms.Map_tiling.Correct in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ mm2 ] ~descr:"t" in
+        let r = Difftest.test_instance ~config:{ config with black_box = true } g x site in
+        Alcotest.(check bool) "pass" true (r.verdict = Difftest.Pass));
+  ]
+
+let tuning_tests =
+  [
+    Alcotest.test_case "tile-size sweep separates divisible from ragged" `Quick (fun () ->
+        (* no-remainder tiling of a size-8 map: tile sizes dividing 8 are
+           safe, others go out of bounds *)
+        let g = Workloads.Npbench.scale () in
+        let sid = Sdfg.Graph.start_state g in
+        let entry =
+          List.hd (Transforms.Xform.map_entries (Sdfg.Graph.state g sid))
+        in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ entry ] ~descr:"t" in
+        let cfg =
+          { config with custom_constraints = [ ("N", (8, 8)) ] (* pin the size *) }
+        in
+        let r =
+          Tuning.sweep ~config:cfg g
+            ~family:(fun ts -> Transforms.Map_tiling.make ~tile_size:ts Transforms.Map_tiling.No_remainder)
+            ~params:[ 2; 3; 4; 5; 8 ] ~site
+        in
+        Alcotest.(check (list int)) "safe divisors" [ 2; 4; 8 ] r.safe;
+        Alcotest.(check (list int)) "unsafe" [ 3; 5 ] r.unsafe);
+    Alcotest.test_case "correct family safe everywhere" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let sid = Sdfg.Graph.start_state g in
+        let entry = List.hd (Transforms.Xform.map_entries (Sdfg.Graph.state g sid)) in
+        let site = Transforms.Xform.dataflow_site ~state:sid ~nodes:[ entry ] ~descr:"t" in
+        let r =
+          Tuning.sweep ~config g
+            ~family:(fun ts -> Transforms.Map_tiling.make ~tile_size:ts Transforms.Map_tiling.Correct)
+            ~params:[ 2; 3; 5 ] ~site
+        in
+        Alcotest.(check (list int)) "all safe" [ 2; 3; 5 ] r.safe);
+  ]
+
+let () =
+  Alcotest.run "tuning" [ ("black_box", blackbox_tests); ("param_sweep", tuning_tests) ]
