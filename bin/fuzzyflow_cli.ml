@@ -4,6 +4,8 @@
      fuzzyflow test -w atax -x BufferTiling(wrong-schedule) [-t 20] [-s 42]
      fuzzyflow campaign [-w chain -w atax ...] [--correct] [-t 10]
      fuzzyflow cutout -w matmul_chain --node N --state S [-D N=8]
+     fuzzyflow analyze -w atax [-D N=8] [--carried]
+                                        -- static dataflow oracle findings
      fuzzyflow dot -w softmax           -- dump a workload as graphviz
 
    Transformations are addressed by their registry names ("fuzzyflow list"
@@ -187,15 +189,49 @@ let cutout_cmd =
     (Cmd.info "cutout" ~doc:"Extract and minimize a cutout around given nodes.")
     Term.(const run $ workload_arg $ state_arg $ nodes_arg $ defines_arg)
 
+let default_symbols_for name =
+  match name with
+  | "bert_encoder" -> Workloads.Bert.default_symbols
+  | "cloudsc_synth" -> Workloads.Cloudsc.default_symbols
+  | "sddmm_rank" -> [ ("LROWS", 4); ("NCOLS", 6); ("K", 3) ]
+  | _ -> [ ("N", 8); ("T", 3) ]
+
+let analyze_cmd =
+  let carried_arg =
+    Arg.(
+      value & flag
+      & info [ "carried" ]
+          ~doc:"Also report sequential loop-carried dependences (intended in many programs).")
+  in
+  let run w defines carried =
+    let g = find_workload w in
+    let symbols =
+      let base = if defines = [] then default_symbols_for (Sdfg.Graph.name g) else defines in
+      List.filter (fun (s, _) -> List.mem s (Sdfg.Graph.all_free_syms g)) base
+    in
+    match Analysis.Oracle.analyze ~carried ~symbols g with
+    | [] ->
+        Printf.printf "%s: no findings (symbols: %s)\n" w
+          (String.concat ", " (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) symbols))
+    | findings ->
+        Printf.printf "%s: %d finding(s)\n" w (List.length findings);
+        List.iter (fun f -> Format.printf "  %a@." Analysis.Report.pp f) findings;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the static dataflow oracle (races, out-of-bounds, def-use) on a workload.")
+    Term.(const run $ workload_arg $ defines_arg $ carried_arg)
+
 let optimize_cmd =
-  let run w trials seed max_size no_min_cut defines correct =
+  let run w trials seed max_size no_min_cut defines correct static =
     let defines = if defines = [] then [ ("N", 8); ("T", 3); ("H", 4); ("R", 3); ("Q", 4); ("P", 3) ] else defines in
     let g = find_workload w in
     let config = mk_config trials seed max_size no_min_cut defines in
     let xforms =
       if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
     in
-    let optimized, log = Fuzzyflow.Pipeline.optimize ~config g xforms in
+    let optimized, log = Fuzzyflow.Pipeline.optimize ~config ~static_gate:static g xforms in
     Format.printf "%a" Fuzzyflow.Pipeline.pp_log log;
     match Sdfg.Validate.check optimized with
     | [] -> print_endline "optimized program valid"
@@ -204,11 +240,17 @@ let optimize_cmd =
   let correct_arg =
     Cmdliner.Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set.")
   in
+  let static_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:"Pre-gate every instance with the static dataflow oracle before fuzzing.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Guarded optimization: test each instance, apply only passing ones.")
     Term.(
       const run $ workload_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
-      $ defines_arg $ correct_arg)
+      $ defines_arg $ correct_arg $ static_arg)
 
 let localize_cmd =
   let run w x trials seed max_size no_min_cut defines =
@@ -251,4 +293,7 @@ let dot_cmd =
 
 let () =
   let info = Cmd.info "fuzzyflow" ~version:"1.0.0" ~doc:"Localized optimization testing with dataflow cutouts." in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; test_cmd; campaign_cmd; cutout_cmd; optimize_cmd; localize_cmd; dot_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; test_cmd; campaign_cmd; cutout_cmd; analyze_cmd; optimize_cmd; localize_cmd; dot_cmd ]))

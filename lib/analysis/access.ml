@@ -1,0 +1,73 @@
+open Sdfg
+
+type kind = Read | Write of Memlet.wcr option
+
+type occ = {
+  node : int;
+  edge : int;
+  container : string;
+  subset : Symbolic.Subset.t;
+  kind : kind;
+  scopes : int list;
+}
+
+let is_write o = match o.kind with Write _ -> true | Read -> false
+
+let scope_chain st n =
+  let rec go n acc =
+    match State.scope_of st n with None -> List.rev acc | Some e -> go e (e :: acc)
+  in
+  go n []
+
+let of_state g st =
+  List.concat_map
+    (fun (e : State.edge) ->
+      let occ node container subset kind =
+        { node; edge = e.e_id; container; subset; kind; scopes = scope_chain st node }
+      in
+      let src = State.node_opt st e.src and dst = State.node_opt st e.dst in
+      match (src, dst, e.memlet) with
+      (* tasklet/library consumption and production points *)
+      | _, Some (Node.Tasklet _ | Node.Library _), Some m ->
+          [ occ e.dst m.data m.subset Read ]
+      | Some (Node.Tasklet _ | Node.Library _), _, Some m ->
+          [ occ e.src m.data m.subset (Write m.wcr) ]
+      (* access-to-access copies: read the source, write the destination *)
+      | Some (Node.Access _), Some (Node.Access d), Some m ->
+          let w =
+            match e.dst_memlet with
+            | Some dm -> occ e.dst dm.data dm.subset (Write dm.wcr)
+            | None -> (
+                match Graph.container_opt g d with
+                | Some desc -> occ e.dst d (Symbolic.Subset.full desc.shape) (Write None)
+                | None -> occ e.dst d [] (Write None))
+          in
+          [ occ e.src m.data m.subset Read; w ]
+      | _ -> [])
+    (State.edges st)
+
+let widen_through st scopes subset =
+  (* innermost-first: fold the scope parameters out one level at a time *)
+  List.fold_left
+    (fun sub entry ->
+      match State.node_opt st entry with
+      | Some (Node.Map_entry info) ->
+          Propagate.through_map ~params:info.params ~ranges:info.ranges sub
+      | _ -> sub)
+    subset scopes
+
+let in_scope g st ~entry =
+  List.filter_map
+    (fun o ->
+      match
+        (* scopes strictly inside [entry]: the chain prefix before [entry] *)
+        let rec prefix = function
+          | [] -> None
+          | e :: _ when e = entry -> Some []
+          | e :: rest -> Option.map (fun p -> e :: p) (prefix rest)
+        in
+        prefix o.scopes
+      with
+      | None -> None
+      | Some inner -> Some { o with subset = widen_through st inner o.subset })
+    (of_state g st)

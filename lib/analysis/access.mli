@@ -1,0 +1,32 @@
+(** Leaf memlet occurrences: the points where data is actually consumed or
+    produced (tasklet and library connectors, copy-edge endpoints) — as
+    opposed to the widened summary memlets routed along scope boundaries.
+    Each occurrence carries its innermost-first scope chain so callers can
+    widen it over any suffix of enclosing map scopes. *)
+
+open Sdfg
+
+type kind = Read | Write of Memlet.wcr option
+
+type occ = {
+  node : int;  (** the consuming/producing leaf node *)
+  edge : int;
+  container : string;
+  subset : Symbolic.Subset.t;
+  kind : kind;
+  scopes : int list;  (** enclosing map-entry ids, innermost first *)
+}
+
+val is_write : occ -> bool
+
+(** All leaf occurrences of one state. *)
+val of_state : Graph.t -> State.t -> occ list
+
+(** Widen a subset over a chain of map-entry scopes (innermost first),
+    folding each scope's parameters out via memlet propagation. *)
+val widen_through : State.t -> int list -> Symbolic.Subset.t -> Symbolic.Subset.t
+
+(** Occurrences strictly inside the scope of [entry], with their subsets
+    widened over every scope {e between} the occurrence and [entry]
+    (exclusive) — leaving [entry]'s own parameters free. *)
+val in_scope : Graph.t -> State.t -> entry:int -> occ list

@@ -1,0 +1,18 @@
+(** Static out-of-bounds detection.
+
+    For every leaf memlet occurrence, the binding variables (recognized
+    loop variables and the map parameters of the enclosing scope chain,
+    outermost first) are sampled at the first and last element of their
+    concretized ranges under the context's symbol assumptions — branching
+    on every boundary combination, and pruning valuations under which an
+    enclosing range is empty (zero iterations access nothing; this is what
+    keeps triangular loop nests like [j in 0:i-1] clean). At each sampled
+    valuation the occurrence's subset is concretized and compared per
+    dimension against the container shape: every non-empty range must
+    satisfy [0 <= lo] and [hi <= dim - 1]. Occurrences that do not fully
+    resolve are skipped — conservative, no guessing. *)
+
+open Sdfg
+
+val check_state : Context.t -> Graph.t -> int -> State.t -> Report.finding list
+val check : ?symbols:(string * int) list -> Graph.t -> Report.finding list

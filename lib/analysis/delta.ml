@@ -1,0 +1,13 @@
+(* carried dependences count here: both sides see them, so pre-existing ones
+   cancel out and only transformation-introduced ones survive the delta *)
+let oracle ?symbols g =
+  match Oracle.analyze ~carried:true ?symbols g with fs -> fs | exception _ -> []
+
+let verify ?symbols g (x : Transforms.Xform.t) site =
+  let g' = Sdfg.Graph.copy g in
+  match x.apply g' site with
+  | _ ->
+      let before = oracle ?symbols g in
+      let after = oracle ?symbols g' in
+      Some (Report.sort (Report.new_findings ~before ~after))
+  | exception Transforms.Xform.Cannot_apply _ -> None

@@ -1,0 +1,21 @@
+(** Transformation delta verification.
+
+    Runs the full static oracle before and after applying a candidate
+    transformation instance to a scratch copy of the program, and reports
+    only the findings the transformation {e introduced}. Pre-existing
+    findings (same pass, container and state) are not attributed to the
+    candidate, so a noisy baseline cannot mask nor fake a regression.
+
+    Returns [None] when the site no longer matches
+    ({!Transforms.Xform.Cannot_apply}) — staleness is the pipeline's
+    concern, not a static finding. A pass that itself raises is treated as
+    producing no findings: the oracle only ever vetoes with evidence. *)
+
+open Sdfg
+
+val verify :
+  ?symbols:(string * int) list ->
+  Graph.t ->
+  Transforms.Xform.t ->
+  Transforms.Xform.site ->
+  Report.finding list option

@@ -1,0 +1,9 @@
+let analyze ?carried ?symbols g =
+  let ctx = Context.make ?symbols g in
+  let per_state =
+    List.concat_map
+      (fun (sid, st) ->
+        Races.check_state ?carried ctx g sid st @ Bounds.check_state ctx g sid st)
+      (Sdfg.Graph.states g)
+  in
+  Report.sort (per_state @ Defuse.check g)

@@ -1,0 +1,13 @@
+(** The unified static oracle: all passes over one program.
+
+    Runs race detection ({!Races}), out-of-bounds checking ({!Bounds}) and
+    transient def-use hygiene ({!Defuse}) under shared symbol assumptions
+    and returns the findings sorted by severity. [~carried:true] also
+    reports sequential loop-carried dependences (see {!Races}); the
+    default reports only definite defects, so every well-formed program —
+    including sequential stencil sweeps — analyzes clean. *)
+
+open Sdfg
+
+val analyze :
+  ?carried:bool -> ?symbols:(string * int) list -> Graph.t -> Report.finding list

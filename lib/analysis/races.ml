@@ -1,0 +1,318 @@
+open Sdfg
+module Expr = Symbolic.Expr
+module Subset = Symbolic.Subset
+module Cond = Symbolic.Cond
+
+(* A primed copy of a parameter name, fresh w.r.t. [taken]. *)
+let prime taken p =
+  let rec go q = if List.mem q taken then go (q ^ "'") else q in
+  go (p ^ "'")
+
+let pp_cranges crs =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (c : Subset.crange) ->
+           if c.clo = c.chi then string_of_int c.clo
+           else if c.cstep = 1 then Printf.sprintf "%d:%d" c.clo c.chi
+           else Printf.sprintf "%d:%d:%d" c.clo c.chi c.cstep)
+         crs)
+  ^ "]"
+
+let pp_valuation params rho =
+  String.concat ", " (List.map2 (fun p v -> Printf.sprintf "%s=%d" p v) params rho)
+
+let crange_at (c : Subset.crange) i = c.clo + (i * c.cstep)
+
+(* Boundary-biased index pairs along one parameter: first/second, around the
+   middle, last two, and the two extremes. These catch off-by-one overlaps
+   (adjacent valuations) and whole-range aliasing. *)
+let index_pairs count =
+  List.filter
+    (fun (a, b) -> a >= 0 && b >= 0 && a < count && b < count && a <> b)
+    [ (0, 1); ((count / 2) - 1, count / 2); (count - 2, count - 1); (0, count - 1) ]
+  |> List.sort_uniq compare
+
+(* Sampled pairs of distinct valuations over [params]/[cranges]. *)
+let valuation_pairs params cranges =
+  let counts = List.map Subset.crange_count cranges in
+  if List.exists (fun c -> c <= 0) counts then []
+  else
+    let value k i = crange_at (List.nth cranges k) i in
+    let base corner =
+      List.mapi (fun k _ -> value k (if corner = 0 then 0 else List.nth counts k - 1)) params
+    in
+    let n = List.length params in
+    let with_nth l k v = List.mapi (fun i x -> if i = k then v else x) l in
+    let pairs = ref [] in
+    (* both orders: write-at-rho vs read-at-rho' is not symmetric *)
+    let add a b = if a <> b then pairs := (a, b) :: (b, a) :: !pairs in
+    (* vary one parameter at a time from both corners *)
+    List.iteri
+      (fun k _ ->
+        List.iter
+          (fun (ia, ib) ->
+            List.iter
+              (fun corner ->
+                let b = base corner in
+                add (with_nth b k (value k ia)) (with_nth b k (value k ib)))
+              [ 0; 1 ])
+          (index_pairs (List.nth counts k)))
+      params;
+    (* transposed pairs: catch A[i,j] vs A[j,i] style aliasing *)
+    if n >= 2 then begin
+      let b = base 0 in
+      let x = value 0 0 and y = value 1 (List.nth counts 1 - 1) in
+      add (with_nth (with_nth b 0 x) 1 y) (with_nth (with_nth b 0 y) 1 x)
+    end;
+    (* small iteration spaces: enumerate everything *)
+    let total = List.fold_left ( * ) 1 counts in
+    if total <= 9 then begin
+      let rec enum k acc =
+        if k = n then [ List.rev acc ]
+        else
+          List.concat_map (fun i -> enum (k + 1) (value k i :: acc)) (List.init (List.nth counts k) Fun.id)
+      in
+      let all = enum 0 [] in
+      List.iter (fun a -> List.iter (fun b -> add a b) all) all
+    end;
+    List.sort_uniq compare !pairs
+
+let concretize_opt env subset =
+  match Subset.concretize env subset with
+  | c -> Some c
+  | exception (Expr.Unbound_symbol _ | Expr.Division_by_zero | Invalid_argument _) -> None
+
+let topo_positions st =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i n -> Hashtbl.replace tbl n i) (State.topological st);
+  fun n -> Option.value ~default:max_int (Hashtbl.find_opt tbl n)
+
+(* Does valuation [rho'] overwrite (cover) its own access [a] with an
+   earlier or simultaneous write of the same container? Then no data flows
+   into [a] from other iterations: the region is iteration-private
+   (scope-local buffer reuse), not a carried dependence. *)
+let self_covered pos env occs (a : Access.occ) =
+  match concretize_opt env a.subset with
+  | None -> false
+  | Some ca ->
+      List.exists
+        (fun (w2 : Access.occ) ->
+          Access.is_write w2
+          && w2.container = a.container
+          && w2.edge <> a.edge
+          && pos w2.node <= pos a.node
+          && match concretize_opt env w2.subset with
+             | Some cw2 -> Subset.covers cw2 ca
+             | None -> false)
+        occs
+
+let is_parallel = function Node.Sequential -> false | Node.Parallel | Node.Gpu_device -> true
+
+(* Base environment for analyzing scope [entry]: the context sample
+   environment plus every *other* map parameter of the state bound to its
+   range start (outer scopes first, so tile variables resolve). The
+   analyzed scope's own parameters stay free — they take valuations. *)
+let scope_env ctx st ~entry ~(info : Node.map_info) =
+  let depth n =
+    let rec go n d = match State.scope_of st n with None -> d | Some e -> go e (d + 1) in
+    go n 0
+  in
+  let entries =
+    List.filter_map
+      (fun (nid, n) ->
+        match n with
+        | Node.Map_entry i when nid <> entry -> Some (depth nid, nid, i)
+        | _ -> None)
+      (State.nodes st)
+    |> List.sort compare
+  in
+  List.fold_left
+    (fun env (_, _, (i : Node.map_info)) ->
+      List.fold_left2
+        (fun env p (r : Subset.range) ->
+          if List.mem p info.params || Expr.Env.mem p env then env
+          else
+            match Expr.eval env r.lo with
+            | v -> Expr.Env.add p v env
+            | exception (Expr.Unbound_symbol _ | Expr.Division_by_zero) -> env)
+        env i.params i.ranges)
+    (Context.sample_env ctx) entries
+
+(* Overlapping inner-scope iteration ranges across distinct outer
+   valuations: the same iteration tuple executes more than once — the
+   off-by-one tiling bug. Duplicated accumulations (WCR inside) change
+   results even sequentially; otherwise it is only redundant work unless
+   the scope is parallel. *)
+let duplicated_iterations g ctx st ~entry ~(info : Node.map_info) ~sid env0 pairs =
+  let findings = ref [] in
+  List.iter
+    (fun inner ->
+      match State.node_opt st inner with
+      | Some (Node.Map_entry iinfo)
+        when State.scope_of st inner = Some entry
+             && List.exists
+                  (fun (r : Subset.range) ->
+                    List.exists (fun s -> List.mem s info.params) (Subset.free_syms [ r ]))
+                  iinfo.ranges ->
+          let inner_occs = Access.in_scope g st ~entry:inner in
+          let wcr_inside =
+            List.exists
+              (fun (o : Access.occ) ->
+                match o.kind with Access.Write (Some _) -> true | _ -> false)
+              inner_occs
+          in
+          let severity =
+            if wcr_inside || is_parallel info.schedule then Report.Error else Report.Warning
+          in
+          let witness =
+            List.find_map
+              (fun (rho, rho') ->
+                let env_at r =
+                  List.fold_left2 (fun e p v -> Expr.Env.add p v e) env0 info.params r
+                in
+                let widened = Context.widen_loops ctx iinfo.ranges in
+                match (concretize_opt (env_at rho) widened, concretize_opt (env_at rho') widened) with
+                | Some ca, Some cb
+                  when List.for_all2
+                         (fun ra rb ->
+                           List.exists
+                             (fun x -> List.mem x (Subset.crange_elements rb))
+                             (Subset.crange_elements ra))
+                         ca cb ->
+                    Some (rho, rho', ca, cb)
+                | _ -> None)
+              pairs
+          in
+          (match witness with
+          | Some (rho, rho', ca, cb) ->
+              let container =
+                match List.find_opt Access.is_write inner_occs with
+                | Some o -> o.container
+                | None -> iinfo.label
+              in
+              findings :=
+                Report.make ~pass:Report.Race ~severity ~state:sid ~node:entry ~container
+                  ~subsets:[ pp_cranges ca; pp_cranges cb ]
+                  (Printf.sprintf
+                     "inner scope '%s' iterates %s at (%s) and %s at (%s): duplicated iterations"
+                     iinfo.label (pp_cranges ca)
+                     (pp_valuation info.params rho)
+                     (pp_cranges cb)
+                     (pp_valuation info.params rho'))
+                :: !findings
+          | None -> ())
+      | _ -> ())
+    (State.scope_nodes st entry);
+  !findings
+
+let check_scope ?(carried = false) ctx g sid st ~entry ~(info : Node.map_info) =
+  if info.params = [] then []
+  else
+    let env0 = scope_env ctx st ~entry ~info in
+    match concretize_opt env0 (Context.widen_loops ctx info.ranges) with
+    | None -> []
+    | Some cranges ->
+        let pairs = valuation_pairs info.params cranges in
+        if pairs = [] then []
+        else begin
+          let occs = Access.in_scope g st ~entry in
+          let taken =
+            info.params
+            @ List.concat_map (fun (o : Access.occ) -> Subset.free_syms o.subset) occs
+          in
+          let primed = List.map (fun p -> (p, prime taken p)) info.params in
+          let distinct =
+            Cond.any_ne (List.map (fun (p, p') -> (Expr.Sym p, Expr.Sym p')) primed)
+          in
+          let pos = topo_positions st in
+          let env_pair rho rho' =
+            let env = List.fold_left2 (fun e p v -> Expr.Env.add p v e) env0 info.params rho in
+            List.fold_left2 (fun e (_, p') v -> Expr.Env.add p' v e) env primed rho'
+          in
+          let env_at rho =
+            List.fold_left2 (fun e p v -> Expr.Env.add p v e) env0 info.params rho
+          in
+          let findings = ref (duplicated_iterations g ctx st ~entry ~info ~sid env0 pairs) in
+          let reported = ref [] in
+          let writes = List.filter Access.is_write occs in
+          List.iter
+            (fun (w : Access.occ) ->
+              List.iter
+                (fun (a : Access.occ) ->
+                  if
+                    a.container = w.container
+                    && not (List.mem (entry, w.container) !reported)
+                    &&
+                    (* pair relevance: commutative WCR/WCR accumulation is
+                       safe; sequential plain write/write is deterministic *)
+                    (match (w.kind, a.kind) with
+                    | Access.Write (Some _), Access.Write (Some _) -> false
+                    | Access.Write _, Access.Write _ when w.edge = a.edge && not (is_parallel info.schedule) -> false
+                    | Access.Write _, Access.Write _ -> is_parallel info.schedule
+                    | Access.Write _, Access.Read -> carried || is_parallel info.schedule
+                    | Access.Read, _ -> false)
+                  then begin
+                    let a_primed = Subset.rename_syms primed a.subset in
+                    if not (Subset.definitely_disjoint w.subset a_primed) then
+                      let witness =
+                        List.find_map
+                          (fun (rho, rho') ->
+                            let env = env_pair rho rho' in
+                            if not (Cond.eval env distinct) then None
+                            else
+                              match
+                                (concretize_opt env w.subset, concretize_opt env a_primed)
+                              with
+                              | Some cw, Some ca when Subset.overlaps cw ca ->
+                                  if
+                                    (not (is_parallel info.schedule))
+                                    && self_covered pos (env_at rho') occs a
+                                  then None
+                                  else Some (rho, rho', cw, ca)
+                              | _ -> None)
+                          pairs
+                      in
+                      match witness with
+                      | Some (rho, rho', cw, ca) ->
+                          reported := (entry, w.container) :: !reported;
+                          let what =
+                            match a.kind with
+                            | Access.Read -> "read"
+                            | Access.Write _ -> "write"
+                          in
+                          let severity =
+                            if is_parallel info.schedule then Report.Error else Report.Warning
+                          in
+                          findings :=
+                            Report.make ~pass:Report.Race ~severity ~state:sid ~node:entry
+                              ~container:w.container
+                              ~subsets:
+                                [ Subset.to_string w.subset; Subset.to_string a.subset ]
+                              (Printf.sprintf
+                                 "write %s at (%s) overlaps %s %s at distinct valuation (%s): %s vs %s"
+                                 (Subset.to_string w.subset)
+                                 (pp_valuation info.params rho)
+                                 what
+                                 (Subset.to_string a.subset)
+                                 (pp_valuation info.params rho')
+                                 (pp_cranges cw) (pp_cranges ca))
+                            :: !findings
+                      | None -> ()
+                  end)
+                occs)
+            writes;
+          !findings
+        end
+
+let check_state ?carried ctx g sid st =
+  List.concat_map
+    (fun (nid, n) ->
+      match n with
+      | Node.Map_entry info -> check_scope ?carried ctx g sid st ~entry:nid ~info
+      | _ -> [])
+    (State.nodes st)
+
+let check ?carried ?symbols g =
+  let ctx = Context.make ?symbols g in
+  List.concat_map (fun (sid, st) -> check_state ?carried ctx g sid st) (Graph.states g)

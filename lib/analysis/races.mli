@@ -1,0 +1,32 @@
+(** Static parallel-race / loop-carried-dependence detection.
+
+    For every map scope, checks whether the write subset of one parameter
+    valuation can overlap the read or write subset of a {e distinct}
+    valuation. The second valuation uses fresh primed copies of the map
+    parameters ([i] vs [i']); distinctness is the {!Symbolic.Cond.any_ne}
+    constraint [i ≠ i' ∨ …], enforced on every sampled valuation pair. A
+    symbolic disjointness proof ({!Symbolic.Subset.definitely_disjoint} on
+    the primed subsets) short-circuits provably safe pairs; the rest are
+    checked on concretized boundary/adjacent/transposed valuation pairs
+    under the context's symbol assumptions.
+
+    Sequential map scopes execute in iteration order, so a loop-carried
+    dependence is well-defined semantics, not a bug — Gauss–Seidel or
+    Floyd–Warshall are built on exactly that. By default sequential scopes
+    therefore only report duplicated iteration tuples (the off-by-one
+    tiling signature, an error when the scope accumulates through conflict
+    resolution). With [~carried:true] cross-valuation write/read overlaps
+    in sequential scopes are reported as warnings too — minus those where
+    the reading iteration first overwrites the data itself
+    (iteration-private buffer reuse). The delta verifier enables this: a
+    {e newly introduced} carried dependence is a transformation bug even
+    though a pre-existing one is intended behavior. Parallel and GPU
+    scopes report every cross-valuation overlap (except commutative
+    WCR/WCR pairs) as an error. *)
+
+open Sdfg
+
+val check_state :
+  ?carried:bool -> Context.t -> Graph.t -> int -> State.t -> Report.finding list
+
+val check : ?carried:bool -> ?symbols:(string * int) list -> Graph.t -> Report.finding list

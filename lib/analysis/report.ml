@@ -1,0 +1,48 @@
+type pass = Race | Out_of_bounds | Use_before_def | Dead_write
+type severity = Error | Warning
+
+type finding = {
+  pass : pass;
+  severity : severity;
+  state : int;
+  node : int;
+  container : string;
+  subsets : string list;
+  detail : string;
+}
+
+let make ~pass ~severity ?(state = -1) ?(node = -1) ~container ?(subsets = []) detail =
+  { pass; severity; state; node; container; subsets; detail }
+
+let pass_name = function
+  | Race -> "race"
+  | Out_of_bounds -> "out-of-bounds"
+  | Use_before_def -> "use-before-def"
+  | Dead_write -> "dead-write"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp fmt f =
+  Format.fprintf fmt "[%s] %s: %s" (severity_name f.severity) (pass_name f.pass) f.container;
+  if f.state >= 0 then Format.fprintf fmt " (state %d" f.state
+  else Format.pp_print_string fmt " (program";
+  if f.node >= 0 then Format.fprintf fmt ", node %d" f.node;
+  Format.pp_print_string fmt ")";
+  if f.subsets <> [] then Format.fprintf fmt " %s" (String.concat " vs " f.subsets);
+  if f.detail <> "" then Format.fprintf fmt ": %s" f.detail
+
+let to_string f = Format.asprintf "%a" pp f
+
+let sort fs =
+  List.stable_sort
+    (fun a b ->
+      compare
+        (a.severity, a.state, a.container, a.node)
+        (b.severity, b.state, b.container, b.node))
+    fs
+
+let fingerprint f = Printf.sprintf "%s|%s|%d" (pass_name f.pass) f.container f.state
+
+let new_findings ~before ~after =
+  let seen = List.map fingerprint before in
+  List.filter (fun f -> not (List.mem (fingerprint f) seen)) after

@@ -1,0 +1,49 @@
+(** Unified findings of the static dataflow oracle.
+
+    Every pass of [lib/analysis] reports through this one type so the
+    pipeline gate, the campaign evidence channel and the CLI pretty-printer
+    share a single representation. *)
+
+type pass =
+  | Race  (** overlapping subsets under distinct map-parameter valuations *)
+  | Out_of_bounds  (** propagated subset escapes the container shape *)
+  | Use_before_def  (** read of a transient that is never written *)
+  | Dead_write  (** write to a transient that is never read *)
+
+type severity = Error | Warning
+
+type finding = {
+  pass : pass;
+  severity : severity;
+  state : int;  (** state id; [-1] for program-level findings *)
+  node : int;  (** offending node id (scope entry, access); [-1] if none *)
+  container : string;
+  subsets : string list;  (** offending / overlapping subsets, printable *)
+  detail : string;  (** human-readable explanation, includes valuations *)
+}
+
+val make :
+  pass:pass ->
+  severity:severity ->
+  ?state:int ->
+  ?node:int ->
+  container:string ->
+  ?subsets:string list ->
+  string ->
+  finding
+
+val pass_name : pass -> string
+val severity_name : severity -> string
+val pp : Format.formatter -> finding -> unit
+val to_string : finding -> string
+
+(** Severity-major ordering (errors first), then state/container. *)
+val sort : finding list -> finding list
+
+(** Stable key used by the delta verifier: pass, container and state — node
+    ids and subset strings are not stable across a transformation. *)
+val fingerprint : finding -> string
+
+(** Findings of [after] whose fingerprint does not occur in [before]:
+    the findings a transformation {e introduced}. *)
+val new_findings : before:finding list -> after:finding list -> finding list

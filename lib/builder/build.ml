@@ -1,0 +1,128 @@
+open Sdfg
+
+type mapped = {
+  entry : int;
+  exit : int;
+  tasklet : int;
+  in_access : (string * int) list;
+  out_access : (string * int) list;
+}
+
+let mem ?wcr data subset = Memlet.simple ?wcr data subset
+
+let full g data =
+  let desc = Graph.container g data in
+  Memlet.make data (Symbolic.Subset.full desc.Graph.shape)
+
+(* Access-node lookup table: reuse a node already created for this tasklet's
+   wiring, else one supplied by the caller, else a fresh one. Inputs and
+   outputs use separate tables so a container read and written by the same
+   tasklet gets two access nodes (keeping the dataflow graph acyclic). *)
+let find_or_create st tbl provided c =
+  match List.assoc_opt c !tbl with
+  | Some id -> id
+  | None ->
+      let id =
+        match List.assoc_opt c provided with
+        | Some id -> id
+        | None -> State.add_node st (Node.Access c)
+      in
+      tbl := (c, id) :: !tbl;
+      id
+
+let mapped_tasklet _g st ~label ?(schedule = Node.Sequential) ?(map = []) ?(input_nodes = [])
+    ~inputs ~code ~outputs () =
+  let tasklet = State.add_node st (Node.tasklet label code) in
+  let in_tbl = ref [] and out_tbl = ref [] in
+  let entry, exit =
+    if map = [] then begin
+      List.iter
+        (fun (conn, (m : Memlet.t)) ->
+          ignore
+            (State.add_edge st ~dst_conn:conn ~memlet:m
+               (find_or_create st in_tbl input_nodes m.data)
+               tasklet))
+        inputs;
+      List.iter
+        (fun (conn, (m : Memlet.t)) ->
+          ignore
+            (State.add_edge st ~src_conn:conn ~memlet:m tasklet
+               (find_or_create st out_tbl [] m.data)))
+        outputs;
+      (tasklet, tasklet)
+    end
+    else begin
+      let params = List.map fst map in
+      let ranges =
+        List.map
+          (fun (_, r) ->
+            match Symbolic.Subset.of_string r with
+            | [ range ] -> range
+            | _ -> invalid_arg ("Build.mapped_tasklet: bad range " ^ r))
+          map
+      in
+      let entry =
+        State.add_node st (Node.Map_entry { label; params; ranges; schedule })
+      in
+      let exit = State.add_node st (Node.Map_exit { entry }) in
+      let widen m = Propagate.memlet_through_map ~params ~ranges m in
+      List.iter
+        (fun (conn, (m : Memlet.t)) ->
+          let acc = find_or_create st in_tbl input_nodes m.data in
+          ignore (State.add_edge st ~dst_conn:("IN_" ^ m.data) ~memlet:(widen m) acc entry);
+          ignore (State.add_edge st ~src_conn:("OUT_" ^ m.data) ~dst_conn:conn ~memlet:m entry tasklet))
+        inputs;
+      if inputs = [] then ignore (State.add_edge st entry tasklet);
+      List.iter
+        (fun (conn, (m : Memlet.t)) ->
+          let acc = find_or_create st out_tbl [] m.data in
+          ignore (State.add_edge st ~src_conn:conn ~dst_conn:("IN_" ^ m.data) ~memlet:m tasklet exit);
+          ignore (State.add_edge st ~src_conn:("OUT_" ^ m.data) ~memlet:(widen m) exit acc))
+        outputs;
+      (entry, exit)
+    end
+  in
+  { entry; exit; tasklet; in_access = !in_tbl; out_access = !out_tbl }
+
+let library _g st ~label ~kind ?(input_nodes = []) ~inputs ~outputs () =
+  let lib = State.add_node st (Node.Library { label; kind }) in
+  let in_tbl = ref [] and out_tbl = ref [] in
+  List.iter
+    (fun (conn, (m : Memlet.t)) ->
+      ignore
+        (State.add_edge st ~dst_conn:conn ~memlet:m
+           (find_or_create st in_tbl input_nodes m.data)
+           lib))
+    inputs;
+  List.iter
+    (fun (conn, (m : Memlet.t)) ->
+      ignore (State.add_edge st ~src_conn:conn ~memlet:m lib (find_or_create st out_tbl [] m.data)))
+    outputs;
+  (lib, !in_tbl, !out_tbl)
+
+let copy g st ~src ~dst ?src_node ?src_subset ?dst_subset () =
+  let src_id = match src_node with Some id -> id | None -> State.add_node st (Node.Access src) in
+  let dst_id = State.add_node st (Node.Access dst) in
+  let subset =
+    match src_subset with
+    | Some s -> s
+    | None -> Symbolic.Subset.full (Graph.container g src).Graph.shape
+  in
+  let memlet = Memlet.make src subset in
+  let dst_memlet =
+    match dst_subset with
+    | Some s -> Memlet.make dst s
+    | None -> Memlet.make dst (Symbolic.Subset.full (Graph.container g dst).Graph.shape)
+  in
+  ignore (State.add_edge st ~memlet ~dst_memlet src_id dst_id);
+  (src_id, dst_id)
+
+let for_loop g ~entry_from ~var ~init ~cond ~update ~body_label ~after_label =
+  let guard = Graph.add_state g (body_label ^ "_guard") in
+  let body = Graph.add_state g body_label in
+  let after = Graph.add_state g after_label in
+  ignore (Graph.add_istate_edge g ~assigns:[ (var, init) ] entry_from guard);
+  ignore (Graph.add_istate_edge g ~cond guard body);
+  ignore (Graph.add_istate_edge g ~cond:(Symbolic.Cond.negate cond) guard after);
+  ignore (Graph.add_istate_edge g ~assigns:[ (var, update) ] body guard);
+  (guard, body, after)

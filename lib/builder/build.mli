@@ -1,0 +1,91 @@
+(** Convenience constructors for hand-written SDFGs.
+
+    Workloads, tests and examples assemble graphs from a small set of
+    patterns: a (possibly mapped) tasklet with its access nodes and
+    connector wiring, a library node, an access-to-access copy, and the
+    canonical for-loop state pattern recognized by
+    {!Transforms.Xform.find_loops}. This module builds those patterns with
+    the exact wiring conventions the validator and interpreter expect. *)
+
+open Sdfg
+
+(** Handles to the nodes created for one (mapped) tasklet. For a plain
+    tasklet (no [map]), [entry] and [exit] both alias [tasklet]. *)
+type mapped = {
+  entry : int;
+  exit : int;
+  tasklet : int;
+  in_access : (string * int) list;  (** one access node per distinct input *)
+  out_access : (string * int) list;  (** one access node per distinct output *)
+}
+
+(** [mem data subset] is a memlet over [data] with [subset] parsed by
+    {!Symbolic.Subset.of_string}; [""] denotes a scalar access. *)
+val mem : ?wcr:Memlet.wcr -> string -> string -> Memlet.t
+
+(** Memlet covering the whole declared shape of a container. *)
+val full : Graph.t -> string -> Memlet.t
+
+(** Build a tasklet, optionally inside a fresh map scope.
+
+    [inputs]/[outputs] associate tasklet connector names with the memlets
+    they access. With [map], a [Map_entry]/[Map_exit] pair is created; edges
+    into the entry and out of the exit carry the memlets widened over the
+    map parameters ({!Propagate.memlet_through_map}), routed through
+    ["IN_<data>"]/["OUT_<data>"] connectors. [input_nodes] reuses existing
+    access nodes for the given containers (read-after-write chaining). *)
+val mapped_tasklet :
+  Graph.t ->
+  State.t ->
+  label:string ->
+  ?schedule:Node.schedule ->
+  ?map:(string * string) list ->
+  ?input_nodes:(string * int) list ->
+  inputs:(string * Memlet.t) list ->
+  code:string ->
+  outputs:(string * Memlet.t) list ->
+  unit ->
+  mapped
+
+(** Build a library node with its access nodes; connector names are the
+    association keys of [inputs]/[outputs]. Returns the library node id and
+    the input/output access-node tables. *)
+val library :
+  Graph.t ->
+  State.t ->
+  label:string ->
+  kind:Node.lib_kind ->
+  ?input_nodes:(string * int) list ->
+  inputs:(string * Memlet.t) list ->
+  outputs:(string * Memlet.t) list ->
+  unit ->
+  int * (string * int) list * (string * int) list
+
+(** Access-to-access copy edge; defaults to the full source subset. Returns
+    the (src, dst) access-node ids. *)
+val copy :
+  Graph.t ->
+  State.t ->
+  src:string ->
+  dst:string ->
+  ?src_node:int ->
+  ?src_subset:Symbolic.Subset.t ->
+  ?dst_subset:Symbolic.Subset.t ->
+  unit ->
+  int * int
+
+(** Append the canonical for-loop state pattern:
+    [entry_from --(var:=init)--> guard], [guard --(cond)--> body],
+    [guard --(not cond)--> after], [body --(var:=update)--> guard].
+    Returns [(guard, body, after)] state ids. The enter edge is added before
+    the exit edge so the interpreter prefers the body while [cond] holds. *)
+val for_loop :
+  Graph.t ->
+  entry_from:int ->
+  var:string ->
+  init:Symbolic.Expr.t ->
+  cond:Symbolic.Cond.t ->
+  update:Symbolic.Expr.t ->
+  body_label:string ->
+  after_label:string ->
+  int * int * int

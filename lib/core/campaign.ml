@@ -1,10 +1,15 @@
-type instance_result = { program : string; report : Difftest.report }
+type instance_result = {
+  program : string;
+  report : Difftest.report;
+  static : Analysis.Report.finding list;
+}
 
 type row = {
   xform_name : string;
   instances : int;
   passed : int;
   failed : int;
+  static_flagged : int;
   classes : (Difftest.failure_class * int) list;
   avg_first_trial : float;
 }
@@ -20,7 +25,8 @@ let take n l =
   let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
   go 0 l
 
-let run ?(config = Difftest.default_config) ?(limit_per = None) programs xforms =
+let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = false)
+    programs xforms =
   let results = ref [] in
   List.iter
     (fun (x : Transforms.Xform.t) ->
@@ -31,7 +37,18 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) programs xforms 
           List.iter
             (fun site ->
               let report = Difftest.test_instance ~config g x site in
-              results := { program = pname; report } :: !results)
+              (* second evidence channel: what the static oracle would have
+                 said about this instance, independent of the fuzz verdict *)
+              let static =
+                if static_gate then
+                  match
+                    Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site
+                  with
+                  | Some fs -> fs
+                  | None -> []
+                else []
+              in
+              results := { program = pname; report; static } :: !results)
             sites)
         programs)
     xforms;
@@ -70,6 +87,7 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) programs xforms 
           instances = List.length mine;
           passed = List.length mine - List.length failing;
           failed = List.length failing;
+          static_flagged = List.length (List.filter (fun r -> r.static <> []) mine);
           classes;
           avg_first_trial;
         })
@@ -94,8 +112,8 @@ let class_marker = function
 let to_table t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-42s %10s %8s %8s  %s\n" "Transformation" "Instances" "Passed" "Failed"
-       "Failure classes");
+    (Printf.sprintf "%-42s %10s %8s %8s %7s  %s\n" "Transformation" "Instances" "Passed"
+       "Failed" "Static" "Failure classes");
   Buffer.add_string buf (String.make 96 '-');
   Buffer.add_char buf '\n';
   List.iter
@@ -107,8 +125,8 @@ let to_table t =
             (List.map (fun (c, n) -> Printf.sprintf "%s x%d" (class_marker c) n) r.classes)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-42s %10d %8d %8d  %s\n" r.xform_name r.instances r.passed r.failed
-           classes))
+        (Printf.sprintf "%-42s %10d %8d %8d %7d  %s\n" r.xform_name r.instances r.passed
+           r.failed r.static_flagged classes))
     t.rows;
   Buffer.add_string buf (String.make 96 '-');
   Buffer.add_char buf '\n';

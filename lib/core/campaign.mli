@@ -5,6 +5,9 @@
 type instance_result = {
   program : string;
   report : Difftest.report;
+  static : Analysis.Report.finding list;
+      (** the static oracle's delta findings for this instance ([] when the
+          gate is off or the instance analyzes clean) *)
 }
 
 (** Aggregate over all instances of one transformation. *)
@@ -13,6 +16,7 @@ type row = {
   instances : int;
   passed : int;
   failed : int;
+  static_flagged : int;  (** instances the static oracle flagged *)
   classes : (Difftest.failure_class * int) list;  (** failure counts by class *)
   avg_first_trial : float;  (** mean first failing trial over failing instances *)
 }
@@ -26,10 +30,14 @@ type t = {
 
 (** [run programs xforms] finds and tests every application site. [limit_per]
     caps the instances tested per (program, transformation) pair to bound
-    campaign time; [None] tests everything. *)
+    campaign time; [None] tests everything. [static_gate] additionally runs
+    the static oracle on every instance as an independent evidence channel —
+    instances are still fuzzed either way, so the table shows how the two
+    verdicts corroborate. *)
 val run :
   ?config:Difftest.config ->
   ?limit_per:int option ->
+  ?static_gate:bool ->
   (string * Sdfg.Graph.t) list ->
   Transforms.Xform.t list ->
   t

@@ -1,4 +1,8 @@
-type decision = Applied | Rejected of Difftest.failing | Stale of string
+type decision =
+  | Applied
+  | Rejected of Difftest.failing
+  | Rejected_static of Analysis.Report.finding list
+  | Stale of string
 
 type step = {
   xform_name : string;
@@ -16,12 +20,15 @@ let pp_log fmt log =
         match s.decision with
         | Applied -> "applied"
         | Rejected f -> "REJECTED: " ^ Difftest.class_to_string f.Difftest.klass
+        | Rejected_static fs ->
+            "REJECTED (static): "
+            ^ String.concat "; " (List.map Analysis.Report.to_string fs)
         | Stale msg -> "stale: " ^ msg
       in
       Format.fprintf fmt "  %s @@ %a: %s@." s.xform_name Transforms.Xform.pp_site s.site d)
     log.steps
 
-let optimize ?(config = Difftest.default_config) g xforms =
+let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms =
   let current = Sdfg.Graph.copy g in
   let steps = ref [] in
   let applied = ref 0 and rejected = ref 0 and stale = ref 0 in
@@ -31,21 +38,35 @@ let optimize ?(config = Difftest.default_config) g xforms =
       List.iter
         (fun site ->
           let record decision = steps := { xform_name = x.name; site; decision } :: !steps in
-          match Difftest.test_instance ~config current x site with
-          | { verdict = Difftest.Pass; _ } -> (
-              match x.apply current site with
-              | _ ->
-                  incr applied;
-                  record Applied
+          (* static pre-gate: veto with evidence before spending any trials *)
+          let static_verdict =
+            if static_gate then
+              Analysis.Delta.verify ~symbols:config.Difftest.concretization current x site
+            else Some []
+          in
+          match static_verdict with
+          | None ->
+              incr stale;
+              record (Stale "static gate: site no longer matches")
+          | Some (_ :: _ as findings) ->
+              incr rejected;
+              record (Rejected_static findings)
+          | Some [] -> (
+              match Difftest.test_instance ~config current x site with
+              | { verdict = Difftest.Pass; _ } -> (
+                  match x.apply current site with
+                  | _ ->
+                      incr applied;
+                      record Applied
+                  | exception Transforms.Xform.Cannot_apply msg ->
+                      incr stale;
+                      record (Stale msg))
+              | { verdict = Difftest.Fail f; _ } ->
+                  incr rejected;
+                  record (Rejected f)
               | exception Transforms.Xform.Cannot_apply msg ->
                   incr stale;
-                  record (Stale msg))
-          | { verdict = Difftest.Fail f; _ } ->
-              incr rejected;
-              record (Rejected f)
-          | exception Transforms.Xform.Cannot_apply msg ->
-              incr stale;
-              record (Stale msg))
+                  record (Stale msg)))
         (x.find current))
     xforms;
   ( current,

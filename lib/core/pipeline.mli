@@ -3,11 +3,20 @@
     Performance engineers apply custom transformations at scale; FuzzyFlow
     gates each instance — only instances whose cutout-level differential test
     passes are applied to the program. The result is an optimized program
-    plus an audit log of what was applied, what was rejected and why. *)
+    plus an audit log of what was applied, what was rejected and why.
+
+    With [~static_gate:true] each instance first passes through the static
+    dataflow oracle ({!Analysis.Delta}): if the transformation introduces a
+    race, out-of-bounds access or def-use violation that the oracle can
+    prove under the configured concretization, the instance is rejected
+    {e before any fuzzing trial runs}, with the findings (offending
+    container and overlapping subsets) in the audit log. *)
 
 type decision =
   | Applied
   | Rejected of Difftest.failing
+  | Rejected_static of Analysis.Report.finding list
+      (** vetoed by the static oracle — no trials were spent *)
   | Stale of string  (** the site no longer matched after earlier rewrites *)
 
 type step = {
@@ -19,7 +28,7 @@ type step = {
 type log = {
   steps : step list;
   applied : int;
-  rejected : int;
+  rejected : int;  (** dynamic and static rejections combined *)
   stale : int;
 }
 
@@ -28,9 +37,11 @@ val pp_log : Format.formatter -> log -> unit
 (** [optimize g xforms] returns the optimized copy of [g] (never mutated) and
     the audit log. For each transformation, sites are discovered on the
     current program and tested one by one; passing instances are applied
-    immediately, so later sites see the rewritten program. *)
+    immediately, so later sites see the rewritten program. The static gate
+    (default off) uses [config.concretization] as its symbol assumptions. *)
 val optimize :
   ?config:Difftest.config ->
+  ?static_gate:bool ->
   Sdfg.Graph.t ->
   Transforms.Xform.t list ->
   Sdfg.Graph.t * log

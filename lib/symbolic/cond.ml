@@ -55,6 +55,9 @@ let rec subst map c =
 
 let rename_sym ~from ~into c = subst (Expr.Env.singleton from (Expr.Sym into)) c
 
+let any_ne pairs =
+  List.fold_left (fun acc (a, b) -> Or (acc, Ne (a, b))) False pairs
+
 let negate = function
   | True -> False
   | False -> True

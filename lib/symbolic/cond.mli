@@ -21,6 +21,11 @@ val free_syms : t -> string list
 val subst : Expr.t Expr.Env.t -> t -> t
 val rename_sym : from:string -> into:string -> t -> t
 val negate : t -> t
+
+(** [any_ne [(a, a'); (b, b')]] is the condition [a ≠ a' ∨ b ≠ b'] — two
+    valuations of the listed terms are distinct. Used by the static race
+    analysis to constrain primed map-parameter copies. *)
+val any_ne : (Expr.t * Expr.t) list -> t
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

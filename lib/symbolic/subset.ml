@@ -78,6 +78,20 @@ let subst map s =
 
 let rename_sym ~from ~into s = subst (Expr.Env.singleton from (Expr.Sym into)) s
 
+let rename_syms pairs s =
+  subst (Expr.Env.of_seq (List.to_seq (List.map (fun (f, i) -> (f, Expr.Sym i)) pairs))) s
+
+(* [a] ends strictly before [b] starts when hi_a - lo_b simplifies to a
+   negative literal. Purely structural: a [false] answer proves nothing. *)
+let range_before (a : range) (b : range) =
+  match Expr.is_constant (Expr.simplify (Expr.sub a.hi b.lo)) with
+  | Some d -> d < 0
+  | None -> false
+
+let definitely_disjoint a b =
+  List.length a = List.length b
+  && List.exists2 (fun ra rb -> range_before ra rb || range_before rb ra) a b
+
 let pp_range fmt { lo; hi; step } =
   if Expr.equal lo hi then Expr.pp fmt lo
   else if Expr.equal step Expr.one then Format.fprintf fmt "%a:%a" Expr.pp lo Expr.pp hi

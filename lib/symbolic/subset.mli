@@ -57,6 +57,17 @@ val covers : crange list -> crange list -> bool
 val free_syms : t -> string list
 val subst : Expr.t Expr.Env.t -> t -> t
 val rename_sym : from:string -> into:string -> t -> t
+
+(** Simultaneous renaming: [rename_syms [(a, a'); (b, b')] s] renames [a] to
+    [a'] and [b] to [b'] in one pass (used to prime map parameters for the
+    static race analysis without capture). *)
+val rename_syms : (string * string) list -> t -> t
+
+(** Symbolic disjointness proof: [true] when some dimension of [a] provably
+    ends before [b] starts (or vice versa) — the difference of the symbolic
+    bounds simplifies to a negative constant. A [false] answer proves
+    nothing (the subsets may still be disjoint). *)
+val definitely_disjoint : t -> t -> bool
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

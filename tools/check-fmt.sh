@@ -1,0 +1,11 @@
+#!/bin/sh
+# Formatting gate: run `dune build @fmt` when ocamlformat is available.
+# The check is advisory on machines without ocamlformat (the builder image
+# does not ship it) — it must not turn a clean tree into a red build there.
+set -eu
+cd "$(dirname "$0")/.."
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check-fmt: ocamlformat not installed; skipping formatting check"
+  exit 0
+fi
+exec dune build @fmt
