@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig3    -- one experiment
        (table1 fig3 fig4 bert speedup fuzzmodes sddmm table2 cloudsc
-        ablation micro)
+        ablation equiv micro)
 
    Absolute numbers differ from the paper (interpreter vs generated C++);
    the *shapes* — who wins, by what factor, where input reductions land —
@@ -637,6 +637,55 @@ let scaling () =
         (1000. *. t_dt))
     [ 4; 8; 16; 32; 64 ]
 
+(* ------------------------------------------------------------------ *)
+(* Translation validation: fuzz trials saved by the equivalence gate   *)
+(* ------------------------------------------------------------------ *)
+
+let equiv () =
+  header "Translation validation: trials saved by the equivalence gate";
+  let workloads =
+    [
+      ("scale", Workloads.Npbench.scale ());
+      ("axpy", Workloads.Npbench.axpy ());
+      ("gemm", Workloads.Npbench.gemm ());
+      ("mvt", Workloads.Npbench.mvt ());
+      ("softmax", Workloads.Npbench.softmax ());
+      ("fig4", Workloads.Fig4.build ());
+    ]
+  in
+  let config =
+    {
+      Fuzzyflow.Difftest.default_config with
+      trials = 10;
+      max_size = 8;
+      concretization = [ ("N", 8); ("T", 3) ];
+    }
+  in
+  let xforms = Transforms.Registry.as_shipped () in
+  Printf.printf "%-14s %10s %12s %12s %8s %8s\n" "workload" "instances" "trials(off)"
+    "trials(on)" "saved" "proved";
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let off, t_off = time (fun () -> Fuzzyflow.Campaign.run ~config [ (name, g) ] xforms) in
+        let on, t_on =
+          time (fun () -> Fuzzyflow.Campaign.run ~config ~certify_gate:true [ (name, g) ] xforms)
+        in
+        let toff = Fuzzyflow.Campaign.trials_spent off
+        and ton = Fuzzyflow.Campaign.trials_spent on in
+        Printf.printf "%-14s %10d %12d %12d %8d %8d  (%.2fs -> %.2fs)\n" name
+          off.total_instances toff ton (toff - ton) on.total_proved t_off t_on;
+        Printf.sprintf
+          "{\"bench\":\"equiv\",\"workload\":\"%s\",\"instances\":%d,\"trials_gate_off\":%d,\"trials_gate_on\":%d,\"saved\":%d,\"proved\":%d}"
+          name off.total_instances toff ton (toff - ton) on.total_proved)
+      workloads
+  in
+  let oc = open_out "BENCH_equiv.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_equiv.json (%d rows)\n" (List.length rows)
+
 let experiments =
   [
     ("table1", table1);
@@ -649,6 +698,7 @@ let experiments =
     ("table2", table2);
     ("cloudsc", cloudsc);
     ("ablation", ablation);
+    ("equiv", equiv);
     ("scaling", scaling);
     ("futurework", futurework);
     ("micro", micro);

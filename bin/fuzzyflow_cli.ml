@@ -6,6 +6,8 @@
      fuzzyflow cutout -w matmul_chain --node N --state S [-D N=8]
      fuzzyflow analyze -w atax [-D N=8] [--carried]
                                         -- static dataflow oracle findings
+     fuzzyflow certify -w scale -x MapTiling [-D N=8]
+                                        -- symbolic translation validation
      fuzzyflow dot -w softmax           -- dump a workload as graphviz
 
    Transformations are addressed by their registry names ("fuzzyflow list"
@@ -148,7 +150,13 @@ let campaign_cmd =
   let correct_arg =
     Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set instead of the shipped one.")
   in
-  let run ws correct trials seed max_size no_min_cut defines =
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:"Skip the fuzz trials of instances the translation validator proves equivalent.")
+  in
+  let run ws correct certify trials seed max_size no_min_cut defines =
     let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
     let config = mk_config trials seed max_size no_min_cut defines in
     let programs =
@@ -157,13 +165,13 @@ let campaign_cmd =
     let xforms =
       if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
     in
-    let c = Fuzzyflow.Campaign.run ~config programs xforms in
+    let c = Fuzzyflow.Campaign.run ~config ~certify_gate:certify programs xforms in
     print_string (Fuzzyflow.Campaign.to_table c)
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a transformation campaign over workloads (Table 2 style).")
     Term.(
-      const run $ workloads_arg $ correct_arg $ trials_arg $ seed_arg $ max_size_arg
+      const run $ workloads_arg $ correct_arg $ certify_arg $ trials_arg $ seed_arg $ max_size_arg
       $ no_min_cut_arg $ defines_arg)
 
 let cutout_cmd =
@@ -222,6 +230,45 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run the static dataflow oracle (races, out-of-bounds, def-use) on a workload.")
     Term.(const run $ workload_arg $ defines_arg $ carried_arg)
+
+let certify_cmd =
+  let run w x defines =
+    let g = find_workload w in
+    let xform = find_xform x in
+    let symbols =
+      let base = if defines = [] then default_symbols_for (Sdfg.Graph.name g) else defines in
+      List.filter (fun (s, _) -> List.mem s (Sdfg.Graph.all_free_syms g)) base
+    in
+    let sites = xform.find g in
+    if sites = [] then begin
+      print_endline "no application sites found";
+      exit 1
+    end;
+    let equivalent = ref 0 and refuted = ref 0 and unknown = ref 0 in
+    List.iter
+      (fun site ->
+        Format.printf "%s @@ %a: " xform.Transforms.Xform.name Transforms.Xform.pp_site site;
+        match Analysis.Equiv.certify ~symbols g xform site with
+        | None ->
+            incr unknown;
+            Format.printf "stale (site no longer applies)@."
+        | Some v ->
+            (match v with
+            | Analysis.Equiv.Equivalent _ -> incr equivalent
+            | Analysis.Equiv.Refuted _ -> incr refuted
+            | Analysis.Equiv.Unknown _ -> incr unknown);
+            Format.printf "%a@." Analysis.Equiv.pp_verdict v)
+      sites;
+    Printf.printf "%d equivalent, %d refuted, %d unknown of %d site(s)\n" !equivalent !refuted
+      !unknown (List.length sites);
+    if !refuted > 0 then exit 2 else if !equivalent = List.length sites then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Symbolic translation validation: prove each instance dataflow-equivalent (exit 0), \
+          refute it with a witness valuation (exit 2), or report unknown (exit 1).")
+    Term.(const run $ workload_arg $ xform_arg $ defines_arg)
 
 let optimize_cmd =
   let run w trials seed max_size no_min_cut defines correct static =
@@ -296,4 +343,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; test_cmd; campaign_cmd; cutout_cmd; analyze_cmd; optimize_cmd; localize_cmd; dot_cmd ]))
+          [
+            list_cmd;
+            test_cmd;
+            campaign_cmd;
+            cutout_cmd;
+            analyze_cmd;
+            certify_cmd;
+            optimize_cmd;
+            localize_cmd;
+            dot_cmd;
+          ]))

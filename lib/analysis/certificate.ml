@@ -1,0 +1,54 @@
+open Symbolic
+
+type side = Read | Write
+
+type entry = { container : string; side : side; pre : Subset.t; post : Subset.t }
+
+type event = string * [ `R | `W | `RW ]
+
+type t = {
+  xform : string;
+  site : string;
+  assumed : (string * (int option * int option)) list;
+  entries : entry list;
+  order_pre : event list;
+  order_post : event list;
+}
+
+let side_name = function Read -> "read" | Write -> "write"
+
+let bounds t s =
+  match List.assoc_opt s t.assumed with Some b -> b | None -> (None, None)
+
+let events_of c order = List.filter (fun (c', _) -> c' = c) order
+
+let check t =
+  let b = bounds t in
+  List.for_all (fun e -> Subset.equal ~bounds:b e.pre e.post) t.entries
+  && List.for_all
+       (fun c -> events_of c t.order_pre = events_of c t.order_post)
+       (List.sort_uniq compare (List.map fst (t.order_pre @ t.order_post)))
+
+let pp_bound fmt = function
+  | Some lo, Some hi -> Format.fprintf fmt "[%d,%d]" lo hi
+  | Some lo, None -> Format.fprintf fmt "[%d,inf)" lo
+  | None, Some hi -> Format.fprintf fmt "(-inf,%d]" hi
+  | None, None -> Format.pp_print_string fmt "(-inf,inf)"
+
+let event_name = function `R -> "R" | `W -> "W" | `RW -> "RW"
+
+let pp fmt t =
+  Format.fprintf fmt "certificate for %s at %s@\n" t.xform t.site;
+  List.iter
+    (fun (s, b) -> Format.fprintf fmt "  assume %s in %a@\n" s pp_bound b)
+    t.assumed;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %s %s: %a = %a@\n" (side_name e.side) e.container
+        Subset.pp e.pre Subset.pp e.post)
+    t.entries;
+  Format.fprintf fmt "  order: %s"
+    (String.concat " "
+       (List.map (fun (c, ev) -> Printf.sprintf "%s:%s" c (event_name ev)) t.order_pre))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,39 @@
+(** Machine-checkable equivalence certificates.
+
+    When the translation validator ({!Equiv}) proves a transformation instance
+    dataflow-equivalent, it emits a certificate recording exactly what was
+    matched: per externally visible container, the fully propagated pre- and
+    post-transformation read/write subsets (which must be symbolically equal
+    under the recorded symbol bounds), and the per-container access-order
+    signatures. [check] re-establishes every equality from the recorded data
+    alone, independently of the certifier's search. *)
+
+open Symbolic
+
+type side = Read | Write
+
+(** One matched container/subset pair: the fully propagated [side]-set of
+    [container] before ([pre]) and after ([post]) the transformation. *)
+type entry = { container : string; side : side; pre : Subset.t; post : Subset.t }
+
+type event = string * [ `R | `W | `RW ]
+
+type t = {
+  xform : string;  (** transformation name *)
+  site : string;  (** printed application site *)
+  assumed : (string * (int option * int option)) list;
+      (** symbol bounds the equalities hold under (program sizes are >= 1) *)
+  entries : entry list;
+  order_pre : event list;  (** access-order signature before *)
+  order_post : event list;  (** access-order signature after *)
+}
+
+val side_name : side -> string
+
+(** Re-verify the certificate: every entry's [pre]/[post] subsets must be
+    {!Symbolic.Subset.equal} under the assumed bounds, and each container's
+    event sequence must agree between [order_pre] and [order_post]. *)
+val check : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

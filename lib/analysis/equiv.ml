@@ -1,0 +1,226 @@
+open Symbolic
+open Sdfg
+
+type witness = {
+  valuation : (string * int) list;
+  container : string;
+  element : int list option;
+  reason : string;
+}
+
+type verdict = Equivalent of Certificate.t | Refuted of witness | Unknown of string
+
+let verdict_name = function
+  | Equivalent _ -> "equivalent"
+  | Refuted _ -> "refuted"
+  | Unknown _ -> "unknown"
+
+let pp_witness fmt w =
+  Format.fprintf fmt "%s under {%s}" w.reason
+    (String.concat ", "
+       (List.map (fun (s, v) -> Printf.sprintf "%s=%d" s v) w.valuation));
+  match w.element with
+  | Some el ->
+      Format.fprintf fmt " at %s[%s]" w.container
+        (String.concat "," (List.map string_of_int el))
+  | None -> Format.fprintf fmt " (container %s)" w.container
+
+let pp_verdict fmt = function
+  | Equivalent c -> Format.fprintf fmt "equivalent@\n%a" Certificate.pp c
+  | Refuted w -> Format.fprintf fmt "refuted: %a" pp_witness w
+  | Unknown why -> Format.fprintf fmt "unknown: %s" why
+
+(* carried dependences count, as in the delta verifier: both sides see them,
+   so pre-existing ones cancel and only introduced ones survive *)
+let oracle ?symbols g =
+  match Oracle.analyze ~carried:true ?symbols g with fs -> fs | exception _ -> []
+
+let default_size = 8
+
+(* A transformation-introduced static error refutes equivalence outright; the
+   caller's concretization (or the default size for every symbol) is the seed
+   valuation handed to the fuzzer. *)
+let refute_from_delta ~valuation (f : Report.finding) =
+  Refuted
+    {
+      valuation;
+      container = f.container;
+      element = None;
+      reason =
+        Printf.sprintf "introduces a %s finding: %s" (Report.pass_name f.pass)
+          f.detail;
+    }
+
+let refute_or_unknown ~symbols ~valuation ~declared mismatches =
+  let grid =
+    List.map
+      (fun s ->
+        let hi = match List.assoc_opt s symbols with Some v -> Stdlib.max 2 v | None -> 9 in
+        (s, (1, hi)))
+      declared
+  in
+  let concrete (c, side, pa, pb) =
+    match (pa, pb) with
+    | Some a, Some b -> (
+        match Subset.difference_witness ~symbols:grid a b with
+        | Some (va, el) ->
+            Some
+              (Refuted
+                 {
+                   valuation = va;
+                   container = c;
+                   element = Some el;
+                   reason =
+                     Printf.sprintf "propagated %s set of %s differs"
+                       (Certificate.side_name side) c;
+                 })
+        | None -> None)
+    | _ -> None
+  in
+  match List.filter_map concrete mismatches with
+  | r :: _ -> r
+  | [] -> (
+      (* no concrete element witness; a one-sided footprint is still a
+         definite symbolic difference worth seeding the fuzzer with *)
+      match List.find_opt (fun (_, _, pa, pb) -> pa = None || pb = None) mismatches with
+      | Some (c, side, pa, _) ->
+          Refuted
+            {
+              valuation;
+              container = c;
+              element = None;
+              reason =
+                Printf.sprintf "%s is %s only in the %s version" c
+                  (match side with Certificate.Read -> "read" | Write -> "written")
+                  (if pa = None then "transformed" else "original");
+            }
+      | None ->
+          let c, side, _, _ = List.hd mismatches in
+          Unknown
+            (Printf.sprintf
+               "propagated %s set of %s differs symbolically; no concrete witness found"
+               (Certificate.side_name side) c))
+
+let decide ~symbols g g' (x : Transforms.Xform.t) site =
+  (* program parameters: declared symbols, anything a container shape
+     mentions, and whatever the caller chose to concretize — hand-built
+     graphs do not always call [add_symbol] *)
+  let declared =
+    let shape_syms =
+      List.concat_map
+        (fun (_, (d : Graph.datadesc)) -> List.concat_map Expr.free_syms d.shape)
+        (Graph.containers g)
+    in
+    List.sort_uniq compare (Graph.symbols g @ shape_syms @ List.map fst symbols)
+  in
+  let valuation =
+    List.map
+      (fun s ->
+        (s, match List.assoc_opt s symbols with Some v -> v | None -> default_size))
+      declared
+  in
+  let delta =
+    let before = oracle ~symbols g and after = oracle ~symbols g' in
+    Report.sort (Report.new_findings ~before ~after)
+  in
+  (* any introduced error refutes; so does an introduced race at any
+     severity — a carried-dependence warning that was not there before means
+     the transformation reordered accesses to concretely overlapping
+     elements, which is exactly the divergence the fuzzer should chase *)
+  match
+    List.filter
+      (fun (f : Report.finding) -> f.severity = Report.Error || f.pass = Report.Race)
+      delta
+  with
+  | f :: _ -> refute_from_delta ~valuation f
+  | [] -> (
+      (* program sizes are at least 1; everything else is unconstrained *)
+      let bounds s = if List.mem s declared then (Some 1, None) else (None, None) in
+      (* a deliberately broken transformation can leave the scope structure
+         malformed; propagation failure means "cannot decide", not a crash *)
+      match
+        (Propagate.summarize ~bounds g, Propagate.summarize ~bounds g')
+      with
+      | exception _ -> Unknown "memlet propagation failed on one of the programs"
+      | pre, post -> (
+      let stray su =
+        List.filter
+          (fun s -> not (List.mem s declared))
+          (Propagate.free_syms_of_summary su)
+      in
+      match stray pre @ stray post with
+      | s :: _ ->
+          Unknown
+            (Printf.sprintf
+               "summary mentions symbol %s that propagation could not eliminate" s)
+      | [] -> (
+          let externals =
+            List.sort_uniq compare
+              (Graph.external_containers g @ Graph.external_containers g')
+          in
+          let entries = ref [] and mismatches = ref [] in
+          List.iter
+            (fun c ->
+              List.iter
+                (fun (side, pre_l, post_l) ->
+                  match (List.assoc_opt c pre_l, List.assoc_opt c post_l) with
+                  | None, None -> ()
+                  | Some a, Some b when Subset.equal ~bounds a b ->
+                      entries :=
+                        { Certificate.container = c; side; pre = a; post = b }
+                        :: !entries
+                  | pa, pb -> mismatches := (c, side, pa, pb) :: !mismatches)
+                [
+                  (Certificate.Read, pre.Propagate.reads, post.Propagate.reads);
+                  (Certificate.Write, pre.writes, post.writes);
+                ])
+            externals;
+          let wcr_ok =
+            List.for_all
+              (fun c -> List.mem c pre.wcr_writes = List.mem c post.wcr_writes)
+              externals
+          in
+          (* order is compared per container, over containers live on both
+             sides: transients that the transformation removed (or introduced)
+             cannot affect externally visible dataflow once the external sets
+             match, but surviving ones must keep their access order *)
+          let names (su : Propagate.summary) =
+            List.sort_uniq compare (List.map fst (su.reads @ su.writes))
+          in
+          let shared = List.filter (fun c -> List.mem c (names post)) (names pre) in
+          let ev c o = List.filter (fun (c', _) -> c' = c) o in
+          let order_ok =
+            List.for_all (fun c -> ev c pre.order = ev c post.order) shared
+          in
+          match (List.rev !mismatches, wcr_ok, order_ok) with
+          | [], true, true -> (
+              let keep o = List.filter (fun (c, _) -> List.mem c shared) o in
+              let cert =
+                {
+                  Certificate.xform = x.name;
+                  site = Format.asprintf "%a" Transforms.Xform.pp_site site;
+                  assumed = List.map (fun s -> (s, (Some 1, None))) declared;
+                  entries = List.rev !entries;
+                  order_pre = keep pre.order;
+                  order_post = keep post.order;
+                }
+              in
+              if not (Certificate.check cert) then
+                Unknown "certificate failed its own re-check"
+              else
+                match x.certify_hint with
+                | Some (Known_unsound why) ->
+                    Unknown
+                      (Printf.sprintf
+                         "summaries match but the transformation is marked unsound (%s)"
+                         why)
+                | _ -> Equivalent cert)
+          | [], false, _ -> Unknown "write-conflict-resolution targets changed"
+          | [], _, false -> Unknown "per-container access order changed"
+          | ms, _, _ -> refute_or_unknown ~symbols ~valuation ~declared ms)))
+
+let certify ?(symbols = []) g (x : Transforms.Xform.t) site =
+  let g' = Graph.copy g in
+  match x.apply g' site with
+  | exception Transforms.Xform.Cannot_apply _ -> None
+  | _ -> Some (decide ~symbols g g' x site)

@@ -1,0 +1,46 @@
+(** Symbolic translation validation of transformation instances.
+
+    [certify g x site] decides whether applying [x] at [site] provably
+    preserves the program's externally visible dataflow, by comparing the
+    fully propagated read sets, write sets and per-container access-order
+    signatures ({!Sdfg.Propagate.summarize}) of the program before and after
+    the transformation, under the assumption that every declared program
+    symbol is at least 1.
+
+    The verdict lattice:
+
+    - [Equivalent cert] — every external container's propagated read and
+      write set is symbolically equal pre/post, write-conflict-resolution
+      targets agree, and every surviving container keeps its access order.
+      The certificate re-checks independently ({!Certificate.check}).
+      {b Sound to act on}: the pipeline may skip fuzz trials.
+    - [Refuted w] — a definite dataflow difference with a concrete symbol
+      valuation (and, when element enumeration succeeds, one element of the
+      symmetric set difference). The valuation seeds the fuzzer; a spurious
+      refutation costs only trials that would have run anyway.
+    - [Unknown] — the analysis could not decide (unpropagated control-flow
+      symbols, ordering changes with equal sets, or a transformation marked
+      {!Transforms.Xform.Known_unsound} whose summaries nevertheless match —
+      the hint vetoes certification, never the other verdicts).
+
+    [None] means the site went stale ([apply] raised [Cannot_apply]). *)
+
+type witness = {
+  valuation : (string * int) list;  (** concrete symbol values exhibiting the difference *)
+  container : string;
+  element : int list option;  (** one element of the symmetric set difference *)
+  reason : string;
+}
+
+type verdict = Equivalent of Certificate.t | Refuted of witness | Unknown of string
+
+val verdict_name : verdict -> string
+val pp_witness : Format.formatter -> witness -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val certify :
+  ?symbols:(string * int) list ->
+  Sdfg.Graph.t ->
+  Transforms.Xform.t ->
+  Transforms.Xform.site ->
+  verdict option

@@ -1,0 +1,9 @@
+(** Symbolic footprint pass of the static oracle.
+
+    Proves, from the fully propagated program summary
+    ({!Sdfg.Propagate.summarize}), that some container's read or write
+    footprint escapes its declared shape for every admissible symbol value —
+    the symbolic complement of the sampling-based {!Bounds} pass. Reports
+    only provable escapes; undecidable subsets stay silent. *)
+
+val check : ?symbols:(string * int) list -> Sdfg.Graph.t -> Report.finding list

@@ -6,4 +6,4 @@ let analyze ?carried ?symbols g =
         Races.check_state ?carried ctx g sid st @ Bounds.check_state ctx g sid st)
       (Sdfg.Graph.states g)
   in
-  Report.sort (per_state @ Defuse.check g)
+  Report.sort (per_state @ Defuse.check g @ Footprint.check ?symbols g)

@@ -1,7 +1,8 @@
 (** The unified static oracle: all passes over one program.
 
-    Runs race detection ({!Races}), out-of-bounds checking ({!Bounds}) and
-    transient def-use hygiene ({!Defuse}) under shared symbol assumptions
+    Runs race detection ({!Races}), out-of-bounds checking ({!Bounds}),
+    transient def-use hygiene ({!Defuse}) and the symbolic propagated
+    footprint check ({!Footprint}) under shared symbol assumptions
     and returns the findings sorted by severity. [~carried:true] also
     reports sequential loop-carried dependences (see {!Races}); the
     default reports only definite defects, so every well-formed program —

@@ -1,4 +1,4 @@
-type pass = Race | Out_of_bounds | Use_before_def | Dead_write
+type pass = Race | Out_of_bounds | Use_before_def | Dead_write | Footprint
 type severity = Error | Warning
 
 type finding = {
@@ -19,6 +19,7 @@ let pass_name = function
   | Out_of_bounds -> "out-of-bounds"
   | Use_before_def -> "use-before-def"
   | Dead_write -> "dead-write"
+  | Footprint -> "footprint"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 

@@ -9,6 +9,9 @@ type pass =
   | Out_of_bounds  (** propagated subset escapes the container shape *)
   | Use_before_def  (** read of a transient that is never written *)
   | Dead_write  (** write to a transient that is never read *)
+  | Footprint
+      (** propagated whole-program footprint provably escapes the container
+          shape for every admissible symbol value (see {!Footprint}) *)
 
 type severity = Error | Warning
 

@@ -1,13 +1,17 @@
 type instance_result = {
   program : string;
-  report : Difftest.report;
+  xform_name : string;
+  site : Transforms.Xform.site;
+  report : Difftest.report option;
   static : Analysis.Report.finding list;
+  verdict : Analysis.Equiv.verdict option;
 }
 
 type row = {
   xform_name : string;
   instances : int;
   passed : int;
+  proved : int;
   failed : int;
   static_flagged : int;
   classes : (Difftest.failure_class * int) list;
@@ -19,14 +23,20 @@ type t = {
   results : instance_result list;
   total_instances : int;
   total_failed : int;
+  total_proved : int;
 }
 
 let take n l =
   let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
   go 0 l
 
+let trials_spent t =
+  List.fold_left
+    (fun acc r -> match r.report with Some rep -> acc + rep.Difftest.trials_run | None -> acc)
+    0 t.results
+
 let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = false)
-    programs xforms =
+    ?(certify_gate = false) programs xforms =
   let results = ref [] in
   List.iter
     (fun (x : Transforms.Xform.t) ->
@@ -36,7 +46,18 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
           let sites = match limit_per with Some n -> take n sites | None -> sites in
           List.iter
             (fun site ->
-              let report = Difftest.test_instance ~config g x site in
+              (* translation validation first: a proved-equivalent instance
+                 skips all its fuzz trials (report = None) *)
+              let verdict =
+                if certify_gate then
+                  Analysis.Equiv.certify ~symbols:config.Difftest.concretization g x site
+                else None
+              in
+              let report =
+                match verdict with
+                | Some (Analysis.Equiv.Equivalent _) -> None
+                | _ -> Some (Difftest.test_instance ~config g x site)
+              in
               (* second evidence channel: what the static oracle would have
                  said about this instance, independent of the fuzz verdict *)
               let static =
@@ -48,18 +69,26 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
                   | None -> []
                 else []
               in
-              results := { program = pname; report; static } :: !results)
+              results :=
+                { program = pname; xform_name = x.name; site; report; static; verdict }
+                :: !results)
             sites)
         programs)
     xforms;
   let results = List.rev !results in
+  let is_proved r =
+    match r.verdict with Some (Analysis.Equiv.Equivalent _) -> true | _ -> false
+  in
   let rows =
     List.map
       (fun (x : Transforms.Xform.t) ->
-        let mine = List.filter (fun r -> r.report.xform_name = x.name) results in
+        let mine = List.filter (fun (r : instance_result) -> r.xform_name = x.name) results in
         let failing =
           List.filter_map
-            (fun r -> match r.report.verdict with Difftest.Fail f -> Some f | Difftest.Pass -> None)
+            (fun r ->
+              match r.report with
+              | Some { Difftest.verdict = Difftest.Fail f; _ } -> Some f
+              | _ -> None)
             mine
         in
         let count klass = List.length (List.filter (fun f -> f.Difftest.klass = klass) failing) in
@@ -82,10 +111,12 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
               List.fold_left (fun a (f : Difftest.failing) -> a +. float_of_int f.first_trial) 0. fs
               /. float_of_int (List.length fs)
         in
+        let proved = List.length (List.filter is_proved mine) in
         {
           xform_name = x.name;
           instances = List.length mine;
-          passed = List.length mine - List.length failing;
+          passed = List.length mine - List.length failing - proved;
+          proved;
           failed = List.length failing;
           static_flagged = List.length (List.filter (fun r -> r.static <> []) mine);
           classes;
@@ -100,8 +131,12 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
     total_failed =
       List.length
         (List.filter
-           (fun r -> match r.report.verdict with Difftest.Fail _ -> true | Difftest.Pass -> false)
+           (fun r ->
+             match r.report with
+             | Some { Difftest.verdict = Difftest.Fail _; _ } -> true
+             | _ -> false)
            results);
+    total_proved = List.length (List.filter is_proved results);
   }
 
 let class_marker = function
@@ -112,9 +147,9 @@ let class_marker = function
 let to_table t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-42s %10s %8s %8s %7s  %s\n" "Transformation" "Instances" "Passed"
-       "Failed" "Static" "Failure classes");
-  Buffer.add_string buf (String.make 96 '-');
+    (Printf.sprintf "%-42s %10s %8s %8s %8s %7s  %s\n" "Transformation" "Instances" "Passed"
+       "Proved" "Failed" "Static" "Failure classes");
+  Buffer.add_string buf (String.make 105 '-');
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
@@ -125,11 +160,12 @@ let to_table t =
             (List.map (fun (c, n) -> Printf.sprintf "%s x%d" (class_marker c) n) r.classes)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-42s %10d %8d %8d %7d  %s\n" r.xform_name r.instances r.passed
-           r.failed r.static_flagged classes))
+        (Printf.sprintf "%-42s %10d %8d %8d %8d %7d  %s\n" r.xform_name r.instances r.passed
+           r.proved r.failed r.static_flagged classes))
     t.rows;
-  Buffer.add_string buf (String.make 96 '-');
+  Buffer.add_string buf (String.make 105 '-');
   Buffer.add_char buf '\n';
   Buffer.add_string buf
-    (Printf.sprintf "total: %d instances tested, %d failing\n" t.total_instances t.total_failed);
+    (Printf.sprintf "total: %d instances tested, %d failing, %d proved equivalent\n"
+       t.total_instances t.total_failed t.total_proved);
   Buffer.contents buf

@@ -4,17 +4,25 @@
 
 type instance_result = {
   program : string;
-  report : Difftest.report;
+  xform_name : string;
+  site : Transforms.Xform.site;
+  report : Difftest.report option;
+      (** [None] when the translation validator proved the instance
+          equivalent — its fuzz trials were skipped entirely *)
   static : Analysis.Report.finding list;
       (** the static oracle's delta findings for this instance ([] when the
           gate is off or the instance analyzes clean) *)
+  verdict : Analysis.Equiv.verdict option;
+      (** the translation validator's verdict ([None] with the gate off or
+          when the site went stale before certification) *)
 }
 
 (** Aggregate over all instances of one transformation. *)
 type row = {
   xform_name : string;
   instances : int;
-  passed : int;
+  passed : int;  (** fuzz-tested and passed (excludes [proved]) *)
+  proved : int;  (** proved equivalent, no trials spent *)
   failed : int;
   static_flagged : int;  (** instances the static oracle flagged *)
   classes : (Difftest.failure_class * int) list;  (** failure counts by class *)
@@ -26,18 +34,25 @@ type t = {
   results : instance_result list;
   total_instances : int;
   total_failed : int;
+  total_proved : int;
 }
+
+(** Total fuzz trials actually executed across the campaign (proved-equivalent
+    instances contribute zero) — the denominator of the trials-saved metric. *)
+val trials_spent : t -> int
 
 (** [run programs xforms] finds and tests every application site. [limit_per]
     caps the instances tested per (program, transformation) pair to bound
     campaign time; [None] tests everything. [static_gate] additionally runs
     the static oracle on every instance as an independent evidence channel —
     instances are still fuzzed either way, so the table shows how the two
-    verdicts corroborate. *)
+    verdicts corroborate. [certify_gate] runs the translation validator first
+    and skips the fuzz trials of instances it proves equivalent. *)
 val run :
   ?config:Difftest.config ->
   ?limit_per:int option ->
   ?static_gate:bool ->
+  ?certify_gate:bool ->
   (string * Sdfg.Graph.t) list ->
   Transforms.Xform.t list ->
   t

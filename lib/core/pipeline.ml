@@ -1,5 +1,6 @@
 type decision =
   | Applied
+  | Proved_equivalent of Analysis.Certificate.t
   | Rejected of Difftest.failing
   | Rejected_static of Analysis.Report.finding list
   | Stale of string
@@ -10,15 +11,17 @@ type step = {
   decision : decision;
 }
 
-type log = { steps : step list; applied : int; rejected : int; stale : int }
+type log = { steps : step list; applied : int; proved : int; rejected : int; stale : int }
 
 let pp_log fmt log =
-  Format.fprintf fmt "%d applied, %d rejected, %d stale@." log.applied log.rejected log.stale;
+  Format.fprintf fmt "%d applied (%d proved equivalent), %d rejected, %d stale@."
+    (log.applied + log.proved) log.proved log.rejected log.stale;
   List.iter
     (fun s ->
       let d =
         match s.decision with
         | Applied -> "applied"
+        | Proved_equivalent _ -> "applied (proved equivalent, no trials)"
         | Rejected f -> "REJECTED: " ^ Difftest.class_to_string f.Difftest.klass
         | Rejected_static fs ->
             "REJECTED (static): "
@@ -31,7 +34,7 @@ let pp_log fmt log =
 let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms =
   let current = Sdfg.Graph.copy g in
   let steps = ref [] in
-  let applied = ref 0 and rejected = ref 0 and stale = ref 0 in
+  let applied = ref 0 and proved = ref 0 and rejected = ref 0 and stale = ref 0 in
   List.iter
     (fun (x : Transforms.Xform.t) ->
       (* discover on the current program; apply passing instances one by one *)
@@ -52,22 +55,68 @@ let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms
               incr rejected;
               record (Rejected_static findings)
           | Some [] -> (
-              match Difftest.test_instance ~config current x site with
-              | { verdict = Difftest.Pass; _ } -> (
+              let fuzz ~config () =
+                match Difftest.test_instance ~config current x site with
+                | { verdict = Difftest.Pass; _ } -> (
+                    match x.apply current site with
+                    | _ ->
+                        incr applied;
+                        record Applied
+                    | exception Transforms.Xform.Cannot_apply msg ->
+                        incr stale;
+                        record (Stale msg))
+                | { verdict = Difftest.Fail f; _ } ->
+                    incr rejected;
+                    record (Rejected f)
+                | exception Transforms.Xform.Cannot_apply msg ->
+                    incr stale;
+                    record (Stale msg)
+              in
+              (* translation validation: a proved-equivalent instance is
+                 applied without spending a single trial; a refutation
+                 witness seeds one cheap probe trial pinned to the witness
+                 valuation before the full-budget run *)
+              let verdict =
+                if static_gate then
+                  Analysis.Equiv.certify ~symbols:config.Difftest.concretization
+                    current x site
+                else None
+              in
+              match verdict with
+              | Some (Analysis.Equiv.Equivalent cert) -> (
                   match x.apply current site with
                   | _ ->
-                      incr applied;
-                      record Applied
+                      incr proved;
+                      record (Proved_equivalent cert)
                   | exception Transforms.Xform.Cannot_apply msg ->
                       incr stale;
                       record (Stale msg))
-              | { verdict = Difftest.Fail f; _ } ->
-                  incr rejected;
-                  record (Rejected f)
-              | exception Transforms.Xform.Cannot_apply msg ->
-                  incr stale;
-                  record (Stale msg)))
+              | Some (Analysis.Equiv.Refuted w) -> (
+                  let probe =
+                    {
+                      config with
+                      Difftest.trials = 1;
+                      custom_constraints =
+                        List.map (fun (s, v) -> (s, (v, v))) w.valuation
+                        @ config.Difftest.custom_constraints;
+                    }
+                  in
+                  match Difftest.test_instance ~config:probe current x site with
+                  | { verdict = Difftest.Fail f; _ } ->
+                      incr rejected;
+                      record (Rejected f)
+                  | { verdict = Difftest.Pass; _ } -> fuzz ~config ()
+                  | exception Transforms.Xform.Cannot_apply msg ->
+                      incr stale;
+                      record (Stale msg))
+              | Some (Analysis.Equiv.Unknown _) | None -> fuzz ~config ()))
         (x.find current))
     xforms;
   ( current,
-    { steps = List.rev !steps; applied = !applied; rejected = !rejected; stale = !stale } )
+    {
+      steps = List.rev !steps;
+      applied = !applied;
+      proved = !proved;
+      rejected = !rejected;
+      stale = !stale;
+    } )

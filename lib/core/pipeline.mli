@@ -10,10 +10,18 @@
     race, out-of-bounds access or def-use violation that the oracle can
     prove under the configured concretization, the instance is rejected
     {e before any fuzzing trial runs}, with the findings (offending
-    container and overlapping subsets) in the audit log. *)
+    container and overlapping subsets) in the audit log.
+
+    Instances that survive the oracle are handed to the translation
+    validator ({!Analysis.Equiv}): a proved-equivalent instance is applied
+    with {e zero} fuzz trials and its certificate recorded; a refuted
+    instance gets one probe trial pinned to the refutation witness before
+    the full-budget run; unknowns fall through to ordinary fuzzing. *)
 
 type decision =
   | Applied
+  | Proved_equivalent of Analysis.Certificate.t
+      (** proved dataflow-equivalent — applied without any fuzz trials *)
   | Rejected of Difftest.failing
   | Rejected_static of Analysis.Report.finding list
       (** vetoed by the static oracle — no trials were spent *)
@@ -27,7 +35,8 @@ type step = {
 
 type log = {
   steps : step list;
-  applied : int;
+  applied : int;  (** applied after fuzzing (excludes [proved]) *)
+  proved : int;  (** applied on a static equivalence proof, zero trials *)
   rejected : int;  (** dynamic and static rejections combined *)
   stale : int;
 }

@@ -135,6 +135,154 @@ let rec simplify e =
 let equal a b = simplify a = simplify b
 let is_constant e = match simplify e with Int n -> Some n | _ -> None
 
+(* ---- interval reasoning under symbol bounds ---------------------------- *)
+
+let unbounded : string -> int option * int option = fun _ -> (None, None)
+
+(* Option endpoints: [None] is -oo for lows and +oo for highs. *)
+let opt_add a b = match (a, b) with Some x, Some y -> Some (x + y) | _ -> None
+let opt_neg = Option.map (fun x -> -x)
+
+let opt_min_lo a b =
+  (* lower endpoint of a set union-like min: -oo absorbs *)
+  match (a, b) with Some x, Some y -> Some (Stdlib.min x y) | _ -> None
+
+let opt_max_hi a b = match (a, b) with Some x, Some y -> Some (Stdlib.max x y) | _ -> None
+
+let rec interval bnds e =
+  match e with
+  | Int n -> (Some n, Some n)
+  | Sym s -> bnds s
+  | Add (a, b) ->
+      let la, ha = interval bnds a and lb, hb = interval bnds b in
+      (opt_add la lb, opt_add ha hb)
+  | Sub (a, b) ->
+      let la, ha = interval bnds a and lb, hb = interval bnds b in
+      (opt_add la (opt_neg hb), opt_add ha (opt_neg lb))
+  | Neg a ->
+      let la, ha = interval bnds a in
+      (opt_neg ha, opt_neg la)
+  | Mul (a, b) -> (
+      let mul_const k (l, h) =
+        if k = 0 then (Some 0, Some 0)
+        else
+          let l' = Option.map (fun x -> k * x) l and h' = Option.map (fun x -> k * x) h in
+          if k > 0 then (l', h') else (h', l')
+      in
+      match (interval bnds a, interval bnds b) with
+      | (Some ka, Some ka'), ib when ka = ka' -> mul_const ka ib
+      | ia, (Some kb, Some kb') when kb = kb' -> mul_const kb ia
+      | (Some la, Some ha), (Some lb, Some hb) ->
+          let ps = [ la * lb; la * hb; ha * lb; ha * hb ] in
+          (Some (List.fold_left Stdlib.min (List.hd ps) ps),
+           Some (List.fold_left Stdlib.max (List.hd ps) ps))
+      | _ -> (None, None))
+  | Div (a, Int k) when k > 0 ->
+      let la, ha = interval bnds a in
+      (Option.map (fun x -> fdiv x k) la, Option.map (fun x -> fdiv x k) ha)
+  | Div _ -> (None, None)
+  | Mod (_, Int k) when k > 0 -> (Some 0, Some (k - 1))
+  | Mod _ -> (None, None)
+  | Min (a, b) ->
+      let la, ha = interval bnds a and lb, hb = interval bnds b in
+      let h = match (ha, hb) with Some x, Some y -> Some (Stdlib.min x y) | Some x, None | None, Some x -> Some x | _ -> None in
+      (opt_min_lo la lb, h)
+  | Max (a, b) ->
+      let la, ha = interval bnds a and lb, hb = interval bnds b in
+      let l = match (la, lb) with Some x, Some y -> Some (Stdlib.max x y) | Some x, None | None, Some x -> Some x | _ -> None in
+      (l, opt_max_hi ha hb)
+
+(* Provably [a <= b] under the bounds. Interval arithmetic alone is
+   correlation-blind (it cannot see min(2, N-1) <= N-1), so min/max operands
+   are also compared structurally: min(x, y) <= b whenever x <= b or y <= b,
+   and dually for max. *)
+(* Linear normal form: constant plus integer combination of atoms, where an
+   atom is any subterm the +/-/const-multiple fragment cannot decompose
+   (symbols, min/max, divisions...). Syntactically equal atoms cancel, which
+   the per-node interval evaluation cannot do: (N-1+31) - (N-1) has the
+   unbounded interval (-oo,oo) but the exact linear difference 31. *)
+module Atom_map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = Stdlib.compare
+end)
+
+let linear_form e =
+  let add_atom a k m = Atom_map.update a (fun v -> Some (Option.value v ~default:0 + k)) m in
+  let rec go k e ((c, m) as acc) =
+    match e with
+    | Int n -> (c + (k * n), m)
+    | Add (a, b) -> go k b (go k a acc)
+    | Sub (a, b) -> go (-k) b (go k a acc)
+    | Neg a -> go (-k) a acc
+    | Mul (Int n, a) | Mul (a, Int n) -> go (k * n) a acc
+    | Sym _ | Mul _ | Div _ | Mod _ | Min _ | Max _ -> (c, add_atom e k m)
+  in
+  go 1 e (0, Atom_map.empty)
+
+(* Upper bound of [a - b]: cancel shared linear structure first, then bound
+   each surviving atom by its interval. *)
+let diff_upper bnds a b =
+  let c, atoms = linear_form (simplify (Sub (a, b))) in
+  Atom_map.fold
+    (fun atom k acc ->
+      match acc with
+      | None -> None
+      | Some s ->
+          if k = 0 then Some s
+          else
+            let lo, hi = interval bnds atom in
+            let endpoint = if k > 0 then hi else lo in
+            Option.map (fun v -> s + (k * v)) endpoint)
+    atoms (Some c)
+
+let rec leq bnds a b =
+  (match diff_upper bnds a b with Some h when h <= 0 -> true | _ -> false)
+  || (match a with
+     | Min (x, y) -> leq bnds x b || leq bnds y b
+     | Max (x, y) -> leq bnds x b && leq bnds y b
+     | _ -> false)
+  || (match b with
+     | Max (x, y) -> leq bnds a x || leq bnds a y
+     | Min (x, y) -> leq bnds a x && leq bnds a y
+     | _ -> false)
+
+(* Sign of [a - b] under the bounds: definitely non-positive, definitely
+   non-negative, or unknown. *)
+let compare_under bnds a b =
+  if leq bnds a b then `Le else if leq bnds b a then `Ge else `Unknown
+
+let rec simplify_under bnds e =
+  let s = simplify_under bnds in
+  match e with
+  | Int _ | Sym _ -> e
+  | Add (a, b) -> simplify (Add (s a, s b))
+  | Sub (a, b) -> simplify (Sub (s a, s b))
+  | Mul (a, b) -> simplify (Mul (s a, s b))
+  | Div (a, b) -> simplify (Div (s a, s b))
+  | Mod (a, b) -> simplify (Mod (s a, s b))
+  | Neg a -> simplify (Neg (s a))
+  | Min (a, b) -> (
+      let a' = s a and b' = s b in
+      if a' = b' then a'
+      else
+        match compare_under bnds a' b' with
+        | `Le -> a'
+        | `Ge -> b'
+        | `Unknown -> simplify (Min (a', b')))
+  | Max (a, b) -> (
+      let a' = s a and b' = s b in
+      if a' = b' then a'
+      else
+        match compare_under bnds a' b' with
+        | `Le -> b'
+        | `Ge -> a'
+        | `Unknown -> simplify (Max (a', b')))
+
+let equal_under bnds a b =
+  simplify_under bnds a = simplify_under bnds b
+  || (match interval bnds (Sub (a, b)) with Some 0, Some 0 -> true | _ -> false)
+
 let rec pp_prec prec fmt e =
   let paren p body =
     if prec > p then Format.fprintf fmt "(%t)" body else body fmt

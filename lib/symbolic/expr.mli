@@ -67,6 +67,33 @@ val equal : t -> t -> bool
 (** [is_constant e] returns [Some n] when [e] simplifies to the literal [n]. *)
 val is_constant : t -> int option
 
+(** {1 Interval reasoning under symbol bounds}
+
+    A bounds function maps each symbol to a conservative [(lo, hi)] interval;
+    [None] means unbounded on that side. These power the translation-validation
+    certifier, which must resolve [min]/[max] bounds (tile remainders) that
+    plain structural simplification cannot. *)
+
+(** The trivial bounds: every symbol is unbounded. *)
+val unbounded : string -> int option * int option
+
+(** Conservative interval of an expression's value over all symbol valuations
+    admitted by the bounds. Never raises; unknown operators widen to
+    [(None, None)]. *)
+val interval : (string -> int option * int option) -> t -> int option * int option
+
+(** Sign of [a - b] under the bounds: [`Le] when provably [a <= b] everywhere,
+    [`Ge] when provably [a >= b], [`Unknown] otherwise. *)
+val compare_under : (string -> int option * int option) -> t -> t -> [ `Le | `Ge | `Unknown ]
+
+(** {!simplify} plus [min]/[max] resolution by interval sign: [min(a, b)]
+    collapses to [a] when [a <= b] is provable under the bounds. *)
+val simplify_under : (string -> int option * int option) -> t -> t
+
+(** Equality after {!simplify_under}; additionally holds when [a - b] has the
+    point interval [0, 0]. A [false] answer proves nothing. *)
+val equal_under : (string -> int option * int option) -> t -> t -> bool
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

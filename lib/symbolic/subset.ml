@@ -81,16 +81,125 @@ let rename_sym ~from ~into s = subst (Expr.Env.singleton from (Expr.Sym into)) s
 let rename_syms pairs s =
   subst (Expr.Env.of_seq (List.to_seq (List.map (fun (f, i) -> (f, Expr.Sym i)) pairs))) s
 
-(* [a] ends strictly before [b] starts when hi_a - lo_b simplifies to a
-   negative literal. Purely structural: a [false] answer proves nothing. *)
+(* [a] ends strictly before [b] starts when a's largest element minus b's
+   smallest simplifies to a negative literal. For a decreasing range the
+   largest element is [lo], not [hi]; a symbolic step of unknown sign yields
+   no endpoints and thus no proof. Purely structural: a [false] answer proves
+   nothing. *)
+let endpoints (r : range) =
+  match Expr.is_constant (Expr.simplify r.step) with
+  | Some st when st < 0 -> Some (r.hi, r.lo)  (* (smallest, largest) *)
+  | Some _ -> Some (r.lo, r.hi)
+  | None -> None
+
 let range_before (a : range) (b : range) =
-  match Expr.is_constant (Expr.simplify (Expr.sub a.hi b.lo)) with
-  | Some d -> d < 0
-  | None -> false
+  match (endpoints a, endpoints b) with
+  | Some (_, amax), Some (bmin, _) -> (
+      match Expr.is_constant (Expr.simplify (Expr.sub amax bmin)) with
+      | Some d -> d < 0
+      | None -> false)
+  | _ -> false
 
 let definitely_disjoint a b =
   List.length a = List.length b
   && List.exists2 (fun ra rb -> range_before ra rb || range_before rb ra) a b
+
+(* ---- normalization, union and symbolic equality ----------------------- *)
+
+let normalize_range bnds (r : range) =
+  let s = Expr.simplify_under bnds in
+  let lo = s r.lo and hi = s r.hi and step = s r.step in
+  if Expr.equal lo hi then { lo; hi; step = Expr.one }
+  else
+    match (lo, hi, step) with
+    (* a fully constant decreasing range covers the same elements as its
+       increasing mirror, re-anchored so iteration order is forgotten *)
+    | Expr.Int l, Expr.Int h, Expr.Int st when st < 0 ->
+        let n = crange_count { clo = l; chi = h; cstep = st } in
+        if n = 0 then { lo; hi; step }
+        else { lo = Expr.int (l + ((n - 1) * st)); hi = Expr.int l; step = Expr.int (-st) }
+    | _ -> { lo; hi; step }
+
+let normalize ?(bounds = Expr.unbounded) s = List.map (normalize_range bounds) s
+
+let equal ?(bounds = Expr.unbounded) a b =
+  let a = normalize ~bounds a and b = normalize ~bounds b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ra : range) (rb : range) ->
+         Expr.equal_under bounds ra.lo rb.lo
+         && Expr.equal_under bounds ra.hi rb.hi
+         && Expr.equal_under bounds ra.step rb.step)
+       a b
+
+(* Bounding-box union: exact when one side contains the other, otherwise a
+   conservative over-approximation (strides collapse to 1 when they differ).
+   Both sides of a translation-validation comparison are unioned by this same
+   operator, so over-approximation cancels out of the equality check. *)
+let union_range bnds (a : range) (b : range) =
+  if a = b then a
+  else
+    let s = Expr.simplify_under bnds in
+    {
+      lo = s (Expr.min_ a.lo b.lo);
+      hi = s (Expr.max_ a.hi b.hi);
+      step = (if Expr.equal a.step b.step && Expr.equal a.lo b.lo then a.step else Expr.one);
+    }
+
+let union ?(bounds = Expr.unbounded) a b =
+  if a = [] then b
+  else if b = [] then a
+  else if List.length a <> List.length b then
+    invalid_arg
+      (Printf.sprintf "Subset.union: %d-dim vs %d-dim subset" (List.length a) (List.length b))
+  else List.map2 (union_range bounds) a b
+
+module Iset = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+(* All concrete element index vectors of a subset, or [None] when any range
+   fails to concretize or the element count exceeds [cap]. *)
+let elements_under ?(cap = 4096) env s =
+  match concretize env s with
+  | exception _ -> None
+  | cs ->
+      if List.fold_left (fun v r -> v * crange_count r) 1 cs > cap then None
+      else
+        let rec go = function
+          | [] -> [ [] ]
+          | r :: rest ->
+              let tails = go rest in
+              List.concat_map (fun i -> List.map (fun t -> i :: t) tails) (crange_elements r)
+        in
+        Some (Iset.of_list (go cs))
+
+(* Search a small grid of symbol valuations for one under which [a] and [b]
+   cover different element sets. [symbols] gives each symbol's candidate
+   interval; a handful of values per symbol (endpoints plus midpoint) keeps
+   the grid tractable. Returns the valuation and one differing element. *)
+let difference_witness ?(cap = 4096) ~symbols a b =
+  let candidates (lo, hi) =
+    let lo = Stdlib.min lo hi and hi = Stdlib.max lo hi in
+    List.sort_uniq compare [ lo; Stdlib.min hi (lo + 1); (lo + hi) / 2; hi ]
+  in
+  let rec grid = function
+    | [] -> [ [] ]
+    | (s, range) :: rest ->
+        let tails = grid rest in
+        List.concat_map (fun v -> List.map (fun t -> (s, v) :: t) tails) (candidates range)
+  in
+  let check valuation =
+    let env = Expr.Env.of_list valuation in
+    match (elements_under ~cap env a, elements_under ~cap env b) with
+    | Some ea, Some eb ->
+        let d = Iset.union (Iset.diff ea eb) (Iset.diff eb ea) in
+        if Iset.is_empty d then None else Some (valuation, Iset.min_elt d)
+    | _ -> None
+  in
+  List.find_map check (grid symbols)
 
 let pp_range fmt { lo; hi; step } =
   if Expr.equal lo hi then Expr.pp fmt lo

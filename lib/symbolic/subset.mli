@@ -68,6 +68,38 @@ val rename_syms : (string * string) list -> t -> t
     bounds simplifies to a negative constant. A [false] answer proves
     nothing (the subsets may still be disjoint). *)
 val definitely_disjoint : t -> t -> bool
+
+(** {1 Subset algebra for translation validation} *)
+
+(** Canonical form under symbol bounds: every component expression is
+    {!Expr.simplify_under}-reduced, single-point ranges get step 1, and fully
+    constant decreasing ranges are mirrored to their increasing equivalent
+    (iteration order is not part of a subset's meaning). *)
+val normalize : ?bounds:(string -> int option * int option) -> t -> t
+
+(** Symbolic subset equality after normalization: same dimensionality and
+    per-dimension {!Expr.equal_under} bounds and step. A [false] answer
+    proves nothing. *)
+val equal : ?bounds:(string -> int option * int option) -> t -> t -> bool
+
+(** Per-dimension bounding-box union. Exact when one side covers the other;
+    otherwise conservative (mismatched strides collapse to 1). The empty
+    (scalar) subset is the unit.
+    @raise Invalid_argument on a dimensionality mismatch. *)
+val union : ?bounds:(string -> int option * int option) -> t -> t -> t
+
+(** [difference_witness ~symbols a b] searches a small grid of concrete symbol
+    valuations (endpoints and midpoint of each symbol's candidate interval)
+    for one under which [a] and [b] cover different element sets. Returns the
+    valuation and one element of the symmetric difference. Valuations where
+    either subset fails to concretize or exceeds [cap] elements are skipped,
+    so [None] proves nothing. *)
+val difference_witness :
+  ?cap:int ->
+  symbols:(string * (int * int)) list ->
+  t ->
+  t ->
+  ((string * int) list * int list) option
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

@@ -96,4 +96,10 @@ let make ?(tile = 8) variant =
   let name =
     match variant with Correct -> "BufferTiling" | Wrong_scheduling -> "BufferTiling(wrong-schedule)"
   in
-  { Xform.name; find = find tile variant; apply = apply tile }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Wrong_scheduling ->
+        Some (Xform.Known_unsound "schedules the tiled consumer before its producer tile completes")
+  in
+  { Xform.name; find = find tile variant; apply = apply tile; certify_hint }

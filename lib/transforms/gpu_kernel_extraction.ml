@@ -217,4 +217,10 @@ let make variant =
     | Correct -> "GpuKernelExtraction"
     | Full_copy_back -> "GpuKernelExtraction(full-copy-back)"
   in
-  { Xform.name; find; apply = apply variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Full_copy_back ->
+        Some (Xform.Known_unsound "copies the whole device buffer back, clobbering untouched host data")
+  in
+  { Xform.name; find; apply = apply variant; certify_hint }

@@ -71,4 +71,10 @@ let make variant =
   let name =
     match variant with Correct -> "LoopPeeling" | Assume_nonempty -> "LoopPeeling(assume-nonempty)"
   in
-  { Xform.name; find = find variant; apply }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Assume_nonempty ->
+        Some (Xform.Known_unsound "peels the first iteration of a possibly empty loop")
+  in
+  { Xform.name; find = find variant; apply; certify_hint }

@@ -99,4 +99,10 @@ let make ?(max_trip = 64) variant =
     | Correct -> "LoopUnrolling"
     | Negative_step_sign_error -> "LoopUnrolling(negative-step)"
   in
-  { Xform.name; find = find max_trip; apply = apply variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Negative_step_sign_error ->
+        Some (Xform.Known_unsound "flips the sign of a negative loop step when unrolling")
+  in
+  { Xform.name; find = find max_trip; apply = apply variant; certify_hint }

@@ -101,4 +101,5 @@ let apply g (site : Xform.site) =
           | _ -> raise (Xform.Cannot_apply "map_collapse: not maps")))
   | _ -> raise (Xform.Cannot_apply "map_collapse: bad site")
 
-let make () = { Xform.name = "MapCollapse"; find; apply }
+let make () =
+  { Xform.name = "MapCollapse"; find; apply; certify_hint = Some Xform.Preserves_sets }

@@ -62,4 +62,10 @@ let make variant =
   let name =
     match variant with Correct -> "MapExpansion" | Bad_exit_wiring -> "MapExpansion(bad-exit)"
   in
-  { Xform.name; find; apply = apply variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Bad_exit_wiring ->
+        Some (Xform.Known_unsound "miswires the inner map exit, dropping part of the output")
+  in
+  { Xform.name; find; apply = apply variant; certify_hint }

@@ -185,4 +185,10 @@ let apply g (site : Xform.site) =
 
 let make variant =
   let name = match variant with Correct -> "MapFusion" | Ignore_offsets -> "MapFusion(ignore-offsets)" in
-  { Xform.name; find = match_sites variant; apply }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Ignore_offsets ->
+        Some (Xform.Known_unsound "fuses across a producer/consumer index offset")
+  in
+  { Xform.name; find = match_sites variant; apply; certify_hint }

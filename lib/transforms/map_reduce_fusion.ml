@@ -160,4 +160,10 @@ let make variant =
   let name =
     match variant with Correct -> "MapReduceFusion" | Missing_init -> "MapReduceFusion(missing-init)"
   in
-  { Xform.name; find; apply = apply variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Missing_init ->
+        Some (Xform.Known_unsound "skips initializing the accumulator before fused reduction")
+  in
+  { Xform.name; find; apply = apply variant; certify_hint }

@@ -48,4 +48,11 @@ let make ?(tile_size = 32) variant =
     | Off_by_one -> "MapTiling(off-by-one)"
     | No_remainder -> "MapTiling(no-remainder)"
   in
-  { Xform.name; find; apply = apply tile_size variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Off_by_one -> Some (Xform.Known_unsound "duplicates the boundary iteration of every tile")
+    | No_remainder ->
+        Some (Xform.Known_unsound "overruns the range when the tile size does not divide the span")
+  in
+  { Xform.name; find; apply = apply tile_size variant; certify_hint }

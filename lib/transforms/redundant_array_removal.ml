@@ -110,4 +110,5 @@ let apply g (site : Xform.site) =
       | _ -> raise (Xform.Cannot_apply "redundant_array_removal: not access nodes"))
   | _ -> raise (Xform.Cannot_apply "redundant_array_removal: bad site")
 
-let make () = { Xform.name = "RedundantArrayRemoval"; find; apply }
+let make () =
+  { Xform.name = "RedundantArrayRemoval"; find; apply; certify_hint = Some Xform.Preserves_sets }

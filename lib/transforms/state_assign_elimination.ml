@@ -79,4 +79,10 @@ let make variant =
     | Correct -> "StateAssignElimination"
     | Ignore_conditions -> "StateAssignElimination(ignore-conditions)"
   in
-  { Xform.name; find = find variant; apply }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Ignore_conditions ->
+        Some (Xform.Known_unsound "propagates an assignment past conditional edges that may skip it")
+  in
+  { Xform.name; find = find variant; apply; certify_hint }

@@ -87,4 +87,10 @@ let make variant =
     | Correct -> "StateFusion"
     | Missing_dependencies -> "StateFusion(missing-deps)"
   in
-  { Xform.name; find; apply = apply variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Missing_dependencies ->
+        Some (Xform.Known_unsound "fuses states without sequencing their shared-container accesses")
+  in
+  { Xform.name; find; apply = apply variant; certify_hint }

@@ -84,4 +84,10 @@ let make variant =
     | Correct -> "SymbolAliasPromotion"
     | Clobber_redefinition -> "SymbolAliasPromotion(clobber)"
   in
-  { Xform.name; find = find variant; apply }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Clobber_redefinition ->
+        Some (Xform.Known_unsound "promotes an alias past a downstream redefinition of the symbol")
+  in
+  { Xform.name; find = find variant; apply; certify_hint }

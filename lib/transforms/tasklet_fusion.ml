@@ -154,4 +154,10 @@ let make variant =
     | Correct -> "TaskletFusion"
     | Ignore_system_state -> "TaskletFusion(drop-live-write)"
   in
-  { Xform.name; find = find variant; apply }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Ignore_system_state ->
+        Some (Xform.Known_unsound "drops the intermediate write even when it is observed elsewhere")
+  in
+  { Xform.name; find = find variant; apply; certify_hint }

@@ -56,4 +56,10 @@ let apply width variant g (site : Xform.site) =
 
 let make ?(width = 4) variant =
   let name = match variant with Correct -> "Vectorization" | Assume_divisible -> "Vectorization(assume-divisible)" in
-  { Xform.name; find; apply = apply width variant }
+  let certify_hint =
+    match variant with
+    | Correct -> Some Xform.Preserves_sets
+    | Assume_divisible ->
+        Some (Xform.Known_unsound "assumes the range length divides the vector width")
+  in
+  { Xform.name; find; apply = apply width variant; certify_hint }

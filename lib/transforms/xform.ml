@@ -15,10 +15,13 @@ let pp_site fmt s =
 
 exception Cannot_apply of string
 
+type certify_hint = Preserves_sets | Known_unsound of string
+
 type t = {
   name : string;
   find : Graph.t -> site list;
   apply : Graph.t -> site -> Diff.change_set;
+  certify_hint : certify_hint option;
 }
 
 let subst_symbol_in_state st sym expr =

@@ -28,10 +28,22 @@ exception Cannot_apply of string
     capture an element the transformation touches — itself a finding, see
     Sec. 3 step 2). *)
 
+(** A transformation's own claim about its dataflow footprint, consumed by the
+    translation-validation certifier ({!Analysis.Equiv} in the analysis
+    library). The hint is advisory — the certifier re-proves preservation from
+    the IR and never trusts [Preserves_sets] alone — but [Known_unsound]
+    (the deliberately buggy variants) vetoes certification outright. *)
+type certify_hint =
+  | Preserves_sets
+      (** intended to keep every container's propagated read/write set and
+          their ordering intact *)
+  | Known_unsound of string  (** deliberately buggy variant; the payload names the bug *)
+
 type t = {
   name : string;
   find : Sdfg.Graph.t -> site list;
   apply : Sdfg.Graph.t -> site -> Sdfg.Diff.change_set;
+  certify_hint : certify_hint option;
 }
 
 (** {1 Helpers shared by concrete transformations} *)

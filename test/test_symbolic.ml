@@ -149,6 +149,53 @@ let subset_tests =
         Alcotest.(check int) "vol" 3 (Subset.volume_eval env' s));
   ]
 
+(* Edge cases of the concrete and symbolic subset predicates: negative-step
+   ranges iterate downwards ([hi] is their smallest element) and empty ranges
+   cover nothing, so must neither overlap nor witness disjointness. *)
+let subset_edge_tests =
+  let down = { Subset.clo = 7; chi = 1; cstep = -2 } (* {7,5,3,1} *)
+  and mid = { Subset.clo = 3; chi = 5; cstep = 1 }
+  and empty = { Subset.clo = 0; chi = -1; cstep = 1 } in
+  let sdown = [ Subset.dim ~step:(Expr.int (-2)) (Expr.int 7) (Expr.int 1) ]
+  and smid = [ Subset.dim (Expr.int 3) (Expr.int 5) ]
+  and shigh = [ Subset.dim (Expr.int 8) (Expr.int 9) ] in
+  [
+    Alcotest.test_case "negative-step range overlaps its span" `Quick (fun () ->
+        Alcotest.(check bool) "7:1:-2 meets 3:5" true (Subset.overlaps [ down ] [ mid ]);
+        Alcotest.(check bool) "symmetric" true (Subset.overlaps [ mid ] [ down ]));
+    Alcotest.test_case "empty range overlaps nothing" `Quick (fun () ->
+        Alcotest.(check bool) "empty vs mid" false (Subset.overlaps [ empty ] [ mid ]);
+        Alcotest.(check bool) "empty vs itself" false (Subset.overlaps [ empty ] [ empty ]));
+    Alcotest.test_case "covers across directions" `Quick (fun () ->
+        Alcotest.(check bool) "1:7 covers the downward range" true
+          (Subset.covers [ { Subset.clo = 1; chi = 7; cstep = 1 } ] [ down ]);
+        Alcotest.(check bool) "downward stride-2 covers nothing" false
+          (Subset.covers [ down ] [ mid ]);
+        Alcotest.(check bool) "unit downward range covers" true
+          (Subset.covers [ { Subset.clo = 7; chi = 1; cstep = -1 } ] [ mid ]));
+    Alcotest.test_case "definitely_disjoint respects negative steps" `Quick (fun () ->
+        (* hi(=1) < lo(=3) of the other range, but the downward range still
+           covers {7,5,3,1}: a sound analysis must NOT claim disjointness *)
+        Alcotest.(check bool) "7:1:-2 vs 3:5" false (Subset.definitely_disjoint sdown smid);
+        Alcotest.(check bool) "7:1:-2 vs 8:9 is disjoint" true
+          (Subset.definitely_disjoint sdown shigh);
+        Alcotest.(check bool) "symmetric" true (Subset.definitely_disjoint shigh sdown));
+    Alcotest.test_case "normalize mirrors constant downward ranges" `Quick (fun () ->
+        let n = Subset.normalize sdown in
+        Alcotest.(check bool) "equal to 1:7:2" true
+          (Subset.equal n [ Subset.dim ~step:(Expr.int 2) (Expr.int 1) (Expr.int 7) ]));
+    Alcotest.test_case "union and difference witness" `Quick (fun () ->
+        let a = [ Subset.dim (Expr.int 0) (Expr.sub (Expr.sym "N") (Expr.int 1)) ]
+        and b = [ Subset.dim (Expr.int 0) (Expr.sub (Expr.sym "N") (Expr.int 2)) ] in
+        let u = Subset.union a b in
+        Alcotest.(check bool) "union is the larger range" true (Subset.equal u a);
+        match Subset.difference_witness ~symbols:[ ("N", (2, 9)) ] a b with
+        | Some (valuation, el) ->
+            let n = List.assoc "N" valuation in
+            Alcotest.(check (list int)) "witness element is the last index" [ n - 1 ] el
+        | None -> Alcotest.fail "expected a difference witness");
+  ]
+
 (* properties *)
 let gen_expr =
   let open QCheck.Gen in
@@ -214,6 +261,7 @@ let () =
       ("parse", parse_tests);
       ("cond", cond_tests);
       ("subset", subset_tests);
+      ("subset-edge", subset_edge_tests);
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
