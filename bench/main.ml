@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig3    -- one experiment
        (table1 fig3 fig4 bert speedup fuzzmodes sddmm table2 cloudsc
-        ablation equiv micro)
+        ablation equiv engine micro)
 
    Absolute numbers differ from the paper (interpreter vs generated C++);
    the *shapes* — who wins, by what factor, where input reductions land —
@@ -686,6 +686,77 @@ let equiv () =
   close_out oc;
   Printf.printf "wrote BENCH_equiv.json (%d rows)\n" (List.length rows)
 
+(* ------------------------------------------------------------------ *)
+(* Campaign engine: wall-clock vs worker count, scheduling overhead     *)
+(* ------------------------------------------------------------------ *)
+
+let engine () =
+  header "Campaign engine: wall-clock at 1/2/4 workers";
+  let programs =
+    [
+      ("scale", Workloads.Npbench.scale ());
+      ("axpy", Workloads.Npbench.axpy ());
+      ("gemm", Workloads.Npbench.gemm ());
+      ("mvt", Workloads.Npbench.mvt ());
+      ("softmax", Workloads.Npbench.softmax ());
+      ("fig4", Workloads.Fig4.build ());
+    ]
+  in
+  let xforms = Transforms.Registry.as_shipped () in
+  (* enough trials per instance that the fork/marshal cost amortizes — the
+     regime a real campaign runs in *)
+  let config =
+    {
+      Fuzzyflow.Difftest.default_config with
+      trials = 200;
+      max_size = 12;
+      concretization = [ ("N", 8); ("T", 3) ];
+    }
+  in
+  (* serial in-process reference: the work itself, no forks *)
+  let serial, t_serial = time (fun () -> Fuzzyflow.Campaign.run ~config programs xforms) in
+  let cores =
+    try
+      let ic = Unix.open_process_in "nproc 2>/dev/null" in
+      let n = try int_of_string (String.trim (input_line ic)) with _ -> 1 in
+      ignore (Unix.close_process_in ic);
+      n
+    with _ -> 1
+  in
+  Printf.printf "(%d cores available; speedup is bounded by min(j, cores))\n" cores;
+  Printf.printf "%-10s %10s %10s %10s %10s\n" "workers" "wall (s)" "speedup" "inst/s" "overhead";
+  Printf.printf "%-10s %10.2f %10s %10.1f %10s\n" "in-process" t_serial "1.00x"
+    (float_of_int serial.total_instances /. t_serial) "-";
+  let rows =
+    List.map
+      (fun j ->
+        let c, t =
+          time (fun () ->
+              Engine.Worker.run_campaign
+                ~options:{ Engine.Worker.default_options with j }
+                ~config programs xforms)
+        in
+        assert (c.Fuzzyflow.Campaign.total_instances = serial.Fuzzyflow.Campaign.total_instances);
+        (* scheduling overhead: how much slower one engine worker is than the
+           bare serial loop — the price of fork + marshal + polling *)
+        let overhead = (t -. (t_serial /. float_of_int j)) /. t_serial in
+        Printf.printf "%-10s %10.2f %9.2fx %10.1f %9.0f%%\n"
+          (Printf.sprintf "-j %d" j)
+          t (t_serial /. t)
+          (float_of_int c.Fuzzyflow.Campaign.total_instances /. t)
+          (100. *. overhead);
+        Printf.sprintf
+          "{\"bench\":\"engine\",\"j\":%d,\"cores\":%d,\"wall_s\":%.3f,\"serial_s\":%.3f,\"speedup\":%.3f,\"instances\":%d,\"instances_per_s\":%.1f}"
+          j cores t t_serial (t_serial /. t) c.Fuzzyflow.Campaign.total_instances
+          (float_of_int c.Fuzzyflow.Campaign.total_instances /. t))
+      [ 1; 2; 4 ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_engine.json (%d rows)\n" (List.length rows)
+
 let experiments =
   [
     ("table1", table1);
@@ -699,6 +770,7 @@ let experiments =
     ("cloudsc", cloudsc);
     ("ablation", ablation);
     ("equiv", equiv);
+    ("engine", engine);
     ("scaling", scaling);
     ("futurework", futurework);
     ("micro", micro);

@@ -3,6 +3,10 @@
      fuzzyflow list                      -- workloads and transformations
      fuzzyflow test -w atax -x BufferTiling(wrong-schedule) [-t 20] [-s 42]
      fuzzyflow campaign [-w chain -w atax ...] [--correct] [-t 10]
+                        [-j 4] [--deadline 30] [--journal c.jsonl] [--resume]
+                        [--corpus corpus/] [--progress]
+     fuzzyflow corpus replay corpus/    -- regression-gate saved failures
+     fuzzyflow corpus list corpus/
      fuzzyflow cutout -w matmul_chain --node N --state S [-D N=8]
      fuzzyflow analyze -w atax [-D N=8] [--carried]
                                         -- static dataflow oracle findings
@@ -156,7 +160,49 @@ let campaign_cmd =
       & info [ "certify" ]
           ~doc:"Skip the fuzz trials of instances the translation validator proves equivalent.")
   in
-  let run ws correct certify trials seed max_size no_min_cut defines =
+  let j_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker processes. Verdicts are identical for any $(docv) and seed.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per instance; overruns are killed and recorded as outcomes.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE" ~doc:"Append-only JSONL journal of per-instance outcomes.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Replay outcomes already in $(b,--journal) instead of re-fuzzing them.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Persist failing test cases under $(docv), deduplicated by finding signature.")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Live campaign telemetry on stderr.")
+  in
+  let limit_per_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-per" ] ~docv:"N"
+          ~doc:"Test at most $(docv) sites per (workload, transformation) pair.")
+  in
+  let run ws correct certify trials seed max_size no_min_cut defines j deadline journal resume
+      corpus progress limit_per =
     let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
     let config = mk_config trials seed max_size no_min_cut defines in
     let programs =
@@ -165,14 +211,88 @@ let campaign_cmd =
     let xforms =
       if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
     in
-    let c = Fuzzyflow.Campaign.run ~config ~certify_gate:certify programs xforms in
+    if resume && journal = None then begin
+      prerr_endline "campaign: --resume requires --journal";
+      exit 2
+    end;
+    let engine_needed =
+      j > 1 || journal <> None || corpus <> None || progress || limit_per <> None
+    in
+    let c =
+      if engine_needed then
+        let options =
+          {
+            Engine.Worker.j;
+            deadline_s = deadline;
+            journal_path = journal;
+            resume;
+            corpus_dir = corpus;
+            progress;
+            limit_per;
+            static_gate = false;
+            certify_gate = certify;
+          }
+        in
+        Engine.Worker.run_campaign ~options ~config ~catalog:(xform_catalog ()) programs xforms
+      else Fuzzyflow.Campaign.run ~config ~certify_gate:certify programs xforms
+    in
     print_string (Fuzzyflow.Campaign.to_table c)
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a transformation campaign over workloads (Table 2 style).")
     Term.(
       const run $ workloads_arg $ correct_arg $ certify_arg $ trials_arg $ seed_arg $ max_size_arg
-      $ no_min_cut_arg $ defines_arg)
+      $ no_min_cut_arg $ defines_arg $ j_arg $ deadline_arg $ journal_arg $ resume_arg $ corpus_arg
+      $ progress_arg $ limit_per_arg)
+
+let corpus_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Corpus directory.")
+
+let corpus_list_cmd =
+  let run dir =
+    let entries = Engine.Corpus.entries dir in
+    if entries = [] then Printf.printf "corpus %s: empty\n" dir
+    else
+      List.iter
+        (fun (m : Engine.Corpus.meta) ->
+          Format.printf "%s  %-28s %-12s %-10s @@ %a@." m.signature m.xform m.program m.klass
+            Transforms.Xform.pp_site m.site)
+        entries
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List corpus entries (signature, transformation, program, class, site).")
+    Term.(const run $ corpus_dir_arg)
+
+let corpus_replay_cmd =
+  let run dir =
+    let outcomes = Engine.Corpus.replay ~catalog:(xform_catalog ()) dir in
+    if outcomes = [] then begin
+      Printf.printf "corpus %s: empty\n" dir;
+      exit 0
+    end;
+    let stale = ref 0 in
+    List.iter
+      (fun (o : Engine.Corpus.replay_outcome) ->
+        if not o.reproduced then incr stale;
+        Printf.printf "%s %s %s: %s\n"
+          (if o.reproduced then "REPRODUCED" else "STALE     ")
+          o.meta.Engine.Corpus.signature o.meta.Engine.Corpus.xform o.detail)
+      outcomes;
+    Printf.printf "%d/%d entries reproduce\n" (List.length outcomes - !stale) (List.length outcomes);
+    if !stale > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay every corpus entry against the current code: re-apply the recorded \
+          transformation and re-run the stored fault-inducing inputs. Exits non-zero if any \
+          entry no longer reproduces.")
+    Term.(const run $ corpus_dir_arg)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus" ~doc:"Inspect and replay the persistent test-case corpus.")
+    [ corpus_list_cmd; corpus_replay_cmd ]
 
 let cutout_cmd =
   let state_arg =
@@ -347,6 +467,7 @@ let () =
             list_cmd;
             test_cmd;
             campaign_cmd;
+            corpus_cmd;
             cutout_cmd;
             analyze_cmd;
             certify_cmd;

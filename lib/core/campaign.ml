@@ -1,3 +1,13 @@
+type exec_status =
+  | Completed
+  | Timed_out of { deadline_s : float }
+  | Crashed of { detail : string }
+
+let status_name = function
+  | Completed -> "completed"
+  | Timed_out _ -> "timeout"
+  | Crashed _ -> "crash"
+
 type instance_result = {
   program : string;
   xform_name : string;
@@ -7,12 +17,31 @@ type instance_result = {
   verdict : Analysis.Equiv.verdict option;
 }
 
+type outcome_verdict =
+  | O_passed
+  | O_proved
+  | O_failed of { klass : Difftest.failure_class; first_trial : int; failing_trials : int }
+  | O_killed
+
+type outcome = {
+  o_program : string;
+  o_xform : string;
+  o_site : Transforms.Xform.site;
+  o_status : exec_status;
+  o_verdict : outcome_verdict;
+  o_trials_run : int;
+  o_static_flagged : bool;
+  o_elapsed_s : float;
+  o_seed : int;
+}
+
 type row = {
   xform_name : string;
   instances : int;
   passed : int;
   proved : int;
   failed : int;
+  killed : int;
   static_flagged : int;
   classes : (Difftest.failure_class * int) list;
   avg_first_trial : float;
@@ -21,19 +50,159 @@ type row = {
 type t = {
   rows : row list;
   results : instance_result list;
+  outcomes : outcome list;
   total_instances : int;
   total_failed : int;
   total_proved : int;
+  total_killed : int;
 }
 
 let take n l =
   let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
   go 0 l
 
-let trials_spent t =
-  List.fold_left
-    (fun acc r -> match r.report with Some rep -> acc + rep.Difftest.trials_run | None -> acc)
-    0 t.results
+(* ---------------- deterministic per-instance identity ---------------- *)
+
+let instance_id ~program ~xform site =
+  program ^ "::" ^ xform ^ "::" ^ Transforms.Xform.site_slug site
+
+(* FNV-1a over the instance id mixed with the campaign seed: scheduling-order
+   independent, so a parallel run and a serial run fuzz every instance with
+   the same trial sequence. *)
+let instance_seed ~global id =
+  let h = ref 0x811c9dc5 in
+  let mix c =
+    h := !h lxor Char.code c;
+    h := !h * 0x01000193 land 0x3FFFFFFF
+  in
+  String.iter mix (string_of_int global);
+  mix ':';
+  String.iter mix id;
+  (* keep clear of 0: some PRNGs degenerate on a zero seed *)
+  1 + (!h land 0x3FFFFFFF)
+
+(* ---------------- per-instance execution ---------------- *)
+
+let run_instance ?(config = Difftest.default_config) ?(static_gate = false)
+    ?(certify_gate = false) ~program:(pname, g) (x : Transforms.Xform.t) site =
+  (* translation validation first: a proved-equivalent instance skips all its
+     fuzz trials (report = None) *)
+  let verdict =
+    if certify_gate then Analysis.Equiv.certify ~symbols:config.Difftest.concretization g x site
+    else None
+  in
+  let report =
+    match verdict with
+    | Some (Analysis.Equiv.Equivalent _) -> None
+    | _ -> Some (Difftest.test_instance ~config g x site)
+  in
+  (* second evidence channel: what the static oracle would have said about
+     this instance, independent of the fuzz verdict *)
+  let static =
+    if static_gate then
+      match Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site with
+      | Some fs -> fs
+      | None -> []
+    else []
+  in
+  { program = pname; xform_name = x.name; site; report; static; verdict }
+
+let outcome_of_result ?(status = Completed) ?(seed = 0) ?(elapsed_s = 0.) (r : instance_result) =
+  let verdict =
+    match (r.verdict, r.report) with
+    | Some (Analysis.Equiv.Equivalent _), _ -> O_proved
+    | _, Some { Difftest.verdict = Difftest.Fail f; _ } ->
+        O_failed { klass = f.klass; first_trial = f.first_trial; failing_trials = f.failing_trials }
+    | _, Some { Difftest.verdict = Difftest.Pass; _ } -> O_passed
+    | _, None -> O_passed
+  in
+  let trials, elapsed =
+    match r.report with
+    | Some rep -> (rep.Difftest.trials_run, rep.Difftest.elapsed_s)
+    | None -> (0, elapsed_s)
+  in
+  {
+    o_program = r.program;
+    o_xform = r.xform_name;
+    o_site = r.site;
+    o_status = status;
+    o_verdict = verdict;
+    o_trials_run = trials;
+    o_static_flagged = r.static <> [];
+    o_elapsed_s = elapsed;
+    o_seed = seed;
+  }
+
+(* ---------------- aggregation ---------------- *)
+
+let is_killed o = match o.o_status with Completed -> false | _ -> true
+
+let assemble ?(results = []) (xforms : Transforms.Xform.t list) outcomes =
+  let rows =
+    List.map
+      (fun (x : Transforms.Xform.t) ->
+        let mine = List.filter (fun o -> o.o_xform = x.name) outcomes in
+        let failing =
+          List.filter_map
+            (fun o ->
+              match o.o_verdict with
+              | O_failed { klass; first_trial; _ } -> Some (klass, first_trial)
+              | _ -> None)
+            mine
+        in
+        let count klass = List.length (List.filter (fun (k, _) -> k = klass) failing) in
+        let classes =
+          List.filter
+            (fun (_, n) -> n > 0)
+            [
+              (Difftest.Semantics, count Difftest.Semantics);
+              (Difftest.Input_dependent, count Difftest.Input_dependent);
+              (Difftest.Invalid_code, count Difftest.Invalid_code);
+            ]
+        in
+        let real_failures = List.filter (fun (_, ft) -> ft > 0) failing in
+        let avg_first_trial =
+          match real_failures with
+          | [] -> 0.
+          | fs ->
+              List.fold_left (fun a (_, ft) -> a +. float_of_int ft) 0. fs
+              /. float_of_int (List.length fs)
+        in
+        let proved =
+          List.length (List.filter (fun o -> o.o_verdict = O_proved) mine)
+        in
+        let killed = List.length (List.filter is_killed mine) in
+        {
+          xform_name = x.name;
+          instances = List.length mine;
+          passed = List.length mine - List.length failing - proved - killed;
+          proved;
+          failed = List.length failing;
+          killed;
+          static_flagged = List.length (List.filter (fun o -> o.o_static_flagged) mine);
+          classes;
+          avg_first_trial;
+        })
+      xforms
+  in
+  let failed =
+    List.length
+      (List.filter (fun o -> match o.o_verdict with O_failed _ -> true | _ -> false) outcomes)
+  in
+  let killed = List.length (List.filter is_killed outcomes) in
+  {
+    rows;
+    results;
+    outcomes;
+    total_instances = List.length outcomes;
+    (* a killed instance is a campaign failure too: the transformation (or the
+       harness under it) hung or crashed instead of producing a verdict *)
+    total_failed = failed + killed;
+    total_proved = List.length (List.filter (fun o -> o.o_verdict = O_proved) outcomes);
+    total_killed = killed;
+  }
+
+let trials_spent t = List.fold_left (fun acc o -> acc + o.o_trials_run) 0 t.outcomes
 
 let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = false)
     ?(certify_gate = false) programs xforms =
@@ -46,98 +215,18 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
           let sites = match limit_per with Some n -> take n sites | None -> sites in
           List.iter
             (fun site ->
-              (* translation validation first: a proved-equivalent instance
-                 skips all its fuzz trials (report = None) *)
-              let verdict =
-                if certify_gate then
-                  Analysis.Equiv.certify ~symbols:config.Difftest.concretization g x site
-                else None
+              let id = instance_id ~program:pname ~xform:x.name site in
+              let config =
+                { config with Difftest.seed = instance_seed ~global:config.Difftest.seed id }
               in
-              let report =
-                match verdict with
-                | Some (Analysis.Equiv.Equivalent _) -> None
-                | _ -> Some (Difftest.test_instance ~config g x site)
-              in
-              (* second evidence channel: what the static oracle would have
-                 said about this instance, independent of the fuzz verdict *)
-              let static =
-                if static_gate then
-                  match
-                    Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site
-                  with
-                  | Some fs -> fs
-                  | None -> []
-                else []
-              in
-              results :=
-                { program = pname; xform_name = x.name; site; report; static; verdict }
-                :: !results)
+              let r = run_instance ~config ~static_gate ~certify_gate ~program:(pname, g) x site in
+              results := (r, config.Difftest.seed) :: !results)
             sites)
         programs)
     xforms;
   let results = List.rev !results in
-  let is_proved r =
-    match r.verdict with Some (Analysis.Equiv.Equivalent _) -> true | _ -> false
-  in
-  let rows =
-    List.map
-      (fun (x : Transforms.Xform.t) ->
-        let mine = List.filter (fun (r : instance_result) -> r.xform_name = x.name) results in
-        let failing =
-          List.filter_map
-            (fun r ->
-              match r.report with
-              | Some { Difftest.verdict = Difftest.Fail f; _ } -> Some f
-              | _ -> None)
-            mine
-        in
-        let count klass = List.length (List.filter (fun f -> f.Difftest.klass = klass) failing) in
-        let classes =
-          List.filter
-            (fun (_, n) -> n > 0)
-            [
-              (Difftest.Semantics, count Difftest.Semantics);
-              (Difftest.Input_dependent, count Difftest.Input_dependent);
-              (Difftest.Invalid_code, count Difftest.Invalid_code);
-            ]
-        in
-        let real_failures =
-          List.filter (fun (f : Difftest.failing) -> f.first_trial > 0) failing
-        in
-        let avg_first_trial =
-          match real_failures with
-          | [] -> 0.
-          | fs ->
-              List.fold_left (fun a (f : Difftest.failing) -> a +. float_of_int f.first_trial) 0. fs
-              /. float_of_int (List.length fs)
-        in
-        let proved = List.length (List.filter is_proved mine) in
-        {
-          xform_name = x.name;
-          instances = List.length mine;
-          passed = List.length mine - List.length failing - proved;
-          proved;
-          failed = List.length failing;
-          static_flagged = List.length (List.filter (fun r -> r.static <> []) mine);
-          classes;
-          avg_first_trial;
-        })
-      xforms
-  in
-  {
-    rows;
-    results;
-    total_instances = List.length results;
-    total_failed =
-      List.length
-        (List.filter
-           (fun r ->
-             match r.report with
-             | Some { Difftest.verdict = Difftest.Fail _; _ } -> true
-             | _ -> false)
-           results);
-    total_proved = List.length (List.filter is_proved results);
-  }
+  let outcomes = List.map (fun (r, seed) -> outcome_of_result ~seed r) results in
+  assemble ~results:(List.map fst results) xforms outcomes
 
 let class_marker = function
   | Difftest.Semantics -> "X"
@@ -147,9 +236,9 @@ let class_marker = function
 let to_table t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    (Printf.sprintf "%-42s %10s %8s %8s %8s %7s  %s\n" "Transformation" "Instances" "Passed"
-       "Proved" "Failed" "Static" "Failure classes");
-  Buffer.add_string buf (String.make 105 '-');
+    (Printf.sprintf "%-42s %10s %8s %8s %8s %7s %7s  %s\n" "Transformation" "Instances" "Passed"
+       "Proved" "Failed" "Killed" "Static" "Failure classes");
+  Buffer.add_string buf (String.make 113 '-');
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
@@ -160,12 +249,13 @@ let to_table t =
             (List.map (fun (c, n) -> Printf.sprintf "%s x%d" (class_marker c) n) r.classes)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-42s %10d %8d %8d %8d %7d  %s\n" r.xform_name r.instances r.passed
-           r.proved r.failed r.static_flagged classes))
+        (Printf.sprintf "%-42s %10d %8d %8d %8d %7d %7d  %s\n" r.xform_name r.instances r.passed
+           r.proved r.failed r.killed r.static_flagged classes))
     t.rows;
-  Buffer.add_string buf (String.make 105 '-');
+  Buffer.add_string buf (String.make 113 '-');
   Buffer.add_char buf '\n';
   Buffer.add_string buf
-    (Printf.sprintf "total: %d instances tested, %d failing, %d proved equivalent\n"
-       t.total_instances t.total_failed t.total_proved);
+    (Printf.sprintf
+       "total: %d instances tested, %d failing (%d hung/crashed), %d proved equivalent\n"
+       t.total_instances t.total_failed t.total_killed t.total_proved);
   Buffer.contents buf

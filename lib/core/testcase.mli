@@ -21,9 +21,18 @@ val of_report :
 (** Human-readable reproduction bundle. *)
 val render : t -> string
 
-(** [save dir tc] writes [render], the cutout's dot file, and the serialized
-    cutout graph ({!Sdfg.Serialize}) under [dir]; returns the paths written. *)
+(** [save dir tc] writes [render], a machine-readable bundle ([.case.dat]:
+    symbols, bit-exact inputs, failure, cutout metadata), the cutout's dot
+    file, and the serialized cutout graph ({!Sdfg.Serialize}) under [dir];
+    returns the paths written. *)
 val save : string -> t -> string list
+
+(** Inverse of [save]: reload a test case from any of the paths [save]
+    returned (or their common base path). The cutout graph is read back via
+    {!Sdfg.Serialize}, so node/state ids — and hence the recorded
+    transformation site — stay valid.
+    @raise Failure or [Sys_error] on a malformed or incomplete bundle. *)
+val load : string -> t
 
 (** Replay: run the cutout under the stored configuration and return the
     outcome — used to confirm a saved case still reproduces. *)

@@ -1,0 +1,173 @@
+open Fuzzyflow
+
+type meta = {
+  signature : string;
+  name : string;
+  program : string;
+  xform : string;
+  klass : string;
+  site : Transforms.Xform.site;
+}
+
+type save_result = Saved of string | Duplicate of string | Not_reproducing
+
+let class_name = function
+  | Difftest.Semantics -> "semantics"
+  | Difftest.Input_dependent -> "input-dependent"
+  | Difftest.Invalid_code -> "invalid-code"
+
+(* ---------------- signatures ---------------- *)
+
+let fnv_hex parts =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c =
+    h := Int64.logxor !h (Int64.of_int (Char.code c));
+    h := Int64.mul !h 0x100000001b3L
+  in
+  List.iter
+    (fun p ->
+      String.iter mix p;
+      mix '\x1f')
+    parts;
+  Printf.sprintf "%012Lx" (Int64.logand !h 0xFFFFFFFFFFFFL)
+
+(* the cutout's structural shape: what kind of subgraph was extracted and
+   what its data interface looks like — deliberately ignores workload-specific
+   node ids so the same bug found in two kernels shares a signature *)
+let shape_parts (cut : Cutout.t) =
+  let kind =
+    match cut.kind with
+    | Cutout.Dataflow { nodes; _ } -> Printf.sprintf "dataflow/%d" (List.length nodes)
+    | Cutout.Multistate { states } -> Printf.sprintf "multistate/%d" (List.length states)
+  in
+  let decls =
+    Sdfg.Graph.containers cut.program
+    |> List.map (fun (c, (d : Sdfg.Graph.datadesc)) ->
+           Printf.sprintf "%s:%s:%b" c
+             (String.concat "x" (List.map Symbolic.Expr.to_string d.shape))
+             d.transient)
+    |> List.sort compare
+  in
+  (kind :: List.sort compare cut.input_config)
+  @ List.sort compare cut.system_state @ decls
+
+let signature ~xform ~klass (cut : Cutout.t) =
+  fnv_hex ((xform :: class_name klass :: shape_parts cut))
+
+(* ---------------- reproduction check ---------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let check_reproduces ~catalog (m : meta) (tc : Testcase.t) =
+  match Transforms.Registry.by_name catalog m.xform with
+  | None -> (false, "unknown transformation " ^ m.xform)
+  | Some x -> (
+      let transformed = Sdfg.Graph.copy tc.cutout.program in
+      match (try `Applied (x.apply transformed m.site) with e -> `Failed e) with
+      | `Failed _ ->
+          if m.klass = "invalid-code" then (true, "transformation still fails to apply")
+          else (false, "transformation no longer applies")
+      | `Applied _ ->
+          if Sdfg.Validate.check transformed <> [] then
+            if m.klass = "invalid-code" then (true, "transformed cutout still invalid")
+            else (false, "transformed cutout became invalid")
+          else
+            let run g = Interp.Exec.run g ~symbols:tc.symbols ~inputs:tc.inputs in
+            let orig = run tc.cutout.program in
+            let xfrm = run transformed in
+            (match
+               Difftest.compare_outcomes ~threshold:Difftest.default_config.Difftest.threshold
+                 ~system_state:tc.cutout.system_state orig xfrm
+             with
+            | Some kind -> (true, Format.asprintf "%a" Difftest.pp_failure kind)
+            | None -> (false, "runs no longer diverge")))
+
+(* ---------------- metadata ---------------- *)
+
+let meta_file dir = Filename.concat dir "meta.json"
+
+let meta_to_json (m : meta) =
+  Journal.Json.Obj
+    [
+      ("signature", Journal.Json.Str m.signature);
+      ("name", Journal.Json.Str m.name);
+      ("program", Journal.Json.Str m.program);
+      ("xform", Journal.Json.Str m.xform);
+      ("class", Journal.Json.Str m.klass);
+      ("site", Journal.json_of_site m.site);
+    ]
+
+let meta_of_json j =
+  let open Journal.Json in
+  {
+    signature = str (field j "signature");
+    name = str (field j "name");
+    program = str (field j "program");
+    xform = str (field j "xform");
+    klass = str (field j "class");
+    site = Journal.site_of_json (field j "site");
+  }
+
+let read_meta path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  meta_of_json (Journal.Json.of_string content)
+
+(* ---------------- save / load / replay ---------------- *)
+
+let save ~dir ~catalog ~program ~xform ~klass ~site (tc : Testcase.t) =
+  let signature = signature ~xform ~klass tc.cutout in
+  let entry_dir = Filename.concat dir signature in
+  if Sys.file_exists entry_dir then Duplicate entry_dir
+  else begin
+    let m = { signature; name = tc.name; program; xform; klass = class_name klass; site } in
+    let ok, _detail = check_reproduces ~catalog m tc in
+    if not ok then Not_reproducing
+    else begin
+      mkdir_p entry_dir;
+      ignore (Testcase.save entry_dir tc);
+      let oc = open_out (meta_file entry_dir) in
+      output_string oc (Journal.Json.to_string (meta_to_json m));
+      output_char oc '\n';
+      close_out oc;
+      Saved entry_dir
+    end
+  end
+
+let entries dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun sub ->
+           let entry_dir = Filename.concat dir sub in
+           let mf = meta_file entry_dir in
+           if Sys.is_directory entry_dir && Sys.file_exists mf then
+             match read_meta mf with m -> Some m | exception _ -> None
+           else None)
+
+type replay_outcome = { meta : meta; reproduced : bool; detail : string }
+
+let replay_entry ~catalog ~dir (m : meta) =
+  let entry_dir = Filename.concat dir m.signature in
+  let dat =
+    Sys.readdir entry_dir |> Array.to_list
+    |> List.find_opt (fun f -> Filename.check_suffix f ".case.dat")
+  in
+  match dat with
+  | None -> { meta = m; reproduced = false; detail = "no .case.dat in entry" }
+  | Some f -> (
+      match Testcase.load (Filename.concat entry_dir f) with
+      | tc ->
+          let ok, detail = check_reproduces ~catalog m tc in
+          { meta = m; reproduced = ok; detail }
+      | exception e ->
+          { meta = m; reproduced = false; detail = "load failed: " ^ Printexc.to_string e })
+
+let replay ~catalog dir =
+  List.map (fun m -> replay_entry ~catalog ~dir m) (entries dir)

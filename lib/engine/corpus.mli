@@ -1,0 +1,52 @@
+(** Persistent test-case corpus (Sec. 6.4: extracted test cases are kept and
+    replayed as regression tests).
+
+    Every failing instance's {!Fuzzyflow.Testcase.t} is saved under
+    [dir/<signature>/], where the signature hashes (transformation, failure
+    class, cutout shape) — so structurally identical findings from different
+    workloads deduplicate to one entry. A case is only admitted if it
+    reproduces at save time under the same replay procedure [replay] uses,
+    making the corpus a self-consistent regression gate. *)
+
+type meta = {
+  signature : string;
+  name : string;  (** testcase name (base of the saved files) *)
+  program : string;
+  xform : string;
+  klass : string;  (** journal failure-class name *)
+  site : Transforms.Xform.site;  (** valid on the saved cutout (ids preserved) *)
+}
+
+type save_result =
+  | Saved of string  (** entry directory *)
+  | Duplicate of string  (** an entry with the same signature exists *)
+  | Not_reproducing  (** replay at save time did not reproduce the failure *)
+
+(** Signature of a finding: FNV-1a hex over the transformation name, failure
+    class and cutout shape (kind, container declarations, input/system
+    interface). *)
+val signature :
+  xform:string -> klass:Fuzzyflow.Difftest.failure_class -> Fuzzyflow.Cutout.t -> string
+
+val save :
+  dir:string ->
+  catalog:Transforms.Xform.t list ->
+  program:string ->
+  xform:string ->
+  klass:Fuzzyflow.Difftest.failure_class ->
+  site:Transforms.Xform.site ->
+  Fuzzyflow.Testcase.t ->
+  save_result
+
+(** Corpus entries on disk, sorted by signature. *)
+val entries : string -> meta list
+
+type replay_outcome = { meta : meta; reproduced : bool; detail : string }
+
+(** Reload an entry and re-run the differential check: apply the recorded
+    transformation to the saved cutout and compare both runs under the stored
+    fault-inducing inputs. *)
+val replay_entry : catalog:Transforms.Xform.t list -> dir:string -> meta -> replay_outcome
+
+(** Replay the whole corpus. *)
+val replay : catalog:Transforms.Xform.t list -> string -> replay_outcome list

@@ -1,0 +1,42 @@
+type item = {
+  idx : int;
+  id : string;
+  program_name : string;
+  program : Sdfg.Graph.t;
+  xform : Transforms.Xform.t;
+  site : Transforms.Xform.site;
+  seed : int;
+}
+
+let take n l =
+  let rec go i = function [] -> [] | x :: r -> if i >= n then [] else x :: go (i + 1) r in
+  go 0 l
+
+let build ?(limit_per = None) ~seed programs xforms =
+  let items = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun (x : Transforms.Xform.t) ->
+      List.iter
+        (fun (pname, g) ->
+          let sites = x.find g in
+          let sites = match limit_per with Some n -> take n sites | None -> sites in
+          List.iter
+            (fun site ->
+              let id = Fuzzyflow.Campaign.instance_id ~program:pname ~xform:x.name site in
+              items :=
+                {
+                  idx = !idx;
+                  id;
+                  program_name = pname;
+                  program = g;
+                  xform = x;
+                  site;
+                  seed = Fuzzyflow.Campaign.instance_seed ~global:seed id;
+                }
+                :: !items;
+              incr idx)
+            sites)
+        programs)
+    xforms;
+  List.rev !items

@@ -1,0 +1,24 @@
+(** The campaign work queue: every (program, transformation, site) instance,
+    enumerated in the same deterministic order as the serial
+    {!Fuzzyflow.Campaign.run} loop, each with a stable identity and a
+    scheduling-order-independent fuzzing seed. *)
+
+type item = {
+  idx : int;  (** position in queue order; journal/table order key *)
+  id : string;  (** {!Fuzzyflow.Campaign.instance_id} — the journal key *)
+  program_name : string;
+  program : Sdfg.Graph.t;
+  xform : Transforms.Xform.t;
+  site : Transforms.Xform.site;
+  seed : int;  (** per-instance seed ({!Fuzzyflow.Campaign.instance_seed}) *)
+}
+
+(** [build ~seed programs xforms] enumerates every application site of every
+    transformation on every program (transformations outermost, matching the
+    serial campaign loop). [limit_per] caps sites per (program, xform) pair. *)
+val build :
+  ?limit_per:int option ->
+  seed:int ->
+  (string * Sdfg.Graph.t) list ->
+  Transforms.Xform.t list ->
+  item list

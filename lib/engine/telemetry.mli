@@ -1,0 +1,34 @@
+(** Live campaign progress: instances/sec, per-worker status, trials spent
+    and saved, rendered to stderr while the engine runs and summarized for
+    the journal footer. *)
+
+type t
+
+val create : ?progress:bool -> total:int -> j:int -> unit -> t
+
+(** A worker slot picked up an instance. *)
+val running : t -> slot:int -> string -> unit
+
+(** A worker slot went idle. *)
+val idle : t -> slot:int -> unit
+
+(** An instance completed (any status); updates counters and re-renders. *)
+val record : t -> Fuzzyflow.Campaign.outcome -> unit
+
+(** A failing instance's test case was persisted to the corpus. *)
+val case_saved : t -> unit
+
+(** An instance was satisfied from the journal instead of being re-fuzzed. *)
+val resumed : t -> unit
+
+(** One-line status snapshot (also what [record] prints to stderr). *)
+val render : t -> string
+
+(** Totals for the journal footer. *)
+val summary : t -> Journal.footer
+
+(** Wall-clock seconds since [create]. *)
+val wall_s : t -> float
+
+(** Final newline so the in-place progress line is not overwritten. *)
+val finish : t -> unit

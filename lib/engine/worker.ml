@@ -1,0 +1,305 @@
+open Fuzzyflow
+
+type failure = Timed_out of { deadline_s : float } | Crashed of { detail : string }
+
+(* ---------------- fork/reap protocol ---------------- *)
+
+(* Results travel through a per-child temp file rather than a pipe: a
+   marshalled cutout can exceed the pipe buffer, and a child blocked on a
+   full pipe until its deadline would be misreported as a hang. *)
+
+type child = {
+  pid : int;
+  tmp : string;
+  started : float;
+  c_idx : int;
+  c_slot : int;
+  mutable killed : bool;
+}
+
+let spawn f idx slot =
+  let tmp = Filename.temp_file "fuzzyflow-worker" ".result" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* child: compute, persist, _exit — never run the parent's at_exit
+         handlers or flush its duplicated channel buffers *)
+      let result =
+        try Ok (f ()) with e -> Error (Printexc.to_string e)
+      in
+      (try
+         let oc = open_out_bin tmp in
+         Marshal.to_channel oc result [];
+         close_out oc
+       with _ -> ());
+      Unix._exit 0
+  | pid -> { pid; tmp; started = Unix.gettimeofday (); c_idx = idx; c_slot = slot; killed = false }
+
+let read_result tmp =
+  let v =
+    match open_in_bin tmp with
+    | ic ->
+        let v = try Some (Marshal.from_channel ic) with _ -> None in
+        close_in ic;
+        v
+    | exception _ -> None
+  in
+  (try Sys.remove tmp with _ -> ());
+  v
+
+let settle ~deadline_s child status =
+  if child.killed then Error (Timed_out { deadline_s })
+  else
+    match status with
+    | Unix.WEXITED 0 -> (
+        match read_result child.tmp with
+        | Some (Ok v) -> Ok v
+        | Some (Error detail) -> Error (Crashed { detail })
+        | None -> Error (Crashed { detail = "worker exited without reporting a result" }))
+    | Unix.WEXITED n ->
+        ignore (read_result child.tmp);
+        Error (Crashed { detail = Printf.sprintf "worker exited with code %d" n })
+    | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+        ignore (read_result child.tmp);
+        Error (Crashed { detail = Printf.sprintf "worker killed by signal %d" s })
+
+let map_pool ~j ~deadline_s ?on_start ?on_done thunks =
+  let n = Array.length thunks in
+  let j = max 1 j in
+  let results = Array.make n None in
+  let slots = Array.make j false in
+  let free_slot () =
+    let rec go i = if i >= j then 0 else if not slots.(i) then i else go (i + 1) in
+    go 0
+  in
+  let running = ref [] in
+  let next = ref 0 in
+  while !next < n || !running <> [] do
+    while !next < n && List.length !running < j do
+      let slot = free_slot () in
+      slots.(slot) <- true;
+      let c = spawn thunks.(!next) !next slot in
+      (match on_start with Some f -> f !next slot | None -> ());
+      running := c :: !running;
+      incr next
+    done;
+    let still = ref [] in
+    List.iter
+      (fun c ->
+        match Unix.waitpid [ Unix.WNOHANG ] c.pid with
+        | 0, _ ->
+            if (not c.killed) && Unix.gettimeofday () -. c.started > deadline_s then begin
+              (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              c.killed <- true
+            end;
+            still := c :: !still
+        | _, status ->
+            let r = settle ~deadline_s c status in
+            results.(c.c_idx) <- Some r;
+            slots.(c.c_slot) <- false;
+            (match on_done with Some f -> f c.c_idx r | None -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> still := c :: !still)
+      !running;
+    running := !still;
+    if !running <> [] then Unix.sleepf 0.001
+  done;
+  Array.map Option.get results
+
+let supervise ~deadline_s f = (map_pool ~j:1 ~deadline_s [| f |]).(0)
+
+(* ---------------- the campaign driver ---------------- *)
+
+type options = {
+  j : int;
+  deadline_s : float;
+  journal_path : string option;
+  resume : bool;
+  corpus_dir : string option;
+  progress : bool;
+  limit_per : int option;
+  static_gate : bool;
+  certify_gate : bool;
+}
+
+let default_options =
+  {
+    j = 1;
+    deadline_s = 60.;
+    journal_path = None;
+    resume = false;
+    corpus_dir = None;
+    progress = false;
+    limit_per = None;
+    static_gate = false;
+    certify_gate = false;
+  }
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let killed_outcome ~(item : Queue.item) ~status ~elapsed_s =
+  {
+    Campaign.o_program = item.program_name;
+    o_xform = item.xform.Transforms.Xform.name;
+    o_site = item.site;
+    o_status = status;
+    o_verdict = Campaign.O_killed;
+    o_trials_run = 0;
+    o_static_flagged = false;
+    o_elapsed_s = elapsed_s;
+    o_seed = item.seed;
+  }
+
+let run_campaign ?(options = default_options) ?(config = Difftest.default_config) ?catalog
+    programs xforms =
+  let catalog = match catalog with Some c -> c | None -> xforms in
+  let items =
+    Array.of_list (Queue.build ~limit_per:options.limit_per ~seed:config.Difftest.seed programs xforms)
+  in
+  let n = Array.length items in
+  (* --resume: journaled outcomes are replayed, not re-fuzzed *)
+  let resumed_map =
+    if options.resume then
+      match options.journal_path with
+      | Some path ->
+          let records = Journal.load path in
+          (match Journal.header_of records with
+          | Some h when h.Journal.seed <> config.Difftest.seed ->
+              invalid_arg
+                (Printf.sprintf
+                   "engine: journal %s was written with --seed %d; this campaign runs with %d"
+                   path h.Journal.seed config.Difftest.seed)
+          | _ -> ());
+          Journal.completed records
+      | None -> []
+    else []
+  in
+  let outcomes : Campaign.outcome option array = Array.make n None in
+  let from_journal = Array.make n false in
+  Array.iteri
+    (fun i (it : Queue.item) ->
+      match List.assoc_opt it.id resumed_map with
+      | Some o ->
+          outcomes.(i) <- Some o;
+          from_journal.(i) <- true
+      | None -> ())
+    items;
+  (* the journal is rewritten from scratch even on resume: parsed outcomes are
+     re-emitted in queue order, so the file is always a clean, deterministic
+     prefix of the campaign (a torn tail from a kill never accumulates) *)
+  let journal_oc =
+    match options.journal_path with
+    | None -> None
+    | Some path ->
+        (match Filename.dirname path with "." -> () | d -> mkdir_p d);
+        let oc = open_out path in
+        output_string oc
+          (Journal.header_line
+             {
+               Journal.seed = config.Difftest.seed;
+               trials = config.Difftest.trials;
+               j = options.j;
+               deadline_s = options.deadline_s;
+               programs = List.map fst programs;
+               xforms = List.map (fun (x : Transforms.Xform.t) -> x.name) xforms;
+             });
+        output_char oc '\n';
+        flush oc;
+        Some oc
+  in
+  let next_flush = ref 0 in
+  let flush_journal () =
+    match journal_oc with
+    | None -> ()
+    | Some oc ->
+        while !next_flush < n && outcomes.(!next_flush) <> None do
+          (match outcomes.(!next_flush) with
+          | Some o ->
+              output_string oc (Journal.instance_line o);
+              output_char oc '\n'
+          | None -> ());
+          incr next_flush
+        done;
+        flush oc
+  in
+  let telemetry = Telemetry.create ~progress:options.progress ~total:n ~j:options.j () in
+  Array.iteri (fun i resumed -> if resumed then begin ignore i; Telemetry.resumed telemetry end) from_journal;
+  flush_journal ();
+  (* fresh work: everything the journal did not cover *)
+  let fresh_idx = ref [] in
+  Array.iteri (fun i o -> if o = None then fresh_idx := i :: !fresh_idx) outcomes;
+  let fresh = Array.of_list (List.rev !fresh_idx) in
+  let results : (int * Campaign.instance_result) list ref = ref [] in
+  let thunks =
+    Array.map
+      (fun i ->
+        let it = items.(i) in
+        fun () ->
+          let config = { config with Difftest.seed = it.Queue.seed } in
+          Campaign.run_instance ~config ~static_gate:options.static_gate
+            ~certify_gate:options.certify_gate
+            ~program:(it.program_name, it.program)
+            it.xform it.site)
+      fresh
+  in
+  let slot_of = Hashtbl.create 16 in
+  let on_start fi slot =
+    let it = items.(fresh.(fi)) in
+    Hashtbl.replace slot_of fi slot;
+    Telemetry.running telemetry ~slot it.Queue.id
+  in
+  let on_done fi result =
+    let i = fresh.(fi) in
+    let it = items.(i) in
+    (match Hashtbl.find_opt slot_of fi with
+    | Some slot -> Telemetry.idle telemetry ~slot
+    | None -> ());
+    let o =
+      match result with
+      | Ok (ir : Campaign.instance_result) ->
+          results := (i, ir) :: !results;
+          Campaign.outcome_of_result ~seed:it.Queue.seed ir
+      | Error (Timed_out { deadline_s }) ->
+          killed_outcome ~item:it ~status:(Campaign.Timed_out { deadline_s })
+            ~elapsed_s:deadline_s
+      | Error (Crashed { detail }) ->
+          killed_outcome ~item:it ~status:(Campaign.Crashed { detail }) ~elapsed_s:0.
+    in
+    outcomes.(i) <- Some o;
+    (* persist the failing instance's reproduction bundle *)
+    (match (options.corpus_dir, result) with
+    | Some dir, Ok (ir : Campaign.instance_result) -> (
+        match ir.report with
+        | Some ({ Difftest.verdict = Difftest.Fail f; _ } as report) -> (
+            let config = { config with Difftest.seed = it.Queue.seed } in
+            match Testcase.of_report ~config ~original:it.program report with
+            | Some tc -> (
+                match
+                  Corpus.save ~dir ~catalog ~program:it.program_name
+                    ~xform:it.xform.Transforms.Xform.name ~klass:f.Difftest.klass ~site:it.site
+                    tc
+                with
+                | Corpus.Saved _ -> Telemetry.case_saved telemetry
+                | Corpus.Duplicate _ | Corpus.Not_reproducing -> ())
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    Telemetry.record telemetry o;
+    flush_journal ()
+  in
+  ignore (map_pool ~j:options.j ~deadline_s:options.deadline_s ~on_start ~on_done thunks);
+  flush_journal ();
+  (match journal_oc with
+  | Some oc ->
+      output_string oc (Journal.footer_line (Telemetry.summary telemetry));
+      output_char oc '\n';
+      close_out oc
+  | None -> ());
+  if options.progress then Telemetry.finish telemetry;
+  let all_outcomes = Array.to_list outcomes |> List.filter_map (fun o -> o) in
+  let results = List.sort compare (List.map fst !results) |> List.map (fun i -> List.assoc i !results) in
+  Campaign.assemble ~results xforms all_outcomes

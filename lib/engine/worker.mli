@@ -1,0 +1,61 @@
+(** Fork-based worker pool with wall-clock deadlines, and the parallel
+    campaign driver built on it.
+
+    Each work item runs in a [Unix.fork]ed child so interpreter hangs and
+    crashes are isolated: a child past its deadline is SIGKILLed and recorded
+    as a [Timed_out] outcome; a child that dies without reporting becomes
+    [Crashed]. Results travel back through a per-child temp file (Marshal),
+    so arbitrarily large cutouts never deadlock a pipe. *)
+
+(** Why a supervised child produced no value. *)
+type failure =
+  | Timed_out of { deadline_s : float }
+  | Crashed of { detail : string }
+
+(** [supervise ~deadline_s f] runs [f ()] in a forked child and waits:
+    [Ok v] if the child finished in time, [Error] otherwise. The synchronous
+    single-job version of the pool — also its unit-testable core. *)
+val supervise : deadline_s:float -> (unit -> 'a) -> ('a, failure) result
+
+(** [map_pool ~j ~deadline_s thunks] runs every thunk in a forked child, at
+    most [j] alive at once, killing any child past [deadline_s]. Results are
+    in input order. [on_done i r] fires as each thunk settles (completion
+    order); [on_start i slot] fires as each is forked. *)
+val map_pool :
+  j:int ->
+  deadline_s:float ->
+  ?on_start:(int -> int -> unit) ->
+  ?on_done:(int -> ('a, failure) result -> unit) ->
+  (unit -> 'a) array ->
+  ('a, failure) result array
+
+type options = {
+  j : int;  (** worker pool size *)
+  deadline_s : float;  (** per-instance wall-clock budget *)
+  journal_path : string option;  (** None: no journaling (and no resume) *)
+  resume : bool;  (** skip instances already in the journal *)
+  corpus_dir : string option;  (** save failing cases here, deduplicated *)
+  progress : bool;  (** live telemetry on stderr *)
+  limit_per : int option;
+  static_gate : bool;
+  certify_gate : bool;
+}
+
+val default_options : options
+
+(** Run a campaign through the engine: enumerate the queue, execute every
+    instance not already journaled in forked workers, journal outcomes in
+    queue order (so same-seed reruns are bit-identical and an interrupted
+    journal is a clean prefix), persist failing cases to the corpus, and
+    assemble the Table 2 summary from engine outcomes.
+
+    Verdicts are identical for any [j] — and to the serial
+    {!Fuzzyflow.Campaign.run} — because per-instance seeds derive from the
+    campaign seed and instance identity only. *)
+val run_campaign :
+  ?options:options ->
+  ?config:Fuzzyflow.Difftest.config ->
+  ?catalog:Transforms.Xform.t list ->
+  (string * Sdfg.Graph.t) list ->
+  Transforms.Xform.t list ->
+  Fuzzyflow.Campaign.t

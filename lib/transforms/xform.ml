@@ -5,6 +5,11 @@ type site = { state : int; nodes : int list; states : int list; descr : string }
 let dataflow_site ~state ~nodes ~descr = { state; nodes; states = []; descr }
 let controlflow_site ~states ~descr = { state = -1; nodes = []; states; descr }
 
+let site_slug s =
+  if s.state >= 0 then
+    Printf.sprintf "s%d_n%s" s.state (String.concat "-" (List.map string_of_int s.nodes))
+  else Printf.sprintf "states_%s" (String.concat "-" (List.map string_of_int s.states))
+
 let pp_site fmt s =
   if s.state >= 0 then
     Format.fprintf fmt "%s @@ state %d nodes [%s]" s.descr s.state

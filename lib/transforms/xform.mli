@@ -23,6 +23,11 @@ val dataflow_site : state:int -> nodes:int list -> descr:string -> site
 val controlflow_site : states:int list -> descr:string -> site
 val pp_site : Format.formatter -> site -> unit
 
+(** Stable, filesystem-safe identifier of a site: the matched state/node ids
+    (not [descr]). Used for test-case file names, per-instance seed
+    derivation and journal keys. *)
+val site_slug : site -> string
+
 exception Cannot_apply of string
 (** Raised by [apply] when a site no longer matches (e.g. the cutout did not
     capture an element the transformation touches — itself a finding, see

@@ -127,7 +127,7 @@ let testcase_tests =
             let dir = Filename.temp_file "ff" "" in
             Sys.remove dir;
             let files = Testcase.save dir tc in
-            Alcotest.(check int) "three files" 3 (List.length files);
+            Alcotest.(check int) "four files" 4 (List.length files);
             List.iter (fun f -> Alcotest.(check bool) f true (Sys.file_exists f)) files);
     Alcotest.test_case "passing report yields no test case" `Quick (fun () ->
         let g, site = chain_site () in

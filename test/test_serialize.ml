@@ -93,6 +93,53 @@ let semantic_tests =
             "(notasdfg a (symbols) (containers) (states) (iedges) (start 0))" ]);
   ]
 
+(* Testcase.save writes a bundle Testcase.load can reconstruct exactly; the
+   reloaded case still reproduces the failure via replay. *)
+let testcase_tests =
+  [
+    Alcotest.test_case "testcase save -> load -> replay round-trip" `Quick (fun () ->
+        let open Fuzzyflow in
+        let config =
+          { Difftest.default_config with trials = 5; max_size = 8; concretization = [ ("N", 8) ] }
+        in
+        let g = Workloads.Npbench.scale () in
+        let x = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible in
+        let site = List.hd (x.find g) in
+        let r = Difftest.test_instance ~config g x site in
+        let tc =
+          match Testcase.of_report ~config ~original:g r with
+          | Some tc -> tc
+          | None -> Alcotest.fail "expected a failing test case"
+        in
+        let dir = Filename.temp_file "fftc" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let written = Testcase.save dir tc in
+        let dat = List.find (fun p -> Filename.check_suffix p ".case.dat") written in
+        let tc' = Testcase.load dat in
+        Alcotest.(check string) "name" tc.name tc'.name;
+        Alcotest.(check bool) "symbols" true (tc.symbols = tc'.symbols);
+        Alcotest.(check bool) "inputs bit-exact" true (tc.inputs = tc'.inputs);
+        Alcotest.(check bool) "failure" true (tc.failure = tc'.failure);
+        Alcotest.(check bool) "cutout interface" true
+          (tc.cutout.Cutout.input_config = tc'.cutout.Cutout.input_config
+          && tc.cutout.Cutout.system_state = tc'.cutout.Cutout.system_state);
+        Alcotest.(check bool) "cutout graph structure" true
+          (structurally_equal tc.cutout.Cutout.program tc'.cutout.Cutout.program);
+        (* the reloaded cutout still runs identically under the stored inputs *)
+        (match (Testcase.replay tc, Testcase.replay tc') with
+        | Ok o1, Ok o2 ->
+            Alcotest.(check bool) "replay memory equal" true (o1.Interp.Exec.memory = o2.Interp.Exec.memory)
+        | Error f1, Error f2 -> Alcotest.(check bool) "same fault" true (f1 = f2)
+        | _ -> Alcotest.fail "replay diverged after reload");
+        List.iter Sys.remove written;
+        Unix.rmdir dir);
+  ]
+
 let () =
   Alcotest.run "serialize"
-    [ ("roundtrip", roundtrip_tests); ("semantics", semantic_tests) ]
+    [
+      ("roundtrip", roundtrip_tests);
+      ("semantics", semantic_tests);
+      ("testcase", testcase_tests);
+    ]
