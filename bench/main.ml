@@ -757,6 +757,106 @@ let engine () =
   close_out oc;
   Printf.printf "wrote BENCH_engine.json (%d rows)\n" (List.length rows)
 
+(* ------------------------------------------------------------------ *)
+(* Faultlab: does the stack catch what we seed, and at what cost?       *)
+(* ------------------------------------------------------------------ *)
+
+let faultlab () =
+  header "Faultlab: seeded-fault detection rates and injection overhead";
+  let seed = 42 and trials = 6 in
+  let report, t_campaign = time (fun () -> Faultlab.Selfcheck.run ~j:2 ~trials ~seed ()) in
+  let t = Faultlab.Selfcheck.totals report in
+  (* detection rate per fault class: interp specs by injection slug, transform
+     specs by mutation kind, mpi specs by disturbance name *)
+  let class_of (s : Faultlab.Plan.spec) =
+    match (s.Faultlab.Plan.payload, String.split_on_char '/' s.Faultlab.Plan.id) with
+    | Faultlab.Plan.Interp_fault _, [ _; _; slug ] -> "interp/" ^ slug
+    | Faultlab.Plan.Transform_fault { kind; _ }, _ ->
+        "xform/" ^ Faultlab.Mutate.kind_to_string kind
+    | _ -> s.Faultlab.Plan.id
+  in
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (r : Faultlab.Selfcheck.row) -> class_of r.Faultlab.Selfcheck.spec)
+         report.Faultlab.Selfcheck.rows)
+  in
+  Printf.printf "%-24s %9s %9s\n" "fault class" "seeded" "detected";
+  let class_rows =
+    List.map
+      (fun cls ->
+        let rows =
+          List.filter
+            (fun (r : Faultlab.Selfcheck.row) -> class_of r.Faultlab.Selfcheck.spec = cls)
+            report.Faultlab.Selfcheck.rows
+        in
+        let detected =
+          List.length
+            (List.filter
+               (fun (r : Faultlab.Selfcheck.row) ->
+                 match r.Faultlab.Selfcheck.outcome with
+                 | Faultlab.Selfcheck.Detected _ -> true
+                 | _ -> false)
+               rows)
+        in
+        Printf.printf "%-24s %9d %9d\n" cls (List.length rows) detected;
+        Printf.sprintf
+          "{\"bench\":\"faultlab\",\"row\":\"class\",\"class\":\"%s\",\"seeded\":%d,\"detected\":%d}"
+          cls (List.length rows) detected)
+      classes
+  in
+  (* injection overhead: the same identity-transform difftest with and without
+     an armed interpreter fault — the cost of the write-intercept path *)
+  let g = Faultlab.Plan.workload_by_name "scale" in
+  let x = Faultlab.Mutate.identity () in
+  let site = List.hd (x.Transforms.Xform.find g) in
+  let config =
+    {
+      Fuzzyflow.Difftest.default_config with
+      trials = 50;
+      max_size = 8;
+      concretization = List.map (fun s -> (s, 8)) (Sdfg.Graph.all_free_syms g);
+    }
+  in
+  let measure inject =
+    let config = { config with Fuzzyflow.Difftest.inject_transformed = inject } in
+    ignore (Fuzzyflow.Difftest.test_instance ~config g x site);
+    let reps = 5 in
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Fuzzyflow.Difftest.test_instance ~config g x site)
+          done)
+    in
+    t /. float_of_int reps
+  in
+  let t_clean = measure None in
+  let t_inj = measure (Some (Interp.Exec.Flip_bit { nth_write = 0; bit = 62 })) in
+  Printf.printf
+    "injection overhead: %.2f ms clean vs %.2f ms armed (%.2fx) over %d trials\n"
+    (1000. *. t_clean) (1000. *. t_inj) (t_inj /. t_clean) config.Fuzzyflow.Difftest.trials;
+  Printf.printf
+    "campaign: %d specs in %.1f s -- %d detected, %d missed, %d misclassified, %d quarantined, %d retries\n"
+    t.Faultlab.Selfcheck.specs t_campaign t.Faultlab.Selfcheck.detected
+    t.Faultlab.Selfcheck.missed t.Faultlab.Selfcheck.misclassified
+    t.Faultlab.Selfcheck.quarantined t.Faultlab.Selfcheck.extra_attempts;
+  Printf.printf "localization ground truth: %d/%d accurate\n" t.Faultlab.Selfcheck.loc_accurate
+    t.Faultlab.Selfcheck.loc_checked;
+  let summary =
+    Printf.sprintf
+      "{\"bench\":\"faultlab\",\"row\":\"summary\",\"seed\":%d,\"specs\":%d,\"detected\":%d,\"missed\":%d,\"misclassified\":%d,\"quarantined\":%d,\"retries\":%d,\"detection_rate\":%.4f,\"loc_checked\":%d,\"loc_accurate\":%d,\"wall_s\":%.3f,\"clean_ms\":%.3f,\"injected_ms\":%.3f,\"injection_overhead\":%.3f}"
+      seed t.Faultlab.Selfcheck.specs t.Faultlab.Selfcheck.detected t.Faultlab.Selfcheck.missed
+      t.Faultlab.Selfcheck.misclassified t.Faultlab.Selfcheck.quarantined
+      t.Faultlab.Selfcheck.extra_attempts
+      (Faultlab.Selfcheck.detection_rate report)
+      t.Faultlab.Selfcheck.loc_checked t.Faultlab.Selfcheck.loc_accurate t_campaign
+      (1000. *. t_clean) (1000. *. t_inj) (t_inj /. t_clean)
+  in
+  let oc = open_out "BENCH_faultlab.json" in
+  output_string oc (String.concat "\n" (class_rows @ [ summary ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_faultlab.json (%d rows)\n" (List.length class_rows + 1)
+
 let experiments =
   [
     ("table1", table1);
@@ -771,6 +871,7 @@ let experiments =
     ("ablation", ablation);
     ("equiv", equiv);
     ("engine", engine);
+    ("faultlab", faultlab);
     ("scaling", scaling);
     ("futurework", futurework);
     ("micro", micro);

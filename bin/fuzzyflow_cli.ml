@@ -450,6 +450,78 @@ let localize_cmd =
       const run $ workload_arg $ xform_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
       $ defines_arg)
 
+let selfcheck_cmd =
+  let j_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker processes. The report is byte-identical for any $(docv).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per probe. Killed probes are retried with doubled deadlines, \
+             then quarantined.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "trials" ] ~docv:"N" ~doc:"Fuzzing trials per differential-test probe.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let floor_arg =
+    Arg.(
+      value & opt float 0.95
+      & info [ "floor" ] ~docv:"RATE"
+          ~doc:"Minimum detection rate over interpreter + transform faults; below it, exit 1.")
+  in
+  let require_semantics_arg =
+    Arg.(
+      value & flag
+      & info [ "require-semantics" ]
+          ~doc:"Additionally require every Semantics-class injection to be detected.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the deterministic JSONL report to $(docv).")
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("interp", Faultlab.Plan.L_interp); ("transform", Faultlab.Plan.L_transform); ("mpi", Faultlab.Plan.L_mpi) ])) None
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Restrict the catalog to one injection level: interp, transform or mpi.")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Live per-spec telemetry on stderr.")
+  in
+  let run j deadline trials seed floor require_semantics report_path level progress =
+    let r = Faultlab.Selfcheck.run ~j ~deadline_s:deadline ~trials ?level ~progress ~seed () in
+    print_string (Faultlab.Selfcheck.render r);
+    (match report_path with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Faultlab.Selfcheck.to_jsonl r);
+        close_out oc;
+        Printf.printf "report written to %s\n" path
+    | None -> ());
+    if not (Faultlab.Selfcheck.passed ~floor ~require_semantics r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:
+         "Inject known faults at every level and verify the oracles catch them (the \
+          fault-injection lab).")
+    Term.(
+      const run $ j_arg $ deadline_arg $ trials_arg $ seed_arg $ floor_arg $ require_semantics_arg
+      $ report_arg $ level_arg $ progress_arg)
+
 let dot_cmd =
   let run w =
     let g = find_workload w in
@@ -473,5 +545,6 @@ let () =
             certify_cmd;
             optimize_cmd;
             localize_cmd;
+            selfcheck_cmd;
             dot_cmd;
           ]))

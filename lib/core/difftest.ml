@@ -49,6 +49,7 @@ type config = {
   shrink : bool;
   concretization : (string * int) list;
   custom_constraints : (string * (int * int)) list;
+  inject_transformed : Interp.Exec.injection option;
 }
 
 let default_config =
@@ -63,6 +64,7 @@ let default_config =
     shrink = false;
     concretization = [];
     custom_constraints = [];
+    inject_transformed = None;
   }
 
 type report = {
@@ -86,10 +88,16 @@ let pp_report fmt r =
   in
   Format.fprintf fmt "%s @@ %a: %s" r.xform_name Transforms.Xform.pp_site r.site v
 
+(* The relative-tolerance clause must be guarded to finite values: with an
+   infinity on either side, |a - b| and threshold * max(|a|,|b|) are both
+   +inf and the comparison degenerates to inf <= inf — silently accepting
+   inf against any finite value. Found by the faultlab selfcheck's Set_inf
+   injection. *)
 let values_match ~threshold a b =
   (Float.is_nan a && Float.is_nan b)
   || a = b
-  || (threshold > 0. && Float.abs (a -. b) <= threshold *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)))
+  || Float.is_finite a && Float.is_finite b && threshold > 0.
+     && Float.abs (a -. b) <= threshold *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
 let same_fault_class (a : Interp.Exec.fault) (b : Interp.Exec.fault) =
   match (a, b) with
@@ -150,6 +158,9 @@ let run_trials ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transforme
   let icfg =
     { Interp.Exec.default_config with step_limit = config.step_limit; collect_coverage = false }
   in
+  (* faultlab: injected faults perturb only the transformed run, so any
+     detection is attributable to the seeded fault *)
+  let icfg_x = { icfg with Interp.Exec.inject = config.inject_transformed } in
   let rng = Sampler.create config.seed in
   let failures = ref 0 in
   let first = ref None in
@@ -158,7 +169,7 @@ let run_trials ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transforme
     let symbols = Sampler.sample_symbols r constraints in
     let inputs = Sampler.sample_inputs r constraints cut ~symbols in
     let o1 = Interp.Exec.run ~config:icfg original_prog ~symbols ~inputs in
-    let o2 = Interp.Exec.run ~config:icfg transformed_prog ~symbols ~inputs in
+    let o2 = Interp.Exec.run ~config:icfg_x transformed_prog ~symbols ~inputs in
     match compare_outcomes ~threshold:config.threshold ~system_state:cut.system_state o1 o2 with
     | None -> ()
     | Some kind ->

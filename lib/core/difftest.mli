@@ -53,6 +53,10 @@ type config = {
       (** symbol values used to concretize overlap checks and min-cut
           capacities *)
   custom_constraints : (string * (int * int)) list;
+  inject_transformed : Interp.Exec.injection option;
+      (** faultlab: deterministic fault injected into the transformed run
+          only, so the self-validation campaign can attribute any divergence
+          to the seeded fault *)
 }
 
 val default_config : config

@@ -312,14 +312,29 @@ let base_of_path path =
   | Some s -> String.sub path 0 (String.length path - String.length s)
   | None -> path
 
+type load_error = { path : string; reason : string }
+
+(* A saved bundle crosses machines and survives campaigns; by the time it is
+   reloaded it may be truncated, bit-rotted, or half-synced. Every parse
+   failure — ours or the serializer's — lands as a typed error, never an
+   exception. *)
 let load path =
   let base = base_of_path path in
-  let program = Sdfg.Serialize.load (base ^ ".cutout.sdfg") in
-  let ic = open_in (base ^ ".case.dat") in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
-  of_dat ~program content
+  match
+    let program = Sdfg.Serialize.load (base ^ ".cutout.sdfg") in
+    let ic = open_in (base ^ ".case.dat") in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_dat ~program content
+  with
+  | tc -> Ok tc
+  | exception Failure reason -> Error { path; reason }
+  | exception Sys_error reason -> Error { path; reason }
+  | exception Sdfg.Serialize.Parse_error reason -> Error { path; reason = "cutout graph: " ^ reason }
+  | exception e -> Error { path; reason = Printexc.to_string e }
 
 let replay ?(step_limit = 5_000_000) tc =
   let config = { Interp.Exec.default_config with step_limit } in

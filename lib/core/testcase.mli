@@ -27,12 +27,14 @@ val render : t -> string
     returns the paths written. *)
 val save : string -> t -> string list
 
+type load_error = { path : string; reason : string }
+
 (** Inverse of [save]: reload a test case from any of the paths [save]
     returned (or their common base path). The cutout graph is read back via
     {!Sdfg.Serialize}, so node/state ids — and hence the recorded
-    transformation site — stay valid.
-    @raise Failure or [Sys_error] on a malformed or incomplete bundle. *)
-val load : string -> t
+    transformation site — stay valid. A missing, truncated or corrupt bundle
+    is a typed [Error], never an exception. *)
+val load : string -> (t, load_error) result
 
 (** Replay: run the cutout under the stored configuration and return the
     outcome — used to confirm a saved case still reproduces. *)

@@ -163,11 +163,11 @@ let replay_entry ~catalog ~dir (m : meta) =
   | None -> { meta = m; reproduced = false; detail = "no .case.dat in entry" }
   | Some f -> (
       match Testcase.load (Filename.concat entry_dir f) with
-      | tc ->
+      | Ok tc ->
           let ok, detail = check_reproduces ~catalog m tc in
           { meta = m; reproduced = ok; detail }
-      | exception e ->
-          { meta = m; reproduced = false; detail = "load failed: " ^ Printexc.to_string e })
+      | Error { Testcase.reason; _ } ->
+          { meta = m; reproduced = false; detail = "load failed: " ^ reason })
 
 let replay ~catalog dir =
   List.map (fun m -> replay_entry ~catalog ~dir m) (entries dir)

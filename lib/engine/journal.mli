@@ -73,8 +73,10 @@ val footer_line : footer -> string
 val parse_line : string -> record
 
 (** Read a journal, dropping a trailing partial line (a campaign killed
-    mid-write) and any unparseable lines. Missing file yields []. *)
-val load : string -> record list
+    mid-write) and any unparseable lines; each drop is reported through
+    [warn] (default: ignore) with file, line number and a preview. Missing
+    file yields []. *)
+val load : ?warn:(string -> unit) -> string -> record list
 
 (** The journaled instance outcomes keyed by instance id, in file order. *)
 val completed : record list -> (string * Fuzzyflow.Campaign.outcome) list

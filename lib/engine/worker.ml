@@ -36,14 +36,28 @@ let spawn f idx slot =
       Unix._exit 0
   | pid -> { pid; tmp; started = Unix.gettimeofday (); c_idx = idx; c_slot = slot; killed = false }
 
+(* A child's result file can be absent (the child died before its write, or
+   the write itself failed) or corrupt (truncated or garbled by a killed
+   write — Marshal raises on a bad header or short payload). Both are
+   per-child outcomes, never exceptions: one damaged file must not abort the
+   campaign around it. *)
 let read_result tmp =
   let v =
     match open_in_bin tmp with
     | ic ->
-        let v = try Some (Marshal.from_channel ic) with _ -> None in
-        close_in ic;
+        let v =
+          (* the temp file is pre-created empty at spawn, so a child that died
+             before its write leaves zero bytes: that's a missing result, not
+             a torn one *)
+          if in_channel_length ic = 0 then `Missing
+          else
+            match Marshal.from_channel ic with
+            | v -> `Result v
+            | exception _ -> `Corrupt
+        in
+        close_in_noerr ic;
         v
-    | exception _ -> None
+    | exception _ -> `Missing
   in
   (try Sys.remove tmp with _ -> ());
   v
@@ -54,9 +68,10 @@ let settle ~deadline_s child status =
     match status with
     | Unix.WEXITED 0 -> (
         match read_result child.tmp with
-        | Some (Ok v) -> Ok v
-        | Some (Error detail) -> Error (Crashed { detail })
-        | None -> Error (Crashed { detail = "worker exited without reporting a result" }))
+        | `Result (Ok v) -> Ok v
+        | `Result (Error detail) -> Error (Crashed { detail })
+        | `Missing -> Error (Crashed { detail = "worker exited without reporting a result" })
+        | `Corrupt -> Error (Crashed { detail = "worker result file corrupt (torn write?)" }))
     | Unix.WEXITED n ->
         ignore (read_result child.tmp);
         Error (Crashed { detail = Printf.sprintf "worker exited with code %d" n })
@@ -166,7 +181,9 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
     if options.resume then
       match options.journal_path with
       | Some path ->
-          let records = Journal.load path in
+          let records =
+            Journal.load ~warn:(fun msg -> Printf.eprintf "engine: resume: %s\n%!" msg) path
+          in
           (match Journal.header_of records with
           | Some h when h.Journal.seed <> config.Difftest.seed ->
               invalid_arg

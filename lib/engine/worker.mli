@@ -12,6 +12,12 @@ type failure =
   | Timed_out of { deadline_s : float }
   | Crashed of { detail : string }
 
+(** Read and delete a child's marshalled result file. [`Missing] when the
+    file cannot be opened or is empty (the child died before writing),
+    [`Corrupt] when Marshal rejects its contents (a torn write); the pool
+    maps both to [Crashed] rather than raising. Exposed for tests. *)
+val read_result : string -> [ `Result of ('a, string) result | `Missing | `Corrupt ]
+
 (** [supervise ~deadline_s f] runs [f ()] in a forked child and waits:
     [Ok v] if the child finished in time, [Error] otherwise. The synchronous
     single-job version of the pool — also its unit-testable core. *)

@@ -1,0 +1,246 @@
+open Transforms
+
+let identity () : Xform.t =
+  {
+    name = "Identity";
+    find =
+      (fun g ->
+        Sdfg.Graph.states g
+        |> List.filter_map (fun (sid, st) ->
+               match Sdfg.State.node_ids st with
+               | [] -> None
+               | ns -> Some (Xform.dataflow_site ~state:sid ~nodes:ns ~descr:"identity")));
+    apply =
+      (fun _g site ->
+        { Sdfg.Diff.nodes = List.map (fun n -> (site.Xform.state, n)) site.Xform.nodes; states = [] });
+    certify_hint = None;
+  }
+
+type kind = Subset_shift | Drop_memlet | Wrong_stride
+
+let kind_to_string = function
+  | Subset_shift -> "subset-shift"
+  | Drop_memlet -> "drop-memlet"
+  | Wrong_stride -> "wrong-stride"
+
+let kind_of_string = function
+  | "subset-shift" -> Subset_shift
+  | "drop-memlet" -> Drop_memlet
+  | "wrong-stride" -> Wrong_stride
+  | s -> invalid_arg ("Mutate.kind_of_string: " ^ s)
+
+(* A range spanning (symbolically) more than one element: damaging its stride
+   changes the element set; a single-point range ignores its stride. *)
+let multi_element (r : Symbolic.Subset.range) = r.lo <> r.hi
+
+let edge_memlet (e : Sdfg.State.edge) = e.memlet
+
+(* Only memlets the interpreter actually evaluates can change behaviour:
+   edges adjacent to tasklet / library nodes and access-to-access copies.
+   Memlets on pure routing edges (through map entries/exits) are analysis
+   annotations — damaging one is invisible at runtime and would make the
+   spec an impossible detection obligation. *)
+let runtime_edge st (e : Sdfg.State.edge) =
+  match (Sdfg.State.node st e.src, Sdfg.State.node st e.dst) with
+  | Sdfg.Node.Tasklet _, _
+  | _, Sdfg.Node.Tasklet _
+  | Sdfg.Node.Library _, _
+  | _, Sdfg.Node.Library _
+  | Sdfg.Node.Access _, Sdfg.Node.Access _ ->
+      true
+  | _ -> false
+
+(* Mutation targets among the edges the base transformation touched, in a
+   canonical order that survives cutout extraction (node ids are preserved
+   by extraction, edge ids are not — so sort by payload, not e_id).
+   Restricting to change-set-adjacent edges keeps the whole-program and
+   cutout-level applications aligned: both see exactly these edges, so both
+   damage the same logical one. *)
+let candidates kind st ~changed =
+  Sdfg.State.edges st
+  |> List.filter (fun (e : Sdfg.State.edge) ->
+         List.mem e.src changed && List.mem e.dst changed
+         && runtime_edge st e
+         &&
+         match edge_memlet e with
+         | None -> false
+         | Some m -> (
+             match (kind, m.Sdfg.Memlet.subset) with
+             | Drop_memlet, _ -> true
+             | Subset_shift, [] -> false
+             | Subset_shift, _ :: _ -> true
+             | Wrong_stride, _ -> false))
+  |> List.sort (fun (a : Sdfg.State.edge) (b : Sdfg.State.edge) ->
+         (* Writes first: a damaged write often stays in bounds and diverges
+            numerically (localizable), where a damaged read tends to run off
+            the end of its container. *)
+         let key (e : Sdfg.State.edge) =
+           let is_read =
+             match Sdfg.State.node st e.dst with
+             | Sdfg.Node.Tasklet _ | Sdfg.Node.Library _ -> true
+             | _ -> false
+           in
+           (is_read, (Option.get (edge_memlet e)).Sdfg.Memlet.data, e.src, e.dst, e.e_id)
+         in
+         compare (key a) (key b))
+
+let shift_range delta (r : Symbolic.Subset.range) =
+  {
+    r with
+    Symbolic.Subset.lo = Symbolic.Expr.add r.Symbolic.Subset.lo (Symbolic.Expr.int delta);
+    hi = Symbolic.Expr.add r.Symbolic.Subset.hi (Symbolic.Expr.int delta);
+  }
+
+let corrupt_edge kind st (e : Sdfg.State.edge) =
+  match kind with
+  | Drop_memlet -> Sdfg.State.remove_edge st e.e_id
+  | Subset_shift -> (
+      let m = Option.get (edge_memlet e) in
+      match m.Sdfg.Memlet.subset with
+      | [] -> raise (Xform.Cannot_apply "faultlab: scalar memlet cannot shift")
+      | d0 :: rest ->
+          Sdfg.State.set_edge_memlet st e.e_id
+            (Some { m with Sdfg.Memlet.subset = shift_range 1 d0 :: rest }))
+  | Wrong_stride -> raise (Xform.Cannot_apply "faultlab: wrong-stride targets map entries")
+
+(* Wrong-stride targets map entries, not memlets: setting the step of a
+   transformed map's unit-stride range to 2 — the classic vectorization
+   stride bug — skips every other iteration, leaving those elements
+   unwritten. Only unit-stride ranges qualify: shrinking an already-strided
+   range (a tile loop) densifies coverage instead, and idempotent
+   recomputation hides it. *)
+let stride_candidates st ~changed =
+  List.filter_map
+    (fun n ->
+      match Sdfg.State.node st n with
+      | Sdfg.Node.Map_entry info -> (
+          match info.Sdfg.Node.ranges with
+          | d0 :: _ when multi_element d0 && d0.Symbolic.Subset.step = Symbolic.Expr.int 1 ->
+              Some (n, info)
+          | _ -> None)
+      | _ -> None)
+    (List.sort compare changed)
+
+(* Localization ground truth for a strided map: the containers written by
+   the computational nodes inside its scope. *)
+let scope_written st entry =
+  List.concat_map
+    (fun n ->
+      match Sdfg.State.node st n with
+      | Sdfg.Node.Tasklet _ | Sdfg.Node.Library _ ->
+          List.filter_map
+            (fun (o : Sdfg.State.edge) ->
+              Option.map (fun m -> m.Sdfg.Memlet.data) (edge_memlet o))
+            (Sdfg.State.out_edges st n)
+      | _ -> [])
+    (Sdfg.State.scope_nodes st entry)
+  |> List.sort_uniq compare
+
+(* Localization ground truth: the containers where corrupted values first
+   become observable. A damaged edge feeding a tasklet/library node corrupts
+   that node's outputs; a damaged write or copy edge corrupts its own
+   container. *)
+let downstream_writes st (e : Sdfg.State.edge) =
+  let own = [ (Option.get (edge_memlet e)).Sdfg.Memlet.data ] in
+  match Sdfg.State.node st e.dst with
+  | Sdfg.Node.Tasklet _ | Sdfg.Node.Library _ -> (
+      match
+        List.filter_map
+          (fun (o : Sdfg.State.edge) ->
+            Option.map (fun m -> m.Sdfg.Memlet.data) (edge_memlet o))
+          (Sdfg.State.out_edges st e.dst)
+      with
+      | [] -> own
+      | writes -> List.sort_uniq compare writes)
+  | _ -> own
+
+(* The change set many transforms report is just the outer map entry/exit
+   pair; the runtime-relevant edges sit one scope deeper, on the inner
+   entries the transform introduced. Close over routing nodes (map
+   entry/exit) to reach them. The closure is scope-local, and cutout
+   extraction keeps whole scopes with node ids intact, so the closure — and
+   hence the candidate order — is identical in the whole program and in the
+   cutout. *)
+let scope_closure st seeds =
+  let routing n =
+    match Sdfg.State.node st n with
+    | Sdfg.Node.Map_entry _ | Sdfg.Node.Map_exit _ -> true
+    | _ -> false
+  in
+  let in_set set n = List.mem n set in
+  let rec grow set frontier =
+    let next =
+      List.concat_map
+        (fun n ->
+          if not (routing n) then []
+          else
+            List.filter_map
+              (fun (e : Sdfg.State.edge) ->
+                if e.src = n && not (in_set set e.dst) then Some e.dst
+                else if e.dst = n && not (in_set set e.src) then Some e.src
+                else None)
+              (Sdfg.State.edges st))
+        frontier
+      |> List.sort_uniq compare
+    in
+    match next with [] -> set | _ -> grow (next @ set) next
+  in
+  grow seeds seeds
+
+let inject kind ~seed g (site : Xform.site) (cs : Sdfg.Diff.change_set) =
+  if site.Xform.state < 0 then raise (Xform.Cannot_apply "faultlab: control-flow site");
+  let st = Sdfg.Graph.state g site.Xform.state in
+  let changed =
+    scope_closure st
+      (List.filter_map
+         (fun (s, n) -> if s = site.Xform.state then Some n else None)
+         cs.Sdfg.Diff.nodes)
+  in
+  match kind with
+  | Wrong_stride -> (
+      match stride_candidates st ~changed with
+      | [] -> raise (Xform.Cannot_apply "faultlab: no spanning map range at site")
+      | cands -> (
+          let n, info = List.nth cands (seed mod List.length cands) in
+          match scope_written st n with
+          | [] -> raise (Xform.Cannot_apply "faultlab: strided scope writes nothing")
+          | corrupted ->
+              let ranges =
+                match info.Sdfg.Node.ranges with
+                | d0 :: rest -> { d0 with Symbolic.Subset.step = Symbolic.Expr.int 2 } :: rest
+                | [] -> assert false
+              in
+              Sdfg.State.replace_node st n (Sdfg.Node.Map_entry { info with Sdfg.Node.ranges });
+              corrupted))
+  | Subset_shift | Drop_memlet -> (
+      match candidates kind st ~changed with
+      | [] -> raise (Xform.Cannot_apply "faultlab: no mutable memlet edge at site")
+      | cands ->
+          let e = List.nth cands (seed mod List.length cands) in
+          let corrupted = downstream_writes st e in
+          corrupt_edge kind st e;
+          corrupted)
+
+let seed_bug ?(seed = 0) kind (base : Xform.t) : Xform.t =
+  {
+    name = Printf.sprintf "%s+faultlab(%s)" base.name (kind_to_string kind);
+    find = base.find;
+    apply =
+      (fun g site ->
+        let cs = base.apply g site in
+        let _ : string list = inject kind ~seed g site cs in
+        cs);
+    certify_hint = Some (Xform.Known_unsound ("faultlab seeded " ^ kind_to_string kind));
+  }
+
+let probe ?(seed = 0) kind (base : Xform.t) g =
+  let try_site site =
+    let g' = Sdfg.Graph.copy g in
+    match base.Xform.apply g' site with
+    | exception _ -> None
+    | cs -> (
+        match inject kind ~seed g' site cs with
+        | corrupted -> Some (site, corrupted)
+        | exception _ -> None)
+  in
+  List.find_map try_site (base.Xform.find g)

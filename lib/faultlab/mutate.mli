@@ -1,0 +1,51 @@
+(** Transform-level fault seeding (faultlab level 3).
+
+    Takes an otherwise-correct transformation and arms a known bug class in
+    its [apply]: after the base transformation runs, the application site is
+    deterministically damaged — a memlet subset shifted by one (the classic
+    off-by-one), a memlet edge dropped entirely, or a map's iteration stride
+    set wrong. The damaged variant claims [Known_unsound], so the translation
+    validator never vouches for it, and the selfcheck campaign verifies the
+    differential tester catches the damage. *)
+
+(** A no-op transformation whose cutout equals its source region: [find]
+    yields one site per non-empty state (all nodes), [apply] reports those
+    nodes as the change set without touching the graph. Differential testing
+    then compares two structurally identical programs — the vehicle for
+    interpreter-level injections, where any divergence is attributable to
+    the injected fault alone. *)
+val identity : unit -> Transforms.Xform.t
+
+type kind =
+  | Subset_shift  (** shift the first dimension of a memlet subset by +1 *)
+  | Drop_memlet  (** remove a memlet-carrying edge at the site *)
+  | Wrong_stride
+      (** widen a unit-stride map range's step to 2, skipping every other
+          iteration (a strided loop stays idempotent under densification, so
+          only unit-stride maps are candidates) *)
+
+val kind_to_string : kind -> string
+
+(** @raise Invalid_argument on an unknown name. *)
+val kind_of_string : string -> kind
+
+(** [seed_bug kind base] is [base] with the mutation armed inside [apply]
+    (after the base transformation, in the site's state). Targets are drawn
+    only from the scope closure of the base transformation's reported change
+    set and ordered canonically (writes first, then by container and node
+    ids), so the whole-program and cutout-level applications damage the same
+    logical target. [apply] raises [Cannot_apply] when the site offers no
+    target. *)
+val seed_bug : ?seed:int -> kind -> Transforms.Xform.t -> Transforms.Xform.t
+
+(** First site of [base] on [g] where the mutation arms, with the containers
+    where the corruption first becomes observable — the damaged container
+    itself for writes and copies, the consuming node's outputs for reads
+    (the localization ground truth). [None] when no site of [base] offers a
+    target. *)
+val probe :
+  ?seed:int ->
+  kind ->
+  Transforms.Xform.t ->
+  Sdfg.Graph.t ->
+  (Transforms.Xform.site * string list) option

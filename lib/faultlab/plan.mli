@@ -1,0 +1,44 @@
+(** The fault-injection catalog: which fault to seed where, and what the
+    oracles owe us for it.
+
+    Specs are generated deterministically from a campaign seed; every spec in
+    the catalog is an armed fault (transform mutations are probed for
+    applicability before inclusion), so each one is a concrete detection
+    obligation the selfcheck campaign scores. *)
+
+type level = L_interp | L_transform | L_mpi
+
+val level_to_string : level -> string
+
+(** @raise Invalid_argument on an unknown name. *)
+val level_of_string : string -> level
+
+(** What the stack owes for a spec: [Must_semantics] — the differential
+    tester must fail every trial (Semantics class); [Must_detect] — any
+    failing verdict counts; [Must_heal] — the MPI delivery layer must recover
+    bit-identically with nonzero heal stats; [Must_fault] — a typed
+    [Mpi_fault] must surface. *)
+type expect = Must_semantics | Must_detect | Must_heal | Must_fault
+
+val expect_to_string : expect -> string
+
+type payload =
+  | Interp_fault of { workload : string; inject : Interp.Exec.injection }
+  | Transform_fault of {
+      workload : string;
+      xform : string;  (** registry name of the correct base transformation *)
+      kind : Mutate.kind;
+      mutation_seed : int;
+      site : Transforms.Xform.site;  (** probed site where the mutation arms *)
+      expected_containers : string list;  (** localization ground truth *)
+    }
+  | Mpi_disturbance of { policy : Mpi_sim.Mpi.policy; ranks : int; payload_len : int }
+
+type spec = { id : string; level : level; expect : expect; descr : string; payload : payload }
+
+(** @raise Invalid_argument for a workload outside the NPBench set. *)
+val workload_by_name : string -> Sdfg.Graph.t
+
+(** The full deterministic catalog for a campaign seed, optionally filtered
+    to one level. Spec order is stable: interp, transform, mpi. *)
+val catalog : ?level:level -> seed:int -> unit -> spec list

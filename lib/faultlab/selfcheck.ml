@@ -1,0 +1,441 @@
+open Fuzzyflow
+
+(* What one probe (forked child) reports back. Kept free of closures and
+   graphs so it marshals cheaply through the worker temp-file protocol. *)
+type probe_result =
+  | R_verdict of {
+      klass : Difftest.failure_class option;  (** [None]: the oracle saw nothing *)
+      first_trial : int;
+      failing_trials : int;
+      localized : bool option;
+      detail : string;
+    }
+  | R_mpi of {
+      fault : string option;
+      data_ok : bool;
+      healed : int;
+      retransmits : int;
+      backoff : int;
+    }
+
+type outcome =
+  | Detected of { got : string; first_trial : int }
+  | Missed of { detail : string }
+  | Misclassified of { expected : string; got : string }
+  | Quarantined of { detail : string }
+
+let outcome_name = function
+  | Detected _ -> "detected"
+  | Missed _ -> "missed"
+  | Misclassified _ -> "misclassified"
+  | Quarantined _ -> "quarantined"
+
+type row = { spec : Plan.spec; outcome : outcome; attempts : int; localized : bool option }
+
+type report = { seed : int; trials : int; rows : row list }
+
+(* ---- probes (run inside forked workers) --------------------------------- *)
+
+let verdict_result ?(localized = None) (r : Difftest.report) =
+  match r.Difftest.verdict with
+  | Difftest.Pass ->
+      R_verdict
+        { klass = None; first_trial = 0; failing_trials = 0; localized; detail = "all trials agree" }
+  | Difftest.Fail f ->
+      R_verdict
+        {
+          klass = Some f.Difftest.klass;
+          first_trial = f.Difftest.first_trial;
+          failing_trials = f.Difftest.failing_trials;
+          localized;
+          detail = Format.asprintf "%a" Difftest.pp_failure f.Difftest.kind;
+        }
+
+(* Min-cut capacities and overlap checks need concrete symbol values; bind
+   every program parameter to a small extent, like the CLI's -D N=8. *)
+let concretize_all g = List.map (fun s -> (s, 8)) (Sdfg.Graph.all_free_syms g)
+
+let interp_probe ~trials ~spec_seed ~workload ~inject =
+  let g = Plan.workload_by_name workload in
+  let x = Mutate.identity () in
+  match x.Transforms.Xform.find g with
+  | [] -> R_verdict { klass = None; first_trial = 0; failing_trials = 0; localized = None; detail = "no site" }
+  | site :: _ ->
+      let config =
+        {
+          Difftest.default_config with
+          trials;
+          seed = spec_seed;
+          concretization = concretize_all g;
+          inject_transformed = Some inject;
+        }
+      in
+      verdict_result (Difftest.test_instance ~config g x site)
+
+let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~site
+    ~expected_containers =
+  let g = Plan.workload_by_name workload in
+  match Transforms.Registry.by_name (Transforms.Registry.all_correct ()) xform with
+  | None ->
+      R_verdict
+        { klass = None; first_trial = 0; failing_trials = 0; localized = None; detail = "no such transform" }
+  | Some base ->
+      let mutated = Mutate.seed_bug ~seed:mutation_seed kind base in
+      let config =
+        {
+          Difftest.default_config with
+          trials;
+          seed = spec_seed;
+          concretization = concretize_all g;
+        }
+      in
+      let report = Difftest.test_instance ~config g mutated site in
+      let localized =
+        match report.Difftest.verdict with
+        | Difftest.Fail { kind = Difftest.Numerical _; _ } -> (
+            try
+              match Localize.of_report ~config ~original:g ~xform:mutated report with
+              | Some (_ :: _ as divs) ->
+                  Some
+                    (List.exists
+                       (fun (d : Localize.divergence) ->
+                         List.mem d.Localize.container expected_containers)
+                       divs)
+              | Some [] | None -> None
+            with _ -> None)
+        | _ -> None
+      in
+      verdict_result ~localized report
+
+(* Fixed MPI scenario: scatter + allreduce + bcast + gather, enough traffic
+   that every collective is attackable (see Plan.mpi_specs). *)
+let mpi_scenario ?policy ~ranks ~len () =
+  let src = Array.init (ranks * len) (fun i -> 1.0 +. (0.25 *. float_of_int i)) in
+  let bufs = Array.init ranks (fun _ -> Array.make len 0.) in
+  let dst = Array.make (ranks * len) 0. in
+  let c = Mpi_sim.Mpi.create ?policy ranks in
+  Mpi_sim.Mpi.scatter c ~root:0 ~src bufs;
+  Mpi_sim.Mpi.allreduce_sum c bufs;
+  Mpi_sim.Mpi.bcast c ~root:0 bufs;
+  Mpi_sim.Mpi.gather c ~root:0 bufs ~dst;
+  (dst, Mpi_sim.Mpi.stats c)
+
+let mpi_probe ~policy ~ranks ~len =
+  let clean, _ = mpi_scenario ~ranks ~len () in
+  match mpi_scenario ~policy ~ranks ~len () with
+  | faulty, (st : Mpi_sim.Mpi.stats) ->
+      R_mpi
+        {
+          fault = None;
+          data_ok = faulty = clean;
+          healed = st.Mpi_sim.Mpi.healed;
+          retransmits = st.Mpi_sim.Mpi.retransmits;
+          backoff = st.Mpi_sim.Mpi.backoff;
+        }
+  | exception Mpi_sim.Mpi.Mpi_fault { kind; message; retries } ->
+      R_mpi
+        {
+          fault =
+            Some
+              (Printf.sprintf "%s@%d after %d retries"
+                 (Mpi_sim.Mpi.fault_kind_to_string kind)
+                 message retries);
+          data_ok = false;
+          healed = 0;
+          retransmits = retries;
+          backoff = 0;
+        }
+
+let probe_spec ~trials ~seed (spec : Plan.spec) =
+  let spec_seed = Campaign.instance_seed ~global:seed spec.Plan.id in
+  match spec.Plan.payload with
+  | Plan.Interp_fault { workload; inject } -> interp_probe ~trials ~spec_seed ~workload ~inject
+  | Plan.Transform_fault { workload; xform; kind; mutation_seed; site; expected_containers } ->
+      transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~site
+        ~expected_containers
+  | Plan.Mpi_disturbance { policy; ranks; payload_len } ->
+      mpi_probe ~policy ~ranks ~len:payload_len
+
+(* ---- classification ------------------------------------------------------ *)
+
+let classify (spec : Plan.spec) (r : probe_result) =
+  match (spec.Plan.expect, r) with
+  | (Plan.Must_semantics | Plan.Must_detect), R_verdict { klass = None; detail; _ } ->
+      Missed { detail }
+  | Plan.Must_semantics, R_verdict { klass = Some Difftest.Semantics; first_trial; _ } ->
+      Detected { got = "semantic change"; first_trial }
+  | Plan.Must_semantics, R_verdict { klass = Some k; _ } ->
+      Misclassified { expected = "semantic change"; got = Difftest.class_to_string k }
+  | Plan.Must_detect, R_verdict { klass = Some k; first_trial; _ } ->
+      Detected { got = Difftest.class_to_string k; first_trial }
+  | Plan.Must_heal, R_mpi { fault = None; data_ok = true; healed; _ } when healed > 0 ->
+      Detected { got = "healed"; first_trial = 0 }
+  | Plan.Must_heal, R_mpi { fault = None; data_ok = true; _ } ->
+      Missed { detail = "fault never armed: no recovery recorded" }
+  | Plan.Must_heal, R_mpi { fault = None; data_ok = false; _ } ->
+      Missed { detail = "data silently corrupted" }
+  | Plan.Must_heal, R_mpi { fault = Some f; _ } ->
+      Misclassified { expected = "healed"; got = "Mpi_fault " ^ f }
+  | Plan.Must_fault, R_mpi { fault = Some f; _ } -> Detected { got = "Mpi_fault " ^ f; first_trial = 0 }
+  | Plan.Must_fault, R_mpi { fault = None; data_ok; _ } ->
+      Missed
+        {
+          detail =
+            (if data_ok then "persistent fault healed silently" else "no typed fault; data corrupted");
+        }
+  | (Plan.Must_heal | Plan.Must_fault), R_verdict _
+  | (Plan.Must_semantics | Plan.Must_detect), R_mpi _ ->
+      Quarantined { detail = "probe returned a mismatched result shape" }
+
+let localized_of = function
+  | R_verdict { localized; _ } -> localized
+  | R_mpi _ -> None
+
+(* ---- campaign ------------------------------------------------------------ *)
+
+let max_attempts = 3
+
+let failure_detail = function
+  | Engine.Worker.Timed_out { deadline_s } -> Printf.sprintf "timed out after %.1fs" deadline_s
+  | Engine.Worker.Crashed { detail } -> "crashed: " ^ detail
+
+(* Graceful degradation: a killed probe is retried serially with its deadline
+   doubled each attempt; a probe that only succeeds on a retry is run once
+   more to confirm the verdict is stable. Flaky or never-finishing specs are
+   quarantined — recorded, never fatal, never miscounted as missed. *)
+let settle ~deadline_s thunk first =
+  match first with
+  | Ok r -> (`Ready r, 1)
+  | Error f0 ->
+      let rec retry attempt deadline last =
+        if attempt > max_attempts then (`Quarantine (failure_detail last), max_attempts)
+        else
+          match Engine.Worker.supervise ~deadline_s:deadline thunk with
+          | Error f -> retry (attempt + 1) (deadline *. 2.) f
+          | Ok r -> (
+              (* confirm the late success is stable before trusting it *)
+              match Engine.Worker.supervise ~deadline_s:deadline thunk with
+              | Ok r' when r' = r -> (`Ready r, attempt)
+              | Ok _ -> (`Quarantine "flaky: verdict changed across retries", attempt)
+              | Error f -> (`Quarantine ("flaky: " ^ failure_detail f), attempt))
+      in
+      retry 2 (deadline_s *. 2.) f0
+
+let run ?(j = 1) ?(deadline_s = 60.) ?(trials = 10) ?level ?(progress = false) ~seed () =
+  let specs = Plan.catalog ?level ~seed () in
+  let thunks = Array.of_list (List.map (fun s () -> probe_spec ~trials ~seed s) specs) in
+  let n = Array.length thunks in
+  let on_done i r =
+    if progress then
+      Printf.eprintf "[selfcheck] %s: %s\n%!" (List.nth specs i).Plan.id
+        (match r with Ok _ -> "done" | Error f -> failure_detail f)
+  in
+  ignore n;
+  let results = Engine.Worker.map_pool ~j ~deadline_s ~on_done thunks in
+  let rows =
+    List.mapi
+      (fun i spec ->
+        let settled, attempts = settle ~deadline_s thunks.(i) results.(i) in
+        match settled with
+        | `Ready r -> { spec; outcome = classify spec r; attempts; localized = localized_of r }
+        | `Quarantine detail ->
+            { spec; outcome = Quarantined { detail }; attempts; localized = None })
+      specs
+  in
+  { seed; trials; rows }
+
+(* ---- aggregation --------------------------------------------------------- *)
+
+type totals = {
+  specs : int;
+  detected : int;
+  missed : int;
+  misclassified : int;
+  quarantined : int;
+  core_total : int;  (** interp + transform specs, quarantined excluded *)
+  core_detected : int;
+  semantics_total : int;
+  semantics_detected : int;
+  mpi_total : int;
+  mpi_detected : int;
+  loc_checked : int;
+  loc_accurate : int;
+  extra_attempts : int;
+}
+
+let totals (r : report) =
+  let z =
+    {
+      specs = 0;
+      detected = 0;
+      missed = 0;
+      misclassified = 0;
+      quarantined = 0;
+      core_total = 0;
+      core_detected = 0;
+      semantics_total = 0;
+      semantics_detected = 0;
+      mpi_total = 0;
+      mpi_detected = 0;
+      loc_checked = 0;
+      loc_accurate = 0;
+      extra_attempts = 0;
+    }
+  in
+  List.fold_left
+    (fun t { spec; outcome; attempts; localized } ->
+      let hit = match outcome with Detected _ -> 1 | _ -> 0 in
+      let quarantined = match outcome with Quarantined _ -> true | _ -> false in
+      let core =
+        (not quarantined)
+        && (spec.Plan.level = Plan.L_interp || spec.Plan.level = Plan.L_transform)
+      in
+      let mpi = (not quarantined) && spec.Plan.level = Plan.L_mpi in
+      let sem = spec.Plan.expect = Plan.Must_semantics in
+      {
+        specs = t.specs + 1;
+        detected = t.detected + hit;
+        missed = (t.missed + match outcome with Missed _ -> 1 | _ -> 0);
+        misclassified = (t.misclassified + match outcome with Misclassified _ -> 1 | _ -> 0);
+        quarantined = (t.quarantined + if quarantined then 1 else 0);
+        core_total = (t.core_total + if core then 1 else 0);
+        core_detected = (t.core_detected + if core then hit else 0);
+        semantics_total = (t.semantics_total + if sem then 1 else 0);
+        semantics_detected = (t.semantics_detected + if sem then hit else 0);
+        mpi_total = (t.mpi_total + if mpi then 1 else 0);
+        mpi_detected = (t.mpi_detected + if mpi then hit else 0);
+        loc_checked = (t.loc_checked + match localized with Some _ -> 1 | None -> 0);
+        loc_accurate = (t.loc_accurate + match localized with Some true -> 1 | _ -> 0);
+        extra_attempts = t.extra_attempts + attempts - 1;
+      })
+    z r.rows
+
+let detection_rate r =
+  let t = totals r in
+  if t.core_total = 0 then 1.0 else float_of_int t.core_detected /. float_of_int t.core_total
+
+let misses r =
+  List.filter
+    (fun { outcome; _ } -> match outcome with Missed _ | Misclassified _ -> true | _ -> false)
+    r.rows
+
+(* The selfcheck gate: the core detection rate must reach [floor], and with
+   [require_semantics] every Must_semantics spec must be Detected outright —
+   a quarantined semantics spec fails the gate, since detection was not
+   proven. *)
+let passed ?(floor = 0.95) ?(require_semantics = false) r =
+  let t = totals r in
+  detection_rate r >= floor
+  && ((not require_semantics) || t.semantics_detected = t.semantics_total)
+
+(* ---- rendering ----------------------------------------------------------- *)
+
+let outcome_detail = function
+  | Detected { got; first_trial } ->
+      if first_trial > 0 then Printf.sprintf "%s (first trial %d)" got first_trial else got
+  | Missed { detail } -> detail
+  | Misclassified { expected; got } -> Printf.sprintf "expected %s, got %s" expected got
+  | Quarantined { detail } -> detail
+
+let render r =
+  let b = Buffer.create 4096 in
+  let t = totals r in
+  Buffer.add_string b
+    (Printf.sprintf "faultlab selfcheck · seed %d · %d trials/spec · %d specs\n" r.seed r.trials
+       t.specs);
+  List.iter
+    (fun ({ spec; outcome; attempts; localized } : row) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-13s %-45s %s%s%s\n"
+           (String.uppercase_ascii (outcome_name outcome))
+           spec.Plan.id (outcome_detail outcome)
+           (match localized with
+           | Some true -> " · localized"
+           | Some false -> " · mislocalized"
+           | None -> "")
+           (if attempts > 1 then Printf.sprintf " · %d attempts" attempts else "")))
+    r.rows;
+  Buffer.add_string b
+    (Printf.sprintf "detection: %d/%d core (%.1f%%) · %d/%d mpi · semantics gate %d/%d\n"
+       t.core_detected t.core_total
+       (100. *. detection_rate r)
+       t.mpi_detected t.mpi_total t.semantics_detected t.semantics_total);
+  Buffer.add_string b
+    (Printf.sprintf
+       "misclassified: %d · quarantined: %d · localization: %d/%d accurate · extra attempts: %d\n"
+       t.misclassified t.quarantined t.loc_accurate t.loc_checked t.extra_attempts);
+  let ms = misses r in
+  if ms <> [] then begin
+    Buffer.add_string b "misses:\n";
+    List.iter
+      (fun ({ spec; outcome; _ } : row) ->
+        Buffer.add_string b (Printf.sprintf "  %s: %s\n" spec.Plan.id (outcome_detail outcome)))
+      ms
+  end;
+  Buffer.contents b
+
+(* ---- deterministic JSONL report ------------------------------------------ *)
+
+module Json = Engine.Journal.Json
+
+let row_json ({ spec; outcome; attempts; localized } : row) =
+  Json.Obj
+    ([
+       ("kind", Json.Str "spec");
+       ("id", Json.Str spec.Plan.id);
+       ("level", Json.Str (Plan.level_to_string spec.Plan.level));
+       ("expect", Json.Str (Plan.expect_to_string spec.Plan.expect));
+       ("descr", Json.Str spec.Plan.descr);
+       ("outcome", Json.Str (outcome_name outcome));
+       ("detail", Json.Str (outcome_detail outcome));
+       ("attempts", Json.Num (float_of_int attempts));
+     ]
+    @ (match outcome with
+      | Detected { first_trial; _ } when first_trial > 0 ->
+          [ ("first_trial", Json.Num (float_of_int first_trial)) ]
+      | _ -> [])
+    @
+    match localized with
+    | None -> [ ("localized", Json.Null) ]
+    | Some v -> [ ("localized", Json.Bool v) ])
+
+let to_jsonl r =
+  let t = totals r in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Json.to_string
+       (Json.Obj
+          [
+            ("kind", Json.Str "selfcheck");
+            ("seed", Json.Num (float_of_int r.seed));
+            ("trials", Json.Num (float_of_int r.trials));
+            ("specs", Json.Num (float_of_int t.specs));
+          ]));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b (Json.to_string (row_json row));
+      Buffer.add_char b '\n')
+    r.rows;
+  Buffer.add_string b
+    (Json.to_string
+       (Json.Obj
+          [
+            ("kind", Json.Str "totals");
+            ("detected", Json.Num (float_of_int t.detected));
+            ("missed", Json.Num (float_of_int t.missed));
+            ("misclassified", Json.Num (float_of_int t.misclassified));
+            ("quarantined", Json.Num (float_of_int t.quarantined));
+            ("core_detected", Json.Num (float_of_int t.core_detected));
+            ("core_total", Json.Num (float_of_int t.core_total));
+            ("detection_rate", Json.Num (detection_rate r));
+            ("semantics_detected", Json.Num (float_of_int t.semantics_detected));
+            ("semantics_total", Json.Num (float_of_int t.semantics_total));
+            ("mpi_detected", Json.Num (float_of_int t.mpi_detected));
+            ("mpi_total", Json.Num (float_of_int t.mpi_total));
+            ("localization_checked", Json.Num (float_of_int t.loc_checked));
+            ("localization_accurate", Json.Num (float_of_int t.loc_accurate));
+            ("extra_attempts", Json.Num (float_of_int t.extra_attempts));
+          ]));
+  Buffer.add_char b '\n';
+  Buffer.contents b

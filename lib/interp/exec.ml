@@ -18,11 +18,42 @@ let pp_fault fmt = function
 
 let fault_to_string f = Format.asprintf "%a" pp_fault f
 
-type config = { step_limit : int; garbage_seed : int; collect_coverage : bool }
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection (faultlab, level 1)                    *)
+(* ------------------------------------------------------------------ *)
 
-let default_config = { step_limit = 50_000_000; garbage_seed = 0xC0FFEE; collect_coverage = false }
+(* A plan names an execution-order site (the nth container write, the nth
+   concretized memlet subset, a step count) rather than a graph location, so
+   the same plan is meaningful on any program and two runs of the same
+   program with the same inputs inject at the same place. *)
+type injection =
+  | Flip_bit of { nth_write : int; bit : int }
+      (** XOR one IEEE-754 bit into the first value of the nth write *)
+  | Set_nan of { nth_write : int }
+  | Set_inf of { nth_write : int }
+  | Shift_index of { nth_subset : int; delta : int }
+      (** shift the first dimension of the nth concretized memlet subset *)
+  | Burn_steps of { after : int }
+      (** once [after] steps have run, burn the remaining budget: a hang *)
 
-type outcome = { memory : Value.t; coverage : int list; steps : int }
+let injection_to_string = function
+  | Flip_bit { nth_write; bit } -> Printf.sprintf "flip-bit w%d b%d" nth_write bit
+  | Set_nan { nth_write } -> Printf.sprintf "set-nan w%d" nth_write
+  | Set_inf { nth_write } -> Printf.sprintf "set-inf w%d" nth_write
+  | Shift_index { nth_subset; delta } -> Printf.sprintf "shift-index s%d %+d" nth_subset delta
+  | Burn_steps { after } -> Printf.sprintf "burn-steps @%d" after
+
+type config = {
+  step_limit : int;
+  garbage_seed : int;
+  collect_coverage : bool;
+  inject : injection option;
+}
+
+let default_config =
+  { step_limit = 50_000_000; garbage_seed = 0xC0FFEE; collect_coverage = false; inject = None }
+
+type outcome = { memory : Value.t; coverage : int list; steps : int; writes : int; subsets : int }
 
 exception F of fault
 
@@ -31,12 +62,18 @@ type ctx = {
   cfg : config;
   mem : Value.t;
   mutable steps : int;
+  mutable writes : int;
+  mutable subsets : int;
   cov : (int, unit) Hashtbl.t;
   mutable sym_env : int Symbolic.Expr.Env.t;
 }
 
 let tick ?(cost = 1) ctx =
   ctx.steps <- ctx.steps + cost;
+  (match ctx.cfg.inject with
+  | Some (Burn_steps { after }) when ctx.steps >= after ->
+      ctx.steps <- ctx.steps + ctx.cfg.step_limit
+  | _ -> ());
   if ctx.steps > ctx.cfg.step_limit then raise (F (Hang { steps = ctx.steps }))
 
 let record ctx key = if ctx.cfg.collect_coverage then Hashtbl.replace ctx.cov (Hashtbl.hash key) ()
@@ -46,10 +83,26 @@ let eval_expr _ctx env e =
   | Symbolic.Expr.Unbound_symbol s -> raise (F (Runtime_error ("unbound symbol " ^ s)))
   | Symbolic.Expr.Division_by_zero -> raise (F (Runtime_error "division by zero in symbolic expression"))
 
-let concretize _ctx env subset =
-  try Symbolic.Subset.concretize env subset with
-  | Symbolic.Expr.Unbound_symbol s -> raise (F (Runtime_error ("unbound symbol " ^ s ^ " in subset")))
-  | Symbolic.Expr.Division_by_zero -> raise (F (Runtime_error "division by zero in subset"))
+let concretize ctx env subset =
+  let cs =
+    try Symbolic.Subset.concretize env subset with
+    | Symbolic.Expr.Unbound_symbol s ->
+        raise (F (Runtime_error ("unbound symbol " ^ s ^ " in subset")))
+    | Symbolic.Expr.Division_by_zero -> raise (F (Runtime_error "division by zero in subset"))
+  in
+  (* scalar subsets carry no index computation, so they are not injection
+     sites: only dimensioned subsets advance the counter *)
+  match cs with
+  | [] -> cs
+  | (r : Symbolic.Subset.crange) :: rest ->
+      let cs =
+        match ctx.cfg.inject with
+        | Some (Shift_index { nth_subset; delta }) when ctx.subsets = nth_subset ->
+            { r with Symbolic.Subset.clo = r.clo + delta; chi = r.chi + delta } :: rest
+        | _ -> cs
+      in
+      ctx.subsets <- ctx.subsets + 1;
+      cs
 
 let buffer ctx name =
   match Value.buffer_opt ctx.mem name with
@@ -61,12 +114,41 @@ let read_subset _ctx ~context b cs =
   with Value.Out_of_bounds { container; index; shape } ->
     raise (F (Out_of_bounds { container; index; shape; context }))
 
-let write_subset _ctx ~context b cs values =
+(* Corrupt the value of one write according to the injection plan. Only the
+   first element of a bulk write is touched: the point is a detectable wrong
+   value, not a wholesale rewrite. *)
+let corrupt_write ctx values =
+  let patch v =
+    if Array.length values = 0 then values
+    else begin
+      let values = Array.copy values in
+      values.(0) <- v;
+      values
+    end
+  in
+  let values =
+    match ctx.cfg.inject with
+    | Some (Flip_bit { nth_write; bit }) when ctx.writes = nth_write ->
+        if Array.length values = 0 then values
+        else
+          patch
+            (Int64.float_of_bits
+               (Int64.logxor (Int64.bits_of_float values.(0)) (Int64.shift_left 1L (bit land 63))))
+    | Some (Set_nan { nth_write }) when ctx.writes = nth_write -> patch Float.nan
+    | Some (Set_inf { nth_write }) when ctx.writes = nth_write -> patch Float.infinity
+    | _ -> values
+  in
+  ctx.writes <- ctx.writes + 1;
+  values
+
+let write_subset ctx ~context b cs values =
+  let values = corrupt_write ctx values in
   try Value.write_subset b cs values
   with Value.Out_of_bounds { container; index; shape } ->
     raise (F (Out_of_bounds { container; index; shape; context }))
 
-let accumulate_subset _ctx ~context b cs wcr values =
+let accumulate_subset ctx ~context b cs wcr values =
+  let values = corrupt_write ctx values in
   try Value.accumulate_subset b cs wcr values
   with Value.Out_of_bounds { container; index; shape } ->
     raise (F (Out_of_bounds { container; index; shape; context }))
@@ -504,7 +586,9 @@ let run ?(config = default_config) g ~symbols ~inputs =
   | [] -> (
       let sym_env = Symbolic.Expr.Env.of_list symbols in
       let mem : Value.t = Hashtbl.create 16 in
-      let ctx = { g; cfg = config; mem; steps = 0; cov = Hashtbl.create 64; sym_env } in
+      let ctx =
+        { g; cfg = config; mem; steps = 0; writes = 0; subsets = 0; cov = Hashtbl.create 64; sym_env }
+      in
       try
         (* allocate every container *)
         List.iter
@@ -534,7 +618,7 @@ let run ?(config = default_config) g ~symbols ~inputs =
           inputs;
         exec_program ctx;
         let coverage = Hashtbl.fold (fun k () acc -> k :: acc) ctx.cov [] |> List.sort compare in
-        Ok { memory = mem; coverage; steps = ctx.steps }
+        Ok { memory = mem; coverage; steps = ctx.steps; writes = ctx.writes; subsets = ctx.subsets }
       with
       | F fault -> Error fault
       | Invalid_argument msg -> Error (Runtime_error msg)

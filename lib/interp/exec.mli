@@ -16,10 +16,32 @@ type fault =
 val pp_fault : Format.formatter -> fault -> unit
 val fault_to_string : fault -> string
 
+(** Deterministic fault injection (faultlab level 1). A plan names an
+    execution-order site — the nth container write, the nth concretized
+    memlet subset, a step count — not a graph location, so the same plan
+    injects at the same place on every run of a program over the same
+    inputs. The self-validation campaign uses these to prove the
+    differential tester catches interpreter-level corruption. *)
+type injection =
+  | Flip_bit of { nth_write : int; bit : int }
+      (** XOR IEEE-754 bit [bit] into the first value of write [nth_write] *)
+  | Set_nan of { nth_write : int }  (** write a NaN instead *)
+  | Set_inf of { nth_write : int }  (** write +inf instead *)
+  | Shift_index of { nth_subset : int; delta : int }
+      (** shift the first dimension of the nth concretized memlet subset by
+          [delta] elements (an off-by-[delta] index computation); scalar
+          subsets carry no index computation and are not counted *)
+  | Burn_steps of { after : int }
+      (** once [after] steps have run, burn the remaining step budget so the
+          run surfaces as a {!fault.Hang} *)
+
+val injection_to_string : injection -> string
+
 type config = {
   step_limit : int;  (** abort as a hang beyond this many execution steps *)
   garbage_seed : int;  (** seed for deterministic GPU garbage allocation *)
   collect_coverage : bool;
+  inject : injection option;  (** deterministic fault to inject, if any *)
 }
 
 val default_config : config
@@ -28,6 +50,8 @@ type outcome = {
   memory : Value.t;  (** final contents of every container *)
   coverage : int list;  (** sorted coverage-point hashes *)
   steps : int;  (** total execution steps consumed *)
+  writes : int;  (** container write operations performed (injection sites) *)
+  subsets : int;  (** dimensioned memlet subsets concretized (injection sites) *)
 }
 
 (** [run g ~symbols ~inputs] validates and executes [g]. All free symbols must

@@ -1,10 +1,166 @@
-type comm = { n : int }
+(* Simulated MPI with a message-level delivery layer.
 
-let create n =
+   Collectives are decomposed into point-to-point transmissions. Each
+   transmission carries a sequence number and an FNV-1a checksum of its
+   payload, which gives the faultlab policy well-defined places to attack
+   (drop / duplicate / reorder / corrupt message #k) and the receiver the
+   machinery to recover: duplicates are deduplicated by sequence number,
+   out-of-order packets are buffered and applied in sequence order
+   (reassembly), and dropped or corrupted packets are detected (timeout /
+   checksum mismatch) and retransmitted with exponential bounded backoff.
+   Transient faults therefore heal to a bit-identical result; persistent
+   faults exhaust the retry budget and surface as a typed [Mpi_fault]. *)
+
+type fault_kind = Drop | Duplicate | Reorder | Corrupt
+
+let fault_kind_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+  | Corrupt -> "corrupt"
+
+type policy = { kind : fault_kind; victim : int; persistent : bool; seed : int }
+
+exception Mpi_fault of { kind : fault_kind; message : int; retries : int }
+
+let () =
+  Printexc.register_printer (function
+    | Mpi_fault { kind; message; retries } ->
+        Some
+          (Printf.sprintf "Mpi_fault(%s on message %d after %d retries)"
+             (fault_kind_to_string kind) message retries)
+    | _ -> None)
+
+type stats = { messages : int; retransmits : int; healed : int; backoff : int }
+
+type comm = {
+  n : int;
+  policy : policy option;
+  mutable seq : int;  (** next logical message sequence number *)
+  mutable pending : (unit -> unit) option;
+      (** a reordered packet awaiting reassembly; applied before any newer
+          packet so receiver state evolves in sequence order *)
+  mutable st_messages : int;
+  mutable st_retransmits : int;
+  mutable st_healed : int;
+  mutable st_backoff : int;
+}
+
+let create ?policy n =
   if n <= 0 then invalid_arg "Mpi.create: need at least one rank";
-  { n }
+  {
+    n;
+    policy;
+    seq = 0;
+    pending = None;
+    st_messages = 0;
+    st_retransmits = 0;
+    st_healed = 0;
+    st_backoff = 0;
+  }
 
 let size c = c.n
+let stats c =
+  {
+    messages = c.st_messages;
+    retransmits = c.st_retransmits;
+    healed = c.st_healed;
+    backoff = c.st_backoff;
+  }
+
+let max_retries = 4
+
+let fnv_prime = 0x100000001b3L
+
+let checksum payload =
+  Array.fold_left
+    (fun acc v ->
+      let bits = Int64.bits_of_float v in
+      let acc = ref acc in
+      for shift = 0 to 7 do
+        let byte = Int64.logand (Int64.shift_right_logical bits (8 * shift)) 0xFFL in
+        acc := Int64.mul (Int64.logxor !acc byte) fnv_prime
+      done;
+      !acc)
+    0xcbf29ce484222325L payload
+
+(* Deterministic single-bit corruption: the policy seed picks the element
+   and the bit so the same campaign seed always damages the same datum. *)
+let corrupted p payload =
+  let len = Array.length payload in
+  if len = 0 then payload
+  else begin
+    let bad = Array.copy payload in
+    let i = (p.seed lsr 6) mod len in
+    let bit = p.seed land 63 in
+    bad.(i) <- Int64.float_of_bits (Int64.logxor (Int64.bits_of_float bad.(i)) (Int64.shift_left 1L bit));
+    bad
+  end
+
+(* Apply any buffered out-of-order packet before newer traffic, so the
+   receiver's state always advances in sequence order (reassembly). *)
+let flush c =
+  match c.pending with
+  | None -> ()
+  | Some apply ->
+      c.pending <- None;
+      apply ();
+      c.st_healed <- c.st_healed + 1
+
+(* One faulted transmission: retry with exponential bounded backoff until
+   delivery verifies, or the budget is exhausted. *)
+let rec attempt c p ~seq ~payload ~deliver ~try_no =
+  if try_no > max_retries then
+    raise (Mpi_fault { kind = p.kind; message = seq; retries = max_retries });
+  if try_no > 0 then begin
+    c.st_retransmits <- c.st_retransmits + 1;
+    c.st_backoff <- c.st_backoff + (1 lsl (try_no - 1))
+  end;
+  let faulty = try_no = 0 || p.persistent in
+  match p.kind with
+  | Drop ->
+      if faulty then
+        (* packet lost; the receiver's ack timeout triggers a retransmit *)
+        attempt c p ~seq ~payload ~deliver ~try_no:(try_no + 1)
+      else begin
+        deliver payload;
+        c.st_healed <- c.st_healed + 1
+      end
+  | Corrupt ->
+      if faulty then begin
+        let wire = corrupted p payload in
+        if checksum wire <> checksum payload then
+          (* checksum mismatch at the receiver: NACK and retransmit *)
+          attempt c p ~seq ~payload ~deliver ~try_no:(try_no + 1)
+        else
+          (* zero-length payload: nothing to damage *)
+          deliver wire
+      end
+      else begin
+        deliver payload;
+        c.st_healed <- c.st_healed + 1
+      end
+  | Duplicate ->
+      (* both copies arrive; the second shares the sequence number and is
+         deduplicated, so exactly one application happens *)
+      deliver payload;
+      c.st_healed <- c.st_healed + 1
+  | Reorder ->
+      (* delayed in flight: buffered and applied before the next packet *)
+      c.pending <- Some (fun () -> deliver payload)
+
+let transmit c ~payload ~deliver =
+  let seq = c.seq in
+  c.seq <- seq + 1;
+  c.st_messages <- c.st_messages + 1;
+  flush c;
+  match c.policy with
+  | Some p when p.victim = seq -> attempt c p ~seq ~payload ~deliver ~try_no:0
+  | _ -> deliver payload
+
+(* Collective completion implies delivery: drain any packet still buffered
+   for reassembly. *)
+let barrier c = flush c
 
 let check_ranks c bufs name =
   if Array.length bufs <> c.n then
@@ -17,42 +173,68 @@ let bcast c ~root bufs =
     (fun r b ->
       if r <> root then begin
         if Array.length b <> Array.length src then invalid_arg "Mpi.bcast: size mismatch";
-        Array.blit src 0 b 0 (Array.length src)
+        transmit c ~payload:(Array.copy src)
+          ~deliver:(fun p -> Array.blit p 0 b 0 (Array.length p))
       end)
-    bufs
+    bufs;
+  barrier c
 
+(* Reduce-to-root then broadcast: 2(n-1) messages, matching
+   [allreduce_messages]. Partial sums accumulate in rank order, preserving
+   the exact floating-point result of the direct fold. *)
 let allreduce_sum c bufs =
   check_ranks c bufs "allreduce_sum";
   let n = Array.length bufs.(0) in
-  Array.iter (fun b -> if Array.length b <> n then invalid_arg "Mpi.allreduce_sum: size mismatch") bufs;
+  Array.iter
+    (fun b -> if Array.length b <> n then invalid_arg "Mpi.allreduce_sum: size mismatch")
+    bufs;
+  let total = Array.make n 0. in
   for i = 0 to n - 1 do
-    let total = Array.fold_left (fun acc b -> acc +. b.(i)) 0. bufs in
-    Array.iter (fun b -> b.(i) <- total) bufs
-  done
+    total.(i) <- 0. +. bufs.(0).(i)
+  done;
+  for r = 1 to c.n - 1 do
+    transmit c ~payload:(Array.copy bufs.(r))
+      ~deliver:(fun p ->
+        for i = 0 to n - 1 do
+          total.(i) <- total.(i) +. p.(i)
+        done)
+  done;
+  barrier c;
+  Array.blit total 0 bufs.(0) 0 n;
+  for r = 1 to c.n - 1 do
+    transmit c ~payload:(Array.copy total) ~deliver:(fun p -> Array.blit p 0 bufs.(r) 0 n)
+  done;
+  barrier c
 
 let scatter c ~root ~src bufs =
-  ignore root;
   check_ranks c bufs "scatter";
   let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 bufs in
   if total <> Array.length src then invalid_arg "Mpi.scatter: size mismatch";
   let off = ref 0 in
-  Array.iter
-    (fun b ->
-      Array.blit src !off b 0 (Array.length b);
-      off := !off + Array.length b)
-    bufs
+  Array.iteri
+    (fun r b ->
+      let len = Array.length b in
+      let chunk = Array.sub src !off len in
+      off := !off + len;
+      if r = root then Array.blit chunk 0 b 0 len
+      else transmit c ~payload:chunk ~deliver:(fun p -> Array.blit p 0 b 0 len))
+    bufs;
+  barrier c
 
 let gather c ~root bufs ~dst =
-  ignore root;
   check_ranks c bufs "gather";
   let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 bufs in
   if total <> Array.length dst then invalid_arg "Mpi.gather: size mismatch";
   let off = ref 0 in
-  Array.iter
-    (fun b ->
-      Array.blit b 0 dst !off (Array.length b);
-      off := !off + Array.length b)
-    bufs
+  Array.iteri
+    (fun r b ->
+      let len = Array.length b in
+      let o = !off in
+      off := o + len;
+      if r = root then Array.blit b 0 dst o len
+      else transmit c ~payload:(Array.copy b) ~deliver:(fun p -> Array.blit p 0 dst o len))
+    bufs;
+  barrier c
 
 let bcast_messages c = c.n - 1
 let allreduce_messages c = 2 * (c.n - 1)

@@ -2,18 +2,57 @@
 
     Ranks run sequentially in one process; each rank owns a buffer table.
     Collectives operate across the per-rank buffers exactly like their MPI
-    counterparts operate across nodes. The point of Sec. 6.2 — that a cutout
-    of a compute kernel excludes communication and can be tested on a single
-    rank — is exercised by comparing a full simulated-distributed run against
-    single-cutout trials. *)
+    counterparts operate across nodes, decomposed into point-to-point
+    transmissions carrying sequence numbers and payload checksums. The point
+    of Sec. 6.2 — that a cutout of a compute kernel excludes communication
+    and can be tested on a single rank — is exercised by comparing a full
+    simulated-distributed run against single-cutout trials.
+
+    The faultlab (level 2) attacks the transmission layer through an
+    injectable {!policy}: a chosen message is dropped, duplicated, reordered
+    or corrupted. Recovery is built in — duplicates are deduplicated by
+    sequence number, reordered packets are buffered and applied in sequence
+    order, and dropped / corrupted packets (detected by ack timeout /
+    checksum mismatch) are retransmitted with exponential bounded backoff.
+    Transient faults heal to a bit-identical result; persistent ones exhaust
+    {!max_retries} and raise {!Mpi_fault}. *)
+
+type fault_kind = Drop | Duplicate | Reorder | Corrupt
+
+val fault_kind_to_string : fault_kind -> string
+
+type policy = {
+  kind : fault_kind;
+  victim : int;  (** sequence number of the message to attack (0-based) *)
+  persistent : bool;
+      (** re-apply the fault to every retransmission; [Drop] and [Corrupt]
+          then exhaust the retry budget and raise {!Mpi_fault}, while
+          [Duplicate] and [Reorder] still heal *)
+  seed : int;  (** selects the damaged element and bit for [Corrupt] *)
+}
+
+exception Mpi_fault of { kind : fault_kind; message : int; retries : int }
+(** A persistent fault survived [retries] retransmissions of [message]. *)
+
+val max_retries : int
+(** Retransmission budget per message before {!Mpi_fault}. *)
+
+(** Delivery-layer counters, for the faultlab report and benches. *)
+type stats = {
+  messages : int;  (** logical point-to-point transmissions *)
+  retransmits : int;  (** extra sends forced by drop / corrupt *)
+  healed : int;  (** faults fully recovered from *)
+  backoff : int;  (** total backoff units spent (1 << attempt per retry) *)
+}
 
 type comm
 
-val create : int -> comm
-(** [create n] makes a communicator of [n] ranks.
+val create : ?policy:policy -> int -> comm
+(** [create n] makes a communicator of [n] ranks; [?policy] arms a fault.
     @raise Invalid_argument when [n <= 0]. *)
 
 val size : comm -> int
+val stats : comm -> stats
 
 (** Per-rank buffers: [buffers.(rank)] is that rank's local array. All
     collectives require one buffer per rank, equally sized where relevant. *)

@@ -67,7 +67,7 @@ let difftest_tests =
               cshape = [||];
               data = [| v |];
             };
-          Ok { Interp.Exec.memory = mem; coverage = []; steps = 0 }
+          Ok { Interp.Exec.memory = mem; coverage = []; steps = 0; writes = 0; subsets = 0 }
         in
         Alcotest.(check bool) "within" true
           (Difftest.compare_outcomes ~threshold:1e-5 ~system_state:[ "x" ] (mk 1.0) (mk (1.0 +. 1e-9)) = None);

@@ -154,6 +154,23 @@ let journal_tests =
     Alcotest.test_case "load of a missing journal is empty" `Quick (fun () ->
         Alcotest.(check int) "empty" 0
           (List.length (Engine.Journal.load "/nonexistent/journal.jsonl")));
+    Alcotest.test_case "a torn tail is reported through warn" `Quick (fun () ->
+        let path = Filename.temp_file "ffjournal" ".jsonl" in
+        let oc = open_out path in
+        output_string oc
+          (Engine.Journal.instance_line (sample_outcome Campaign.O_passed Campaign.Completed));
+        output_char oc '\n';
+        output_string oc "{\"type\":\"instance\",\"id\":\"torn-mid-wri";
+        close_out oc;
+        let warnings = ref [] in
+        let records = Engine.Journal.load ~warn:(fun m -> warnings := m :: !warnings) path in
+        Sys.remove path;
+        Alcotest.(check int) "clean record kept" 1 (List.length records);
+        Alcotest.(check int) "one warning" 1 (List.length !warnings);
+        let w = List.hd !warnings in
+        Alcotest.(check bool) "warning names the file" true (contains w path);
+        Alcotest.(check bool) "warning carries the line number" true (contains w ":2:");
+        Alcotest.(check bool) "warning previews the torn line" true (contains w "torn-mid-wri"));
   ]
 
 (* ---------------- worker supervision ---------------- *)
@@ -164,6 +181,46 @@ let worker_tests =
         match Engine.Worker.supervise ~deadline_s:10. (fun () -> 21 * 2) with
         | Ok v -> Alcotest.(check int) "value" 42 v
         | Error _ -> Alcotest.fail "expected Ok");
+    Alcotest.test_case "child exiting without a result is Crashed, not an exception" `Quick
+      (fun () ->
+        match Engine.Worker.supervise ~deadline_s:10. (fun () -> Unix._exit 0) with
+        | Error (Engine.Worker.Crashed { detail }) ->
+            Alcotest.(check bool) "detail says no result" true
+              (contains detail "without reporting")
+        | Ok _ -> Alcotest.fail "expected Crashed"
+        | Error (Engine.Worker.Timed_out _) -> Alcotest.fail "expected Crashed, got Timed_out");
+    Alcotest.test_case "corrupt marshal result file reads as `Corrupt" `Quick (fun () ->
+        let path = Filename.temp_file "ffresult" ".result" in
+        let oc = open_out_bin path in
+        output_string oc "this is not a marshalled value";
+        close_out oc;
+        (match (Engine.Worker.read_result path : [ `Result of (int, string) result | `Missing | `Corrupt ]) with
+        | `Corrupt -> ()
+        | `Missing -> Alcotest.fail "expected `Corrupt, got `Missing"
+        | `Result _ -> Alcotest.fail "expected `Corrupt, got a value");
+        Alcotest.(check bool) "result file consumed" false (Sys.file_exists path));
+    Alcotest.test_case "truncated marshal result file reads as `Corrupt" `Quick (fun () ->
+        let path = Filename.temp_file "ffresult" ".result" in
+        let oc = open_out_bin path in
+        Marshal.to_channel oc (Ok 42 : (int, string) result) [];
+        close_out oc;
+        let ic = open_in_bin path in
+        let full = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 (String.length full - 1));
+        close_out oc;
+        (match (Engine.Worker.read_result path : [ `Result of (int, string) result | `Missing | `Corrupt ]) with
+        | `Corrupt -> ()
+        | `Missing -> Alcotest.fail "expected `Corrupt, got `Missing"
+        | `Result _ -> Alcotest.fail "truncated payload accepted"));
+    Alcotest.test_case "missing result file reads as `Missing" `Quick (fun () ->
+        match
+          (Engine.Worker.read_result "/nonexistent/worker.result"
+            : [ `Result of (int, string) result | `Missing | `Corrupt ])
+        with
+        | `Missing -> ()
+        | `Corrupt | `Result _ -> Alcotest.fail "expected `Missing");
     Alcotest.test_case "step-limit-disabled looping cutout is killed at the deadline" `Quick
       (fun () ->
         let g = spin_graph () in

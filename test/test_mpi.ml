@@ -38,4 +38,87 @@ let mpi_tests =
         Alcotest.(check int) "allreduce" 6 (Mpi_sim.Mpi.allreduce_messages c));
   ]
 
-let () = Alcotest.run "mpi_sim" [ ("collectives", mpi_tests) ]
+(* The injectable delivery-layer faults: transient disturbances must heal to
+   a bit-identical result with the recovery visible in the stats; persistent
+   drop/corrupt must exhaust the retry budget and surface a typed fault. *)
+
+(* bcast then allreduce over 4 ranks — enough traffic that every victim
+   sequence number below ~18 lands on a real message *)
+let scenario c =
+  let bufs = Array.init 4 (fun r -> Array.init 8 (fun i -> float_of_int ((r * 8) + i) *. 0.5)) in
+  Mpi_sim.Mpi.bcast c ~root:0 bufs;
+  Mpi_sim.Mpi.allreduce_sum c bufs;
+  bufs
+
+let clean_result () = scenario (Mpi_sim.Mpi.create 4)
+
+let fault_tests =
+  [
+    Alcotest.test_case "transient faults heal bit-identically" `Quick (fun () ->
+        let reference = clean_result () in
+        List.iter
+          (fun kind ->
+            let policy = { Mpi_sim.Mpi.kind; victim = 2; persistent = false; seed = 5 } in
+            let c = Mpi_sim.Mpi.create ~policy 4 in
+            let bufs = scenario c in
+            Array.iteri
+              (fun r b ->
+                Alcotest.check farr
+                  (Mpi_sim.Mpi.fault_kind_to_string kind ^ " rank " ^ string_of_int r)
+                  reference.(r) b)
+              bufs;
+            let s = Mpi_sim.Mpi.stats c in
+            Alcotest.(check bool)
+              (Mpi_sim.Mpi.fault_kind_to_string kind ^ " recovery visible")
+              true (s.Mpi_sim.Mpi.healed > 0))
+          [ Mpi_sim.Mpi.Drop; Mpi_sim.Mpi.Duplicate; Mpi_sim.Mpi.Reorder; Mpi_sim.Mpi.Corrupt ]);
+    Alcotest.test_case "drop and corrupt cost retransmits and backoff" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let policy = { Mpi_sim.Mpi.kind; victim = 1; persistent = false; seed = 3 } in
+            let c = Mpi_sim.Mpi.create ~policy 4 in
+            ignore (scenario c);
+            let s = Mpi_sim.Mpi.stats c in
+            Alcotest.(check bool) "retransmitted" true (s.Mpi_sim.Mpi.retransmits > 0);
+            Alcotest.(check bool) "backoff spent" true (s.Mpi_sim.Mpi.backoff > 0))
+          [ Mpi_sim.Mpi.Drop; Mpi_sim.Mpi.Corrupt ]);
+    Alcotest.test_case "persistent drop/corrupt raise a typed fault" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let policy = { Mpi_sim.Mpi.kind; victim = 0; persistent = true; seed = 7 } in
+            let c = Mpi_sim.Mpi.create ~policy 4 in
+            match scenario c with
+            | exception Mpi_sim.Mpi.Mpi_fault { kind = k; message; retries } ->
+                Alcotest.(check bool) "same kind" true (k = kind);
+                Alcotest.(check int) "victim message" 0 message;
+                Alcotest.(check int) "budget exhausted" Mpi_sim.Mpi.max_retries retries
+            | _ -> Alcotest.fail (Mpi_sim.Mpi.fault_kind_to_string kind ^ ": expected Mpi_fault"))
+          [ Mpi_sim.Mpi.Drop; Mpi_sim.Mpi.Corrupt ]);
+    Alcotest.test_case "persistent duplicate and reorder still heal" `Quick (fun () ->
+        let reference = clean_result () in
+        List.iter
+          (fun kind ->
+            let policy = { Mpi_sim.Mpi.kind; victim = 1; persistent = true; seed = 2 } in
+            let c = Mpi_sim.Mpi.create ~policy 4 in
+            let bufs = scenario c in
+            Array.iteri
+              (fun r b ->
+                Alcotest.check farr
+                  (Mpi_sim.Mpi.fault_kind_to_string kind ^ " rank " ^ string_of_int r)
+                  reference.(r) b)
+              bufs)
+          [ Mpi_sim.Mpi.Duplicate; Mpi_sim.Mpi.Reorder ]);
+    Alcotest.test_case "a victim past the traffic is a clean run" `Quick (fun () ->
+        let reference = clean_result () in
+        let policy =
+          { Mpi_sim.Mpi.kind = Mpi_sim.Mpi.Drop; victim = 100_000; persistent = true; seed = 0 }
+        in
+        let c = Mpi_sim.Mpi.create ~policy 4 in
+        let bufs = scenario c in
+        Array.iteri (fun r b -> Alcotest.check farr ("rank " ^ string_of_int r) reference.(r) b) bufs;
+        let s = Mpi_sim.Mpi.stats c in
+        Alcotest.(check int) "no retransmits" 0 s.Mpi_sim.Mpi.retransmits;
+        Alcotest.(check int) "nothing healed" 0 s.Mpi_sim.Mpi.healed);
+  ]
+
+let () = Alcotest.run "mpi_sim" [ ("collectives", mpi_tests); ("faults", fault_tests) ]

@@ -116,7 +116,11 @@ let testcase_tests =
         Unix.mkdir dir 0o755;
         let written = Testcase.save dir tc in
         let dat = List.find (fun p -> Filename.check_suffix p ".case.dat") written in
-        let tc' = Testcase.load dat in
+        let tc' =
+          match Testcase.load dat with
+          | Ok tc' -> tc'
+          | Error { Testcase.reason; _ } -> Alcotest.fail ("load failed: " ^ reason)
+        in
         Alcotest.(check string) "name" tc.name tc'.name;
         Alcotest.(check bool) "symbols" true (tc.symbols = tc'.symbols);
         Alcotest.(check bool) "inputs bit-exact" true (tc.inputs = tc'.inputs);
@@ -133,6 +137,71 @@ let testcase_tests =
         | Error f1, Error f2 -> Alcotest.(check bool) "same fault" true (f1 = f2)
         | _ -> Alcotest.fail "replay diverged after reload");
         List.iter Sys.remove written;
+        Unix.rmdir dir);
+    Alcotest.test_case "load never raises on bit-flipped or truncated bundles" `Quick (fun () ->
+        let open Fuzzyflow in
+        let config =
+          { Difftest.default_config with trials = 5; max_size = 8; concretization = [ ("N", 8) ] }
+        in
+        let g = Workloads.Npbench.scale () in
+        let x = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible in
+        let site = List.hd (x.find g) in
+        let r = Difftest.test_instance ~config g x site in
+        let tc =
+          match Testcase.of_report ~config ~original:g r with
+          | Some tc -> tc
+          | None -> Alcotest.fail "expected a failing test case"
+        in
+        let dir = Filename.temp_file "fftcfuzz" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let written = Testcase.save dir tc in
+        let dat = List.find (fun p -> Filename.check_suffix p ".case.dat") written in
+        let sdfg = List.find (fun p -> Filename.check_suffix p ".cutout.sdfg" ) written in
+        let read path =
+          let ic = open_in_bin path in
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+        in
+        let write path s =
+          let oc = open_out_bin path in
+          output_string oc s;
+          close_out oc
+        in
+        let try_load () =
+          match Testcase.load dat with
+          | Ok _ | Error _ -> ()
+          | exception e -> Alcotest.fail ("load raised: " ^ Printexc.to_string e)
+        in
+        List.iter
+          (fun victim ->
+            let pristine = read victim in
+            let n = String.length pristine in
+            (* deterministic walk: flip one bit at ~40 positions spread over
+               the file, catching headers, numbers, separators, payload *)
+            for k = 0 to 39 do
+              let pos = k * (max 1 (n / 40)) mod n in
+              let bit = k mod 8 in
+              let damaged = Bytes.of_string pristine in
+              Bytes.set damaged pos (Char.chr (Char.code pristine.[pos] lxor (1 lsl bit)));
+              write victim (Bytes.to_string damaged);
+              try_load ()
+            done;
+            (* truncations, including mid-line *)
+            List.iter
+              (fun keep -> write victim (String.sub pristine 0 (keep * n / 7)); try_load ())
+              [ 0; 1; 2; 3; 4; 5; 6 ];
+            write victim pristine)
+          [ dat; sdfg ];
+        (* missing graph file is a typed error too *)
+        Sys.remove sdfg;
+        (match Testcase.load dat with
+        | Error { Testcase.reason; _ } ->
+            Alcotest.(check bool) "reason non-empty" true (reason <> "")
+        | Ok _ -> Alcotest.fail "loaded without its cutout graph"
+        | exception e -> Alcotest.fail ("load raised: " ^ Printexc.to_string e));
+        List.iter (fun p -> if Sys.file_exists p then Sys.remove p) written;
         Unix.rmdir dir);
   ]
 
