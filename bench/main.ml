@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig3    -- one experiment
        (table1 fig3 fig4 bert speedup fuzzmodes sddmm table2 cloudsc
-        ablation equiv engine micro)
+        ablation equiv engine micro interp)
 
    Absolute numbers differ from the paper (interpreter vs generated C++);
    the *shapes* — who wins, by what factor, where input reductions land —
@@ -857,6 +857,103 @@ let faultlab () =
   close_out oc;
   Printf.printf "wrote BENCH_faultlab.json (%d rows)\n" (List.length class_rows + 1)
 
+(* ------------------------------------------------------------------ *)
+(* Interpreter throughput: compile-once plans vs the tree-walk          *)
+(* ------------------------------------------------------------------ *)
+
+(* Trial throughput at fuzzer-typical repetition counts: the tree-walk
+   re-derives all structure per run, the plan path compiles once and
+   executes many times. Compile cost is measured and reported separately so
+   the JSON shows both the amortized and the cold story.
+
+     BENCH_INTERP_TRIALS       trials per workload (default 1000)
+     BENCH_INTERP_MIN_SPEEDUP  exit non-zero below this (default 1.0) *)
+let interp () =
+  header "Interpreter throughput: execution plans vs tree-walk";
+  let trials =
+    match Sys.getenv_opt "BENCH_INTERP_TRIALS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 1000)
+    | None -> 1000
+  in
+  let min_speedup =
+    match Sys.getenv_opt "BENCH_INTERP_MIN_SPEEDUP" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let workloads =
+    [
+      ("scale", Workloads.Npbench.scale ());
+      ("axpy", Workloads.Npbench.axpy ());
+      ("gemm", Workloads.Npbench.gemm ());
+      ("mvt", Workloads.Npbench.mvt ());
+      ("softmax", Workloads.Npbench.softmax ());
+      ("fig4", Workloads.Fig4.build ());
+    ]
+  in
+  Printf.printf "trials per workload: %d\n" trials;
+  Printf.printf "%-10s %10s %12s %12s %9s\n" "workload" "compile" "tree-walk" "plan" "speedup";
+  let worst = ref infinity in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let symbols =
+          List.map (fun s -> (s, if s = "T" then 3 else 16)) (Sdfg.Graph.all_free_syms g)
+        in
+        let inputs = default_inputs g ~symbols in
+        (* parity gate: a fast wrong answer is worthless *)
+        let o_tree = Interp.Exec.run_tree g ~symbols ~inputs in
+        let o_plan = Interp.Exec.run g ~symbols ~inputs in
+        (match (o_tree, o_plan) with
+        | Ok a, Ok b
+          when a.Interp.Exec.steps = b.Interp.Exec.steps
+               && Hashtbl.fold
+                    (fun n (buf : Interp.Value.buffer) acc ->
+                      acc
+                      && buf.data = (Interp.Value.buffer b.Interp.Exec.memory n).Interp.Value.data)
+                    a.Interp.Exec.memory true ->
+            ()
+        | _ ->
+            Printf.eprintf "interp bench: plan/tree divergence on %s\n" name;
+            exit 1);
+        let plan, t_compile =
+          time (fun () ->
+              match Interp.Plan.compile g ~symbols with
+              | Ok p -> p
+              | Error f -> (Printf.eprintf "%s: %s\n" name (Interp.Exec.fault_to_string f); exit 1))
+        in
+        let _, t_tree =
+          time (fun () ->
+              for _ = 1 to trials do
+                ignore (Interp.Exec.run_tree g ~symbols ~inputs)
+              done)
+        in
+        let _, t_plan =
+          time (fun () ->
+              for _ = 1 to trials do
+                ignore (Interp.Plan.execute plan ~inputs)
+              done)
+        in
+        let tps_tree = float_of_int trials /. t_tree in
+        let tps_plan = float_of_int trials /. t_plan in
+        let speedup = t_tree /. t_plan in
+        if speedup < !worst then worst := speedup;
+        Printf.printf "%-10s %8.2fms %9.0f/s %9.0f/s %8.2fx\n" name (1000. *. t_compile)
+          tps_tree tps_plan speedup;
+        Printf.sprintf
+          "{\"bench\":\"interp\",\"workload\":\"%s\",\"trials\":%d,\"compile_ms\":%.3f,\"tree_trials_per_s\":%.1f,\"plan_trials_per_s\":%.1f,\"tree_total_s\":%.4f,\"plan_total_s\":%.4f,\"speedup\":%.3f}"
+          name trials (1000. *. t_compile) tps_tree tps_plan t_tree t_plan speedup)
+      workloads
+  in
+  let oc = open_out "BENCH_interp.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_interp.json (%d rows)\n" (List.length rows);
+  if !worst < min_speedup then begin
+    Printf.eprintf "interp bench: worst speedup %.2fx below required %.2fx\n" !worst min_speedup;
+    exit 1
+  end
+
 let experiments =
   [
     ("table1", table1);
@@ -875,6 +972,7 @@ let experiments =
     ("scaling", scaling);
     ("futurework", futurework);
     ("micro", micro);
+    ("interp", interp);
   ]
 
 let () =

@@ -83,7 +83,7 @@ let instance_seed ~global id =
 
 (* ---------------- per-instance execution ---------------- *)
 
-let run_instance ?(config = Difftest.default_config) ?(static_gate = false)
+let run_instance ?plan_cache ?(config = Difftest.default_config) ?(static_gate = false)
     ?(certify_gate = false) ~program:(pname, g) (x : Transforms.Xform.t) site =
   (* translation validation first: a proved-equivalent instance skips all its
      fuzz trials (report = None) *)
@@ -94,7 +94,7 @@ let run_instance ?(config = Difftest.default_config) ?(static_gate = false)
   let report =
     match verdict with
     | Some (Analysis.Equiv.Equivalent _) -> None
-    | _ -> Some (Difftest.test_instance ~config g x site)
+    | _ -> Some (Difftest.test_instance ?plan_cache ~config g x site)
   in
   (* second evidence channel: what the static oracle would have said about
      this instance, independent of the fuzz verdict *)
@@ -207,6 +207,11 @@ let trials_spent t = List.fold_left (fun acc o -> acc + o.o_trials_run) 0 t.outc
 let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = false)
     ?(certify_gate = false) programs xforms =
   let results = ref [] in
+  (* one plan cache for the whole serial campaign: many instances of the same
+     transformation share cutouts (and always share symbol valuations drawn
+     from the same constraint ranges), so compiled plans are reused across
+     instances, not just across trials *)
+  let plan_cache = Interp.Plan.Cache.create ~capacity:256 () in
   List.iter
     (fun (x : Transforms.Xform.t) ->
       List.iter
@@ -219,7 +224,10 @@ let run ?(config = Difftest.default_config) ?(limit_per = None) ?(static_gate = 
               let config =
                 { config with Difftest.seed = instance_seed ~global:config.Difftest.seed id }
               in
-              let r = run_instance ~config ~static_gate ~certify_gate ~program:(pname, g) x site in
+              let r =
+                run_instance ~plan_cache ~config ~static_gate ~certify_gate ~program:(pname, g) x
+                  site
+              in
               results := (r, config.Difftest.seed) :: !results)
             sites)
         programs)

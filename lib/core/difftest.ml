@@ -153,14 +153,30 @@ let compare_outcomes ~threshold ~system_state orig xformed =
                    }))
         system_state
 
-(* The fuzzing loop shared by cutout-level and whole-program testing. *)
-let run_trials ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transformed_prog =
+(* The fuzzing loop shared by cutout-level and whole-program testing. Both
+   programs are compiled to execution plans at most once per sampled symbol
+   valuation — injection and step limits are execution-time configuration,
+   so the clean and perturbed runs share one plan — and the cache carries
+   plans across trials (and, when the caller passes one, across instances). *)
+let run_trials ?plan_cache ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transformed_prog
+    () =
   let icfg =
     { Interp.Exec.default_config with step_limit = config.step_limit; collect_coverage = false }
   in
   (* faultlab: injected faults perturb only the transformed run, so any
      detection is attributable to the seeded fault *)
   let icfg_x = { icfg with Interp.Exec.inject = config.inject_transformed } in
+  let cache =
+    match plan_cache with Some c -> c | None -> Interp.Plan.Cache.create ()
+  in
+  (* serialize each program once, not once per trial *)
+  let dig_o = Interp.Plan.Cache.digest_of original_prog in
+  let dig_x = Interp.Plan.Cache.digest_of transformed_prog in
+  let exec ~config:icfg ~digest prog ~symbols ~inputs =
+    match Interp.Plan.Cache.compile ~digest cache prog ~symbols with
+    | Error f -> Error f
+    | Ok p -> Interp.Plan.execute ~config:icfg p ~inputs
+  in
   let rng = Sampler.create config.seed in
   let failures = ref 0 in
   let first = ref None in
@@ -168,8 +184,8 @@ let run_trials ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transforme
     let r = Sampler.split rng in
     let symbols = Sampler.sample_symbols r constraints in
     let inputs = Sampler.sample_inputs r constraints cut ~symbols in
-    let o1 = Interp.Exec.run ~config:icfg original_prog ~symbols ~inputs in
-    let o2 = Interp.Exec.run ~config:icfg_x transformed_prog ~symbols ~inputs in
+    let o1 = exec ~config:icfg ~digest:dig_o original_prog ~symbols ~inputs in
+    let o2 = exec ~config:icfg_x ~digest:dig_x transformed_prog ~symbols ~inputs in
     match compare_outcomes ~threshold:config.threshold ~system_state:cut.system_state o1 o2 with
     | None -> ()
     | Some kind ->
@@ -211,7 +227,7 @@ let invalid_report ~xform_name ~site ~cut ~elapsed msg =
     elapsed_s = elapsed;
   }
 
-let test_instance ?(config = default_config) g (x : Transforms.Xform.t) site =
+let test_instance ?plan_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
   let t0 = Unix.gettimeofday () in
   (* 1. change isolation: white-box change set from applying T to a copy *)
   match apply_to_copy g x site with
@@ -283,8 +299,8 @@ let test_instance ?(config = default_config) g (x : Transforms.Xform.t) site =
                   ~custom:config.custom_constraints ~original:g cut
               in
               let verdict =
-                run_trials ~config ~constraints ~cut ~original_prog:cut.program
-                  ~transformed_prog:transformed
+                run_trials ?plan_cache ~config ~constraints ~cut ~original_prog:cut.program
+                  ~transformed_prog:transformed ()
               in
               {
                 xform_name = x.name;
@@ -297,7 +313,7 @@ let test_instance ?(config = default_config) g (x : Transforms.Xform.t) site =
                 elapsed_s = Unix.gettimeofday () -. t0;
               }))
 
-let test_whole_program ?(config = default_config) g (x : Transforms.Xform.t) site =
+let test_whole_program ?plan_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
   let t0 = Unix.gettimeofday () in
   match apply_to_copy g x site with
   | Error msg ->
@@ -328,6 +344,7 @@ let test_whole_program ?(config = default_config) g (x : Transforms.Xform.t) sit
           ~original:g cut
       in
       let verdict =
-        run_trials ~config ~constraints ~cut ~original_prog:g ~transformed_prog:transformed
+        run_trials ?plan_cache ~config ~constraints ~cut ~original_prog:g
+          ~transformed_prog:transformed ()
       in
       (verdict, Unix.gettimeofday () -. t0)

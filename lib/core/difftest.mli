@@ -76,14 +76,23 @@ val pp_report : Format.formatter -> report -> unit
 
 (** Test one transformation instance through the full FuzzyFlow pipeline:
     apply-to-copy for the change set, cutout extraction, optional input
-    minimization, constraint derivation, differential fuzzing. *)
+    minimization, constraint derivation, differential fuzzing. The trial
+    loop compiles each program to an execution plan once per sampled symbol
+    valuation; pass [plan_cache] to reuse plans across instances (e.g. the
+    same cutout re-tested under many seeds). *)
 val test_instance :
-  ?config:config -> Sdfg.Graph.t -> Transforms.Xform.t -> Transforms.Xform.site -> report
+  ?plan_cache:Interp.Plan.Cache.t ->
+  ?config:config ->
+  Sdfg.Graph.t ->
+  Transforms.Xform.t ->
+  Transforms.Xform.site ->
+  report
 
 (** Baseline: run the whole program against its transformed version (no
     cutout) — what the paper's 528× speedup is measured against. Returns the
     verdict and elapsed seconds. *)
 val test_whole_program :
+  ?plan_cache:Interp.Plan.Cache.t ->
   ?config:config ->
   Sdfg.Graph.t ->
   Transforms.Xform.t ->

@@ -27,7 +27,7 @@ type result = {
 
 module ISet = Set.Make (Int)
 
-let run ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transformed =
+let run ?plan_cache ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transformed =
   let constraints =
     match mode with
     | Uniform -> Constraints.uniform cutout
@@ -40,6 +40,17 @@ let run ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transfor
       collect_coverage = collect;
     }
   in
+  (* compile-once: both programs are digested here and compiled at most once
+     per symbol valuation; coverage collection is an execution-time flag, so
+     the collecting and non-collecting runs share plans *)
+  let cache = match plan_cache with Some c -> c | None -> Interp.Plan.Cache.create () in
+  let dig_o = Interp.Plan.Cache.digest_of cutout.program in
+  let dig_x = Interp.Plan.Cache.digest_of transformed in
+  let exec ~config ~digest prog ~symbols ~inputs =
+    match Interp.Plan.Cache.compile ~digest cache prog ~symbols with
+    | Error f -> Error f
+    | Ok p -> Interp.Plan.execute ~config p ~inputs
+  in
   let rng = Sampler.create config.seed in
   let coverage = ref ISet.empty in
   let corpus = ref [] in
@@ -49,8 +60,8 @@ let run ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transfor
   let one_trial (symbols, inputs) =
     incr trials;
     let collect = mode = Coverage in
-    let o1 = Interp.Exec.run ~config:(icfg collect) cutout.program ~symbols ~inputs in
-    let o2 = Interp.Exec.run ~config:(icfg false) transformed ~symbols ~inputs in
+    let o1 = exec ~config:(icfg collect) ~digest:dig_o cutout.program ~symbols ~inputs in
+    let o2 = exec ~config:(icfg false) ~digest:dig_x transformed ~symbols ~inputs in
     let newcov =
       match o1 with
       | Ok o ->

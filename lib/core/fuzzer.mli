@@ -34,8 +34,11 @@ type result = {
 
 (** [run mode ~original ~cutout ~transformed] fuzzes until divergence or the
     trial budget is exhausted. [original] is the full program (used for
-    constraint derivation); [transformed] is T(cutout.program). *)
+    constraint derivation); [transformed] is T(cutout.program). Both programs
+    are compiled to execution plans at most once per symbol valuation; pass
+    [plan_cache] to share compiled plans across calls. *)
 val run :
+  ?plan_cache:Interp.Plan.Cache.t ->
   ?config:config ->
   mode ->
   original:Sdfg.Graph.t ->

@@ -257,7 +257,12 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
         let it = items.(i) in
         fun () ->
           let config = { config with Difftest.seed = it.Queue.seed } in
-          Campaign.run_instance ~config ~static_gate:options.static_gate
+          (* the plan cache is created here, inside the forked child: compiled
+             plans hold closures, which must never cross the Marshal channel
+             back to the parent, and a per-process cache keeps workers
+             deterministic regardless of scheduling *)
+          let plan_cache = Interp.Plan.Cache.create () in
+          Campaign.run_instance ~plan_cache ~config ~static_gate:options.static_gate
             ~certify_gate:options.certify_gate
             ~program:(it.program_name, it.program)
             it.xform it.site)

@@ -5,9 +5,16 @@
     final memory image, an execution-coverage set (for coverage-guided
     fuzzing, Sec. 5.1) and precise fault signals — out-of-bounds accesses,
     step-limit "hangs" and invalid-graph conditions — that differential
-    testing classifies (Sec. 5). *)
+    testing classifies (Sec. 5).
 
-type fault =
+    [run] is the one-shot interface: it lowers the graph to an execution
+    plan ({!Plan}) and runs it once. Loops that execute the same graph many
+    times (the difftest trial loop, the fuzzer) should instead compile once
+    — {!Plan.compile} or a {!Plan.Cache} — and call {!Plan.execute} per
+    trial; the plan path and the reference tree-walk ({!run_tree}) produce
+    bit-identical outcomes. *)
+
+type fault = Defs.fault =
   | Out_of_bounds of { container : string; index : int array; shape : int array; context : string }
   | Hang of { steps : int }  (** step limit exceeded *)
   | Invalid_graph of string  (** the "generates invalid code" failure class *)
@@ -22,7 +29,7 @@ val fault_to_string : fault -> string
     injects at the same place on every run of a program over the same
     inputs. The self-validation campaign uses these to prove the
     differential tester catches interpreter-level corruption. *)
-type injection =
+type injection = Defs.injection =
   | Flip_bit of { nth_write : int; bit : int }
       (** XOR IEEE-754 bit [bit] into the first value of write [nth_write] *)
   | Set_nan of { nth_write : int }  (** write a NaN instead *)
@@ -37,7 +44,7 @@ type injection =
 
 val injection_to_string : injection -> string
 
-type config = {
+type config = Defs.config = {
   step_limit : int;  (** abort as a hang beyond this many execution steps *)
   garbage_seed : int;  (** seed for deterministic GPU garbage allocation *)
   collect_coverage : bool;
@@ -46,9 +53,9 @@ type config = {
 
 val default_config : config
 
-type outcome = {
+type outcome = Defs.outcome = {
   memory : Value.t;  (** final contents of every container *)
-  coverage : int list;  (** sorted coverage-point hashes *)
+  coverage : int list;  (** sorted coverage-point digests *)
   steps : int;  (** total execution steps consumed *)
   writes : int;  (** container write operations performed (injection sites) *)
   subsets : int;  (** dimensioned memlet subsets concretized (injection sites) *)
@@ -59,6 +66,16 @@ type outcome = {
     missing ones are zero-filled, and each provided array must match the
     concretized element count. *)
 val run :
+  ?config:config ->
+  Sdfg.Graph.t ->
+  symbols:(string * int) list ->
+  inputs:(string * float array) list ->
+  (outcome, fault) result
+
+(** The reference tree-walk interpreter: identical observable semantics to
+    {!run}, re-deriving all structure per run. Kept as the differential
+    baseline and the slow side of [bench interp]. *)
+val run_tree :
   ?config:config ->
   Sdfg.Graph.t ->
   symbols:(string * int) list ->

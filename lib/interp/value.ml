@@ -9,10 +9,22 @@ type t = (string, buffer) Hashtbl.t
 
 exception Out_of_bounds of { container : string; index : int array; shape : int array }
 
+(* FNV-1a over the container name, with the same constants and masking as
+   Campaign.instance_seed: the per-container stream offset is then a
+   specified function of the name, not of the unspecified Hashtbl.hash. *)
+let fnv1a_name s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
 (* Deterministic garbage: a simple 64-bit LCG seeded from the run seed and the
    container name, mapped into a "plausible but wrong" value range. *)
 let garbage_fill seed name data =
-  let state = ref (Int64.of_int (seed lxor Hashtbl.hash name lxor 0x9e3779b9)) in
+  let state = ref (Int64.of_int (seed lxor fnv1a_name name lxor 0x9e3779b9)) in
   let next () =
     state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
     let bits = Int64.to_int (Int64.shift_right_logical !state 17) land 0xFFFFFF in
@@ -24,22 +36,25 @@ let garbage_fill seed name data =
 
 let num_elements b = Array.fold_left ( * ) 1 b.cshape
 
-let alloc ~garbage_seed env name (desc : Sdfg.Graph.datadesc) =
-  let cshape =
-    Array.of_list
-      (List.map
-         (fun e ->
-           let d = Symbolic.Expr.eval env e in
-           if d <= 0 then
-             invalid_arg
-               (Printf.sprintf "Value.alloc: container %s has non-positive dimension %d" name d);
-           d)
-         desc.shape)
-  in
+let concretize_shape env name (desc : Sdfg.Graph.datadesc) =
+  Array.of_list
+    (List.map
+       (fun e ->
+         let d = Symbolic.Expr.eval env e in
+         if d <= 0 then
+           invalid_arg
+             (Printf.sprintf "Value.alloc: container %s has non-positive dimension %d" name d);
+         d)
+       desc.shape)
+
+let alloc_shaped ~garbage_seed name (desc : Sdfg.Graph.datadesc) cshape =
   let n = Array.fold_left ( * ) 1 cshape in
   let data = Array.make n 0. in
   if desc.storage = Sdfg.Graph.Gpu then garbage_fill garbage_seed name data;
   { name; desc; cshape; data }
+
+let alloc ~garbage_seed env name desc =
+  alloc_shaped ~garbage_seed name desc (concretize_shape env name desc)
 
 let cast (dt : Sdfg.Dtype.t) v =
   match dt with

@@ -22,6 +22,16 @@ exception Out_of_bounds of { container : string; index : int array; shape : int 
     dimension raise [Invalid_argument]. *)
 val alloc : garbage_seed:int -> int Symbolic.Expr.Env.t -> string -> Sdfg.Graph.datadesc -> buffer
 
+(** The shape-evaluation half of {!alloc}, exposed so a compiled execution
+    plan ({!Plan}) can resolve shapes once and allocate per run.
+    @raise Invalid_argument on a non-positive dimension. *)
+val concretize_shape : int Symbolic.Expr.Env.t -> string -> Sdfg.Graph.datadesc -> int array
+
+(** The allocation half of {!alloc}: build a buffer over an already
+    concretized shape (zero-filled for host storage, deterministic garbage
+    for GPU storage). *)
+val alloc_shaped : garbage_seed:int -> string -> Sdfg.Graph.datadesc -> int array -> buffer
+
 val num_elements : buffer -> int
 
 (** Round-trip a float through the container dtype (f32 rounding, integer

@@ -370,6 +370,68 @@ let extra_tests =
         Alcotest.check farr "b" [| 0.; 2.; 4.; 6. |] (buf o "b"));
   ]
 
+(* Regression: coverage keys used to be hashed with [Hashtbl.hash], whose
+   default traversal bounds make distinct structured keys collide; the FNV-1a
+   digest in Defs must keep every realistic key distinct. *)
+let digest_tests =
+  [
+    Alcotest.test_case "cov_digest is injective over realistic keys" `Quick (fun () ->
+        let keys = ref [] in
+        for state = 0 to 40 do
+          keys := Interp.Defs.Cov_state state :: !keys;
+          keys := Interp.Defs.Cov_iedge state :: !keys;
+          for node = 0 to 40 do
+            List.iter
+              (fun empty -> keys := Interp.Defs.Cov_map { state; node; empty } :: !keys)
+              [ false; true ];
+            List.iter
+              (fun taken ->
+                keys := Interp.Defs.Cov_select { state; node; site = node mod 7; taken } :: !keys)
+              [ false; true ]
+          done
+        done;
+        let digests = List.map Interp.Defs.cov_digest !keys in
+        let tbl = Hashtbl.create (List.length digests) in
+        List.iter2
+          (fun k d ->
+            match Hashtbl.find_opt tbl d with
+            | Some _ -> Alcotest.fail "cov_digest collision between distinct keys"
+            | None -> Hashtbl.add tbl d k)
+          !keys digests);
+    Alcotest.test_case "distinct key kinds with equal ids stay distinct" `Quick (fun () ->
+        let d1 = Interp.Defs.cov_digest (Interp.Defs.Cov_state 3) in
+        let d2 = Interp.Defs.cov_digest (Interp.Defs.Cov_iedge 3) in
+        Alcotest.(check bool) "state vs iedge" true (d1 <> d2));
+  ]
+
+(* Regression: interstate-edge assignments used to evaluate for free — a
+   symbol-churning control loop could spin forever below the step budget. *)
+let budget_tests =
+  let spin_graph () =
+    let g = Graph.create "spin" in
+    Graph.add_symbol g "i";
+    Graph.add_array g "x" Dtype.F64 [ Symbolic.Expr.int 1 ];
+    let s = Graph.add_state g "loop" in
+    Graph.set_start_state g s;
+    ignore
+      (Graph.add_istate_edge g
+         ~cond:(Symbolic.Cond.Lt (se "i", Symbolic.Expr.int 100))
+         ~assigns:[ ("i", Symbolic.Expr.Add (se "i", Symbolic.Expr.int 1)) ]
+         s s);
+    g
+  in
+  [
+    Alcotest.test_case "interstate assignments consume steps" `Quick (fun () ->
+        let o = run (spin_graph ()) ~symbols:[ ("i", 0) ] ~inputs:[] in
+        (* 101 state executions plus 100 assignment evaluations *)
+        Alcotest.(check int) "steps" 201 o.steps);
+    Alcotest.test_case "a symbol-only loop trips the step budget" `Quick (fun () ->
+        let config = { Interp.Exec.default_config with step_limit = 50 } in
+        expect_fault ~config (spin_graph ()) ~symbols:[ ("i", 0) ] ~inputs:[]
+          (function Interp.Exec.Hang _ -> true | _ -> false)
+          "spin under budget");
+  ]
+
 let () =
   Alcotest.run "interp"
     [
@@ -379,4 +441,6 @@ let () =
       ("control", control_tests);
       ("coverage", coverage_tests);
       ("extra", extra_tests);
+      ("digest", digest_tests);
+      ("budget", budget_tests);
     ]
