@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig3    -- one experiment
        (table1 fig3 fig4 bert speedup fuzzmodes sddmm table2 cloudsc
-        ablation equiv engine micro interp)
+        ablation equiv analysis engine micro interp)
 
    Absolute numbers differ from the paper (interpreter vs generated C++);
    the *shapes* — who wins, by what factor, where input reductions land —
@@ -687,6 +687,120 @@ let equiv () =
   Printf.printf "wrote BENCH_equiv.json (%d rows)\n" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* Interstate dataflow analyses: per-pass runtime over the workload     *)
+(* suite, fixpoint convergence, and certify verdicts upgraded from      *)
+(* Unknown by interval facts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analysis () =
+  header "Dataflow analyses: per-pass runtime and interval-fact certify upgrades";
+  let programs =
+    Workloads.Npbench.all () @ Workloads.Npb_frontend.all ()
+    @ [
+        ("bert", Workloads.Bert.build ());
+        ("cloudsc", Workloads.Cloudsc.build ());
+        ("fig4", Workloads.Fig4.build ());
+        ("sddmm", (let g, _, _ = Workloads.Sddmm.rank_program () in g));
+      ]
+  in
+  let symbols_for g =
+    let base =
+      match Sdfg.Graph.name g with
+      | "bert_encoder" -> Workloads.Bert.default_symbols
+      | "cloudsc_synth" -> Workloads.Cloudsc.default_symbols
+      | "sddmm_rank" -> [ ("LROWS", 4); ("NCOLS", 6); ("K", 3) ]
+      | _ -> [ ("N", 8); ("T", 3) ]
+    in
+    List.filter (fun (s, _) -> List.mem s (Sdfg.Graph.all_free_syms g)) base
+  in
+  (* per-pass wall clock, summed over the whole suite *)
+  let max_iters = ref 0 in
+  let passes =
+    [
+      ("liveness", fun g -> List.length (Analysis.Liveness.check g));
+      ("reachdef", fun g -> List.length (Analysis.Reachdef.check g));
+      ( "intervals",
+        fun g ->
+          let sol = Analysis.Intervals.solve ~symbols:(symbols_for g) g in
+          if not sol.Analysis.Fixpoint.converged then max_iters := max_int
+          else max_iters := max !max_iters sol.Analysis.Fixpoint.iterations;
+          List.length (Analysis.Intervals.facts ~symbols:(symbols_for g) g) );
+      ("defuse", fun g -> List.length (Analysis.Defuse.check g));
+      ("footprint", fun g -> List.length (Analysis.Footprint.check ~symbols:(symbols_for g) g));
+      ("oracle", fun g -> List.length (Analysis.Oracle.analyze ~symbols:(symbols_for g) g));
+    ]
+  in
+  Printf.printf "%-12s %10s %10s\n" "pass" "total (ms)" "findings";
+  let pass_rows =
+    List.map
+      (fun (name, f) ->
+        let n = ref 0 in
+        let _, t = time (fun () -> List.iter (fun (_, g) -> n := !n + f g) programs) in
+        Printf.printf "%-12s %10.1f %10d\n" name (1000. *. t) !n;
+        Printf.sprintf "{\"bench\":\"analysis\",\"pass\":\"%s\",\"total_ms\":%.2f,\"findings\":%d}"
+          name (1000. *. t) !n)
+      passes
+  in
+  Printf.printf "interval fixpoint: max %d passes to convergence over %d workloads\n" !max_iters
+    (List.length programs);
+  (* certify with and without interval facts: how many Unknown verdicts do
+     the envelope bounds upgrade to a definite answer? *)
+  let xforms =
+    Transforms.Registry.as_shipped () @ Transforms.Registry.all_correct ()
+    |> List.fold_left
+         (fun acc (x : Transforms.Xform.t) ->
+           if List.exists (fun (y : Transforms.Xform.t) -> y.name = x.name) acc then acc
+           else x :: acc)
+         []
+    |> List.rev
+  in
+  let instances = ref 0
+  and unknown_off = ref 0
+  and upgraded_equivalent = ref 0
+  and upgraded_refuted = ref 0 in
+  let _, t_certify =
+    time (fun () ->
+        List.iter
+          (fun (_, g) ->
+            let symbols = symbols_for g in
+            List.iter
+              (fun (x : Transforms.Xform.t) ->
+                List.iter
+                  (fun site ->
+                    incr instances;
+                    match Analysis.Equiv.certify ~use_intervals:false ~symbols g x site with
+                    | Some (Analysis.Equiv.Unknown _) -> (
+                        incr unknown_off;
+                        match Analysis.Equiv.certify ~symbols g x site with
+                        | Some (Analysis.Equiv.Equivalent _) -> incr upgraded_equivalent
+                        | Some (Analysis.Equiv.Refuted _) -> incr upgraded_refuted
+                        | _ -> ())
+                    | _ -> ())
+                  (x.find g))
+              xforms)
+          programs)
+  in
+  Printf.printf
+    "certify: %d instances, %d unknown without interval facts, %d upgraded to equivalent, %d to \
+     refuted (%.2fs)\n"
+    !instances !unknown_off !upgraded_equivalent !upgraded_refuted t_certify;
+  let upgrade_row =
+    Printf.sprintf
+      "{\"bench\":\"analysis\",\"certify_instances\":%d,\"unknown_without_intervals\":%d,\"upgraded_equivalent\":%d,\"upgraded_refuted\":%d,\"max_fixpoint_passes\":%d}"
+      !instances !unknown_off !upgraded_equivalent !upgraded_refuted !max_iters
+  in
+  let rows = pass_rows @ [ upgrade_row ] in
+  let oc = open_out "BENCH_analysis.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_analysis.json (%d rows)\n" (List.length rows);
+  if !upgraded_equivalent + !upgraded_refuted = 0 then begin
+    Printf.eprintf "analysis bench: interval facts upgraded no certify verdicts\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Campaign engine: wall-clock vs worker count, scheduling overhead     *)
 (* ------------------------------------------------------------------ *)
 
@@ -967,6 +1081,7 @@ let experiments =
     ("cloudsc", cloudsc);
     ("ablation", ablation);
     ("equiv", equiv);
+    ("analysis", analysis);
     ("engine", engine);
     ("faultlab", faultlab);
     ("scaling", scaling);

@@ -62,7 +62,7 @@ let candidate_values g env ~loop_vars =
   Hashtbl.fold (fun v ns acc -> (v, List.rev ns) :: acc) tbl []
   |> List.sort compare
 
-let make ?(symbols = []) g =
+let make ?(symbols = []) ?(facts = []) g =
   let env = Expr.Env.of_list symbols in
   let loops =
     List.filter_map
@@ -71,6 +71,24 @@ let make ?(symbols = []) g =
       (Transforms.Xform.find_loops g)
   in
   let candidates = candidate_values g env ~loop_vars:(List.map fst loops) in
+  (* interval facts from the fixpoint solver contribute their concrete
+     endpoints as extra candidate values: a symbol the assignment scan could
+     not evaluate may still have a provable range whose extremes are exactly
+     the values bounds/race sampling should probe *)
+  let candidates =
+    List.fold_left
+      (fun cands (s, (lo, hi)) ->
+        if Expr.Env.mem s env || List.mem_assoc s loops then cands
+        else
+          let extra = List.filter_map (fun x -> x) [ lo; hi ] in
+          if extra = [] then cands
+          else
+            let cur = Option.value ~default:[] (List.assoc_opt s cands) in
+            let merged = cur @ List.filter (fun v -> not (List.mem v cur)) extra in
+            (s, merged) :: List.remove_assoc s cands)
+      candidates facts
+    |> List.sort compare
+  in
   { env; loops; candidates }
 
 let sample_env t =

@@ -17,7 +17,14 @@ type t = {
       (** evaluable values of interstate-assigned symbols (capped) *)
 }
 
-val make : ?symbols:(string * int) list -> Graph.t -> t
+(** [facts] are concrete interval bounds inferred by the {!Intervals}
+    fixpoint; each bounded symbol's endpoints join its candidate values for
+    the sampling-based checks. *)
+val make :
+  ?symbols:(string * int) list ->
+  ?facts:(string * (int option * int option)) list ->
+  Graph.t ->
+  t
 
 (** [env] extended with every loop variable bound to its range start and
     every assigned symbol bound to its first candidate — a representative

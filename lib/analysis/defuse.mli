@@ -11,6 +11,15 @@
 
 open Sdfg
 
+(** Containers read / written by one state's dataflow (unsorted, with
+    duplicates) — the per-state building block the interstate passes
+    ({!Liveness}, {!Reachdef}) share with the whole-program check. *)
+val state_accesses : State.t -> string list * string list
+
+(** Scalar containers read by an interstate edge's condition or assignment
+    right-hand sides. *)
+val interstate_reads : Graph.t -> Graph.istate_edge -> string list
+
 (** Containers read anywhere in the program, sorted and deduplicated —
     by construction equal to the cutout extractor's program-read set. *)
 val reads : Graph.t -> string list

@@ -101,7 +101,7 @@ let refute_or_unknown ~symbols ~valuation ~declared mismatches =
                "propagated %s set of %s differs symbolically; no concrete witness found"
                (Certificate.side_name side) c))
 
-let decide ~symbols g g' (x : Transforms.Xform.t) site =
+let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
   (* program parameters: declared symbols, anything a container shape
      mentions, and whatever the caller chose to concretize — hand-built
      graphs do not always call [add_symbol] *)
@@ -134,8 +134,34 @@ let decide ~symbols g g' (x : Transforms.Xform.t) site =
   with
   | f :: _ -> refute_from_delta ~valuation f
   | [] -> (
-      (* program sizes are at least 1; everything else is unconstrained *)
-      let bounds s = if List.mem s declared then (Some 1, None) else (None, None) in
+      (* Interstate-assigned symbols (loop counters, alias chains) are not
+         program parameters, so a summary mentioning one is normally
+         undecidable. When the transformation leaves the interstate CFG
+         untouched, such a symbol runs through the {e same} value sequence on
+         both sides — it can be admitted into the comparison as an opaque
+         parameter, with the interval fixpoint supplying its bounds. Only
+         symbols the fixpoint actually bounds are admitted, and the
+         refutation grid still ranges over true parameters only. *)
+      let cfg_untouched =
+        (Sdfg.Diff.compute ~original:g ~transformed:g').Sdfg.Diff.states = []
+      in
+      let interval_facts =
+        if use_intervals && cfg_untouched then
+          match Intervals.facts ~symbols g with fs -> fs | exception _ -> []
+        else []
+      in
+      let admitted_bounds = Intervals.concrete_bounds ~symbols g interval_facts in
+      let admitted = List.map fst admitted_bounds in
+      let comparable = declared @ admitted in
+      (* program sizes are at least 1; admitted loop symbols carry their
+         inferred interval; everything else is unconstrained *)
+      let bounds s =
+        if List.mem s declared then (Some 1, None)
+        else
+          match List.assoc_opt s admitted_bounds with
+          | Some b -> b
+          | None -> (None, None)
+      in
       (* a deliberately broken transformation can leave the scope structure
          malformed; propagation failure means "cannot decide", not a crash *)
       match
@@ -145,7 +171,7 @@ let decide ~symbols g g' (x : Transforms.Xform.t) site =
       | pre, post -> (
       let stray su =
         List.filter
-          (fun s -> not (List.mem s declared))
+          (fun s -> not (List.mem s comparable))
           (Propagate.free_syms_of_summary su)
       in
       match stray pre @ stray post with
@@ -199,7 +225,7 @@ let decide ~symbols g g' (x : Transforms.Xform.t) site =
                 {
                   Certificate.xform = x.name;
                   site = Format.asprintf "%a" Transforms.Xform.pp_site site;
-                  assumed = List.map (fun s -> (s, (Some 1, None))) declared;
+                  assumed = List.map (fun s -> (s, bounds s)) comparable;
                   entries = List.rev !entries;
                   order_pre = keep pre.order;
                   order_post = keep post.order;
@@ -219,8 +245,8 @@ let decide ~symbols g g' (x : Transforms.Xform.t) site =
           | [], _, false -> Unknown "per-container access order changed"
           | ms, _, _ -> refute_or_unknown ~symbols ~valuation ~declared ms)))
 
-let certify ?(symbols = []) g (x : Transforms.Xform.t) site =
+let certify ?use_intervals ?(symbols = []) g (x : Transforms.Xform.t) site =
   let g' = Graph.copy g in
   match x.apply g' site with
   | exception Transforms.Xform.Cannot_apply _ -> None
-  | _ -> Some (decide ~symbols g g' x site)
+  | _ -> Some (decide ?use_intervals ~symbols g g' x site)

@@ -38,7 +38,15 @@ val verdict_name : verdict -> string
 val pp_witness : Format.formatter -> witness -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** [use_intervals] (default [true]) lets the {!Intervals} fixpoint admit
+    interstate-assigned symbols into the summary comparison when the
+    transformation provably leaves the interstate CFG untouched: such a
+    symbol runs through the same value sequence on both sides, so it may be
+    treated as an opaque bounded parameter. Disabling it reproduces the
+    seed behaviour (those summaries stay [Unknown]); the [bench analysis]
+    scenario measures the verdicts upgraded by this flag. *)
 val certify :
+  ?use_intervals:bool ->
   ?symbols:(string * int) list ->
   Sdfg.Graph.t ->
   Transforms.Xform.t ->

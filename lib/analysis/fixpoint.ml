@@ -1,0 +1,92 @@
+open Sdfg
+
+type direction = Forward | Backward
+
+type 'a lattice = {
+  bottom : 'a;
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+  widen : ('a -> 'a -> 'a) option;
+}
+
+type 'a solution = {
+  entry : (int * 'a) list;
+  exit_ : (int * 'a) list;
+  iterations : int;
+  converged : bool;
+}
+
+let entry_fact sol sid = List.assoc_opt sid sol.entry
+let exit_fact sol sid = List.assoc_opt sid sol.exit_
+
+let default_max_passes = 64
+let default_widen_after = 8
+
+(* Round-based chaotic iteration in a fixed state order: every state is
+   visited once per pass, in ascending id order, until a full pass changes
+   nothing. The deterministic schedule makes facts — and therefore findings
+   derived from them — byte-identical across reruns and worker counts. *)
+let solve ?(direction = Forward) ?(max_passes = default_max_passes)
+    ?(widen_after = default_widen_after) ~(lattice : 'a lattice) ~init ~transfer ~edge g =
+  let ids = List.sort compare (Graph.state_ids g) in
+  let roots =
+    match direction with
+    | Forward -> [ Graph.start_state g ]
+    | Backward ->
+        (* every state without outgoing interstate edges terminates the
+           program; with none at all (single-state graphs), every state *)
+        let sinks = List.filter (fun s -> Graph.out_istate_edges g s = []) ids in
+        if sinks = [] then ids else sinks
+  in
+  let pred_edges sid =
+    match direction with
+    | Forward -> Graph.in_istate_edges g sid
+    | Backward -> Graph.out_istate_edges g sid
+  in
+  let edge_origin (e : Graph.istate_edge) =
+    match direction with Forward -> e.src | Backward -> e.dst
+  in
+  let entry_t : (int, 'a) Hashtbl.t = Hashtbl.create 16 in
+  let exit_t : (int, 'a) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sid ->
+      Hashtbl.replace entry_t sid (if List.mem sid roots then init else lattice.bottom);
+      Hashtbl.replace exit_t sid lattice.bottom)
+    ids;
+  let passes = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !passes < max_passes do
+    incr passes;
+    let changed = ref false in
+    List.iter
+      (fun sid ->
+        let incoming =
+          List.fold_left
+            (fun acc e -> lattice.join acc (edge e (Hashtbl.find exit_t (edge_origin e))))
+            (if List.mem sid roots then init else lattice.bottom)
+            (pred_edges sid)
+        in
+        let old_in = Hashtbl.find entry_t sid in
+        let new_in =
+          match lattice.widen with
+          | Some w when !passes > widen_after -> w old_in incoming
+          | _ -> incoming
+        in
+        if not (lattice.equal old_in new_in) then begin
+          changed := true;
+          Hashtbl.replace entry_t sid new_in
+        end;
+        let out = transfer sid (Hashtbl.find entry_t sid) in
+        if not (lattice.equal (Hashtbl.find exit_t sid) out) then begin
+          changed := true;
+          Hashtbl.replace exit_t sid out
+        end)
+      ids;
+    if not !changed then stable := true
+  done;
+  {
+    entry = List.map (fun sid -> (sid, Hashtbl.find entry_t sid)) ids;
+    exit_ = List.map (fun sid -> (sid, Hashtbl.find exit_t sid)) ids;
+    iterations = !passes;
+    converged = !stable;
+  }

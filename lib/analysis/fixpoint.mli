@@ -1,0 +1,60 @@
+(** Generic worklist fixpoint solver over the interstate control-flow graph.
+
+    The interstate edges of an SDFG form a state machine; a dataflow analysis
+    assigns each state an abstract fact from a join-semilattice and iterates
+    state transfer functions until the facts stabilize. All interstate passes
+    ({!Liveness}, {!Reachdef}, {!Intervals}) instantiate this one solver, so
+    convergence behaviour, evaluation order and determinism are shared.
+
+    The iteration schedule is round-based and deterministic: ascending state
+    id order, one full pass at a time, stopping after the first pass that
+    changes nothing. [iterations] counts full passes — the clean-corpus
+    regression asserts a bound on it for every bundled workload. *)
+
+open Sdfg
+
+type direction = Forward | Backward
+
+(** A join-semilattice with optional widening. [bottom] is the identity of
+    [join] (the "unreachable" fact). [widen old new_] must over-approximate
+    [join old new_] and is applied instead of plain join after [widen_after]
+    passes, to force convergence of domains with infinite ascending chains
+    (symbolic intervals). *)
+type 'a lattice = {
+  bottom : 'a;
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+  widen : ('a -> 'a -> 'a) option;
+}
+
+type 'a solution = {
+  entry : (int * 'a) list;  (** fact on entry to each state, ascending id *)
+  exit_ : (int * 'a) list;  (** fact on exit from each state *)
+  iterations : int;  (** full passes until stable (or until the cap) *)
+  converged : bool;  (** [false] iff the pass cap was hit while still changing *)
+}
+
+val entry_fact : 'a solution -> int -> 'a option
+val exit_fact : 'a solution -> int -> 'a option
+
+val default_max_passes : int
+val default_widen_after : int
+
+(** [solve ~lattice ~init ~transfer ~edge g] iterates to a fixpoint.
+
+    [init] is the fact entering the start state ([Forward]) or the terminal
+    states ([Backward]); [transfer sid fact] pushes a fact through a state's
+    dataflow; [edge e fact] pushes it across an interstate edge (condition
+    refinement, symbol assignment). For [Backward], "entry" means the fact at
+    the state's control-flow exit boundary and edges are traversed against
+    control flow. *)
+val solve :
+  ?direction:direction ->
+  ?max_passes:int ->
+  ?widen_after:int ->
+  lattice:'a lattice ->
+  init:'a ->
+  transfer:(int -> 'a -> 'a) ->
+  edge:(Graph.istate_edge -> 'a -> 'a) ->
+  Graph.t ->
+  'a solution

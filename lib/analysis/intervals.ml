@@ -1,0 +1,282 @@
+open Sdfg
+module Expr = Symbolic.Expr
+module Cond = Symbolic.Cond
+
+(* [cong = Some (0, c)] means "exactly c"; [Some (m, r)] with [m > 0] means
+   "congruent to r modulo m" (r already reduced); [None] means no stride
+   information. Endpoints are symbolic expressions over program parameters,
+   so a loop bounded by [t < T] keeps the parametric bound [T - 1] instead of
+   degrading to "unbounded". *)
+type fact = { lo : Expr.t option; hi : Expr.t option; cong : (int * int) option }
+
+let top = { lo = None; hi = None; cong = None }
+let exactly c = { lo = Some (Expr.int c); hi = Some (Expr.int c); cong = Some (0, c) }
+
+let bounded f = f.lo <> None || f.hi <> None || f.cong <> None
+
+let pp_fact fmt f =
+  let e = function None -> "?" | Some x -> Expr.to_string x in
+  Format.fprintf fmt "[%s, %s]" (e f.lo) (e f.hi);
+  match f.cong with
+  | Some (0, c) -> Format.fprintf fmt " =%d" c
+  | Some (m, r) -> Format.fprintf fmt " =%d (mod %d)" r m
+  | None -> ()
+
+(* The abstract environment: symbol -> fact, sorted by symbol; a missing
+   symbol is top. [None] is the unreachable state (lattice bottom). *)
+type env = (string * fact) list option
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd3 a b c = gcd (gcd (abs a) (abs b)) (abs c)
+
+let norm_cong = function
+  | Some (0, c) -> Some (0, c)
+  | Some (m, r) when m > 0 ->
+      let r = ((r mod m) + m) mod m in
+      if m = 1 then None else Some (m, r)
+  | _ -> None
+
+let join_cong a b =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some (m1, r1), Some (m2, r2) ->
+      if (m1, r1) = (m2, r2) then Some (m1, r1)
+      else
+        let g = gcd3 m1 m2 (r1 - r2) in
+        if g = 0 then Some (0, r1) else norm_cong (Some (g, r1))
+
+let add_cong a b =
+  match (a, b) with
+  | Some (m1, r1), Some (m2, r2) ->
+      let g = gcd (abs m1) (abs m2) in
+      if g = 0 then Some (0, r1 + r2) else norm_cong (Some (g, r1 + r2))
+  | _ -> None
+
+let neg_cong = function
+  | Some (0, c) -> Some (0, -c)
+  | Some (m, r) -> norm_cong (Some (m, -r))
+  | None -> None
+
+let mul_cong_const c = function
+  | Some (0, r) -> Some (0, c * r)
+  | Some (m, r) when c <> 0 -> norm_cong (Some (abs (c * m), c * r))
+  | _ -> None
+
+(* Symbolic endpoint comparison under the caller's parameter bounds: joins
+   pick the provably smaller/larger endpoint and degrade to "unbounded" when
+   neither direction is provable. *)
+let emin bounds a b =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some x, Some y -> (
+      if Expr.equal x y then Some x
+      else
+        match Expr.compare_under bounds x y with
+        | `Le -> Some x
+        | `Ge -> Some y
+        | `Unknown -> None)
+
+let emax bounds a b =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some x, Some y -> (
+      if Expr.equal x y then Some x
+      else
+        match Expr.compare_under bounds x y with
+        | `Le -> Some y
+        | `Ge -> Some x
+        | `Unknown -> None)
+
+let join_fact bounds a b =
+  { lo = emin bounds a.lo b.lo; hi = emax bounds a.hi b.hi; cong = join_cong a.cong b.cong }
+
+(* A symbol missing from one side has not been assigned on that path; its
+   value there is undefined (reading it is an error {!Reachdef} reports), so
+   the join keeps the defined side's fact rather than degrading to top. *)
+let join_env bounds (a : env) (b : env) : env =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some fa, Some fb ->
+      let keys = List.sort_uniq compare (List.map fst fa @ List.map fst fb) in
+      Some
+        (List.map
+           (fun k ->
+             match (List.assoc_opt k fa, List.assoc_opt k fb) with
+             | Some f, Some g -> (k, join_fact bounds f g)
+             | Some f, None | None, Some f -> (k, f)
+             | None, None -> (k, top))
+           keys)
+
+(* Widening keeps only the endpoints that have already stabilized: an
+   endpoint still moving after [widen_after] passes is part of an infinite
+   ascending chain (e.g. [t := t + 1] against an unprovable bound) and is
+   dropped. Congruence needs no widening — gcd joins descend a finite
+   divisor chain. *)
+let widen_env bounds (old_e : env) (new_e : env) : env =
+  match (old_e, new_e) with
+  | None, x | x, None -> x
+  | Some fo, Some fn ->
+      let joined = Option.get (join_env bounds (Some fo) (Some fn)) in
+      Some
+        (List.map
+           (fun (k, j) ->
+             let o = Option.value ~default:top (List.assoc_opt k fo) in
+             ( k,
+               {
+                 lo = (if o.lo = j.lo then j.lo else None);
+                 hi = (if o.hi = j.hi then j.hi else None);
+                 cong = j.cong;
+               } ))
+           joined)
+
+let set_fact env v f =
+  List.sort compare ((v, f) :: List.remove_assoc v env)
+
+let get_fact env v = Option.value ~default:top (List.assoc_opt v env)
+
+(* Interval/stride evaluation of an assignment right-hand side. Parameters
+   (symbols never assigned on an interstate edge) evaluate to themselves as
+   exact symbolic endpoints; assigned symbols evaluate to their current
+   fact. *)
+let rec eval_fact ~stable env e =
+  let simp = Option.map Expr.simplify in
+  match e with
+  | Expr.Int c -> exactly c
+  | Expr.Sym v when stable v -> { lo = Some e; hi = Some e; cong = None }
+  | Expr.Sym v -> get_fact env v
+  | Expr.Add (a, b) ->
+      let fa = eval_fact ~stable env a and fb = eval_fact ~stable env b in
+      let lift op x y = match (x, y) with Some x, Some y -> simp (Some (op x y)) | _ -> None in
+      { lo = lift Expr.add fa.lo fb.lo; hi = lift Expr.add fa.hi fb.hi; cong = add_cong fa.cong fb.cong }
+  | Expr.Sub (a, b) ->
+      let fa = eval_fact ~stable env a and fb = eval_fact ~stable env b in
+      let lift x y = match (x, y) with Some x, Some y -> simp (Some (Expr.sub x y)) | _ -> None in
+      { lo = lift fa.lo fb.hi; hi = lift fa.hi fb.lo; cong = add_cong fa.cong (neg_cong fb.cong) }
+  | Expr.Mul (a, b) -> (
+      let const_side =
+        match (Expr.is_constant a, Expr.is_constant b) with
+        | Some c, _ -> Some (c, b)
+        | _, Some c -> Some (c, a)
+        | _ -> None
+      in
+      match const_side with
+      | None -> top
+      | Some (c, other) ->
+          let f = eval_fact ~stable env other in
+          let scale x = Option.map (fun x -> Expr.simplify (Expr.mul (Expr.int c) x)) x in
+          if c >= 0 then { lo = scale f.lo; hi = scale f.hi; cong = mul_cong_const c f.cong }
+          else { lo = scale f.hi; hi = scale f.lo; cong = mul_cong_const c f.cong })
+  | Expr.Neg a ->
+      let f = eval_fact ~stable env a in
+      let n x = Option.map (fun x -> Expr.simplify (Expr.neg x)) x in
+      { lo = n f.hi; hi = n f.lo; cong = neg_cong f.cong }
+  | _ -> top
+
+(* Condition refinement: an interstate edge guarded by [v < e] tightens v's
+   upper endpoint on the path it guards. Only applied when the bound [e] is
+   a parameter expression — an endpoint naming another assigned symbol would
+   denote that symbol's value at an unrepresentable program point. *)
+let refine_by_cond ~stable ~bounds cond env =
+  let param_expr e = List.for_all stable (Expr.free_syms e) in
+  let clamp_hi v e env =
+    if not (param_expr e) then env
+    else
+      let f = get_fact env v in
+      let hi = match f.hi with None -> Some e | h -> emin bounds h (Some e) in
+      let hi = match hi with None -> Some e | h -> h in
+      set_fact env v { f with hi = Option.map Expr.simplify hi }
+  in
+  let clamp_lo v e env =
+    if not (param_expr e) then env
+    else
+      let f = get_fact env v in
+      let lo = match f.lo with None -> Some e | l -> emax bounds l (Some e) in
+      let lo = match lo with None -> Some e | l -> l in
+      set_fact env v { f with lo = Option.map Expr.simplify lo }
+  in
+  let open Symbolic.Cond in
+  let rec go c env =
+    match c with
+    | And (a, b) -> go b (go a env)
+    | Lt (Expr.Sym v, e) when not (stable v) -> clamp_hi v (Expr.simplify (Expr.sub e Expr.one)) env
+    | Le (Expr.Sym v, e) when not (stable v) -> clamp_hi v e env
+    | Gt (Expr.Sym v, e) when not (stable v) -> clamp_lo v (Expr.simplify (Expr.add e Expr.one)) env
+    | Ge (Expr.Sym v, e) when not (stable v) -> clamp_lo v e env
+    | Lt (e, Expr.Sym v) when not (stable v) -> clamp_lo v (Expr.simplify (Expr.add e Expr.one)) env
+    | Le (e, Expr.Sym v) when not (stable v) -> clamp_lo v e env
+    | Gt (e, Expr.Sym v) when not (stable v) -> clamp_hi v (Expr.simplify (Expr.sub e Expr.one)) env
+    | Ge (e, Expr.Sym v) when not (stable v) -> clamp_hi v e env
+    | Eq (Expr.Sym v, e) when not (stable v) -> clamp_lo v e (clamp_hi v e env)
+    | Eq (e, Expr.Sym v) when not (stable v) -> clamp_lo v e (clamp_hi v e env)
+    | _ -> env
+  in
+  go cond env
+
+let assigned_symbols g =
+  List.concat_map (fun (e : Graph.istate_edge) -> List.map fst e.assigns) (Graph.istate_edges g)
+  |> List.sort_uniq compare
+
+(* Base bounds for endpoint comparisons: caller-pinned symbols are exact,
+   every other program parameter is a size assumed >= 1 (the same convention
+   the certifier uses). *)
+let default_bounds ?(symbols = []) g =
+  let assigned = assigned_symbols g in
+  fun s ->
+    match List.assoc_opt s symbols with
+    | Some v -> (Some v, Some v)
+    | None -> if List.mem s assigned then (None, None) else (Some 1, None)
+
+let solve ?symbols ?max_passes ?widen_after g =
+  let bounds = default_bounds ?symbols g in
+  let assigned = assigned_symbols g in
+  let stable s = not (List.mem s assigned) in
+  let lattice =
+    {
+      Fixpoint.bottom = (None : env);
+      equal = ( = );
+      join = join_env bounds;
+      widen = Some (widen_env bounds);
+    }
+  in
+  let edge (e : Graph.istate_edge) (env : env) : env =
+    match env with
+    | None -> None
+    | Some facts ->
+        let facts = refine_by_cond ~stable ~bounds e.cond facts in
+        Some
+          (List.fold_left
+             (fun facts (v, rhs) -> set_fact facts v (eval_fact ~stable facts rhs))
+             facts e.assigns)
+  in
+  Fixpoint.solve ?max_passes ?widen_after ~lattice ~init:(Some [])
+    ~transfer:(fun _sid env -> env)
+    ~edge g
+
+(* Whole-program envelope: for each interstate-assigned symbol, the join of
+   its fact over every reachable state — the range of values the symbol takes
+   anywhere during execution. *)
+let facts ?symbols g =
+  let bounds = default_bounds ?symbols g in
+  let sol = solve ?symbols g in
+  let envelope =
+    List.fold_left
+      (fun acc (_sid, env) -> join_env bounds acc env)
+      None
+      (sol.Fixpoint.entry @ sol.Fixpoint.exit_)
+  in
+  match envelope with
+  | None -> []
+  | Some fs -> List.filter (fun (_, f) -> bounded f) fs
+
+(* Concrete bound extraction for {!Symbolic.Subset.equal}-style bounds
+   functions: the symbolic endpoints are parameter expressions, so their
+   conservative interval under the base bounds is a sound concrete bound for
+   the symbol itself. *)
+let concrete_bounds ?symbols g fs =
+  let base = default_bounds ?symbols g in
+  List.map
+    (fun (s, f) ->
+      let lo = match f.lo with None -> None | Some e -> fst (Expr.interval base e) in
+      let hi = match f.hi with None -> None | Some e -> snd (Expr.interval base e) in
+      (s, (lo, hi)))
+    fs

@@ -1,0 +1,55 @@
+(** Symbol interval and stride/congruence analysis over the interstate CFG.
+
+    Symbols assigned on interstate edges (loop counters, alias chains) are
+    invisible to per-state reasoning: a propagated summary mentioning such a
+    symbol cannot be compared against declared program parameters, which
+    leaves {!Equiv.certify} with an [Unknown] verdict. This pass runs the
+    {!Fixpoint} solver with an interval + congruence domain whose endpoints
+    are symbolic parameter expressions ([t] in [0 : T - 1], [t = 0 (mod 3)]),
+    recovering exactly the facts needed to admit those symbols into the
+    comparison: loop guards clamp endpoints, assignments evaluate in interval
+    arithmetic, and widening drops endpoints that fail to stabilize. *)
+
+open Sdfg
+module Expr = Symbolic.Expr
+
+(** The fact for one symbol. [cong = Some (0, c)] means "exactly [c]";
+    [Some (m, r)] with [m > 0] means "congruent to [r] mod [m]"; [None] means
+    no stride information. [lo]/[hi] are inclusive symbolic endpoints over
+    program parameters; [None] is unbounded on that side. *)
+type fact = { lo : Expr.t option; hi : Expr.t option; cong : (int * int) option }
+
+val top : fact
+val exactly : int -> fact
+
+(** [true] when the fact carries any information at all. *)
+val bounded : fact -> bool
+
+val pp_fact : Format.formatter -> fact -> unit
+
+(** The abstract environment at a program point: symbol -> fact, sorted;
+    a missing symbol is {!top}; [None] is unreachable. *)
+type env = (string * fact) list option
+
+(** Raw per-state solution (used by the convergence regression tests). *)
+val solve :
+  ?symbols:(string * int) list ->
+  ?max_passes:int ->
+  ?widen_after:int ->
+  Graph.t ->
+  env Fixpoint.solution
+
+(** Whole-program envelope: for each interstate-assigned symbol with at least
+    one derivable bound, the join of its fact over all reachable program
+    points — the range of values it takes anywhere during execution. *)
+val facts : ?symbols:(string * int) list -> Graph.t -> (string * fact) list
+
+(** Sound concrete bounds for the symbols of [facts], obtained by evaluating
+    the symbolic endpoints under the base parameter bounds (caller-pinned
+    symbols exact, all other parameters at least 1). Suitable for extending
+    the bounds function handed to {!Symbolic.Subset.equal}. *)
+val concrete_bounds :
+  ?symbols:(string * int) list ->
+  Graph.t ->
+  (string * fact) list ->
+  (string * (int option * int option)) list

@@ -1,0 +1,27 @@
+(** Interstate container liveness (backward dataflow).
+
+    {!Defuse} only sees whole-program read/write sets, so a transient that is
+    read in an {e earlier} state but overwritten pointlessly in a later one
+    looks healthy to it. This pass runs the {!Fixpoint} solver backward over
+    the interstate CFG with a live-container-set domain and reports writes
+    whose contents can never be observed afterwards. Writes never kill
+    (memlets cover subsets), so the analysis is conservative: a reported dead
+    write is dead on every path.
+
+    [dead_containers] lists transients all of whose writes are dead — they
+    can be removed wholesale, which is the first reduction step for the
+    corpus-minimization roadmap item. *)
+
+open Sdfg
+
+(** Per-state live-container solution; for a state [s], the solver's [entry]
+    fact is the live-out set of [s] (backward direction). *)
+val solve : Graph.t -> string list Fixpoint.solution
+
+(** [(state, container)] pairs whose write is provably dead. *)
+val dead_writes : Graph.t -> (int * string) list
+
+(** Transient containers with at least one write, all of them dead. *)
+val dead_containers : Graph.t -> string list
+
+val check : Graph.t -> Report.finding list

@@ -1,9 +1,16 @@
 let analyze ?carried ?symbols g =
-  let ctx = Context.make ?symbols g in
+  (* interval facts sharpen the sampling context: a symbol the fixpoint
+     bounds to a concrete range contributes its endpoints as candidate
+     values for the per-state checks *)
+  let facts = try Intervals.facts ?symbols g with _ -> [] in
+  let ctx = Context.make ?symbols ~facts:(Intervals.concrete_bounds ?symbols g facts) g in
   let per_state =
     List.concat_map
       (fun (sid, st) ->
         Races.check_state ?carried ctx g sid st @ Bounds.check_state ctx g sid st)
       (Sdfg.Graph.states g)
   in
-  Report.sort (per_state @ Defuse.check g @ Footprint.check ?symbols g)
+  let interstate =
+    try Liveness.check g @ Reachdef.check g with _ -> []
+  in
+  Report.sort (per_state @ Defuse.check g @ interstate @ Footprint.check ?symbols g)

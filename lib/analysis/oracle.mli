@@ -1,8 +1,10 @@
 (** The unified static oracle: all passes over one program.
 
     Runs race detection ({!Races}), out-of-bounds checking ({!Bounds}),
-    transient def-use hygiene ({!Defuse}) and the symbolic propagated
-    footprint check ({!Footprint}) under shared symbol assumptions
+    transient def-use hygiene ({!Defuse}), interstate liveness and
+    reaching-definitions ({!Liveness}, {!Reachdef}) and the symbolic
+    propagated footprint check ({!Footprint}) under shared symbol
+    assumptions — sharpened by the {!Intervals} fixpoint where derivable —
     and returns the findings sorted by severity. [~carried:true] also
     reports sequential loop-carried dependences (see {!Races}); the
     default reports only definite defects, so every well-formed program —

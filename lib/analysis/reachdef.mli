@@ -1,0 +1,24 @@
+(** Interstate reaching definitions for transient containers.
+
+    Extends {!Defuse} across state boundaries: {!Defuse} flags a transient
+    read that is {e never} written anywhere; this pass flags a read that no
+    write {e reaches} — the container is written, but only in states that
+    cannot precede the reading one (definite, [Error]) or only on some paths
+    to it ([Warning]). Runs the {!Fixpoint} solver forward with a
+    per-container No/Maybe/Yes definedness lattice. *)
+
+open Sdfg
+
+type status = Maybe | Yes
+
+(** Container definedness per program point; a container missing from the
+    list is never-defined ("No"), [None] is unreachable. *)
+type env = (string * status) list option
+
+val solve : Graph.t -> env Fixpoint.solution
+
+(** Definite findings (no write reaches on {e any} path). [maybes] also
+    warns on some-paths-only reachability — off by default because
+    path-insensitive analysis sees a zero-trip-count path through every
+    loop, flagging perfectly healthy loop-carried transients. *)
+val check : ?maybes:bool -> Graph.t -> Report.finding list

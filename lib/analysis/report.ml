@@ -1,4 +1,4 @@
-type pass = Race | Out_of_bounds | Use_before_def | Dead_write | Footprint
+type pass = Race | Out_of_bounds | Use_before_def | Dead_write | Footprint | Change_set
 type severity = Error | Warning
 
 type finding = {
@@ -20,6 +20,7 @@ let pass_name = function
   | Use_before_def -> "use-before-def"
   | Dead_write -> "dead-write"
   | Footprint -> "footprint"
+  | Change_set -> "change-set"
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -34,13 +35,23 @@ let pp fmt f =
 
 let to_string f = Format.asprintf "%a" pp f
 
-let sort fs =
-  List.stable_sort
-    (fun a b ->
-      compare
-        (a.severity, a.state, a.container, a.node)
-        (b.severity, b.state, b.container, b.node))
-    fs
+(* Total order: every field participates, so equal keys imply equal findings
+   and the sorted output is byte-identical across reruns and worker counts
+   regardless of production order. *)
+let pass_rank = function
+  | Race -> 0
+  | Out_of_bounds -> 1
+  | Use_before_def -> 2
+  | Dead_write -> 3
+  | Footprint -> 4
+  | Change_set -> 5
+
+let compare_findings a b =
+  compare
+    (a.severity, a.state, a.container, a.node, pass_rank a.pass, a.subsets, a.detail)
+    (b.severity, b.state, b.container, b.node, pass_rank b.pass, b.subsets, b.detail)
+
+let sort fs = List.sort_uniq compare_findings fs
 
 let fingerprint f = Printf.sprintf "%s|%s|%d" (pass_name f.pass) f.container f.state
 

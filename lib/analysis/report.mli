@@ -12,6 +12,9 @@ type pass =
   | Footprint
       (** propagated whole-program footprint provably escapes the container
           shape for every admissible symbol value (see {!Footprint}) *)
+  | Change_set
+      (** a transformation's declared change set under-approximates the true
+          pre/post graph diff (see {!Audit}) *)
 
 type severity = Error | Warning
 
@@ -40,7 +43,13 @@ val severity_name : severity -> string
 val pp : Format.formatter -> finding -> unit
 val to_string : finding -> string
 
-(** Severity-major ordering (errors first), then state/container. *)
+(** A total order over findings: severity-major (errors first), then
+    state/container/node, with pass, subsets and detail as tie-breaks. Equal
+    keys imply equal findings. *)
+val compare_findings : finding -> finding -> int
+
+(** Sorted by {!compare_findings} with exact duplicates removed — the output
+    is deterministic regardless of the order passes produced the findings. *)
 val sort : finding list -> finding list
 
 (** Stable key used by the delta verifier: pass, container and state — node

@@ -97,12 +97,17 @@ let run_instance ?plan_cache ?(config = Difftest.default_config) ?(static_gate =
     | _ -> Some (Difftest.test_instance ?plan_cache ~config g x site)
   in
   (* second evidence channel: what the static oracle would have said about
-     this instance, independent of the fuzz verdict *)
+     this instance, independent of the fuzz verdict — the change-set audit
+     (declaration honesty) alongside the delta oracle (introduced defects) *)
   let static =
     if static_gate then
-      match Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site with
-      | Some fs -> fs
-      | None -> []
+      let audit = Option.value ~default:[] (Analysis.Audit.check_xform g x site) in
+      let delta =
+        match Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site with
+        | Some fs -> fs
+        | None -> []
+      in
+      Analysis.Report.sort (audit @ delta)
     else []
   in
   { program = pname; xform_name = x.name; site; report; static; verdict }

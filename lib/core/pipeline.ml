@@ -41,10 +41,18 @@ let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms
       List.iter
         (fun site ->
           let record decision = steps := { xform_name = x.name; site; decision } :: !steps in
-          (* static pre-gate: veto with evidence before spending any trials *)
+          (* static pre-gate: veto with evidence before spending any trials.
+             The change-set audit runs first — a declared change set that
+             under-approximates the true diff would make the cutout (and so
+             every trial) test the wrong subprogram *)
           let static_verdict =
             if static_gate then
-              Analysis.Delta.verify ~symbols:config.Difftest.concretization current x site
+              match Analysis.Audit.check_xform current x site with
+              | None -> None
+              | Some (_ :: _ as audit_findings) -> Some audit_findings
+              | Some [] ->
+                  Analysis.Delta.verify ~symbols:config.Difftest.concretization current x
+                    site
             else Some []
           in
           match static_verdict with

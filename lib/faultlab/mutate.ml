@@ -157,41 +157,15 @@ let downstream_writes st (e : Sdfg.State.edge) =
 (* The change set many transforms report is just the outer map entry/exit
    pair; the runtime-relevant edges sit one scope deeper, on the inner
    entries the transform introduced. Close over routing nodes (map
-   entry/exit) to reach them. The closure is scope-local, and cutout
-   extraction keeps whole scopes with node ids intact, so the closure — and
-   hence the candidate order — is identical in the whole program and in the
-   cutout. *)
-let scope_closure st seeds =
-  let routing n =
-    match Sdfg.State.node st n with
-    | Sdfg.Node.Map_entry _ | Sdfg.Node.Map_exit _ -> true
-    | _ -> false
-  in
-  let in_set set n = List.mem n set in
-  let rec grow set frontier =
-    let next =
-      List.concat_map
-        (fun n ->
-          if not (routing n) then []
-          else
-            List.filter_map
-              (fun (e : Sdfg.State.edge) ->
-                if e.src = n && not (in_set set e.dst) then Some e.dst
-                else if e.dst = n && not (in_set set e.src) then Some e.src
-                else None)
-              (Sdfg.State.edges st))
-        frontier
-      |> List.sort_uniq compare
-    in
-    match next with [] -> set | _ -> grow (next @ set) next
-  in
-  grow seeds seeds
-
+   entry/exit) to reach them ({!Sdfg.State.scope_closure}). The closure is
+   scope-local, and cutout extraction keeps whole scopes with node ids
+   intact, so the closure — and hence the candidate order — is identical in
+   the whole program and in the cutout. *)
 let inject kind ~seed g (site : Xform.site) (cs : Sdfg.Diff.change_set) =
   if site.Xform.state < 0 then raise (Xform.Cannot_apply "faultlab: control-flow site");
   let st = Sdfg.Graph.state g site.Xform.state in
   let changed =
-    scope_closure st
+    Sdfg.State.scope_closure st
       (List.filter_map
          (fun (s, n) -> if s = site.Xform.state then Some n else None)
          cs.Sdfg.Diff.nodes)

@@ -8,6 +8,9 @@ type probe_result =
       first_trial : int;
       failing_trials : int;
       localized : bool option;
+      audit_flagged : bool option;
+          (** change-set audit verdict on the (mutated) transform; [None]
+              when the audit does not apply to this probe shape *)
       detail : string;
     }
   | R_mpi of {
@@ -30,17 +33,30 @@ let outcome_name = function
   | Misclassified _ -> "misclassified"
   | Quarantined _ -> "quarantined"
 
-type row = { spec : Plan.spec; outcome : outcome; attempts : int; localized : bool option }
+type row = {
+  spec : Plan.spec;
+  outcome : outcome;
+  attempts : int;
+  localized : bool option;
+  audit : bool option;  (** change-set audit verdict, [None] when not applicable *)
+}
 
 type report = { seed : int; trials : int; rows : row list }
 
 (* ---- probes (run inside forked workers) --------------------------------- *)
 
-let verdict_result ?(localized = None) (r : Difftest.report) =
+let verdict_result ?(localized = None) ?(audit_flagged = None) (r : Difftest.report) =
   match r.Difftest.verdict with
   | Difftest.Pass ->
       R_verdict
-        { klass = None; first_trial = 0; failing_trials = 0; localized; detail = "all trials agree" }
+        {
+          klass = None;
+          first_trial = 0;
+          failing_trials = 0;
+          localized;
+          audit_flagged;
+          detail = "all trials agree";
+        }
   | Difftest.Fail f ->
       R_verdict
         {
@@ -48,6 +64,7 @@ let verdict_result ?(localized = None) (r : Difftest.report) =
           first_trial = f.Difftest.first_trial;
           failing_trials = f.Difftest.failing_trials;
           localized;
+          audit_flagged;
           detail = Format.asprintf "%a" Difftest.pp_failure f.Difftest.kind;
         }
 
@@ -59,7 +76,16 @@ let interp_probe ~trials ~spec_seed ~workload ~inject =
   let g = Plan.workload_by_name workload in
   let x = Mutate.identity () in
   match x.Transforms.Xform.find g with
-  | [] -> R_verdict { klass = None; first_trial = 0; failing_trials = 0; localized = None; detail = "no site" }
+  | [] ->
+      R_verdict
+        {
+          klass = None;
+          first_trial = 0;
+          failing_trials = 0;
+          localized = None;
+          audit_flagged = None;
+          detail = "no site";
+        }
   | site :: _ ->
       let config =
         {
@@ -78,7 +104,14 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
   match Transforms.Registry.by_name (Transforms.Registry.all_correct ()) xform with
   | None ->
       R_verdict
-        { klass = None; first_trial = 0; failing_trials = 0; localized = None; detail = "no such transform" }
+        {
+          klass = None;
+          first_trial = 0;
+          failing_trials = 0;
+          localized = None;
+          audit_flagged = None;
+          detail = "no such transform";
+        }
   | Some base ->
       let mutated = Mutate.seed_bug ~seed:mutation_seed kind base in
       let config =
@@ -88,6 +121,12 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
           seed = spec_seed;
           concretization = concretize_all g;
         }
+      in
+      (* static channel: does the change-set audit notice that the mutated
+         transform's declared change set no longer covers its true diff? *)
+      let audit_flagged =
+        try Option.map (fun fs -> fs <> []) (Analysis.Audit.check_xform g mutated site)
+        with _ -> None
       in
       let report = Difftest.test_instance ~config g mutated site in
       let localized =
@@ -105,7 +144,7 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
             with _ -> None)
         | _ -> None
       in
-      verdict_result ~localized report
+      verdict_result ~localized ~audit_flagged report
 
 (* Fixed MPI scenario: scatter + allreduce + bcast + gather, enough traffic
    that every collective is attackable (see Plan.mpi_specs). *)
@@ -160,6 +199,12 @@ let probe_spec ~trials ~seed (spec : Plan.spec) =
 
 let classify (spec : Plan.spec) (r : probe_result) =
   match (spec.Plan.expect, r) with
+  (* the injected defect may be caught statically (the change-set audit sees
+     the mutated transform's declaration no longer covers its true diff)
+     even when every fuzz trial happens to agree *)
+  | ( (Plan.Must_semantics | Plan.Must_detect),
+      R_verdict { klass = None; audit_flagged = Some true; _ } ) ->
+      Detected { got = "change-set audit"; first_trial = 0 }
   | (Plan.Must_semantics | Plan.Must_detect), R_verdict { klass = None; detail; _ } ->
       Missed { detail }
   | Plan.Must_semantics, R_verdict { klass = Some Difftest.Semantics; first_trial; _ } ->
@@ -189,6 +234,10 @@ let classify (spec : Plan.spec) (r : probe_result) =
 
 let localized_of = function
   | R_verdict { localized; _ } -> localized
+  | R_mpi _ -> None
+
+let audit_of = function
+  | R_verdict { audit_flagged; _ } -> audit_flagged
   | R_mpi _ -> None
 
 (* ---- campaign ------------------------------------------------------------ *)
@@ -237,9 +286,16 @@ let run ?(j = 1) ?(deadline_s = 60.) ?(trials = 10) ?level ?(progress = false) ~
       (fun i spec ->
         let settled, attempts = settle ~deadline_s thunks.(i) results.(i) in
         match settled with
-        | `Ready r -> { spec; outcome = classify spec r; attempts; localized = localized_of r }
+        | `Ready r ->
+            {
+              spec;
+              outcome = classify spec r;
+              attempts;
+              localized = localized_of r;
+              audit = audit_of r;
+            }
         | `Quarantine detail ->
-            { spec; outcome = Quarantined { detail }; attempts; localized = None })
+            { spec; outcome = Quarantined { detail }; attempts; localized = None; audit = None })
       specs
   in
   { seed; trials; rows }
@@ -283,7 +339,7 @@ let totals (r : report) =
     }
   in
   List.fold_left
-    (fun t { spec; outcome; attempts; localized } ->
+    (fun t { spec; outcome; attempts; localized; _ } ->
       let hit = match outcome with Detected _ -> 1 | _ -> 0 in
       let quarantined = match outcome with Quarantined _ -> true | _ -> false in
       let core =
@@ -344,15 +400,18 @@ let render r =
     (Printf.sprintf "faultlab selfcheck · seed %d · %d trials/spec · %d specs\n" r.seed r.trials
        t.specs);
   List.iter
-    (fun ({ spec; outcome; attempts; localized } : row) ->
+    (fun ({ spec; outcome; attempts; localized; audit } : row) ->
       Buffer.add_string b
-        (Printf.sprintf "  %-13s %-45s %s%s%s\n"
+        (Printf.sprintf "  %-13s %-45s %s%s%s%s\n"
            (String.uppercase_ascii (outcome_name outcome))
            spec.Plan.id (outcome_detail outcome)
            (match localized with
            | Some true -> " · localized"
            | Some false -> " · mislocalized"
            | None -> "")
+           (match audit with
+           | Some true -> " · audit"
+           | Some false | None -> "")
            (if attempts > 1 then Printf.sprintf " · %d attempts" attempts else "")))
     r.rows;
   Buffer.add_string b
@@ -378,7 +437,7 @@ let render r =
 
 module Json = Engine.Journal.Json
 
-let row_json ({ spec; outcome; attempts; localized } : row) =
+let row_json ({ spec; outcome; attempts; localized; audit } : row) =
   Json.Obj
     ([
        ("kind", Json.Str "spec");
@@ -394,10 +453,13 @@ let row_json ({ spec; outcome; attempts; localized } : row) =
       | Detected { first_trial; _ } when first_trial > 0 ->
           [ ("first_trial", Json.Num (float_of_int first_trial)) ]
       | _ -> [])
+    @ (match localized with
+      | None -> [ ("localized", Json.Null) ]
+      | Some v -> [ ("localized", Json.Bool v) ])
     @
-    match localized with
-    | None -> [ ("localized", Json.Null) ]
-    | Some v -> [ ("localized", Json.Bool v) ])
+    match audit with
+    | None -> [ ("audit_flagged", Json.Null) ]
+    | Some v -> [ ("audit_flagged", Json.Bool v) ])
 
 let to_jsonl r =
   let t = totals r in

@@ -20,6 +20,9 @@ type probe_result =
       localized : bool option;
           (** for transform faults with a numerical failure: did localization
               name the damaged container? [None] when not applicable *)
+      audit_flagged : bool option;
+          (** for transform faults: did the change-set audit flag the mutated
+              transform's declaration? [None] when not applicable *)
       detail : string;
     }
   | R_mpi of {
@@ -39,7 +42,13 @@ type outcome =
 
 val outcome_name : outcome -> string
 
-type row = { spec : Plan.spec; outcome : outcome; attempts : int; localized : bool option }
+type row = {
+  spec : Plan.spec;
+  outcome : outcome;
+  attempts : int;
+  localized : bool option;
+  audit : bool option;  (** change-set audit verdict, [None] when not applicable *)
+}
 
 type report = { seed : int; trials : int; rows : row list }
 

@@ -168,6 +168,38 @@ let scope_of t n =
       in
       Some innermost
 
+(* Closure of a node set over routing nodes (map entries/exits): any node
+   adjacent to a routing node already in the set joins it. Cutout extraction
+   keeps whole scopes, so the closure of a change set is exactly the node set
+   a cutout built from that change set covers. Seeds absent from the state
+   (e.g. nodes a transformation removed) contribute nothing but stay in the
+   result. *)
+let scope_closure t seeds =
+  let routing n =
+    match node_opt t n with
+    | Some (Node.Map_entry _) | Some (Node.Map_exit _) -> true
+    | _ -> false
+  in
+  let in_set set n = List.mem n set in
+  let rec grow set frontier =
+    let next =
+      List.concat_map
+        (fun n ->
+          if not (routing n) then []
+          else
+            List.filter_map
+              (fun e ->
+                if e.src = n && not (in_set set e.dst) then Some e.dst
+                else if e.dst = n && not (in_set set e.src) then Some e.src
+                else None)
+              (edges t))
+        frontier
+      |> List.sort_uniq compare
+    in
+    match next with [] -> set | _ -> grow (next @ set) next
+  in
+  grow seeds seeds
+
 let access_nodes t name =
   List.filter_map
     (fun (id, n) -> match n with Node.Access d when d = name -> Some id | _ -> None)

@@ -95,6 +95,13 @@ val scope_nodes : t -> int -> int list
     and exit nodes belong to their *parent* scope. *)
 val scope_of : t -> int -> int option
 
+(** Closure of [seeds] over routing nodes (map entries/exits): any node
+    adjacent to an in-set routing node joins the set, transitively. This is
+    the node set a cutout extracted from [seeds] covers — extraction keeps
+    whole scopes. Seeds absent from the state are tolerated (they contribute
+    no neighbours but remain in the result). *)
+val scope_closure : t -> int list -> int list
+
 (** All access nodes referring to container [name]. *)
 val access_nodes : t -> string -> int list
 

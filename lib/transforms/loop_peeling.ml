@@ -64,7 +64,12 @@ let apply g (site : Xform.site) =
                      l.update)
               in
               ignore (Graph.add_istate_edge g ~assigns:[ (l.var, update_at_lo) ] peel guard);
-              { Diff.nodes = []; states = [ guard; body; l.after ] }))
+              (* rerouting the entry edge also changes its source state's
+                 outgoing control flow — it is part of the change set *)
+              {
+                Diff.nodes = [];
+                states = List.sort_uniq compare [ entry.src; guard; body; l.after ];
+              }))
   | _ -> raise (Xform.Cannot_apply "loop_peeling: bad site")
 
 let make variant =

@@ -178,7 +178,10 @@ let apply g (site : Xform.site) =
         State.remove_node st tmp_acc;
       {
         Diff.nodes =
-          [ (site.state, entry_a); (site.state, exit_a); (site.state, tmp_acc); (site.state, entry_b) ];
+          List.sort_uniq compare
+            (List.map
+               (fun n -> (site.state, n))
+               [ entry_a; exit_a; tmp_acc; entry_b; exit_b ]);
         states = [];
       })
   | _ -> raise (Xform.Cannot_apply "map_fusion: bad site")

@@ -68,16 +68,19 @@ let apply variant g (site : Xform.site) =
                       readers1
                 | _ -> ())
               mapping;
-          (* s2's outgoing interstate edges leave from s1 now *)
+          (* s2's outgoing interstate edges leave from s1 now; the rerouting
+             also changes the incoming control flow of their target states *)
+          let succs = ref [] in
           List.iter
             (fun (e : Graph.istate_edge) ->
               if e.src = s2 then begin
+                succs := e.dst :: !succs;
                 Graph.remove_istate_edge g e.ie_id;
                 ignore (Graph.add_istate_edge g ~cond:e.cond ~assigns:e.assigns s1 e.dst)
               end)
             (Graph.istate_edges g);
           Graph.remove_state g s2;
-          { Diff.nodes = []; states = [ s1; s2 ] }
+          { Diff.nodes = []; states = List.sort_uniq compare (s1 :: s2 :: !succs) }
       | _ -> raise (Xform.Cannot_apply "state_fusion: states missing"))
   | _ -> raise (Xform.Cannot_apply "state_fusion: bad site")
 

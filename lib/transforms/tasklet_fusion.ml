@@ -97,6 +97,14 @@ let apply g (site : Xform.site) =
             | Some e -> e
             | None -> raise (Xform.Cannot_apply "tasklet_fusion: consumer edge gone")
           in
+          (* t2's other neighbours get their edges rerouted onto t1 below —
+             they are part of the change set *)
+          let neighbours =
+            List.filter_map
+              (fun (e : State.edge) -> if e.src <> acc then Some e.src else None)
+              (State.in_edges st t2)
+            @ List.map (fun (e : State.edge) -> e.dst) (State.out_edges st t2)
+          in
           let out_conn = match e1.src_conn with Some c -> c | None -> raise (Xform.Cannot_apply "no src conn") in
           let in_conn = match e2.dst_conn with Some c -> c | None -> raise (Xform.Cannot_apply "no dst conn") in
           (* rename the consumer's connectors that collide with producer
@@ -142,7 +150,9 @@ let apply g (site : Xform.site) =
           State.remove_node st t2;
           State.remove_node st acc;
           {
-            Diff.nodes = [ (site.state, t1); (site.state, acc); (site.state, t2) ];
+            Diff.nodes =
+              List.sort_uniq compare
+                (List.map (fun n -> (site.state, n)) (t1 :: acc :: t2 :: neighbours));
             states = [];
           }
       | _ -> raise (Xform.Cannot_apply "tasklet_fusion: not tasklets"))

@@ -15,8 +15,9 @@ let interp_spec inject expect =
     payload = Plan.Interp_fault { workload = "scale"; inject };
   }
 
-let verdict ?(klass = None) ?(localized = None) () =
-  Selfcheck.R_verdict { klass; first_trial = 1; failing_trials = 1; localized; detail = "d" }
+let verdict ?(klass = None) ?(localized = None) ?(audit_flagged = None) () =
+  Selfcheck.R_verdict
+    { klass; first_trial = 1; failing_trials = 1; localized; audit_flagged; detail = "d" }
 
 let plan_tests =
   [
