@@ -4,7 +4,7 @@
      dune exec bench/main.exe            -- run everything
      dune exec bench/main.exe -- fig3    -- one experiment
        (table1 fig3 fig4 bert speedup fuzzmodes sddmm table2 cloudsc
-        ablation equiv analysis engine micro interp)
+        ablation equiv analysis deps engine micro interp)
 
    Absolute numbers differ from the paper (interpreter vs generated C++);
    the *shapes* — who wins, by what factor, where input reductions land —
@@ -768,7 +768,10 @@ let analysis () =
                 List.iter
                   (fun site ->
                     incr instances;
-                    match Analysis.Equiv.certify ~use_intervals:false ~symbols g x site with
+                    match
+                      Analysis.Equiv.certify ~use_intervals:false ~use_deps:false ~symbols g
+                        x site
+                    with
                     | Some (Analysis.Equiv.Unknown _) -> (
                         incr unknown_off;
                         match Analysis.Equiv.certify ~symbols g x site with
@@ -797,6 +800,134 @@ let analysis () =
   Printf.printf "wrote BENCH_analysis.json (%d rows)\n" (List.length rows);
   if !upgraded_equivalent + !upgraded_refuted = 0 then begin
     Printf.eprintf "analysis bench: interval facts upgraded no certify verdicts\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exact dependence engine: what fraction of intra-scope access pairs   *)
+(* does the Fourier–Motzkin tier decide outright, what does a decision  *)
+(* cost, and how many certify verdicts does the exact tier upgrade?     *)
+(* Gates: decided fraction >= BENCH_DEPS_MIN_FRACTION (default 0.6)     *)
+(* and full-engine Equivalent count > BENCH_DEPS_MIN_EQUIVALENT         *)
+(* (default 39, the interval-facts-only baseline).                      *)
+(* ------------------------------------------------------------------ *)
+
+let deps () =
+  header "Exact dependence engine: decided pairs, solve cost, certify upgrades";
+  let min_fraction =
+    match Sys.getenv_opt "BENCH_DEPS_MIN_FRACTION" with
+    | Some s -> float_of_string s
+    | None -> 0.6
+  in
+  let min_equivalent =
+    match Sys.getenv_opt "BENCH_DEPS_MIN_EQUIVALENT" with
+    | Some s -> int_of_string s
+    | None -> 39
+  in
+  let programs = Workloads.Npbench.all () @ Workloads.Npb_frontend.all () in
+  let symbols_for g =
+    List.filter
+      (fun (s, _) -> List.mem s (Sdfg.Graph.all_free_syms g))
+      [ ("N", 8); ("T", 3) ]
+  in
+  Printf.printf "%-16s %6s %8s %8s %8s %10s\n" "workload" "pairs" "disjoint" "overlap"
+    "sampled" "ms";
+  let total = ref Analysis.Races.stats_zero and total_ms = ref 0. in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let stats = ref Analysis.Races.stats_zero in
+        (* carried dependences count, as in the campaign's static channel:
+           write/read pairs of sequential scopes are dependence queries too *)
+        let _, t =
+          time (fun () ->
+              let _, s =
+                Analysis.Oracle.analyze_stats ~carried:true ~symbols:(symbols_for g) g
+              in
+              stats := s)
+        in
+        let s = !stats in
+        total := Analysis.Races.stats_add !total s;
+        total_ms := !total_ms +. (1000. *. t);
+        Printf.printf "%-16s %6d %8d %8d %8d %10.2f\n" name s.Analysis.Races.pairs
+          s.Analysis.Races.exact_disjoint s.Analysis.Races.exact_overlap
+          s.Analysis.Races.sampled (1000. *. t);
+        Printf.sprintf
+          "{\"bench\":\"deps\",\"workload\":\"%s\",\"pairs\":%d,\"exact_disjoint\":%d,\"exact_overlap\":%d,\"sampled\":%d,\"ms\":%.2f}"
+          name s.Analysis.Races.pairs s.Analysis.Races.exact_disjoint
+          s.Analysis.Races.exact_overlap s.Analysis.Races.sampled (1000. *. t))
+      programs
+  in
+  let decided = !total.Analysis.Races.exact_disjoint + !total.Analysis.Races.exact_overlap in
+  let fraction =
+    if !total.Analysis.Races.pairs = 0 then 0.
+    else float_of_int decided /. float_of_int !total.Analysis.Races.pairs
+  in
+  let per_pair =
+    if !total.Analysis.Races.pairs = 0 then 0.
+    else !total_ms /. float_of_int !total.Analysis.Races.pairs
+  in
+  Printf.printf
+    "exact tier: %d/%d access pairs decided (%.0f%%), %d sampled, %.3f ms per pair\n" decided
+    !total.Analysis.Races.pairs (100. *. fraction) !total.Analysis.Races.sampled per_pair;
+  (* registry-wide certify sweep: exact tier off vs on *)
+  let xforms =
+    Transforms.Registry.as_shipped () @ Transforms.Registry.all_correct ()
+    |> List.fold_left
+         (fun acc (x : Transforms.Xform.t) ->
+           if List.exists (fun (y : Transforms.Xform.t) -> y.name = x.name) acc then acc
+           else x :: acc)
+         []
+    |> List.rev
+  in
+  let sweep ~use_deps =
+    let eq = ref 0 and refuted = ref 0 and unknown = ref 0 and n = ref 0 in
+    List.iter
+      (fun (_, g) ->
+        let symbols = symbols_for g in
+        List.iter
+          (fun (x : Transforms.Xform.t) ->
+            List.iter
+              (fun site ->
+                incr n;
+                match Analysis.Equiv.certify ~use_deps ~symbols g x site with
+                | Some (Analysis.Equiv.Equivalent _) -> incr eq
+                | Some (Analysis.Equiv.Refuted _) -> incr refuted
+                | Some (Analysis.Equiv.Unknown _) -> incr unknown
+                | None -> decr n)
+              (x.find g))
+          xforms)
+      programs;
+    (!n, !eq, !refuted, !unknown)
+  in
+  let (n_off, eq_off, rf_off, un_off), t_off = time (fun () -> sweep ~use_deps:false) in
+  let (n_on, eq_on, rf_on, un_on), t_on = time (fun () -> sweep ~use_deps:true) in
+  Printf.printf
+    "certify without deps: %d instances, %d equivalent, %d refuted, %d unknown (%.2fs)\n" n_off
+    eq_off rf_off un_off t_off;
+  Printf.printf
+    "certify with deps:    %d instances, %d equivalent, %d refuted, %d unknown (%.2fs)\n" n_on
+    eq_on rf_on un_on t_on;
+  let summary =
+    Printf.sprintf
+      "{\"bench\":\"deps\",\"pairs\":%d,\"decided\":%d,\"sampled\":%d,\"fraction\":%.4f,\"ms_per_pair\":%.4f,\"certify_instances\":%d,\"equivalent_without_deps\":%d,\"equivalent_with_deps\":%d,\"refuted_with_deps\":%d,\"unknown_with_deps\":%d,\"min_fraction\":%.2f,\"min_equivalent\":%d}"
+      !total.Analysis.Races.pairs decided !total.Analysis.Races.sampled fraction per_pair n_on
+      eq_off eq_on rf_on un_on min_fraction min_equivalent
+  in
+  let rows = rows @ [ summary ] in
+  let oc = open_out "BENCH_deps.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_deps.json (%d rows)\n" (List.length rows);
+  if fraction < min_fraction then begin
+    Printf.eprintf "deps bench: exact tier decided %.0f%% of pairs, floor is %.0f%%\n"
+      (100. *. fraction) (100. *. min_fraction);
+    exit 1
+  end;
+  if eq_on <= min_equivalent then begin
+    Printf.eprintf "deps bench: %d certify instances equivalent, floor is more than %d\n" eq_on
+      min_equivalent;
     exit 1
   end
 
@@ -1082,6 +1213,7 @@ let experiments =
     ("ablation", ablation);
     ("equiv", equiv);
     ("analysis", analysis);
+    ("deps", deps);
     ("engine", engine);
     ("faultlab", faultlab);
     ("scaling", scaling);

@@ -163,6 +163,15 @@ let campaign_cmd =
       & info [ "certify" ]
           ~doc:"Skip the fuzz trials of instances the translation validator proves equivalent.")
   in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Run the static evidence channel (change-set audit and delta oracle with the \
+             exact dependence tier) on every instance; findings and decided/sampled pair \
+             counts ride on the verdicts and the journal.")
+  in
   let j_arg =
     Arg.(
       value & opt int 1
@@ -204,8 +213,8 @@ let campaign_cmd =
       & info [ "limit-per" ] ~docv:"N"
           ~doc:"Test at most $(docv) sites per (workload, transformation) pair.")
   in
-  let run ws correct certify trials seed max_size no_min_cut defines j deadline journal resume
-      corpus progress limit_per =
+  let run ws correct certify static trials seed max_size no_min_cut defines j deadline journal
+      resume corpus progress limit_per =
     let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
     let config = mk_config trials seed max_size no_min_cut defines in
     let programs =
@@ -232,20 +241,21 @@ let campaign_cmd =
             corpus_dir = corpus;
             progress;
             limit_per;
-            static_gate = false;
+            static_gate = static;
             certify_gate = certify;
           }
         in
         Engine.Worker.run_campaign ~options ~config ~catalog:(xform_catalog ()) programs xforms
-      else Fuzzyflow.Campaign.run ~config ~certify_gate:certify programs xforms
+      else Fuzzyflow.Campaign.run ~config ~static_gate:static ~certify_gate:certify programs xforms
     in
     print_string (Fuzzyflow.Campaign.to_table c)
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run a transformation campaign over workloads (Table 2 style).")
     Term.(
-      const run $ workloads_arg $ correct_arg $ certify_arg $ trials_arg $ seed_arg $ max_size_arg
-      $ no_min_cut_arg $ defines_arg $ j_arg $ deadline_arg $ journal_arg $ resume_arg $ corpus_arg
+      const run $ workloads_arg $ correct_arg $ certify_arg $ static_arg $ trials_arg $ seed_arg
+      $ max_size_arg $ no_min_cut_arg $ defines_arg $ j_arg $ deadline_arg $ journal_arg
+      $ resume_arg $ corpus_arg
       $ progress_arg $ limit_per_arg)
 
 let corpus_dir_arg =
@@ -406,6 +416,36 @@ let lint_cmd =
           (name, Analysis.Oracle.analyze ~symbols g))
         programs
     in
+    (* interstate dataflow passes and the exact dependence tier, surfaced
+       individually: the oracle already folds their findings in, but the raw
+       per-pass view (dead containers, dead writes, reaching-definition
+       findings, decided-pair counters, coverage notes) is what a lint
+       consumer wants to drill into *)
+    let dataflow_rows =
+      List.map
+        (fun (name, g) ->
+          let symbols =
+            let base = if defines = [] then default_symbols_for (Sdfg.Graph.name g) else defines in
+            List.filter (fun (s, _) -> List.mem s (Sdfg.Graph.all_free_syms g)) base
+          in
+          let dead_containers =
+            match Analysis.Liveness.dead_containers g with l -> l | exception _ -> []
+          in
+          let dead_writes =
+            match Analysis.Liveness.dead_writes g with l -> l | exception _ -> []
+          in
+          let reachdef = match Analysis.Reachdef.check g with l -> l | exception _ -> [] in
+          let stats =
+            match Analysis.Oracle.analyze_stats ~carried:true ~symbols g with
+            | _, s -> s
+            | exception _ -> Analysis.Races.stats_zero
+          in
+          let coverage =
+            match Analysis.Defuse.check_coverage ~symbols g with l -> l | exception _ -> []
+          in
+          (name, dead_containers, dead_writes, reachdef, stats, coverage))
+        programs
+    in
     (* change-set audit over every (workload, transformation, site) instance of
        the registry catalog: each declaration must cover its true diff *)
     let xforms =
@@ -463,6 +503,38 @@ let lint_cmd =
                             ("findings", Json.Arr (List.map (finding_json []) fs));
                           ]))
                  oracle_rows) );
+          ( "dataflow",
+            Json.Arr
+              (List.map
+                 (fun (name, dc, dw, rd, (s : Analysis.Races.stats), cov) ->
+                   Json.Obj
+                     [
+                       ("workload", Json.Str name);
+                       ("dead_containers", Json.Arr (List.map (fun c -> Json.Str c) dc));
+                       ( "dead_writes",
+                         Json.Arr
+                           (List.map
+                              (fun (sid, c) ->
+                                Json.Obj
+                                  [
+                                    ("state", Json.Num (float_of_int sid));
+                                    ("container", Json.Str c);
+                                  ])
+                              dw) );
+                       ("reachdef", Json.Arr (List.map (finding_json []) rd));
+                       ( "deps",
+                         Json.Obj
+                           [
+                             ("pairs", Json.Num (float_of_int s.Analysis.Races.pairs));
+                             ( "exact_disjoint",
+                               Json.Num (float_of_int s.Analysis.Races.exact_disjoint) );
+                             ( "exact_overlap",
+                               Json.Num (float_of_int s.Analysis.Races.exact_overlap) );
+                             ("sampled", Json.Num (float_of_int s.Analysis.Races.sampled));
+                           ] );
+                       ("coverage_notes", Json.Arr (List.map (finding_json []) cov));
+                     ])
+                 dataflow_rows) );
           ( "audit",
             Json.Arr
               (List.map
@@ -494,6 +566,16 @@ let lint_cmd =
             List.iter (fun f -> Format.printf "  %a@." Analysis.Report.pp f) fs
           end)
         oracle_rows;
+      List.iter
+        (fun (name, dc, dw, rd, (s : Analysis.Races.stats), cov) ->
+          if dc <> [] || dw <> [] || rd <> [] || s.Analysis.Races.pairs > 0 || cov <> [] then
+            Printf.printf
+              "%-20s dataflow: %d dead container(s), %d dead write(s), %d reachdef, deps \
+               %d/%d decided, %d coverage note(s)\n"
+              name (List.length dc) (List.length dw) (List.length rd)
+              (s.Analysis.Races.exact_disjoint + s.Analysis.Races.exact_overlap)
+              s.Analysis.Races.pairs (List.length cov))
+        dataflow_rows;
       Printf.printf "change-set audit: %d instance(s), %d under-declared\n" !audit_instances
         (List.length audit_rows);
       List.iter
@@ -647,6 +729,15 @@ let selfcheck_cmd =
       & info [ "require-semantics" ]
           ~doc:"Additionally require every Semantics-class injection to be detected.")
   in
+  let require_deps_arg =
+    Arg.(
+      value & flag
+      & info [ "require-deps" ]
+          ~doc:
+            "Additionally require every subset-shift and wrong-stride mutation to be caught \
+             by the exact dependence tier with a witness that reproduces dynamically as a \
+             directed fuzz seed.")
+  in
   let report_arg =
     Arg.(
       value
@@ -663,7 +754,8 @@ let selfcheck_cmd =
   let progress_arg =
     Arg.(value & flag & info [ "progress" ] ~doc:"Live per-spec telemetry on stderr.")
   in
-  let run j deadline trials seed floor require_semantics report_path level progress =
+  let run j deadline trials seed floor require_semantics require_deps report_path level
+      progress =
     let r = Faultlab.Selfcheck.run ~j ~deadline_s:deadline ~trials ?level ~progress ~seed () in
     print_string (Faultlab.Selfcheck.render r);
     (match report_path with
@@ -673,7 +765,7 @@ let selfcheck_cmd =
         close_out oc;
         Printf.printf "report written to %s\n" path
     | None -> ());
-    if not (Faultlab.Selfcheck.passed ~floor ~require_semantics r) then exit 1
+    if not (Faultlab.Selfcheck.passed ~floor ~require_semantics ~require_deps r) then exit 1
   in
   Cmd.v
     (Cmd.info "selfcheck"
@@ -682,7 +774,7 @@ let selfcheck_cmd =
           fault-injection lab).")
     Term.(
       const run $ j_arg $ deadline_arg $ trials_arg $ seed_arg $ floor_arg $ require_semantics_arg
-      $ report_arg $ level_arg $ progress_arg)
+      $ require_deps_arg $ report_arg $ level_arg $ progress_arg)
 
 let dot_cmd =
   let run w =

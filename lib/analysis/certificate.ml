@@ -6,6 +6,12 @@ type entry = { container : string; side : side; pre : Subset.t; post : Subset.t 
 
 type event = string * [ `R | `W | `RW ]
 
+type order_waiver = {
+  w_container : string;
+  pre_rw : (Subset.t * Subset.t) option;
+  post_rw : (Subset.t * Subset.t) option;
+}
+
 type t = {
   xform : string;
   site : string;
@@ -13,6 +19,7 @@ type t = {
   entries : entry list;
   order_pre : event list;
   order_post : event list;
+  waivers : order_waiver list;
 }
 
 let side_name = function Read -> "read" | Write -> "write"
@@ -22,12 +29,31 @@ let bounds t s =
 
 let events_of c order = List.filter (fun (c', _) -> c' = c) order
 
+(* Write-projection of a container's event sequence: only events with a write
+   component. When a waiver reorders reads against provably disjoint writes,
+   this is the part of the order that must still agree. *)
+let write_events c order = List.filter (fun (c', k) -> c' = c && k <> `R) order
+
+let waiver_ok t w =
+  write_events w.w_container t.order_pre = write_events w.w_container t.order_post
+  && List.for_all
+       (function
+         | None -> true
+         | Some (reads, writes) -> Deps.disjoint_under ~bounds:(bounds t) reads writes)
+       [ w.pre_rw; w.post_rw ]
+
 let check t =
   let b = bounds t in
-  List.for_all (fun e -> Subset.equal ~bounds:b e.pre e.post) t.entries
+  let waived = List.map (fun w -> w.w_container) t.waivers in
+  List.for_all
+    (fun e -> Subset.equal ~bounds:b e.pre e.post || Deps.equal_sets ~bounds:b e.pre e.post)
+    t.entries
   && List.for_all
        (fun c -> events_of c t.order_pre = events_of c t.order_post)
-       (List.sort_uniq compare (List.map fst (t.order_pre @ t.order_post)))
+       (List.filter
+          (fun c -> not (List.mem c waived))
+          (List.sort_uniq compare (List.map fst (t.order_pre @ t.order_post))))
+  && List.for_all (waiver_ok t) t.waivers
 
 let pp_bound fmt = function
   | Some lo, Some hi -> Format.fprintf fmt "[%d,%d]" lo hi
@@ -47,6 +73,10 @@ let pp fmt t =
       Format.fprintf fmt "  %s %s: %a = %a@\n" (side_name e.side) e.container
         Subset.pp e.pre Subset.pp e.post)
     t.entries;
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "  reorder %s waived: reads disjoint from writes@\n" w.w_container)
+    t.waivers;
   Format.fprintf fmt "  order: %s"
     (String.concat " "
        (List.map (fun (c, ev) -> Printf.sprintf "%s:%s" c (event_name ev)) t.order_pre))

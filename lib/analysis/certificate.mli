@@ -18,6 +18,17 @@ type entry = { container : string; side : side; pre : Subset.t; post : Subset.t 
 
 type event = string * [ `R | `W | `RW ]
 
+(** Permission to reorder one container's accesses: valid when the container's
+    write-projected event order is unchanged and, per side where both are
+    recorded, its read set is provably disjoint from its write set
+    ({!Deps.disjoint_under}) — reads commute freely with writes they can never
+    touch. [None] on a side means that side had no read/write pair to prove. *)
+type order_waiver = {
+  w_container : string;
+  pre_rw : (Subset.t * Subset.t) option;  (** (reads, writes) before *)
+  post_rw : (Subset.t * Subset.t) option;  (** (reads, writes) after *)
+}
+
 type t = {
   xform : string;  (** transformation name *)
   site : string;  (** printed application site *)
@@ -26,13 +37,18 @@ type t = {
   entries : entry list;
   order_pre : event list;  (** access-order signature before *)
   order_post : event list;  (** access-order signature after *)
+  waivers : order_waiver list;
+      (** containers whose order difference is covered by a disjointness
+          proof instead of order equality *)
 }
 
 val side_name : side -> string
 
 (** Re-verify the certificate: every entry's [pre]/[post] subsets must be
-    {!Symbolic.Subset.equal} under the assumed bounds, and each container's
-    event sequence must agree between [order_pre] and [order_post]. *)
+    {!Symbolic.Subset.equal} — or provably equal as element sets via the exact
+    dependence engine ({!Deps.equal_sets}) — under the assumed bounds, and
+    each non-waived container's event sequence must agree between [order_pre]
+    and [order_post]; each waiver must re-prove its disjointness. *)
 val check : t -> bool
 
 val pp : Format.formatter -> t -> unit

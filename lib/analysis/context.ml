@@ -6,7 +6,10 @@ type t = {
   env : int Expr.Env.t;
   loops : (string * Subset.range) list;
   candidates : (string * int list) list;
+  bounds : (string * (int option * int option)) list;
 }
+
+let bounds_fn t s = Option.value ~default:(None, None) (List.assoc_opt s t.bounds)
 
 (* The span of a canonical loop: up-counting loops run from [init] to the
    bound of the guard condition, down-counting loops the other way. Step is
@@ -89,7 +92,7 @@ let make ?(symbols = []) ?(facts = []) g =
       candidates facts
     |> List.sort compare
   in
-  { env; loops; candidates }
+  { env; loops; candidates; bounds = facts }
 
 let sample_env t =
   (* loop ranges may reference symbols or outer loop variables: iterate *)

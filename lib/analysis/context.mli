@@ -15,7 +15,14 @@ type t = {
       (** recognized loop variables with the symbolic range they span *)
   candidates : (string * int list) list;
       (** evaluable values of interstate-assigned symbols (capped) *)
+  bounds : (string * (int option * int option)) list;
+      (** the interval facts as passed in — the exact dependence tier uses
+          them as constraints on symbols the environment leaves free *)
 }
+
+(** Bounds lookup for the exact dependence tier: the fact interval of a
+    symbol, or [(None, None)] when nothing is known. *)
+val bounds_fn : t -> string -> int option * int option
 
 (** [facts] are concrete interval bounds inferred by the {!Intervals}
     fixpoint; each bounded symbol's endpoints join its candidate values for

@@ -28,3 +28,20 @@ val reads : Graph.t -> string list
 val writes : Graph.t -> string list
 
 val check : Graph.t -> Report.finding list
+
+(** Subset-level refinement of [check]: for each transient, asks the exact
+    dependence engine ({!Deps}) whether some element of a single propagated
+    read access provably lies outside the fully propagated write set — the
+    signature of a write set shrunk by a widened stride or shifted subset
+    that still touches the container, invisible to the name-level check.
+    Reads are checked per access (single affine accesses widen exactly;
+    unions over-approximate), WCR accumulations are exempt on the read side,
+    and declared symbols are pinned to [symbols] (default size 8 each), so
+    the reported witness element is in-shape and the valuation replays
+    directly. Pairs the engine cannot decide are skipped silently.
+
+    Deliberately {e not} part of {!Oracle.analyze}: several shipped stencils
+    legitimately read zero-initialized halo cells of transients, so this
+    check is a {e delta} signal — {!Delta} and {!Equiv} run it on both sides
+    of a transformation and report only newly flagged containers. *)
+val check_coverage : ?symbols:(string * int) list -> Graph.t -> Report.finding list

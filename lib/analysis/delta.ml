@@ -1,13 +1,29 @@
 (* carried dependences count here: both sides see them, so pre-existing ones
    cancel out and only transformation-introduced ones survive the delta *)
 let oracle ?symbols g =
-  match Oracle.analyze ~carried:true ?symbols g with fs -> fs | exception _ -> []
+  match Oracle.analyze_stats ~carried:true ?symbols g with
+  | r -> r
+  | exception _ -> ([], Races.stats_zero)
 
-let verify ?symbols g (x : Transforms.Xform.t) site =
+(* Read-coverage of transients is a delta-only signal (see Defuse.check_coverage):
+   shipped stencils legitimately read zero-initialized halo cells, so only a
+   container that the transformation *newly* flags counts. Diffing by container
+   name (not finding text) keeps a pre-existing gap whose witness merely moved
+   from polluting the delta. *)
+let coverage_delta ?symbols g g' =
+  let cov h = match Defuse.check_coverage ?symbols h with fs -> fs | exception _ -> [] in
+  let pre = List.map (fun (f : Report.finding) -> f.container) (cov g) in
+  List.filter (fun (f : Report.finding) -> not (List.mem f.container pre)) (cov g')
+
+let verify_stats ?symbols g (x : Transforms.Xform.t) site =
   let g' = Sdfg.Graph.copy g in
   match x.apply g' site with
   | _ ->
-      let before = oracle ?symbols g in
-      let after = oracle ?symbols g' in
-      Some (Report.sort (Report.new_findings ~before ~after))
+      let before, sb = oracle ?symbols g in
+      let after, sa = oracle ?symbols g' in
+      Some
+        ( Report.sort (Report.new_findings ~before ~after @ coverage_delta ?symbols g g'),
+          Races.stats_add sb sa )
   | exception Transforms.Xform.Cannot_apply _ -> None
+
+let verify ?symbols g x site = Option.map fst (verify_stats ?symbols g x site)

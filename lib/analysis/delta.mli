@@ -13,9 +13,26 @@
 
 open Sdfg
 
+(** [coverage_delta ?symbols g g'] runs {!Defuse.check_coverage} on both
+    programs and keeps only findings for containers flagged in [g'] but not
+    in [g]: transients whose read set the transformation pushed outside the
+    write set. Diffed by container name, so a pre-existing gap whose witness
+    text merely changed does not count as introduced. *)
+val coverage_delta :
+  ?symbols:(string * int) list -> Graph.t -> Graph.t -> Report.finding list
+
 val verify :
   ?symbols:(string * int) list ->
   Graph.t ->
   Transforms.Xform.t ->
   Transforms.Xform.site ->
   Report.finding list option
+
+(** {!verify} plus the exact-dependence-tier coverage counters summed over
+    both oracle runs (pre- and post-transformation). *)
+val verify_stats :
+  ?symbols:(string * int) list ->
+  Graph.t ->
+  Transforms.Xform.t ->
+  Transforms.Xform.site ->
+  (Report.finding list * Races.stats) option

@@ -51,7 +51,7 @@ let refute_from_delta ~valuation (f : Report.finding) =
           f.detail;
     }
 
-let refute_or_unknown ~symbols ~valuation ~declared mismatches =
+let refute_or_unknown ?(use_deps = true) ~bounds ~symbols ~valuation ~declared mismatches =
   let grid =
     List.map
       (fun s ->
@@ -62,7 +62,19 @@ let refute_or_unknown ~symbols ~valuation ~declared mismatches =
   let concrete (c, side, pa, pb) =
     match (pa, pb) with
     | Some a, Some b -> (
-        match Subset.difference_witness ~symbols:grid a b with
+        (* the exact tier first: a Fourier-Motzkin model of the symmetric
+           difference is a verified witness, found without enumerating the
+           symbol grid *)
+        let exact =
+          if use_deps then Deps.difference_witness ~bounds ~symbols:valuation a b
+          else None
+        in
+        let sampled =
+          match exact with
+          | Some _ -> exact
+          | None -> Subset.difference_witness ~symbols:grid a b
+        in
+        match sampled with
         | Some (va, el) ->
             Some
               (Refuted
@@ -101,7 +113,8 @@ let refute_or_unknown ~symbols ~valuation ~declared mismatches =
                "propagated %s set of %s differs symbolically; no concrete witness found"
                (Certificate.side_name side) c))
 
-let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
+let decide ?(use_intervals = true) ?(use_deps = true) ~symbols g g' (x : Transforms.Xform.t)
+    site =
   (* program parameters: declared symbols, anything a container shape
      mentions, and whatever the caller chose to concretize — hand-built
      graphs do not always call [add_symbol] *)
@@ -121,7 +134,8 @@ let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
   in
   let delta =
     let before = oracle ~symbols g and after = oracle ~symbols g' in
-    Report.sort (Report.new_findings ~before ~after)
+    Report.sort
+      (Report.new_findings ~before ~after @ Delta.coverage_delta ~symbols g g')
   in
   (* any introduced error refutes; so does an introduced race at any
      severity — a carried-dependence warning that was not there before means
@@ -195,6 +209,13 @@ let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
                       entries :=
                         { Certificate.container = c; side; pre = a; post = b }
                         :: !entries
+                  | Some a, Some b when use_deps && Deps.equal_sets ~bounds a b ->
+                      (* linear normal form differs, but the exact engine
+                         proves both difference directions empty: same element
+                         set for every admitted symbol valuation *)
+                      entries :=
+                        { Certificate.container = c; side; pre = a; post = b }
+                        :: !entries
                   | pa, pb -> mismatches := (c, side, pa, pb) :: !mismatches)
                 [
                   (Certificate.Read, pre.Propagate.reads, post.Propagate.reads);
@@ -215,9 +236,34 @@ let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
           in
           let shared = List.filter (fun c -> List.mem c (names post)) (names pre) in
           let ev c o = List.filter (fun (c', _) -> c' = c) o in
-          let order_ok =
-            List.for_all (fun c -> ev c pre.order = ev c post.order) shared
+          let reordered =
+            List.filter (fun c -> ev c pre.order <> ev c post.order) shared
           in
+          (* a container whose event order changed can still be admitted when
+             its write-projected order is intact and its read set is provably
+             disjoint from its write set on both sides: reads commute with
+             writes they can never touch *)
+          let waiver_of c =
+            if not use_deps then None
+            else
+              let wproj o = List.filter (fun (_, k) -> k <> `R) (ev c o) in
+              if wproj pre.order <> wproj post.order then None
+              else
+                let side_rw (su : Propagate.summary) =
+                  match
+                    (List.assoc_opt c su.Propagate.reads, List.assoc_opt c su.writes)
+                  with
+                  | Some r, Some w ->
+                      if Deps.disjoint_under ~bounds r w then Some (Some (r, w)) else None
+                  | _ -> Some None
+                in
+                match (side_rw pre, side_rw post) with
+                | Some pre_rw, Some post_rw ->
+                    Some { Certificate.w_container = c; pre_rw; post_rw }
+                | _ -> None
+          in
+          let waivers = List.filter_map waiver_of reordered in
+          let order_ok = List.length waivers = List.length reordered in
           match (List.rev !mismatches, wcr_ok, order_ok) with
           | [], true, true -> (
               let keep o = List.filter (fun (c, _) -> List.mem c shared) o in
@@ -229,6 +275,7 @@ let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
                   entries = List.rev !entries;
                   order_pre = keep pre.order;
                   order_post = keep post.order;
+                  waivers;
                 }
               in
               if not (Certificate.check cert) then
@@ -243,10 +290,10 @@ let decide ?(use_intervals = true) ~symbols g g' (x : Transforms.Xform.t) site =
                 | _ -> Equivalent cert)
           | [], false, _ -> Unknown "write-conflict-resolution targets changed"
           | [], _, false -> Unknown "per-container access order changed"
-          | ms, _, _ -> refute_or_unknown ~symbols ~valuation ~declared ms)))
+          | ms, _, _ -> refute_or_unknown ~use_deps ~bounds ~symbols ~valuation ~declared ms)))
 
-let certify ?use_intervals ?(symbols = []) g (x : Transforms.Xform.t) site =
+let certify ?use_intervals ?use_deps ?(symbols = []) g (x : Transforms.Xform.t) site =
   let g' = Graph.copy g in
   match x.apply g' site with
   | exception Transforms.Xform.Cannot_apply _ -> None
-  | _ -> Some (decide ?use_intervals ~symbols g g' x site)
+  | _ -> Some (decide ?use_intervals ?use_deps ~symbols g g' x site)

@@ -44,9 +44,19 @@ val pp_verdict : Format.formatter -> verdict -> unit
     symbol runs through the same value sequence on both sides, so it may be
     treated as an opaque bounded parameter. Disabling it reproduces the
     seed behaviour (those summaries stay [Unknown]); the [bench analysis]
-    scenario measures the verdicts upgraded by this flag. *)
+    scenario measures the verdicts upgraded by this flag.
+
+    [use_deps] (default [true]) enables the exact dependence engine
+    ({!Deps}): summaries whose linear normal forms differ are still matched
+    when both difference directions are provably empty (tile-boundary
+    [min]/[max] redundancy), refutation witnesses come from a verified
+    Fourier–Motzkin model before any grid enumeration, and per-container
+    order changes are waived when reads are provably disjoint from writes.
+    Disabling it reproduces the PR 6 behaviour; [bench deps] and
+    [bench analysis] measure the verdicts this tier upgrades. *)
 val certify :
   ?use_intervals:bool ->
+  ?use_deps:bool ->
   ?symbols:(string * int) list ->
   Sdfg.Graph.t ->
   Transforms.Xform.t ->

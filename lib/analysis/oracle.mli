@@ -14,3 +14,11 @@ open Sdfg
 
 val analyze :
   ?carried:bool -> ?symbols:(string * int) list -> Graph.t -> Report.finding list
+
+(** {!analyze} plus the aggregated exact-dependence-tier coverage counters of
+    the race pass (see {!Races.stats}). *)
+val analyze_stats :
+  ?carried:bool ->
+  ?symbols:(string * int) list ->
+  Graph.t ->
+  Report.finding list * Races.stats

@@ -206,15 +206,50 @@ let duplicated_iterations g ctx st ~entry ~(info : Node.map_info) ~sid env0 pair
     (State.scope_nodes st entry);
   !findings
 
-let check_scope ?(carried = false) ctx g sid st ~entry ~(info : Node.map_info) =
-  if info.params = [] then []
+type stats = { pairs : int; exact_disjoint : int; exact_overlap : int; sampled : int }
+
+let stats_zero = { pairs = 0; exact_disjoint = 0; exact_overlap = 0; sampled = 0 }
+
+let stats_add a b =
+  { pairs = a.pairs + b.pairs;
+    exact_disjoint = a.exact_disjoint + b.exact_disjoint;
+    exact_overlap = a.exact_overlap + b.exact_overlap;
+    sampled = a.sampled + b.sampled }
+
+let stats_meta s =
+  [ ("dep_pairs", string_of_int s.pairs);
+    ("dep_decided", string_of_int (s.exact_disjoint + s.exact_overlap));
+    ("dep_sampled", string_of_int s.sampled) ]
+
+let pp_model model =
+  String.concat "," (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) model)
+
+let witness_of_finding (f : Report.finding) =
+  match Report.meta_find "dep_witness" f with
+  | None -> None
+  | Some s -> (
+      try
+        Some
+          (List.map
+             (fun kv ->
+               match String.index_opt kv '=' with
+               | Some i ->
+                   ( String.sub kv 0 i,
+                     int_of_string (String.sub kv (i + 1) (String.length kv - i - 1)) )
+               | None -> raise Exit)
+             (String.split_on_char ',' s))
+      with _ -> None)
+
+let check_scope ?(carried = false) ?(exact = true) ctx g sid st ~entry ~(info : Node.map_info)
+    =
+  if info.params = [] then ([], stats_zero)
   else
     let env0 = scope_env ctx st ~entry ~info in
     match concretize_opt env0 (Context.widen_loops ctx info.ranges) with
-    | None -> []
+    | None -> ([], stats_zero)
     | Some cranges ->
         let pairs = valuation_pairs info.params cranges in
-        if pairs = [] then []
+        if pairs = [] then ([], stats_zero)
         else begin
           let occs = Access.in_scope g st ~entry in
           let taken =
@@ -234,8 +269,62 @@ let check_scope ?(carried = false) ctx g sid st ~entry ~(info : Node.map_info) =
             List.fold_left2 (fun e p v -> Expr.Env.add p v e) env0 info.params rho
           in
           let findings = ref (duplicated_iterations g ctx st ~entry ~info ~sid env0 pairs) in
+          let stats = ref stats_zero in
+          let bump f = stats := f !stats in
           let reported = ref [] in
           let writes = List.filter Access.is_write occs in
+          let report_race (w : Access.occ) (a : Access.occ) ~rho ~rho' ~cw ~ca ~meta =
+            reported := (entry, w.container) :: !reported;
+            let what =
+              match a.kind with Access.Read -> "read" | Access.Write _ -> "write"
+            in
+            let severity =
+              if is_parallel info.schedule then Report.Error else Report.Warning
+            in
+            let concrete =
+              match (cw, ca) with
+              | Some cw, Some ca -> Printf.sprintf ": %s vs %s" (pp_cranges cw) (pp_cranges ca)
+              | _ -> ""
+            in
+            findings :=
+              Report.make ~pass:Report.Race ~severity ~state:sid ~node:entry
+                ~container:w.container
+                ~subsets:[ Subset.to_string w.subset; Subset.to_string a.subset ]
+                ~meta
+                (Printf.sprintf
+                   "write %s at (%s) overlaps %s %s at distinct valuation (%s)%s"
+                   (Subset.to_string w.subset)
+                   (pp_valuation info.params rho)
+                   what
+                   (Subset.to_string a.subset)
+                   (pp_valuation info.params rho')
+                   concrete)
+              :: !findings
+          in
+          (* the sampled fallback: boundary/adjacent/transposed valuation
+             pairs, exactly as before the exact tier existed *)
+          let sampled_search (w : Access.occ) (a : Access.occ) a_primed =
+            let witness =
+              List.find_map
+                (fun (rho, rho') ->
+                  let env = env_pair rho rho' in
+                  if not (Cond.eval env distinct) then None
+                  else
+                    match (concretize_opt env w.subset, concretize_opt env a_primed) with
+                    | Some cw, Some ca when Subset.overlaps cw ca ->
+                        if
+                          (not (is_parallel info.schedule))
+                          && self_covered pos (env_at rho') occs a
+                        then None
+                        else Some (rho, rho', cw, ca)
+                    | _ -> None)
+                pairs
+            in
+            match witness with
+            | Some (rho, rho', cw, ca) ->
+                report_race w a ~rho ~rho' ~cw:(Some cw) ~ca:(Some ca) ~meta:[]
+            | None -> ()
+          in
           List.iter
             (fun (w : Access.occ) ->
               List.iter
@@ -253,66 +342,72 @@ let check_scope ?(carried = false) ctx g sid st ~entry ~(info : Node.map_info) =
                     | Access.Write _, Access.Read -> carried || is_parallel info.schedule
                     | Access.Read, _ -> false)
                   then begin
+                    bump (fun s -> { s with pairs = s.pairs + 1 });
                     let a_primed = Subset.rename_syms primed a.subset in
-                    if not (Subset.definitely_disjoint w.subset a_primed) then
-                      let witness =
-                        List.find_map
-                          (fun (rho, rho') ->
-                            let env = env_pair rho rho' in
-                            if not (Cond.eval env distinct) then None
-                            else
-                              match
-                                (concretize_opt env w.subset, concretize_opt env a_primed)
-                              with
-                              | Some cw, Some ca when Subset.overlaps cw ca ->
-                                  if
-                                    (not (is_parallel info.schedule))
-                                    && self_covered pos (env_at rho') occs a
-                                  then None
-                                  else Some (rho, rho', cw, ca)
-                              | _ -> None)
-                          pairs
+                    if Subset.definitely_disjoint w.subset a_primed then
+                      bump (fun s -> { s with exact_disjoint = s.exact_disjoint + 1 })
+                    else
+                      let verdict =
+                        if not exact then Deps.Unknown
+                        else
+                          Deps.overlap ~env:env0 ~bounds:(Context.bounds_fn ctx)
+                            ~params:(List.combine info.params cranges)
+                            ~primed ~write:w.subset ~access:a_primed
                       in
-                      match witness with
-                      | Some (rho, rho', cw, ca) ->
-                          reported := (entry, w.container) :: !reported;
-                          let what =
-                            match a.kind with
-                            | Access.Read -> "read"
-                            | Access.Write _ -> "write"
+                      match verdict with
+                      | Deps.Disjoint ->
+                          bump (fun s -> { s with exact_disjoint = s.exact_disjoint + 1 })
+                      | Deps.Overlap model ->
+                          let rho = List.map (fun p -> List.assoc p model) info.params in
+                          let rho' =
+                            List.map (fun (_, p') -> List.assoc p' model) primed
                           in
-                          let severity =
-                            if is_parallel info.schedule then Report.Error else Report.Warning
-                          in
-                          findings :=
-                            Report.make ~pass:Report.Race ~severity ~state:sid ~node:entry
-                              ~container:w.container
-                              ~subsets:
-                                [ Subset.to_string w.subset; Subset.to_string a.subset ]
-                              (Printf.sprintf
-                                 "write %s at (%s) overlaps %s %s at distinct valuation (%s): %s vs %s"
-                                 (Subset.to_string w.subset)
-                                 (pp_valuation info.params rho)
-                                 what
-                                 (Subset.to_string a.subset)
-                                 (pp_valuation info.params rho')
-                                 (pp_cranges cw) (pp_cranges ca))
-                            :: !findings
-                      | None -> ()
+                          if
+                            (not (is_parallel info.schedule))
+                            && self_covered pos (env_at rho') occs a
+                          then begin
+                            (* iteration-private buffer reuse: the exact
+                               witness is not a carried dependence; keep
+                               parity with the sampled tier's filter *)
+                            bump (fun s -> { s with sampled = s.sampled + 1 });
+                            sampled_search w a a_primed
+                          end
+                          else begin
+                            bump (fun s -> { s with exact_overlap = s.exact_overlap + 1 });
+                            let env = env_pair rho rho' in
+                            report_race w a ~rho ~rho'
+                              ~cw:(concretize_opt env w.subset)
+                              ~ca:(concretize_opt env a_primed)
+                              ~meta:[ ("dep_witness", pp_model model) ]
+                          end
+                      | Deps.Unknown ->
+                          bump (fun s -> { s with sampled = s.sampled + 1 });
+                          sampled_search w a a_primed
                   end)
                 occs)
             writes;
-          !findings
+          let meta = stats_meta !stats in
+          (List.map (Report.with_meta meta) !findings, !stats)
         end
 
-let check_state ?carried ctx g sid st =
-  List.concat_map
-    (fun (nid, n) ->
+let check_state_stats ?carried ?exact ctx g sid st =
+  List.fold_left
+    (fun (fs, st_acc) (nid, n) ->
       match n with
-      | Node.Map_entry info -> check_scope ?carried ctx g sid st ~entry:nid ~info
-      | _ -> [])
-    (State.nodes st)
+      | Node.Map_entry info ->
+          let fs', s = check_scope ?carried ?exact ctx g sid st ~entry:nid ~info in
+          (fs @ fs', stats_add st_acc s)
+      | _ -> (fs, st_acc))
+    ([], stats_zero) (State.nodes st)
 
-let check ?carried ?symbols g =
+let check_state ?carried ctx g sid st = fst (check_state_stats ?carried ctx g sid st)
+
+let check_stats ?carried ?exact ?symbols g =
   let ctx = Context.make ?symbols g in
-  List.concat_map (fun (sid, st) -> check_state ?carried ctx g sid st) (Graph.states g)
+  List.fold_left
+    (fun (fs, st_acc) (sid, st) ->
+      let fs', s = check_state_stats ?carried ?exact ctx g sid st in
+      (fs @ fs', stats_add st_acc s))
+    ([], stats_zero) (Graph.states g)
+
+let check ?carried ?symbols g = fst (check_stats ?carried ?symbols g)

@@ -9,10 +9,15 @@ type finding = {
   container : string;
   subsets : string list;
   detail : string;
+  meta : (string * string) list;
 }
 
-let make ~pass ~severity ?(state = -1) ?(node = -1) ~container ?(subsets = []) detail =
-  { pass; severity; state; node; container; subsets; detail }
+let make ~pass ~severity ?(state = -1) ?(node = -1) ~container ?(subsets = []) ?(meta = [])
+    detail =
+  { pass; severity; state; node; container; subsets; detail; meta }
+
+let with_meta kvs f = { f with meta = f.meta @ kvs }
+let meta_find key f = List.assoc_opt key f.meta
 
 let pass_name = function
   | Race -> "race"
@@ -48,8 +53,8 @@ let pass_rank = function
 
 let compare_findings a b =
   compare
-    (a.severity, a.state, a.container, a.node, pass_rank a.pass, a.subsets, a.detail)
-    (b.severity, b.state, b.container, b.node, pass_rank b.pass, b.subsets, b.detail)
+    (a.severity, a.state, a.container, a.node, pass_rank a.pass, a.subsets, a.detail, a.meta)
+    (b.severity, b.state, b.container, b.node, pass_rank b.pass, b.subsets, b.detail, b.meta)
 
 let sort fs = List.sort_uniq compare_findings fs
 

@@ -26,6 +26,10 @@ type finding = {
   container : string;
   subsets : string list;  (** offending / overlapping subsets, printable *)
   detail : string;  (** human-readable explanation, includes valuations *)
+  meta : (string * string) list;
+      (** machine-readable key/value evidence: exact-tier witnesses
+          ([dep_witness]), decided/sampled pair counters ([dep_decided], …).
+          Participates in {!compare_findings} so reruns stay byte-identical. *)
 }
 
 val make :
@@ -35,8 +39,15 @@ val make :
   ?node:int ->
   container:string ->
   ?subsets:string list ->
+  ?meta:(string * string) list ->
   string ->
   finding
+
+(** Append metadata entries to a finding. *)
+val with_meta : (string * string) list -> finding -> finding
+
+(** Look up one metadata key. *)
+val meta_find : string -> finding -> string option
 
 val pass_name : pass -> string
 val severity_name : severity -> string

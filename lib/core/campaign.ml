@@ -14,6 +14,7 @@ type instance_result = {
   site : Transforms.Xform.site;
   report : Difftest.report option;
   static : Analysis.Report.finding list;
+  dep_stats : Analysis.Races.stats;
   verdict : Analysis.Equiv.verdict option;
 }
 
@@ -31,6 +32,9 @@ type outcome = {
   o_verdict : outcome_verdict;
   o_trials_run : int;
   o_static_flagged : bool;
+  o_dep_pairs : int;
+  o_dep_decided : int;
+  o_dep_sampled : int;
   o_elapsed_s : float;
   o_seed : int;
 }
@@ -99,18 +103,18 @@ let run_instance ?plan_cache ?(config = Difftest.default_config) ?(static_gate =
   (* second evidence channel: what the static oracle would have said about
      this instance, independent of the fuzz verdict — the change-set audit
      (declaration honesty) alongside the delta oracle (introduced defects) *)
-  let static =
+  let static, dep_stats =
     if static_gate then
       let audit = Option.value ~default:[] (Analysis.Audit.check_xform g x site) in
-      let delta =
-        match Analysis.Delta.verify ~symbols:config.Difftest.concretization g x site with
-        | Some fs -> fs
-        | None -> []
+      let delta, stats =
+        match Analysis.Delta.verify_stats ~symbols:config.Difftest.concretization g x site with
+        | Some (fs, st) -> (fs, st)
+        | None -> ([], Analysis.Races.stats_zero)
       in
-      Analysis.Report.sort (audit @ delta)
-    else []
+      (Analysis.Report.sort (audit @ delta), stats)
+    else ([], Analysis.Races.stats_zero)
   in
-  { program = pname; xform_name = x.name; site; report; static; verdict }
+  { program = pname; xform_name = x.name; site; report; static; dep_stats; verdict }
 
 let outcome_of_result ?(status = Completed) ?(seed = 0) ?(elapsed_s = 0.) (r : instance_result) =
   let verdict =
@@ -134,6 +138,9 @@ let outcome_of_result ?(status = Completed) ?(seed = 0) ?(elapsed_s = 0.) (r : i
     o_verdict = verdict;
     o_trials_run = trials;
     o_static_flagged = r.static <> [];
+    o_dep_pairs = r.dep_stats.Analysis.Races.pairs;
+    o_dep_decided = r.dep_stats.Analysis.Races.exact_disjoint + r.dep_stats.Analysis.Races.exact_overlap;
+    o_dep_sampled = r.dep_stats.Analysis.Races.sampled;
     o_elapsed_s = elapsed;
     o_seed = seed;
   }
@@ -271,4 +278,13 @@ let to_table t =
     (Printf.sprintf
        "total: %d instances tested, %d failing (%d hung/crashed), %d proved equivalent\n"
        t.total_instances t.total_failed t.total_killed t.total_proved);
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 t.outcomes in
+  let pairs = sum (fun o -> o.o_dep_pairs) in
+  if pairs > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "static evidence: %d access pairs, %d decided exactly, %d sampled\n"
+         pairs
+         (sum (fun o -> o.o_dep_decided))
+         (sum (fun o -> o.o_dep_sampled)));
   Buffer.contents buf

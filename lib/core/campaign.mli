@@ -30,6 +30,10 @@ type instance_result = {
   static : Analysis.Report.finding list;
       (** the static oracle's delta findings for this instance ([] when the
           gate is off or the instance analyzes clean) *)
+  dep_stats : Analysis.Races.stats;
+      (** exact-dependence-tier coverage of the static oracle's race check,
+          summed over the pre- and post-transformation runs ({!Analysis.Delta.verify_stats});
+          {!Analysis.Races.stats_zero} when the gate is off *)
   verdict : Analysis.Equiv.verdict option;
       (** the translation validator's verdict ([None] with the gate off or
           when the site went stale before certification) *)
@@ -51,6 +55,9 @@ type outcome = {
   o_verdict : outcome_verdict;
   o_trials_run : int;
   o_static_flagged : bool;
+  o_dep_pairs : int;  (** intra-scope access pairs the static race check examined *)
+  o_dep_decided : int;  (** pairs decided by the exact dependence tier *)
+  o_dep_sampled : int;  (** pairs that fell back to sampled valuation search *)
   o_elapsed_s : float;
   o_seed : int;  (** the per-instance seed the trials ran under *)
 }

@@ -11,11 +11,22 @@ type step = {
   decision : decision;
 }
 
-type log = { steps : step list; applied : int; proved : int; rejected : int; stale : int }
+type log = {
+  steps : step list;
+  applied : int;
+  proved : int;
+  rejected : int;
+  stale : int;
+  witness_probes : int;
+  witness_confirmed : int;
+}
 
 let pp_log fmt log =
   Format.fprintf fmt "%d applied (%d proved equivalent), %d rejected, %d stale@."
     (log.applied + log.proved) log.proved log.rejected log.stale;
+  if log.witness_probes > 0 then
+    Format.fprintf fmt "%d dependence witnesses probed, %d reproduced dynamically@."
+      log.witness_probes log.witness_confirmed;
   List.iter
     (fun s ->
       let d =
@@ -35,6 +46,7 @@ let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms
   let current = Sdfg.Graph.copy g in
   let steps = ref [] in
   let applied = ref 0 and proved = ref 0 and rejected = ref 0 and stale = ref 0 in
+  let witness_probes = ref 0 and witness_confirmed = ref 0 in
   List.iter
     (fun (x : Transforms.Xform.t) ->
       (* discover on the current program; apply passing instances one by one *)
@@ -61,6 +73,26 @@ let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms
               record (Stale "static gate: site no longer matches")
           | Some (_ :: _ as findings) ->
               incr rejected;
+              (* a race finding decided by the exact dependence tier carries a
+                 solver witness; feed it to the fuzzer as a directed seed — one
+                 pinned trial corroborating the static veto dynamically (pinned
+                 names the cutout does not sample are simply ignored) *)
+              (match List.find_map Analysis.Races.witness_of_finding findings with
+              | Some valuation -> (
+                  incr witness_probes;
+                  let probe =
+                    {
+                      config with
+                      Difftest.trials = 1;
+                      custom_constraints =
+                        List.map (fun (s, v) -> (s, (v, v))) valuation
+                        @ config.Difftest.custom_constraints;
+                    }
+                  in
+                  match Difftest.test_instance ~config:probe current x site with
+                  | { verdict = Difftest.Fail _; _ } -> incr witness_confirmed
+                  | { verdict = Difftest.Pass; _ } | (exception _) -> ())
+              | None -> ());
               record (Rejected_static findings)
           | Some [] -> (
               let fuzz ~config () =
@@ -127,4 +159,6 @@ let optimize ?(config = Difftest.default_config) ?(static_gate = false) g xforms
       proved = !proved;
       rejected = !rejected;
       stale = !stale;
+      witness_probes = !witness_probes;
+      witness_confirmed = !witness_confirmed;
     } )

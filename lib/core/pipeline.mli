@@ -39,6 +39,10 @@ type log = {
   proved : int;  (** applied on a static equivalence proof, zero trials *)
   rejected : int;  (** dynamic and static rejections combined *)
   stale : int;
+  witness_probes : int;
+      (** static race rejections whose exact-tier witness was replayed as a
+          directed one-trial fuzz seed *)
+  witness_confirmed : int;  (** witness probes that also failed dynamically *)
 }
 
 val pp_log : Format.formatter -> log -> unit

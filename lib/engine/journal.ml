@@ -300,6 +300,9 @@ let instance_line (o : Campaign.outcome) =
        @ [
            ("trials_run", Json.Num (float_of_int o.o_trials_run));
            ("static_flagged", Json.Bool o.o_static_flagged);
+           ("dep_pairs", Json.Num (float_of_int o.o_dep_pairs));
+           ("dep_decided", Json.Num (float_of_int o.o_dep_decided));
+           ("dep_sampled", Json.Num (float_of_int o.o_dep_sampled));
            ("seed", Json.Num (float_of_int o.o_seed));
          ]))
 
@@ -373,6 +376,10 @@ let parse_line line =
           o_verdict = verdict;
           o_trials_run = Json.int (Json.field j "trials_run");
           o_static_flagged = Json.bool (Json.field j "static_flagged");
+          (* absent in journals written before the exact dependence tier *)
+          o_dep_pairs = (match Json.mem j "dep_pairs" with Some v -> Json.int v | None -> 0);
+          o_dep_decided = (match Json.mem j "dep_decided" with Some v -> Json.int v | None -> 0);
+          o_dep_sampled = (match Json.mem j "dep_sampled" with Some v -> Json.int v | None -> 0);
           o_elapsed_s = (match Json.mem j "elapsed_s" with Some e -> Json.num e | None -> 0.);
           o_seed = Json.int (Json.field j "seed");
         }

@@ -10,6 +10,8 @@ type t = {
   mutable proved : int;
   mutable killed : int;
   mutable trials : int;
+  mutable dep_pairs : int;
+  mutable dep_decided : int;
   mutable cases_saved : int;
   mutable resumed_n : int;
   mutable last_render : float;
@@ -27,6 +29,8 @@ let create ?(progress = true) ~total ~j () =
     proved = 0;
     killed = 0;
     trials = 0;
+    dep_pairs = 0;
+    dep_decided = 0;
     cases_saved = 0;
     resumed_n = 0;
     last_render = 0.;
@@ -46,10 +50,14 @@ let render t =
         let extra = List.length busy - 1 in
         if extra > 0 then Printf.sprintf "  [%s +%d]" w extra else Printf.sprintf "  [%s]" w
   in
+  let dep_note =
+    if t.dep_pairs = 0 then ""
+    else Printf.sprintf "  deps %d/%d" t.dep_decided t.dep_pairs
+  in
   Printf.sprintf
-    "[%d/%d] %.1f inst/s  failed %d  proved %d  killed %d  trials %d  cases %d  resumed %d%s"
+    "[%d/%d] %.1f inst/s  failed %d  proved %d  killed %d  trials %d  cases %d  resumed %d%s%s"
     t.completed t.total rate t.failed t.proved t.killed t.trials t.cases_saved t.resumed_n
-    worker_note
+    dep_note worker_note
 
 let emit ?(force = false) t =
   if t.progress then begin
@@ -67,6 +75,8 @@ let idle t ~slot = if slot < Array.length t.workers then t.workers.(slot) <- Non
 let record t (o : Campaign.outcome) =
   t.completed <- t.completed + 1;
   t.trials <- t.trials + o.o_trials_run;
+  t.dep_pairs <- t.dep_pairs + o.o_dep_pairs;
+  t.dep_decided <- t.dep_decided + o.o_dep_decided;
   (match o.o_verdict with
   | Campaign.O_failed _ -> t.failed <- t.failed + 1
   | Campaign.O_proved -> t.proved <- t.proved + 1

@@ -165,6 +165,9 @@ let killed_outcome ~(item : Queue.item) ~status ~elapsed_s =
     o_verdict = Campaign.O_killed;
     o_trials_run = 0;
     o_static_flagged = false;
+    o_dep_pairs = 0;
+    o_dep_decided = 0;
+    o_dep_sampled = 0;
     o_elapsed_s = elapsed_s;
     o_seed = item.seed;
   }

@@ -11,6 +11,13 @@ type probe_result =
       audit_flagged : bool option;
           (** change-set audit verdict on the (mutated) transform; [None]
               when the audit does not apply to this probe shape *)
+      dep_witness : (string * int) list option;
+          (** concrete valuation from the exact dependence tier (a refutation
+              model or a race finding's [dep_witness]); [None] when the tier
+              produced no witness or does not apply *)
+      dep_confirmed : bool option;
+          (** did the witness, replayed as a one-trial directed fuzz seed,
+              reproduce the failure dynamically? *)
       detail : string;
     }
   | R_mpi of {
@@ -39,13 +46,18 @@ type row = {
   attempts : int;
   localized : bool option;
   audit : bool option;  (** change-set audit verdict, [None] when not applicable *)
+  dep : bool option;
+      (** exact dependence channel: [Some true] — a witness was found and its
+          directed replay reproduced the failure; [Some false] — a witness was
+          found but did not reproduce; [None] — no witness / not applicable *)
 }
 
 type report = { seed : int; trials : int; rows : row list }
 
 (* ---- probes (run inside forked workers) --------------------------------- *)
 
-let verdict_result ?(localized = None) ?(audit_flagged = None) (r : Difftest.report) =
+let verdict_result ?(localized = None) ?(audit_flagged = None) ?(dep_witness = None)
+    ?(dep_confirmed = None) (r : Difftest.report) =
   match r.Difftest.verdict with
   | Difftest.Pass ->
       R_verdict
@@ -55,6 +67,8 @@ let verdict_result ?(localized = None) ?(audit_flagged = None) (r : Difftest.rep
           failing_trials = 0;
           localized;
           audit_flagged;
+          dep_witness;
+          dep_confirmed;
           detail = "all trials agree";
         }
   | Difftest.Fail f ->
@@ -65,6 +79,8 @@ let verdict_result ?(localized = None) ?(audit_flagged = None) (r : Difftest.rep
           failing_trials = f.Difftest.failing_trials;
           localized;
           audit_flagged;
+          dep_witness;
+          dep_confirmed;
           detail = Format.asprintf "%a" Difftest.pp_failure f.Difftest.kind;
         }
 
@@ -84,6 +100,8 @@ let interp_probe ~trials ~spec_seed ~workload ~inject =
           failing_trials = 0;
           localized = None;
           audit_flagged = None;
+          dep_witness = None;
+          dep_confirmed = None;
           detail = "no site";
         }
   | site :: _ ->
@@ -110,6 +128,8 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
           failing_trials = 0;
           localized = None;
           audit_flagged = None;
+          dep_witness = None;
+          dep_confirmed = None;
           detail = "no such transform";
         }
   | Some base ->
@@ -128,6 +148,41 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
         try Option.map (fun fs -> fs <> []) (Analysis.Audit.check_xform g mutated site)
         with _ -> None
       in
+      (* exact dependence channel: the translation validator's refutation
+         model, or a race finding's solver witness, is a concrete valuation
+         exhibiting the seeded bug *)
+      let dep_witness =
+        try
+          match Analysis.Equiv.certify ~symbols:config.Difftest.concretization g mutated site with
+          | Some (Analysis.Equiv.Refuted w) -> Some w.Analysis.Equiv.valuation
+          | _ -> (
+              match Analysis.Delta.verify ~symbols:config.Difftest.concretization g mutated site with
+              | Some fs -> List.find_map Analysis.Races.witness_of_finding fs
+              | None -> None)
+        with _ -> None
+      in
+      (* replay the witness as a directed fuzz seed: one trial pinned to the
+         witness valuation must reproduce the failure (pinned names the
+         cutout does not sample are ignored by constraint derivation) *)
+      let dep_confirmed =
+        match dep_witness with
+        | None -> None
+        | Some valuation -> (
+            let directed =
+              {
+                config with
+                Difftest.trials = 1;
+                custom_constraints =
+                  List.map (fun (s, v) -> (s, (v, v))) valuation
+                  @ config.Difftest.custom_constraints;
+              }
+            in
+            try
+              match (Difftest.test_instance ~config:directed g mutated site).Difftest.verdict with
+              | Difftest.Fail _ -> Some true
+              | Difftest.Pass -> Some false
+            with _ -> None)
+      in
       let report = Difftest.test_instance ~config g mutated site in
       let localized =
         match report.Difftest.verdict with
@@ -144,7 +199,7 @@ let transform_probe ~trials ~spec_seed ~workload ~xform ~kind ~mutation_seed ~si
             with _ -> None)
         | _ -> None
       in
-      verdict_result ~localized ~audit_flagged report
+      verdict_result ~localized ~audit_flagged ~dep_witness ~dep_confirmed report
 
 (* Fixed MPI scenario: scatter + allreduce + bcast + gather, enough traffic
    that every collective is attackable (see Plan.mpi_specs). *)
@@ -203,6 +258,11 @@ let classify (spec : Plan.spec) (r : probe_result) =
      the mutated transform's declaration no longer covers its true diff)
      even when every fuzz trial happens to agree *)
   | ( (Plan.Must_semantics | Plan.Must_detect),
+      R_verdict { klass = None; dep_confirmed = Some true; _ } ) ->
+      (* the fuzz budget missed it, but the exact dependence tier produced a
+         witness whose directed replay failed — detection with a proof *)
+      Detected { got = "dependence witness"; first_trial = 0 }
+  | ( (Plan.Must_semantics | Plan.Must_detect),
       R_verdict { klass = None; audit_flagged = Some true; _ } ) ->
       Detected { got = "change-set audit"; first_trial = 0 }
   | (Plan.Must_semantics | Plan.Must_detect), R_verdict { klass = None; detail; _ } ->
@@ -239,6 +299,11 @@ let localized_of = function
 let audit_of = function
   | R_verdict { audit_flagged; _ } -> audit_flagged
   | R_mpi _ -> None
+
+let dep_of = function
+  | R_verdict { dep_witness = Some _; dep_confirmed; _ } ->
+      Some (dep_confirmed = Some true)
+  | R_verdict { dep_witness = None; _ } | R_mpi _ -> None
 
 (* ---- campaign ------------------------------------------------------------ *)
 
@@ -293,9 +358,17 @@ let run ?(j = 1) ?(deadline_s = 60.) ?(trials = 10) ?level ?(progress = false) ~
               attempts;
               localized = localized_of r;
               audit = audit_of r;
+              dep = dep_of r;
             }
         | `Quarantine detail ->
-            { spec; outcome = Quarantined { detail }; attempts; localized = None; audit = None })
+            {
+              spec;
+              outcome = Quarantined { detail };
+              attempts;
+              localized = None;
+              audit = None;
+              dep = None;
+            })
       specs
   in
   { seed; trials; rows }
@@ -316,6 +389,11 @@ type totals = {
   mpi_detected : int;
   loc_checked : int;
   loc_accurate : int;
+  dep_expected : int;
+      (** non-quarantined subset-shift / wrong-stride transform specs — the
+          mutations the exact dependence tier must catch statically *)
+  dep_witnessed : int;  (** of those, a solver witness was produced *)
+  dep_confirmed : int;  (** of those, the directed replay reproduced the failure *)
   extra_attempts : int;
 }
 
@@ -335,11 +413,14 @@ let totals (r : report) =
       mpi_detected = 0;
       loc_checked = 0;
       loc_accurate = 0;
+      dep_expected = 0;
+      dep_witnessed = 0;
+      dep_confirmed = 0;
       extra_attempts = 0;
     }
   in
   List.fold_left
-    (fun t { spec; outcome; attempts; localized; _ } ->
+    (fun t { spec; outcome; attempts; localized; dep; _ } ->
       let hit = match outcome with Detected _ -> 1 | _ -> 0 in
       let quarantined = match outcome with Quarantined _ -> true | _ -> false in
       let core =
@@ -348,6 +429,13 @@ let totals (r : report) =
       in
       let mpi = (not quarantined) && spec.Plan.level = Plan.L_mpi in
       let sem = spec.Plan.expect = Plan.Must_semantics in
+      let dep_spec =
+        (not quarantined)
+        &&
+        match spec.Plan.payload with
+        | Plan.Transform_fault { kind = Mutate.Subset_shift | Mutate.Wrong_stride; _ } -> true
+        | _ -> false
+      in
       {
         specs = t.specs + 1;
         detected = t.detected + hit;
@@ -362,6 +450,9 @@ let totals (r : report) =
         mpi_detected = (t.mpi_detected + if mpi then hit else 0);
         loc_checked = (t.loc_checked + match localized with Some _ -> 1 | None -> 0);
         loc_accurate = (t.loc_accurate + match localized with Some true -> 1 | _ -> 0);
+        dep_expected = (t.dep_expected + if dep_spec then 1 else 0);
+        dep_witnessed = (t.dep_witnessed + if dep_spec && dep <> None then 1 else 0);
+        dep_confirmed = (t.dep_confirmed + if dep_spec && dep = Some true then 1 else 0);
         extra_attempts = t.extra_attempts + attempts - 1;
       })
     z r.rows
@@ -379,10 +470,11 @@ let misses r =
    [require_semantics] every Must_semantics spec must be Detected outright —
    a quarantined semantics spec fails the gate, since detection was not
    proven. *)
-let passed ?(floor = 0.95) ?(require_semantics = false) r =
+let passed ?(floor = 0.95) ?(require_semantics = false) ?(require_deps = false) r =
   let t = totals r in
   detection_rate r >= floor
   && ((not require_semantics) || t.semantics_detected = t.semantics_total)
+  && ((not require_deps) || t.dep_confirmed = t.dep_expected)
 
 (* ---- rendering ----------------------------------------------------------- *)
 
@@ -400,9 +492,9 @@ let render r =
     (Printf.sprintf "faultlab selfcheck · seed %d · %d trials/spec · %d specs\n" r.seed r.trials
        t.specs);
   List.iter
-    (fun ({ spec; outcome; attempts; localized; audit } : row) ->
+    (fun ({ spec; outcome; attempts; localized; audit; dep } : row) ->
       Buffer.add_string b
-        (Printf.sprintf "  %-13s %-45s %s%s%s%s\n"
+        (Printf.sprintf "  %-13s %-45s %s%s%s%s%s\n"
            (String.uppercase_ascii (outcome_name outcome))
            spec.Plan.id (outcome_detail outcome)
            (match localized with
@@ -412,6 +504,10 @@ let render r =
            (match audit with
            | Some true -> " · audit"
            | Some false | None -> "")
+           (match dep with
+           | Some true -> " · dep-witness"
+           | Some false -> " · dep-witness (not reproduced)"
+           | None -> "")
            (if attempts > 1 then Printf.sprintf " · %d attempts" attempts else "")))
     r.rows;
   Buffer.add_string b
@@ -423,6 +519,11 @@ let render r =
     (Printf.sprintf
        "misclassified: %d · quarantined: %d · localization: %d/%d accurate · extra attempts: %d\n"
        t.misclassified t.quarantined t.loc_accurate t.loc_checked t.extra_attempts);
+  if t.dep_expected > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "dependence witnesses: %d/%d specs witnessed, %d reproduced as directed seeds\n"
+         t.dep_witnessed t.dep_expected t.dep_confirmed);
   let ms = misses r in
   if ms <> [] then begin
     Buffer.add_string b "misses:\n";
@@ -437,7 +538,7 @@ let render r =
 
 module Json = Engine.Journal.Json
 
-let row_json ({ spec; outcome; attempts; localized; audit } : row) =
+let row_json ({ spec; outcome; attempts; localized; audit; dep } : row) =
   Json.Obj
     ([
        ("kind", Json.Str "spec");
@@ -456,10 +557,13 @@ let row_json ({ spec; outcome; attempts; localized; audit } : row) =
     @ (match localized with
       | None -> [ ("localized", Json.Null) ]
       | Some v -> [ ("localized", Json.Bool v) ])
+    @ (match audit with
+      | None -> [ ("audit_flagged", Json.Null) ]
+      | Some v -> [ ("audit_flagged", Json.Bool v) ])
     @
-    match audit with
-    | None -> [ ("audit_flagged", Json.Null) ]
-    | Some v -> [ ("audit_flagged", Json.Bool v) ])
+    match dep with
+    | None -> [ ("dep_witness", Json.Null) ]
+    | Some v -> [ ("dep_witness", Json.Bool v) ])
 
 let to_jsonl r =
   let t = totals r in
@@ -497,6 +601,9 @@ let to_jsonl r =
             ("mpi_total", Json.Num (float_of_int t.mpi_total));
             ("localization_checked", Json.Num (float_of_int t.loc_checked));
             ("localization_accurate", Json.Num (float_of_int t.loc_accurate));
+            ("dep_expected", Json.Num (float_of_int t.dep_expected));
+            ("dep_witnessed", Json.Num (float_of_int t.dep_witnessed));
+            ("dep_confirmed", Json.Num (float_of_int t.dep_confirmed));
             ("extra_attempts", Json.Num (float_of_int t.extra_attempts));
           ]));
   Buffer.add_char b '\n';

@@ -23,6 +23,13 @@ type probe_result =
       audit_flagged : bool option;
           (** for transform faults: did the change-set audit flag the mutated
               transform's declaration? [None] when not applicable *)
+      dep_witness : (string * int) list option;
+          (** for transform faults: concrete valuation from the exact
+              dependence tier (the translation validator's refutation model or
+              a race finding's [dep_witness]); [None] when no witness *)
+      dep_confirmed : bool option;
+          (** did the witness, replayed as a one-trial directed fuzz seed,
+              reproduce the failure? *)
       detail : string;
     }
   | R_mpi of {
@@ -48,6 +55,10 @@ type row = {
   attempts : int;
   localized : bool option;
   audit : bool option;  (** change-set audit verdict, [None] when not applicable *)
+  dep : bool option;
+      (** exact dependence channel: [Some true] — witness found and its
+          directed replay reproduced the failure; [Some false] — witness found
+          but not reproduced; [None] — no witness / not applicable *)
 }
 
 type report = { seed : int; trials : int; rows : row list }
@@ -88,6 +99,11 @@ type totals = {
   mpi_detected : int;
   loc_checked : int;
   loc_accurate : int;
+  dep_expected : int;
+      (** non-quarantined subset-shift / wrong-stride transform specs — the
+          mutations the exact dependence tier must catch statically *)
+  dep_witnessed : int;  (** of those, a solver witness was produced *)
+  dep_confirmed : int;  (** of those, the directed replay reproduced the failure *)
   extra_attempts : int;
 }
 
@@ -100,10 +116,12 @@ val detection_rate : report -> float
 (** The itemized misses: rows that are [Missed] or [Misclassified]. *)
 val misses : report -> row list
 
-(** The gate: [detection_rate >= floor] (default 0.95), and with
+(** The gate: [detection_rate >= floor] (default 0.95); with
     [require_semantics] every [Must_semantics] spec must be [Detected] —
-    quarantine does not excuse a semantics obligation. *)
-val passed : ?floor:float -> ?require_semantics:bool -> report -> bool
+    quarantine does not excuse a semantics obligation; with [require_deps]
+    every subset-shift / wrong-stride transform spec must yield an exact
+    dependence witness whose directed replay reproduces the failure. *)
+val passed : ?floor:float -> ?require_semantics:bool -> ?require_deps:bool -> report -> bool
 
 (** Human-readable per-spec listing and summary. *)
 val render : report -> string

@@ -3,7 +3,34 @@ open Symbolic
 let widen_range ~param ~(prange : Subset.range) (r : Subset.range) =
   let has e = List.mem param (Expr.free_syms e) in
   if not (has r.lo || has r.hi || has r.step) then r
-  else begin
+  else
+    match (r.lo, r.hi, r.step, prange.step) with
+    | Expr.Sym p, Expr.Sym p', Expr.Int 1, Expr.Int s when p = param && p' = param && s > 1 ->
+        (* the index is the bare parameter over a strided increasing range:
+           its image is exactly the map range, stride included. Collapsing
+           the stride here (as the general case below must) would make a
+           map whose step was widened to skip iterations summarize
+           identically to the dense original — the one dataflow difference
+           stride erasure cannot be allowed to hide. *)
+        { Subset.lo = prange.lo; hi = prange.hi; step = prange.step }
+    | Expr.Sym p, hi, Expr.Int s, Expr.Int ps
+      when p = param && s > 1 && ps > 0 && ps mod s = 0
+           && (match hi with
+              | Expr.Min (Expr.Add (Expr.Sym q, Expr.Int k), h)
+              | Expr.Min (h, Expr.Add (Expr.Sym q, Expr.Int k))
+              | Expr.Min (Expr.Add (Expr.Int k, Expr.Sym q), h)
+              | Expr.Min (h, Expr.Add (Expr.Int k, Expr.Sym q)) ->
+                  q = param && k >= ps - 1 && h = prange.hi
+                  && not (List.mem param (Expr.free_syms h))
+              | _ -> false) ->
+        (* a strided inner range of a tile map, [p : min(p + k, H) : s] over
+           tiles p ∈ [lo : H : ps]: with the tile span covering a whole period
+           (k ≥ ps − 1), the per-tile grids abut at matching residues
+           (ps mod s = 0) and the capped last tile reaches H, so the union is
+           exactly [lo : H : s] — the tiled image of a stride the mutation
+           widened stays strided instead of collapsing to the dense box. *)
+        { Subset.lo = prange.lo; hi = prange.hi; step = Expr.Int s }
+    | _ -> begin
     (* Substitute both endpoints of the parameter's span and take the
        enclosing interval; handles decreasing ranges and negative
        coefficients conservatively. A parameter occurring in the stride

@@ -12,8 +12,13 @@
     signature. *)
 
 (** [through_map ~params ~ranges subset] widens [subset] over all values each
-    parameter takes in its range. A parameter occurring in a stride widens
-    that dimension to stride 1 (a superset of every instantiation).
+    parameter takes in its range. Two shapes widen exactly: a bare-parameter
+    dimension maps to the parameter's grid itself, and an aligned tile body
+    [p : min(p+k, H) : s] over tiles [p ∈ lo : H : ps] (with [ps mod s = 0]
+    and [k >= ps-1]) has image exactly [lo : H : s] — keeping the stride
+    visible to the dependence engine. Any other parameter occurring in a
+    stride widens that dimension to stride 1 (a superset of every
+    instantiation).
     @raise Invalid_argument when [params] and [ranges] differ in length. *)
 val through_map :
   params:string list ->

@@ -1,0 +1,347 @@
+(* Integer linear systems: Fourier-Motzkin elimination with a GCD pre-test
+   (Omega-test-lite) and verified witness reconstruction. See linsys.mli for
+   the soundness contract: Unsat and Sat are proofs, everything doubtful is
+   Unknown. *)
+
+type lin = { const : int; coeffs : (string * int) list }
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let gcd_list = List.fold_left (fun g (_, c) -> gcd g c) 0
+
+(* floor/ceil division for a positive divisor, exact for negative numerators *)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let ceil_div a b = -(floor_div (-a) b)
+
+let norm_coeffs cs =
+  List.filter (fun (_, c) -> c <> 0) cs |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let of_terms const terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, c) ->
+      Hashtbl.replace tbl v (c + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    terms;
+  { const; coeffs = norm_coeffs (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl []) }
+
+let const n = { const = n; coeffs = [] }
+let var ?(coeff = 1) v = { const = 0; coeffs = (if coeff = 0 then [] else [ (v, coeff) ]) }
+
+let add a b =
+  of_terms (a.const + b.const) (a.coeffs @ b.coeffs)
+
+let scale k l =
+  if k = 0 then const 0
+  else { const = k * l.const; coeffs = norm_coeffs (List.map (fun (v, c) -> (v, k * c)) l.coeffs) }
+
+let sub a b = add a (scale (-1) b)
+
+let eval_lin env l =
+  List.fold_left (fun acc (v, c) -> acc + (c * List.assoc v env)) l.const l.coeffs
+
+type cstr = Ge0 of lin | Eq0 of lin
+
+let ge a b = Ge0 (sub a b)
+let le a b = Ge0 (sub b a)
+let eq a b = Eq0 (sub a b)
+
+let pp_lin ppf l =
+  let open Format in
+  if l.coeffs = [] then fprintf ppf "%d" l.const
+  else begin
+    List.iteri
+      (fun i (v, c) ->
+        if i > 0 && c > 0 then fprintf ppf " + ";
+        if c = 1 then fprintf ppf "%s" v
+        else if c = -1 then fprintf ppf "-%s" v
+        else if c < 0 then fprintf ppf "%d*%s" c v
+        else fprintf ppf "%d*%s" c v)
+      l.coeffs;
+    if l.const > 0 then fprintf ppf " + %d" l.const
+    else if l.const < 0 then fprintf ppf " - %d" (-l.const)
+  end
+
+let pp_cstr ppf = function
+  | Ge0 l -> Format.fprintf ppf "%a >= 0" pp_lin l
+  | Eq0 l -> Format.fprintf ppf "%a = 0" pp_lin l
+
+let cstr_to_string c = Format.asprintf "%a" pp_cstr c
+
+let eval_total env l =
+  List.fold_left
+    (fun acc (v, c) -> acc + (c * Option.value ~default:0 (List.assoc_opt v env)))
+    l.const l.coeffs
+
+let holds env = function Ge0 l -> eval_total env l >= 0 | Eq0 l -> eval_total env l = 0
+
+type verdict = Unsat | Sat of (string * int) list | Unknown
+
+(* Variables of a system, sorted for deterministic elimination order. *)
+let vars_of cs =
+  List.concat_map (fun c -> List.map fst (match c with Ge0 l | Eq0 l -> l.coeffs)) cs
+  |> List.sort_uniq compare
+
+(* Tighten [l >= 0] by the coefficient GCD: sum(a_i x_i) + c >= 0 with
+   g = gcd(a_i) is equivalent (over integers) to sum(a_i/g x_i) >= ceil(-c/g),
+   i.e. constant floor(c/g). Returns [None] when the constraint is variable
+   free and violated. *)
+let tighten_ge l =
+  if l.coeffs = [] then if l.const >= 0 then Some None else None
+  else
+    let g = gcd_list l.coeffs in
+    let l' =
+      if g <= 1 then l
+      else
+        { const = floor_div l.const g;
+          coeffs = List.map (fun (v, c) -> (v, c / g)) l.coeffs }
+    in
+    Some (Some l')
+
+exception Infeasible
+
+(* Substitute [v := rhs] (a lin over other variables) in [l]. *)
+let subst_lin v rhs l =
+  match List.assoc_opt v l.coeffs with
+  | None -> l
+  | Some c ->
+      let rest = List.remove_assoc v l.coeffs in
+      add { const = l.const; coeffs = rest } (scale c rhs)
+
+let solve ?(max_cstrs = 4096) cstrs =
+  let originals = cstrs in
+  try
+    (* Phase 1: equality propagation. Unit-coefficient pivots are eliminated
+       by substitution; non-unit equalities get the GCD divisibility test and
+       are then relaxed to a pair of inequalities (sound: rational relaxation;
+       integrality is re-imposed by the final verification). *)
+    let substs = ref [] in
+    let rec eq_phase eqs ges =
+      match eqs with
+      | [] -> ges
+      | Eq0 l :: rest -> (
+          let l = { l with coeffs = norm_coeffs l.coeffs } in
+          if l.coeffs = [] then
+            if l.const = 0 then eq_phase rest ges else raise Infeasible
+          else
+            let g = gcd_list l.coeffs in
+            if g > 1 && l.const mod g <> 0 then raise Infeasible (* GCD pre-test *)
+            else
+              let l =
+                if g <= 1 then l
+                else
+                  { const = l.const / g;
+                    coeffs = List.map (fun (v, c) -> (v, c / g)) l.coeffs }
+              in
+              match List.find_opt (fun (_, c) -> abs c = 1) l.coeffs with
+              | Some (v, c) ->
+                  (* c*v + rest = 0  =>  v = -c * rest  (c = +-1) *)
+                  let rest_lin = { l with coeffs = List.remove_assoc v l.coeffs } in
+                  let rhs = scale (-c) rest_lin in
+                  substs := (v, rhs) :: !substs;
+                  let sub_c = function
+                    | Eq0 m -> Eq0 (subst_lin v rhs m)
+                    | Ge0 m -> Ge0 (subst_lin v rhs m)
+                  in
+                  eq_phase (List.map sub_c rest) (List.map sub_c ges)
+              | None -> eq_phase rest (Ge0 l :: Ge0 (scale (-1) l) :: ges))
+      | (Ge0 _ as c) :: rest -> eq_phase rest (c :: ges)
+    in
+    let eqs, ges = List.partition (function Eq0 _ -> true | Ge0 _ -> false) cstrs in
+    let ges = eq_phase eqs ges in
+    (* Phase 2: normalize inequalities. *)
+    let norm ges =
+      List.filter_map
+        (fun c ->
+          match c with
+          | Eq0 _ -> assert false
+          | Ge0 l -> (
+              match tighten_ge { l with coeffs = norm_coeffs l.coeffs } with
+              | None -> raise Infeasible
+              | Some keep -> keep))
+        ges
+    in
+    let ges = ref (norm ges) in
+    (* Phase 3: Fourier-Motzkin elimination, recording per-variable bound sets
+       for witness reconstruction. *)
+    let eliminated = ref [] in
+    let remaining = ref (vars_of (List.map (fun l -> Ge0 l) !ges)) in
+    while !remaining <> [] do
+      (* pick the variable minimizing the product |lowers|*|uppers| *)
+      let cost v =
+        let lo, hi =
+          List.fold_left
+            (fun (lo, hi) l ->
+              match List.assoc_opt v l.coeffs with
+              | Some c when c > 0 -> (lo + 1, hi)
+              | Some _ -> (lo, hi + 1)
+              | None -> (lo, hi))
+            (0, 0) !ges
+        in
+        lo * hi
+      in
+      let v =
+        List.fold_left
+          (fun best v -> match best with
+            | Some (bv, bc) ->
+                let c = cost v in
+                if c < bc then Some (v, c) else Some (bv, bc)
+            | None -> Some (v, cost v))
+          None !remaining
+        |> Option.get |> fst
+      in
+      remaining := List.filter (fun x -> x <> v) !remaining;
+      let with_v, without = List.partition (fun l -> List.mem_assoc v l.coeffs) !ges in
+      let lowers, uppers =
+        List.partition (fun l -> List.assoc v l.coeffs > 0) with_v
+      in
+      (* a*v + p >= 0 (a>0, lower: v >= ceil(-p/a));  -b*v + n >= 0 (b>0,
+         upper: v <= floor(n/b)). Combination eliminating v: b*p + a*n >= 0. *)
+      let combined =
+        List.concat_map
+          (fun lo ->
+            let a = List.assoc v lo.coeffs in
+            let p = { lo with coeffs = List.remove_assoc v lo.coeffs } in
+            List.filter_map
+              (fun up ->
+                let b = -List.assoc v up.coeffs in
+                let n = { up with coeffs = List.remove_assoc v up.coeffs } in
+                match tighten_ge (add (scale b p) (scale a n)) with
+                | None -> raise Infeasible
+                | Some keep -> keep)
+              uppers)
+          lowers
+      in
+      eliminated := (v, lowers, uppers) :: !eliminated;
+      ges := combined @ without;
+      if List.length !ges > max_cstrs then raise Exit
+    done;
+    (* Phase 4: variable-free residue already checked feasible by tighten_ge.
+       Reconstruct an integer witness in reverse elimination order. *)
+    let valuation = ref [] in
+    let ev l = eval_total !valuation l in
+    List.iter
+      (fun (v, lowers, uppers) ->
+        let lo =
+          List.fold_left
+            (fun acc l ->
+              let a = List.assoc v l.coeffs in
+              let p = { l with coeffs = List.remove_assoc v l.coeffs } in
+              let b = ceil_div (-ev p) a in
+              match acc with None -> Some b | Some x -> Some (max x b))
+            None lowers
+        in
+        let hi =
+          List.fold_left
+            (fun acc l ->
+              let b = -List.assoc v l.coeffs in
+              let n = { l with coeffs = List.remove_assoc v l.coeffs } in
+              let u = floor_div (ev n) b in
+              match acc with None -> Some u | Some x -> Some (min x u))
+            None uppers
+        in
+        let value =
+          match (lo, hi) with
+          | Some l, Some h -> if l > h then raise Exit (* integer gap *) else l
+          | Some l, None -> l
+          | None, Some h -> h
+          | None, None -> 0
+        in
+        valuation := (v, value) :: !valuation)
+      !eliminated;
+    (* substituted variables, most recent first = reverse dependency order *)
+    List.iter
+      (fun (v, rhs) -> valuation := (v, eval_total !valuation rhs) :: !valuation)
+      !substs;
+    let model =
+      (* bind every variable of the original system; unconstrained ones get 0 *)
+      List.map
+        (fun v -> (v, Option.value ~default:0 (List.assoc_opt v !valuation)))
+        (vars_of originals)
+    in
+    (* Phase 5: verification — Sat must be a real model of the originals. *)
+    if List.for_all (holds model) originals then Sat model else Unknown
+  with
+  | Infeasible -> Unsat
+  | Exit -> Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Lowering Expr.t terms to guarded linear alternatives.              *)
+
+type alt = { guards : cstr list; term : lin }
+
+let gensym () =
+  let n = ref (-1) in
+  fun () ->
+    incr n;
+    Printf.sprintf "$a%d" !n
+
+let is_aux v = String.length v > 0 && v.[0] = '$'
+
+let max_alts = 64
+
+let of_expr ~fresh e =
+  let exception Bail in
+  let cross f xs ys =
+    let r = List.concat_map (fun x -> List.map (fun y -> f x y) ys) xs in
+    if List.length r > max_alts then raise Bail else r
+  in
+  let rec go e =
+    match (e : Expr.t) with
+    | Int n -> [ { guards = []; term = const n } ]
+    | Sym s -> [ { guards = []; term = var s } ]
+    | Neg a -> List.map (fun x -> { x with term = scale (-1) x.term }) (go a)
+    | Add (a, b) ->
+        cross (fun x y -> { guards = x.guards @ y.guards; term = add x.term y.term })
+          (go a) (go b)
+    | Sub (a, b) ->
+        cross (fun x y -> { guards = x.guards @ y.guards; term = sub x.term y.term })
+          (go a) (go b)
+    | Mul (a, b) ->
+        cross
+          (fun x y ->
+            if x.term.coeffs = [] then
+              { guards = x.guards @ y.guards; term = scale x.term.const y.term }
+            else if y.term.coeffs = [] then
+              { guards = x.guards @ y.guards; term = scale y.term.const x.term }
+            else raise Bail)
+          (go a) (go b)
+    | Min (a, b) ->
+        cross_minmax ~is_min:true (go a) (go b)
+    | Max (a, b) ->
+        cross_minmax ~is_min:false (go a) (go b)
+    | Div (a, b) -> divmod ~want_quot:true a b
+    | Mod (a, b) -> divmod ~want_quot:false a b
+  and cross_minmax ~is_min xs ys =
+    let r =
+      List.concat_map
+        (fun x ->
+          List.concat_map
+            (fun y ->
+              let d = sub y.term x.term in
+              (* d >= 0 means x <= y *)
+              let pick_x, pick_y =
+                if is_min then (Ge0 d, Ge0 (scale (-1) d))
+                else (Ge0 (scale (-1) d), Ge0 d)
+              in
+              [ { guards = (pick_x :: x.guards) @ y.guards; term = x.term };
+                { guards = (pick_y :: x.guards) @ y.guards; term = y.term } ])
+            ys)
+        xs
+    in
+    if List.length r > max_alts then raise Bail else r
+  and divmod ~want_quot a b =
+    (* floor division / euclidean remainder by a positive constant c:
+       a = c*q + r with 0 <= r <= c-1 characterizes q = a div c, r = a mod c *)
+    match Expr.is_constant (Expr.simplify b) with
+    | Some c when c > 0 ->
+        let q = fresh () and r = fresh () in
+        List.map
+          (fun x ->
+            let qv = var q and rv = var r in
+            let defining =
+              [ Eq0 (sub x.term (add (scale c qv) rv)); Ge0 rv; Ge0 (sub (const (c - 1)) rv) ]
+            in
+            { guards = defining @ x.guards; term = (if want_quot then qv else rv) })
+          (go a)
+    | _ -> raise Bail
+  in
+  match go e with alts -> Some alts | exception Bail -> None

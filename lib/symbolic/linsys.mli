@@ -1,0 +1,93 @@
+(** Integer linear-constraint systems decided by Fourier–Motzkin elimination.
+
+    The dependence engine (Sec. 2 of the FuzzyFlow paper: precise dataflow over
+    parametric memlet subsets) reduces access-pair disjointness to the
+    satisfiability of small conjunctions of integer linear constraints. This
+    module is the decision core: an Omega-test-lite pipeline of
+
+    - equality propagation with a GCD divisibility pre-test,
+    - normalization tightening (divide each inequality by the coefficient GCD,
+      floor the constant — exact over integers),
+    - rational Fourier–Motzkin elimination, and
+    - integer witness reconstruction by back-substitution, with every candidate
+      model re-verified against the original system.
+
+    The three-valued answer is sound in both decisive directions: [Unsat] is a
+    proof that no integer solution exists (the rational relaxation is already
+    empty, or a GCD test failed), and [Sat v] carries a valuation [v] that has
+    been checked to satisfy every original constraint. Whenever integrality is
+    in doubt — an integer gap between rational bounds, a fuel cap, a failed
+    verification — the answer degrades to [Unknown], never to a wrong verdict. *)
+
+(** A linear term [const + Σ coeff·var] with sorted, non-zero coefficients. *)
+type lin = private { const : int; coeffs : (string * int) list }
+
+val const : int -> lin
+val var : ?coeff:int -> string -> lin
+val add : lin -> lin -> lin
+val sub : lin -> lin -> lin
+val scale : int -> lin -> lin
+
+(** [of_terms c l] builds [c + Σ coeff·var], merging duplicate variables. *)
+val of_terms : int -> (string * int) list -> lin
+
+(** Evaluate under a total valuation.
+    @raise Not_found when a variable is unbound. *)
+val eval_lin : (string * int) list -> lin -> int
+
+(** A constraint: [Ge0 l] means [l >= 0]; [Eq0 l] means [l = 0]. *)
+type cstr = Ge0 of lin | Eq0 of lin
+
+(** [ge a b] is [a >= b]; [le a b] is [a <= b]; [eq a b] is [a = b]. *)
+val ge : lin -> lin -> cstr
+
+val le : lin -> lin -> cstr
+val eq : lin -> lin -> cstr
+
+val pp_lin : Format.formatter -> lin -> unit
+val pp_cstr : Format.formatter -> cstr -> unit
+val cstr_to_string : cstr -> string
+
+(** [holds v c] checks [c] under the total valuation [v] (missing variables
+    default to [0]). *)
+val holds : (string * int) list -> cstr -> bool
+
+type verdict =
+  | Unsat  (** proof: no integer solution exists *)
+  | Sat of (string * int) list
+      (** a verified integer model binding every variable of the system *)
+  | Unknown  (** fuel cap, integer gap, or failed witness verification *)
+
+(** Decide a conjunction of constraints. [max_cstrs] (default [4096]) caps the
+    intermediate constraint count during elimination; exceeding it yields
+    [Unknown]. Deterministic: variable elimination order depends only on the
+    input system. *)
+val solve : ?max_cstrs:int -> cstr list -> verdict
+
+(** {1 Lowering symbolic expressions}
+
+    Memlet subset endpoints are {!Expr.t} terms that may contain [min]/[max]
+    (tile remainders) and [div]/[mod] (tiling arithmetic). These are not linear
+    but become linear under a disjunctive case split: each {!alt} pairs a linear
+    term with the guard constraints under which it equals the expression. The
+    union of the guard regions covers every valuation, so a query is decided by
+    solving each alternative. *)
+
+type alt = { guards : cstr list; term : lin }
+
+(** [of_expr ~fresh e] lowers [e] to covering alternatives, or [None] when the
+    expression is not affine ([x*y], division by a non-constant, …).
+    [min]/[max] split on the sign of the operand difference; [e div c] and
+    [e mod c] for a positive constant [c] introduce auxiliary quotient and
+    remainder variables obtained from [fresh] (callers share one generator per
+    system so auxiliary names never collide). The number of alternatives is
+    capped at [64]; beyond that the lowering gives up with [None]. *)
+val of_expr : fresh:(unit -> string) -> Expr.t -> alt list option
+
+(** A deterministic generator of auxiliary variable names [$a0], [$a1], …
+    Auxiliary names start with ['$'] so callers can filter them from reported
+    witnesses; source expressions never contain them. *)
+val gensym : unit -> unit -> string
+
+(** [is_aux v] holds for generator-produced auxiliary names. *)
+val is_aux : string -> bool

@@ -64,6 +64,9 @@ let sample_outcome verdict status =
     o_verdict = verdict;
     o_trials_run = 5;
     o_static_flagged = false;
+    o_dep_pairs = 2;
+    o_dep_decided = 2;
+    o_dep_sampled = 0;
     o_elapsed_s = 0.;
     o_seed = 12345;
   }

@@ -15,9 +15,19 @@ let interp_spec inject expect =
     payload = Plan.Interp_fault { workload = "scale"; inject };
   }
 
-let verdict ?(klass = None) ?(localized = None) ?(audit_flagged = None) () =
+let verdict ?(klass = None) ?(localized = None) ?(audit_flagged = None) ?(dep_witness = None)
+    ?(dep_confirmed = None) () =
   Selfcheck.R_verdict
-    { klass; first_trial = 1; failing_trials = 1; localized; audit_flagged; detail = "d" }
+    {
+      klass;
+      first_trial = 1;
+      failing_trials = 1;
+      localized;
+      audit_flagged;
+      dep_witness;
+      dep_confirmed;
+      detail = "d";
+    }
 
 let plan_tests =
   [
