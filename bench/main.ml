@@ -1199,6 +1199,88 @@ let interp () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Program generator: production rate, admission cost, difftest parity  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_bench () =
+  header "Generator: graphs/s, admission fraction per style, difftest throughput";
+  let seed = 42 in
+  (* raw production rate: candidates per second, no admission gate *)
+  let raw_n = 200 in
+  let style_rows =
+    List.map
+      (fun (style : Gen.Styles.t) ->
+        let _, t_raw =
+          time (fun () ->
+              for index = 0 to raw_n - 1 do
+                ignore (Gen.Generate.candidate ~style ~seed index)
+              done)
+        in
+        let graphs_per_s = float_of_int raw_n /. t_raw in
+        let (_ : Gen.Generate.t list), stats =
+          Gen.Admit.batch ~style ~seed ~n:20 ()
+        in
+        let fraction =
+          float_of_int stats.Gen.Admit.admitted /. float_of_int stats.Gen.Admit.generated
+        in
+        let _, t_gate =
+          time (fun () -> ignore (Gen.Admit.batch ~style ~seed ~n:20 ()))
+        in
+        Printf.printf "%-8s %8.0f graphs/s   admission %3.0f%%   gate %.2f s for 20 admits\n"
+          style.Gen.Styles.name graphs_per_s (100. *. fraction) t_gate;
+        Printf.sprintf
+          "{\"bench\":\"gen\",\"row\":\"style\",\"style\":\"%s\",\"graphs_per_s\":%.1f,\"generated\":%d,\"admitted\":%d,\"admission_fraction\":%.4f,\"gate_wall_s\":%.3f}"
+          style.Gen.Styles.name graphs_per_s stats.Gen.Admit.generated stats.Gen.Admit.admitted
+          fraction t_gate)
+      Gen.Styles.all
+  in
+  (* differential-testing throughput: identity-transform difftest over a
+     generated program vs a hand-built workload of similar shape *)
+  let difftest_rate name g =
+    let x = Faultlab.Mutate.identity () in
+    let site = List.hd (x.Transforms.Xform.find g) in
+    let trials = 50 in
+    let config =
+      {
+        Fuzzyflow.Difftest.default_config with
+        trials;
+        max_size = 8;
+        concretization = List.map (fun s -> (s, 8)) (Sdfg.Graph.all_free_syms g);
+      }
+    in
+    ignore (Fuzzyflow.Difftest.test_instance ~config g x site);
+    let reps = 5 in
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Fuzzyflow.Difftest.test_instance ~config g x site)
+          done)
+    in
+    let per_s = float_of_int (reps * trials) /. t in
+    Printf.printf "difftest over %-20s %8.0f trials/s\n" name per_s;
+    (name, per_s)
+  in
+  let fusion = List.hd Gen.Styles.all in
+  let admitted, _ = Gen.Admit.batch ~style:fusion ~seed ~n:1 () in
+  let gen_name, gen_rate =
+    match admitted with
+    | c :: _ -> difftest_rate c.Gen.Generate.name c.Gen.Generate.graph
+    | [] -> ("none", 0.)
+  in
+  let hand_name, hand_rate = difftest_rate "scale" (Faultlab.Plan.workload_by_name "scale") in
+  let summary =
+    Printf.sprintf
+      "{\"bench\":\"gen\",\"row\":\"summary\",\"seed\":%d,\"difftest_generated\":\"%s\",\"generated_trials_per_s\":%.1f,\"difftest_handbuilt\":\"%s\",\"handbuilt_trials_per_s\":%.1f}"
+      seed gen_name gen_rate hand_name hand_rate
+  in
+  let rows = style_rows @ [ summary ] in
+  let oc = open_out "BENCH_gen.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_gen.json (%d rows)\n" (List.length rows)
+
 let experiments =
   [
     ("table1", table1);
@@ -1216,6 +1298,7 @@ let experiments =
     ("deps", deps);
     ("engine", engine);
     ("faultlab", faultlab);
+    ("gen", gen_bench);
     ("scaling", scaling);
     ("futurework", futurework);
     ("micro", micro);

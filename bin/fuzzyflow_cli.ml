@@ -153,6 +153,123 @@ let test_cmd =
       const run $ workload_arg $ xform_arg $ trials_arg $ seed_arg $ max_size_arg $ no_min_cut_arg
       $ defines_arg $ save_arg)
 
+(* ---------------- generated programs ---------------- *)
+
+let style_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "style" ] ~docv:"STYLE"
+        ~doc:
+          (Printf.sprintf "Composition style (repeatable; default: all). One of: %s."
+             (String.concat ", " Gen.Styles.names)))
+
+let resolve_styles = function
+  | [] -> Gen.Styles.all
+  | names ->
+      List.map
+        (fun n ->
+          match Gen.Styles.by_name n with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "unknown style %s (one of: %s)\n" n
+                (String.concat ", " Gen.Styles.names);
+              exit 2)
+        names
+
+(* Admitted generated programs for one style, named so any component can
+   regenerate them (Faultlab.Plan.workload_by_name resolves gen_* names). *)
+let generated_programs ~style ~seed ~n =
+  let admitted, _ = Gen.Admit.batch ~style ~seed ~n () in
+  List.map (fun (c : Gen.Generate.t) -> (c.Gen.Generate.name, c.Gen.Generate.graph)) admitted
+
+let generate_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Admitted candidates to produce per style.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N" ~doc:"Maximum grammar fragments per candidate.")
+  in
+  let emit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"DIR" ~doc:"Write each admitted graph to $(docv)/<name>.sdfg.")
+  in
+  let min_admit_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-admit" ] ~docv:"RATE"
+          ~doc:"Exit 1 if any style's admission rate falls below $(docv) (0..1).")
+  in
+  let require_targets_arg =
+    Arg.(
+      value & flag
+      & info [ "require-targets" ]
+          ~doc:
+            "Exit 1 unless, per style, every targeted transformation matches at least one \
+             admitted graph (the style-effectiveness floor).")
+  in
+  let run seed styles count budget emit min_admit require_targets =
+    let budget = Option.map Gen.Grammar.budget budget in
+    (match emit with
+    | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+    | None -> ());
+    let failed = ref false in
+    List.iter
+      (fun (style : Gen.Styles.t) ->
+        let admitted, stats = Gen.Admit.batch ?budget ~style ~seed ~n:count () in
+        Format.printf "%a@." Gen.Admit.pp_stats stats;
+        let matches = Hashtbl.create 8 in
+        List.iter
+          (fun (c : Gen.Generate.t) ->
+            Printf.printf "  %s rules=%s\n" c.Gen.Generate.name
+              (String.concat "," (List.map Gen.Grammar.name c.Gen.Generate.rules));
+            List.iter
+              (fun (x, n) ->
+                Hashtbl.replace matches x (n + Option.value ~default:0 (Hashtbl.find_opt matches x)))
+              (Gen.Styles.match_counts c.Gen.Generate.graph);
+            match emit with
+            | Some dir ->
+                Sdfg.Serialize.save
+                  (Filename.concat dir (c.Gen.Generate.name ^ ".sdfg"))
+                  c.Gen.Generate.graph
+            | None -> ())
+          admitted;
+        Printf.printf "  targets:";
+        List.iter
+          (fun t ->
+            let hits = Option.value ~default:0 (Hashtbl.find_opt matches t) in
+            Printf.printf " %s=%d" t hits;
+            if require_targets && hits = 0 then failed := true)
+          style.Gen.Styles.targets;
+        print_newline ();
+        let rate =
+          if stats.Gen.Admit.generated = 0 then 0.
+          else float_of_int stats.Gen.Admit.admitted /. float_of_int stats.Gen.Admit.generated
+        in
+        if rate < min_admit then begin
+          Printf.printf "  admission rate %.2f below floor %.2f\n" rate min_admit;
+          failed := true
+        end)
+      (resolve_styles styles);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate seeded random SDFGs steered by composition styles; every candidate passes \
+          the admission gate (structural validation + static oracle + smoke execution) \
+          before it is listed or emitted.")
+    Term.(
+      const run $ seed_arg $ style_arg $ count_arg $ budget_arg $ emit_arg $ min_admit_arg
+      $ require_targets_arg)
+
 let campaign_cmd =
   let correct_arg =
     Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set instead of the shipped one.")
@@ -213,12 +330,33 @@ let campaign_cmd =
       & info [ "limit-per" ] ~docv:"N"
           ~doc:"Test at most $(docv) sites per (workload, transformation) pair.")
   in
+  let generated_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "generated" ] ~docv:"N"
+          ~doc:
+            "Add $(docv) admitted generated programs per $(b,--style) (generated from the \
+             campaign seed). Without $(b,-w), the campaign runs on the generated programs \
+             alone.")
+  in
   let run ws correct certify static trials seed max_size no_min_cut defines j deadline journal
-      resume corpus progress limit_per =
+      resume corpus progress limit_per generated styles =
     let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
     let config = mk_config trials seed max_size no_min_cut defines in
+    let gen_programs =
+      match generated with
+      | None -> []
+      | Some n ->
+          List.concat_map
+            (fun style -> generated_programs ~style ~seed ~n)
+            (resolve_styles styles)
+    in
     let programs =
-      match ws with [] -> workloads () | ws -> List.map (fun w -> (w, find_workload w)) ws
+      match (ws, gen_programs) with
+      | [], [] -> workloads ()
+      | [], gps -> gps
+      | ws, gps -> List.map (fun w -> (w, find_workload w)) ws @ gps
     in
     let xforms =
       if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ()
@@ -256,7 +394,7 @@ let campaign_cmd =
       const run $ workloads_arg $ correct_arg $ certify_arg $ static_arg $ trials_arg $ seed_arg
       $ max_size_arg $ no_min_cut_arg $ defines_arg $ j_arg $ deadline_arg $ journal_arg
       $ resume_arg $ corpus_arg
-      $ progress_arg $ limit_per_arg)
+      $ progress_arg $ limit_per_arg $ generated_arg $ style_arg)
 
 let corpus_dir_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Corpus directory.")
@@ -754,9 +892,36 @@ let selfcheck_cmd =
   let progress_arg =
     Arg.(value & flag & info [ "progress" ] ~doc:"Live per-spec telemetry on stderr.")
   in
+  let generated_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "generated" ] ~docv:"N"
+          ~doc:
+            "Extend the catalog with transform mutations over the first $(docv) admitted \
+             generated programs of $(b,--style) (default mixed) at the campaign seed — the \
+             generator as a selfcheck subject.")
+  in
   let run j deadline trials seed floor require_semantics require_deps report_path level
-      progress =
-    let r = Faultlab.Selfcheck.run ~j ~deadline_s:deadline ~trials ?level ~progress ~seed () in
+      progress generated_n styles =
+    let generated =
+      match generated_n with
+      | None -> None
+      | Some n -> (
+          match styles with
+          | [] -> Some ("mixed", n)
+          | [ s ] when Gen.Styles.by_name s <> None -> Some (s, n)
+          | [ s ] ->
+              Printf.eprintf "unknown style %s (one of: %s)\n" s
+                (String.concat ", " Gen.Styles.names);
+              exit 2
+          | _ ->
+              prerr_endline "selfcheck: --generated takes a single --style";
+              exit 2)
+    in
+    let r =
+      Faultlab.Selfcheck.run ~j ~deadline_s:deadline ~trials ?level ?generated ~progress ~seed ()
+    in
     print_string (Faultlab.Selfcheck.render r);
     (match report_path with
     | Some path ->
@@ -774,7 +939,7 @@ let selfcheck_cmd =
           fault-injection lab).")
     Term.(
       const run $ j_arg $ deadline_arg $ trials_arg $ seed_arg $ floor_arg $ require_semantics_arg
-      $ require_deps_arg $ report_arg $ level_arg $ progress_arg)
+      $ require_deps_arg $ report_arg $ level_arg $ progress_arg $ generated_arg $ style_arg)
 
 let dot_cmd =
   let run w =
@@ -792,6 +957,7 @@ let () =
           [
             list_cmd;
             test_cmd;
+            generate_cmd;
             campaign_cmd;
             corpus_cmd;
             cutout_cmd;

@@ -117,6 +117,49 @@ let copy g st ~src ~dst ?src_node ?src_subset ?dst_subset () =
   ignore (State.add_edge st ~memlet ~dst_memlet src_id dst_id);
   (src_id, dst_id)
 
+module Namespace = struct
+  type t = { used : (string, unit) Hashtbl.t; counters : (string, int) Hashtbl.t }
+
+  let create () = { used = Hashtbl.create 64; counters = Hashtbl.create 16 }
+  let mem t name = Hashtbl.mem t.used name
+  let reserve t name = if not (mem t name) then Hashtbl.replace t.used name ()
+
+  let of_graph g =
+    let t = create () in
+    List.iter (fun (name, _) -> reserve t name) (Graph.containers g);
+    List.iter (reserve t) (Graph.symbols g);
+    List.iter (reserve t) (Graph.all_free_syms g);
+    List.iter
+      (fun (_, st) ->
+        reserve t (State.label st);
+        List.iter
+          (fun (_, n) ->
+            match n with
+            | Node.Map_entry { params; _ } -> List.iter (reserve t) params
+            | Node.Tasklet { label; _ } | Node.Library { label; _ } -> reserve t label
+            | Node.Access _ | Node.Map_exit _ -> ())
+          (State.nodes st))
+      (Graph.states g);
+    t
+
+  let fresh t base =
+    if not (mem t base) then begin
+      reserve t base;
+      base
+    end
+    else begin
+      let n = ref (match Hashtbl.find_opt t.counters base with Some n -> n | None -> 0) in
+      let candidate () = Printf.sprintf "%s_%d" base !n in
+      while mem t (candidate ()) do
+        incr n
+      done;
+      let name = candidate () in
+      Hashtbl.replace t.counters base (!n + 1);
+      reserve t name;
+      name
+    end
+end
+
 let for_loop g ~entry_from ~var ~init ~cond ~update ~body_label ~after_label =
   let guard = Graph.add_state g (body_label ^ "_guard") in
   let body = Graph.add_state g body_label in

@@ -74,6 +74,34 @@ val copy :
   unit ->
   int * int
 
+(** Fresh-name namespace for collision-free composition.
+
+    A namespace tracks every identifier already claimed by a graph —
+    container names, declared and free symbols, state labels, map
+    parameters, tasklet/library labels — so generated fragments
+    ({!Gen.Generate}) and hand-built fragments can be composed into one
+    graph without name collisions. [fresh] is deterministic: the same
+    sequence of calls on the same graph yields the same names. *)
+module Namespace : sig
+  type t
+
+  (** Empty namespace. *)
+  val create : unit -> t
+
+  (** Namespace pre-seeded with every identifier the graph already uses. *)
+  val of_graph : Graph.t -> t
+
+  (** Has this exact name been claimed? *)
+  val mem : t -> string -> bool
+
+  (** Claim a name as used without generating anything. *)
+  val reserve : t -> string -> unit
+
+  (** [fresh t base] returns [base] if unclaimed, else the first unclaimed
+      [base_<n>] (per-base counters, monotone across calls), and claims it. *)
+  val fresh : t -> string -> string
+end
+
 (** Append the canonical for-loop state pattern:
     [entry_from --(var:=init)--> guard], [guard --(cond)--> body],
     [guard --(not cond)--> after], [body --(var:=update)--> guard].

@@ -33,10 +33,17 @@ type payload =
 
 type spec = { id : string; level : level; expect : expect; descr : string; payload : payload }
 
+(* Generated-program names ([gen_<style>_s<seed>_c<idx>]) carry everything
+   needed to rebuild the graph; resolving them here means journal entries,
+   corpus cases and selfcheck specs over generated workloads replay without
+   any side-channel state. *)
 let workload_by_name name =
-  match List.assoc_opt name (Workloads.Npbench.all ()) with
-  | Some g -> g
-  | None -> invalid_arg ("Plan.workload_by_name: unknown workload " ^ name)
+  match Gen.Generate.by_name name with
+  | Some c -> c.Gen.Generate.graph
+  | None -> (
+      match List.assoc_opt name (Workloads.Npbench.all ()) with
+      | Some g -> g
+      | None -> invalid_arg ("Plan.workload_by_name: unknown workload " ^ name))
 
 (* ---- interpreter-level specs -------------------------------------------- *)
 
@@ -171,6 +178,62 @@ let mpi_specs ~seed =
     mk "corrupt-persistent" Mpi_sim.Mpi.Corrupt 5 true Must_fault;
   ]
 
-let catalog ?level ~seed () =
-  let all = interp_specs () @ transform_specs ~seed @ mpi_specs ~seed in
+(* ---- generated-workload specs -------------------------------------------- *)
+
+(* Same probing discipline as [transform_specs], but over an admitted batch
+   of generated programs: the generator is a selfcheck subject — known-bad
+   mutations seeded into its output must still be detected at the floor.
+   Specs reuse the per-kind cap so a big batch cannot flood the catalog. *)
+let generated_specs ~seed ~style ~n =
+  match Gen.Styles.by_name style with
+  | None -> invalid_arg ("Plan.generated_specs: unknown style " ^ style)
+  | Some s ->
+      let admitted, _ = Gen.Admit.batch ~style:s ~seed ~n () in
+      List.concat_map
+        (fun kind ->
+          let found = ref 0 in
+          List.concat_map
+            (fun (c : Gen.Generate.t) ->
+              let g = c.Gen.Generate.graph in
+              List.filter_map
+                (fun (x : Transforms.Xform.t) ->
+                  if !found >= max_per_kind then None
+                  else
+                    match Mutate.probe ~seed:mutation_seed kind x g with
+                    | None -> None
+                    | Some (site, corrupted) ->
+                        incr found;
+                        Some
+                          {
+                            id =
+                              Printf.sprintf "xform/%s/%s/%s" c.Gen.Generate.name x.name
+                                (Mutate.kind_to_string kind);
+                            level = L_transform;
+                            expect = Must_detect;
+                            descr =
+                              Printf.sprintf "%s seeded into %s on generated %s (corrupts %s)"
+                                (Mutate.kind_to_string kind) x.name c.Gen.Generate.name
+                                (String.concat "," corrupted);
+                            payload =
+                              Transform_fault
+                                {
+                                  workload = c.Gen.Generate.name;
+                                  xform = x.name;
+                                  kind;
+                                  mutation_seed;
+                                  site;
+                                  expected_containers = corrupted;
+                                };
+                          })
+                (base_xforms ()))
+            admitted)
+        [ Mutate.Subset_shift; Mutate.Drop_memlet; Mutate.Wrong_stride ]
+
+let catalog ?level ?generated ~seed () =
+  let gen_specs =
+    match generated with
+    | None -> []
+    | Some (style, n) -> generated_specs ~seed ~style ~n
+  in
+  let all = interp_specs () @ transform_specs ~seed @ gen_specs @ mpi_specs ~seed in
   match level with None -> all | Some l -> List.filter (fun s -> s.level = l) all

@@ -36,9 +36,15 @@ type payload =
 
 type spec = { id : string; level : level; expect : expect; descr : string; payload : payload }
 
-(** @raise Invalid_argument for a workload outside the NPBench set. *)
+(** Resolve a workload name: generated-program names
+    ([gen_<style>_s<seed>_c<idx>]) are rebuilt deterministically via
+    {!Gen.Generate.by_name}; anything else is looked up in the NPBench set.
+    @raise Invalid_argument for an unknown name. *)
 val workload_by_name : string -> Sdfg.Graph.t
 
 (** The full deterministic catalog for a campaign seed, optionally filtered
-    to one level. Spec order is stable: interp, transform, mpi. *)
-val catalog : ?level:level -> seed:int -> unit -> spec list
+    to one level. Spec order is stable: interp, transform, generated, mpi.
+    [generated:(style, n)] additionally probes transform mutations over the
+    first [n] admitted generated programs of [(style, seed)] — the generator
+    as a selfcheck subject; those specs carry level [L_transform]. *)
+val catalog : ?level:level -> ?generated:string * int -> seed:int -> unit -> spec list

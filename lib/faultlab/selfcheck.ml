@@ -335,8 +335,9 @@ let settle ~deadline_s thunk first =
       in
       retry 2 (deadline_s *. 2.) f0
 
-let run ?(j = 1) ?(deadline_s = 60.) ?(trials = 10) ?level ?(progress = false) ~seed () =
-  let specs = Plan.catalog ?level ~seed () in
+let run ?(j = 1) ?(deadline_s = 60.) ?(trials = 10) ?level ?generated ?(progress = false) ~seed
+    () =
+  let specs = Plan.catalog ?level ?generated ~seed () in
   let thunks = Array.of_list (List.map (fun s () -> probe_spec ~trials ~seed s) specs) in
   let n = Array.length thunks in
   let on_done i r =

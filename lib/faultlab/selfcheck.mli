@@ -74,12 +74,15 @@ val classify : Plan.spec -> probe_result -> outcome
 (** Run the campaign: the catalog in parallel workers ([j], [deadline_s] per
     probe), killed probes retried with exponential deadline escalation and
     quarantined when they stay dead or flip verdicts. [level] restricts the
-    catalog; [trials] is the fuzzing budget per difftest probe. *)
+    catalog; [trials] is the fuzzing budget per difftest probe;
+    [generated:(style, n)] extends the catalog with mutation specs over the
+    first [n] admitted generated programs (see {!Plan.catalog}). *)
 val run :
   ?j:int ->
   ?deadline_s:float ->
   ?trials:int ->
   ?level:Plan.level ->
+  ?generated:string * int ->
   ?progress:bool ->
   seed:int ->
   unit ->

@@ -1,0 +1,92 @@
+type reject =
+  | Invalid of Sdfg.Validate.error list
+  | Static of Analysis.Report.finding list
+  | Fault of string
+
+let reject_to_string = function
+  | Invalid errs ->
+      Printf.sprintf "invalid: %s"
+        (String.concat "; " (List.map (fun e -> Format.asprintf "%a" Sdfg.Validate.pp_error e) errs))
+  | Static findings ->
+      Printf.sprintf "static: %s"
+        (String.concat "; " (List.map Analysis.Report.to_string findings))
+  | Fault msg -> Printf.sprintf "fault: %s" msg
+
+(* Small extents keep the smoke run cheap while leaving every map at least
+   a few iterations; loop variables are also free symbols but their initial
+   binding is overwritten by the entry assignment before any use. *)
+let concretize g = List.map (fun s -> (s, 6)) (Sdfg.Graph.all_free_syms g)
+
+let definite findings =
+  List.filter (fun (f : Analysis.Report.finding) -> f.severity = Analysis.Report.Error) findings
+
+let check ?(run = true) (c : Generate.t) =
+  let g = c.Generate.graph in
+  match Sdfg.Validate.check g with
+  | _ :: _ as errs -> Error (Invalid errs)
+  | [] -> (
+      let symbols = concretize g in
+      match definite (Analysis.Oracle.analyze ~symbols g) with
+      | _ :: _ as findings -> Error (Static findings)
+      | [] ->
+          if not run then Ok ()
+          else begin
+            match Interp.Exec.run g ~symbols ~inputs:[] with
+            | Ok _ -> Ok ()
+            | Error fault -> Error (Fault (Interp.Exec.fault_to_string fault))
+          end)
+
+type stats = {
+  style : string;
+  generated : int;
+  admitted : int;
+  rejected_invalid : int;
+  rejected_static : int;
+  rejected_fault : int;
+  by_rule : (string * int) list;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt "style %-8s generated %3d admitted %3d (%.0f%%) invalid %d static %d fault %d"
+    s.style s.generated s.admitted
+    (if s.generated = 0 then 0.0 else 100.0 *. float_of_int s.admitted /. float_of_int s.generated)
+    s.rejected_invalid s.rejected_static s.rejected_fault;
+  if s.by_rule <> [] then begin
+    Format.fprintf fmt " rejected-by-rule:";
+    List.iter (fun (r, n) -> Format.fprintf fmt " %s=%d" r n) s.by_rule
+  end
+
+let batch ?budget ?run ?max_attempts ~(style : Styles.t) ~seed ~n () =
+  let max_attempts = match max_attempts with Some m -> m | None -> 10 * max n 1 in
+  let admitted = ref [] in
+  let generated = ref 0 in
+  let inv = ref 0 and sta = ref 0 and fau = ref 0 in
+  let by_rule = Hashtbl.create 8 in
+  let idx = ref 0 in
+  while List.length !admitted < n && !generated < max_attempts do
+    let c = Generate.candidate ?budget ~style ~seed !idx in
+    incr generated;
+    (match check ?run c with
+    | Ok () -> admitted := c :: !admitted
+    | Error reject ->
+        (match reject with
+        | Invalid _ -> incr inv
+        | Static _ -> incr sta
+        | Fault _ -> incr fau);
+        List.sort_uniq compare c.Generate.rules
+        |> List.iter (fun r ->
+               let k = Grammar.name r in
+               Hashtbl.replace by_rule k (1 + Option.value ~default:0 (Hashtbl.find_opt by_rule k))));
+    incr idx
+  done;
+  let by_rule = Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_rule [] |> List.sort compare in
+  ( List.rev !admitted,
+    {
+      style = style.Styles.name;
+      generated = !generated;
+      admitted = List.length !admitted;
+      rejected_invalid = !inv;
+      rejected_static = !sta;
+      rejected_fault = !fau;
+      by_rule;
+    } )

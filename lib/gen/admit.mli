@@ -1,0 +1,54 @@
+(** The admission gate: no generated program reaches a campaign unvetted.
+
+    A candidate is admitted when (1) {!Sdfg.Validate.check} returns no
+    structural errors, (2) the static oracle ({!Analysis.Oracle.analyze})
+    reports no definite ([Error]-severity) finding — warnings such as dead
+    transient writes are tolerated, matching the lint gate — and (3) a
+    smoke execution over zero-filled inputs completes without fault. The
+    full (sorted, deduplicated) error list is kept on rejection so batch
+    statistics can attribute rejections to the grammar rules that emitted
+    the offending shape. *)
+
+type reject =
+  | Invalid of Sdfg.Validate.error list  (** structural validation failed *)
+  | Static of Analysis.Report.finding list  (** definite oracle findings *)
+  | Fault of string  (** smoke execution faulted *)
+
+val reject_to_string : reject -> string
+
+(** Symbol binding used for analysis and the smoke run: every free symbol of
+    the graph at a small concrete extent. *)
+val concretize : Sdfg.Graph.t -> (string * int) list
+
+(** [check c] vets one candidate. [run:false] skips the smoke execution
+    (used by bench to price the static-only gate). *)
+val check : ?run:bool -> Generate.t -> (unit, reject) result
+
+(** Per-style batch statistics. [by_rule] counts, for each grammar rule, how
+    many rejected candidates had applied that rule — risky rules should
+    dominate. *)
+type stats = {
+  style : string;
+  generated : int;
+  admitted : int;
+  rejected_invalid : int;
+  rejected_static : int;
+  rejected_fault : int;
+  by_rule : (string * int) list;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [batch ~style ~seed ~n ()] walks candidate indices [0, 1, …] until [n]
+    candidates are admitted (or [max_attempts], default [10 * n], have been
+    generated) and returns the admitted candidates in index order plus the
+    batch statistics. Deterministic in [(style, seed, n)]. *)
+val batch :
+  ?budget:Grammar.budget ->
+  ?run:bool ->
+  ?max_attempts:int ->
+  style:Styles.t ->
+  seed:int ->
+  n:int ->
+  unit ->
+  Generate.t list * stats

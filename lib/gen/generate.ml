@@ -1,0 +1,460 @@
+open Sdfg
+module B = Builder.Build
+module Ns = Builder.Build.Namespace
+
+let sym = Symbolic.Expr.sym
+let mem = B.mem
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  style : string;
+  seed : int;
+  index : int;
+  rules : Grammar.rule list;
+}
+
+let candidate_name ~style ~seed ~index = Printf.sprintf "gen_%s_s%d_c%d" style seed index
+
+let parse_name n =
+  match String.split_on_char '_' n with
+  | [ "gen"; style; s; c ]
+    when String.length s > 1 && s.[0] = 's' && String.length c > 1 && c.[0] = 'c' -> (
+      match
+        ( int_of_string_opt (String.sub s 1 (String.length s - 1)),
+          int_of_string_opt (String.sub c 1 (String.length c - 1)) )
+      with
+      | Some seed, Some index -> Some (style, seed, index)
+      | _ -> None)
+  | _ -> None
+
+(* FNV-1a over a string, for machine-independent per-candidate stream salts
+   (Hashtbl.hash is not part of the determinism contract). *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+(* Readable containers carry the access node that last wrote them, so a
+   read in the same state reuses that node (read-after-write chaining, the
+   [input_nodes] convention of Builder.Build) instead of racing it through
+   a second access node. Cross-state reads use a fresh node; the state
+   boundary orders them. *)
+type slot = { data : string; written : (int * int) option (* state, access node *) }
+
+type ctx = {
+  g : Graph.t;
+  ns : Ns.t;
+  rng : Rng.t;
+  mutable cur : int;  (** tail state: where the next dataflow fragment lands *)
+  mutable vec1 : slot list;  (** host 1-D [N] containers readable by later fragments *)
+  mutable mat2 : slot list;  (** host 2-D [N,N] *)
+  mutable scalars : slot list;  (** host scalars *)
+  mutable last_out : string option;  (** most recent host container written *)
+  mutable rules : Grammar.rule list;  (** reverse emission order *)
+}
+
+let state ctx = Graph.state ctx.g ctx.cur
+
+let fresh_vec ?(transient = true) ?(storage = Graph.Host) ctx base =
+  let n = Ns.fresh ctx.ns base in
+  Graph.add_array ctx.g ~transient ~storage n Dtype.F64 [ sym "N" ];
+  n
+
+let fresh_mat ?(transient = true) ctx base =
+  let n = Ns.fresh ctx.ns base in
+  Graph.add_array ctx.g ~transient n Dtype.F64 [ sym "N"; sym "N" ];
+  n
+
+let pick ctx slots = Rng.choice ctx.rng slots
+
+(* [input_nodes] entry for a slot read in the current state. *)
+let chain ctx slot =
+  match slot.written with Some (s, node) when s = ctx.cur -> [ (slot.data, node) ] | _ -> []
+
+let pool_vec ctx m data =
+  ctx.vec1 <- ctx.vec1 @ [ { data; written = Some (ctx.cur, List.assoc data m.B.out_access) } ];
+  ctx.last_out <- Some data
+
+(* ---- production rules ------------------------------------------------- *)
+
+let unary_codes =
+  [
+    "o = xv * xv + 0.5";
+    "o = abs(xv) + 0.25";
+    "o = tanh(xv)";
+    "o = max(xv, 0.0) - 0.125";
+    "o = select(xv < 0.5, xv, 0.5 * xv + 0.25)";
+  ]
+
+let binary_codes = [ "o = xv + yv"; "o = xv * yv + 0.5"; "o = min(xv, yv) + 0.125" ]
+
+(* Fragment results are external (non-transient): differential testing
+   compares only non-transient system state, so a result nobody reads later
+   would otherwise be a dead transient — and a fault seeded into the fragment
+   that produced it would be semantically invisible. True intermediates that
+   are read by construction (fuse_tmp, sq, device arrays) stay transient so
+   the transformation patterns that require transients keep matching. *)
+let emit_elementwise ctx =
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ~transient:false ctx "t" in
+  let kind = Rng.int ctx.rng 3 in
+  let inputs, input_nodes, code =
+    if kind = 1 && List.exists (fun s -> s.data <> a.data) ctx.vec1 then
+      let b = pick ctx (List.filter (fun s -> s.data <> a.data) ctx.vec1) in
+      ( [ ("xv", mem a.data "i"); ("yv", mem b.data "i") ],
+        chain ctx a @ chain ctx b,
+        Rng.choice ctx.rng binary_codes )
+    else if kind = 2 then
+      let c = pick ctx ctx.scalars in
+      ( [ ("xv", mem a.data "i"); ("cv", mem c.data "") ],
+        chain ctx a @ chain ctx c,
+        "o = cv * xv + 0.5" )
+    else ([ ("xv", mem a.data "i") ], chain ctx a, Rng.choice ctx.rng unary_codes)
+  in
+  let m =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "ew")
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes ~inputs ~code
+      ~outputs:[ ("o", mem out "i") ]
+      ()
+  in
+  pool_vec ctx m out
+
+(* MapFusion wants: producer exit → transient access (exactly one in- and one
+   out-edge) → consumer entry, identical params/ranges, point-wise read. The
+   intermediate is deliberately NOT pooled: a later reader would add an edge
+   and break the single-use pattern. *)
+let emit_fuse_chain ctx =
+  let a = pick ctx ctx.vec1 in
+  let tmp = fresh_vec ctx "fuse_tmp" in
+  let out = fresh_vec ~transient:false ctx "t" in
+  let m1 =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "producer")
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:(chain ctx a)
+      ~inputs:[ ("xv", mem a.data "i") ]
+      ~code:"o = xv * 2.0 + 1.0"
+      ~outputs:[ ("o", mem tmp "i") ]
+      ()
+  in
+  let m2 =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "consumer")
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:[ (tmp, List.assoc tmp m1.B.out_access) ]
+      ~inputs:[ ("tv", mem tmp "i") ]
+      ~code:(Rng.choice ctx.rng [ "o = tv * 0.5"; "o = tanh(tv)"; "o = tv + 0.25" ])
+      ~outputs:[ ("o", mem out "i") ]
+      ()
+  in
+  pool_vec ctx m2 out
+
+(* Perfectly nested 2-D scope, hand-wired the way MapCollapse's find expects:
+   every out-edge of the outer entry reaches the inner entry, every in-edge
+   of the outer exit comes from the inner exit, and the inner range is
+   independent of the outer parameter. *)
+let emit_nested_map ctx =
+  let a = pick ctx ctx.mat2 in
+  let out = fresh_mat ~transient:false ctx "grid" in
+  let st = state ctx in
+  let range =
+    match Symbolic.Subset.of_string "0:N-1" with [ r ] -> r | _ -> assert false
+  in
+  let outer =
+    State.add_node st
+      (Node.Map_entry
+         { label = Ns.fresh ctx.ns "outer"; params = [ "i" ]; ranges = [ range ]; schedule = Node.Sequential })
+  in
+  let outer_exit = State.add_node st (Node.Map_exit { entry = outer }) in
+  let inner =
+    State.add_node st
+      (Node.Map_entry
+         { label = Ns.fresh ctx.ns "inner"; params = [ "j" ]; ranges = [ range ]; schedule = Node.Sequential })
+  in
+  let inner_exit = State.add_node st (Node.Map_exit { entry = inner }) in
+  let code = Rng.choice ctx.rng [ "o = av * 0.5 + 0.25"; "o = av * av"; "o = abs(av) + 0.5" ] in
+  let tk = State.add_node st (Node.tasklet (Ns.fresh ctx.ns "cell") code) in
+  let acc_a = State.add_node st (Node.Access a.data) in
+  let acc_o = State.add_node st (Node.Access out) in
+  let ic c = "IN_" ^ c and oc c = "OUT_" ^ c in
+  ignore (State.add_edge st ~dst_conn:(ic a.data) ~memlet:(B.full ctx.g a.data) acc_a outer);
+  ignore
+    (State.add_edge st ~src_conn:(oc a.data) ~dst_conn:(ic a.data)
+       ~memlet:(mem a.data "i, 0:N-1") outer inner);
+  ignore (State.add_edge st ~src_conn:(oc a.data) ~dst_conn:"av" ~memlet:(mem a.data "i, j") inner tk);
+  ignore (State.add_edge st ~src_conn:"o" ~dst_conn:(ic out) ~memlet:(mem out "i, j") tk inner_exit);
+  ignore
+    (State.add_edge st ~src_conn:(oc out) ~dst_conn:(ic out) ~memlet:(mem out "i, 0:N-1")
+       inner_exit outer_exit);
+  ignore (State.add_edge st ~src_conn:(oc out) ~memlet:(B.full ctx.g out) outer_exit acc_o);
+  ctx.mat2 <- ctx.mat2 @ [ { data = out; written = Some (ctx.cur, acc_o) } ];
+  ctx.last_out <- Some out
+
+(* Square/scale into a transient, then a Reduce library node over it: the
+   MapReduceFusion pattern (cf. the l2norm workload). *)
+let emit_reduce_tree ctx =
+  let a = pick ctx ctx.vec1 in
+  let tmp = fresh_vec ctx "sq" in
+  let acc = Ns.fresh ctx.ns "acc" in
+  Graph.add_scalar ctx.g ~transient:false acc Dtype.F64;
+  let m1 =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "square")
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:(chain ctx a)
+      ~inputs:[ ("xv", mem a.data "i") ]
+      ~code:(Rng.choice ctx.rng [ "o = xv * xv"; "o = abs(xv)"; "o = xv * 0.5 + 0.25" ])
+      ~outputs:[ ("o", mem tmp "i") ]
+      ()
+  in
+  ignore
+    (B.library ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "sum") ~kind:(Node.Reduce (Memlet.Wcr_sum, [ 0 ]))
+       ~input_nodes:[ (tmp, List.assoc tmp m1.B.out_access) ]
+       ~inputs:[ ("in", mem tmp "0:N-1") ]
+       ~outputs:[ ("out", mem acc "") ]
+       ());
+  ctx.scalars <- ctx.scalars @ [ { data = acc; written = None } ];
+  ctx.last_out <- Some acc
+
+(* WCR accumulation into an external scalar (external: zero-initialized by
+   the interpreter, and exempt from transient def-use hygiene). *)
+let emit_wcr_accumulate ctx =
+  let a = pick ctx ctx.vec1 in
+  let w = Ns.fresh ctx.ns "w" in
+  Graph.add_scalar ctx.g ~transient:false w Dtype.F64;
+  ignore
+    (B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "accum")
+       ~map:[ ("i", "0:N-1") ]
+       ~input_nodes:(chain ctx a)
+       ~inputs:[ ("xv", mem a.data "i") ]
+       ~code:(Rng.choice ctx.rng [ "o = xv"; "o = xv * xv"; "o = abs(xv)" ])
+       ~outputs:[ ("o", mem ~wcr:Memlet.Wcr_sum w "") ]
+       ());
+  ctx.last_out <- Some w
+
+(* Whole-array copy into a transient (the RedundantArrayRemoval site when
+   the source is read-only), plus a consumer reading the copy: the copy must
+   stay transient for the pattern, and it must be read so a fault seeded
+   into the copy path reaches observable state. *)
+let emit_copy_chain ctx =
+  let a = pick ctx ctx.vec1 in
+  let c = fresh_vec ctx "copy" in
+  let out = fresh_vec ~transient:false ctx "copy_use" in
+  let src_node = match chain ctx a with [ (_, n) ] -> Some n | _ -> None in
+  let _, dst = B.copy ctx.g (state ctx) ~src:a.data ~dst:c ?src_node () in
+  let m =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "use_copy")
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:[ (c, dst) ]
+      ~inputs:[ ("xv", mem c "i") ]
+      ~code:(Rng.choice ctx.rng [ "o = xv + 0.5"; "o = xv * 2.0" ])
+      ~outputs:[ ("o", mem out "i") ]
+      ()
+  in
+  pool_vec ctx m out
+
+(* host → device copy, GPU-scheduled map over device arrays, device → host
+   copy back: the shape GpuKernelExtraction emits, built directly. *)
+let emit_device_roundtrip ctx =
+  let a = pick ctx ctx.vec1 in
+  let xd = fresh_vec ~storage:Graph.Gpu ctx "xdev" in
+  let yd = fresh_vec ~storage:Graph.Gpu ctx "ydev" in
+  let out = fresh_vec ~transient:false ctx "host_out" in
+  let src_node = match chain ctx a with [ (_, n) ] -> Some n | _ -> None in
+  let _, xd_node = B.copy ctx.g (state ctx) ~src:a.data ~dst:xd ?src_node () in
+  let m =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "kernel") ~schedule:Node.Gpu_device
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:[ (xd, xd_node) ]
+      ~inputs:[ ("dv", mem xd "i") ]
+      ~code:(Rng.choice ctx.rng [ "o = dv * 2.0"; "o = dv + 1.0"; "o = dv * dv" ])
+      ~outputs:[ ("o", mem yd "i") ]
+      ()
+  in
+  let _, out_node =
+    B.copy ctx.g (state ctx) ~src:yd ~dst:out ~src_node:(List.assoc yd m.B.out_access) ()
+  in
+  ctx.vec1 <- ctx.vec1 @ [ { data = out; written = Some (ctx.cur, out_node) } ];
+  ctx.last_out <- Some out
+
+(* Top-level Parallel-schedule map between access nodes: the
+   GpuKernelExtraction site. *)
+let emit_parallel_kernel ctx =
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ~transient:false ctx "pk" in
+  let m =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "pkernel") ~schedule:Node.Parallel
+      ~map:[ ("i", "0:N-1") ]
+      ~input_nodes:(chain ctx a)
+      ~inputs:[ ("xv", mem a.data "i") ]
+      ~code:(Rng.choice ctx.rng unary_codes)
+      ~outputs:[ ("o", mem out "i") ]
+      ()
+  in
+  pool_vec ctx m out
+
+(* Canonical constant-trip for-loop (Builder.Build.for_loop, the pattern
+   Xform.find_loops recognizes); the body references the loop variable so
+   iterations are distinguishable. *)
+let emit_for_loop ctx =
+  let k = Ns.fresh ctx.ns "k" in
+  let trips = 2 + Rng.int ctx.rng 3 in
+  let _, body, after =
+    B.for_loop ctx.g ~entry_from:ctx.cur ~var:k ~init:(Symbolic.Expr.int 0)
+      ~cond:(Symbolic.Cond.Lt (sym k, Symbolic.Expr.int trips))
+      ~update:(Symbolic.Expr.add (sym k) Symbolic.Expr.one)
+      ~body_label:(Ns.fresh ctx.ns "loop_body")
+      ~after_label:(Ns.fresh ctx.ns "loop_after")
+  in
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ~transient:false ctx "iter" in
+  ignore
+    (B.mapped_tasklet ctx.g (Graph.state ctx.g body) ~label:(Ns.fresh ctx.ns "step")
+       ~map:[ ("i", "0:N-1") ]
+       ~inputs:[ ("xv", mem a.data "i") ]
+       ~code:(Printf.sprintf "o = xv + %s" k)
+       ~outputs:[ ("o", mem out "i") ]
+       ());
+  ctx.cur <- after;
+  ctx.vec1 <- ctx.vec1 @ [ { data = out; written = None } ];
+  ctx.last_out <- Some out
+
+(* Interstate symbol assignment consumed by a later tasklet. *)
+let emit_symbol_loop ctx =
+  let s = Ns.fresh ctx.ns "sbound" in
+  let next = Graph.add_state ctx.g (Ns.fresh ctx.ns "sym_state") in
+  ignore
+    (Graph.add_istate_edge ctx.g
+       ~assigns:[ (s, Symbolic.Expr.sub (sym "N") Symbolic.Expr.one) ]
+       ctx.cur next);
+  ctx.cur <- next;
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ~transient:false ctx "sym_out" in
+  let m =
+    B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "scaled")
+      ~map:[ ("i", "0:N-1") ]
+      ~inputs:[ ("xv", mem a.data "i") ]
+      ~code:(Printf.sprintf "o = xv * 0.5 + %s" s)
+      ~outputs:[ ("o", mem out "i") ]
+      ()
+  in
+  pool_vec ctx m out
+
+(* Unconditional, assign-free state break: the StateFusion site. *)
+let emit_state_split ctx =
+  let next = Graph.add_state_after ctx.g ctx.cur (Ns.fresh ctx.ns "split") in
+  ctx.cur <- next
+
+(* ---- deliberately defective rules ------------------------------------- *)
+
+(* Reads one past the end: i+1 reaches N on an [N]-shaped array. The static
+   oracle's bounds pass must reject this at admission. *)
+let emit_risky_read ctx =
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ctx "oob" in
+  ignore
+    (B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "off_end")
+       ~map:[ ("i", "0:N-1") ]
+       ~input_nodes:(chain ctx a)
+       ~inputs:[ ("xv", mem a.data "i+1") ]
+       ~code:"o = xv"
+       ~outputs:[ ("o", mem out "i") ]
+       ());
+  ctx.last_out <- Some out
+
+(* Every parallel iteration writes element 0 without WCR: a definite
+   write-write race the exact dependence tier must reject. *)
+let emit_risky_race ctx =
+  let a = pick ctx ctx.vec1 in
+  let out = fresh_vec ctx "clash" in
+  ignore
+    (B.mapped_tasklet ctx.g (state ctx) ~label:(Ns.fresh ctx.ns "collide") ~schedule:Node.Parallel
+       ~map:[ ("i", "0:N-1") ]
+       ~input_nodes:(chain ctx a)
+       ~inputs:[ ("xv", mem a.data "i") ]
+       ~code:"o = xv"
+       ~outputs:[ ("o", mem out "0") ]
+       ());
+  ctx.last_out <- Some out
+
+(* Memlet rank contradicts the container declaration: structural validation
+   must reject before any analysis runs. *)
+let emit_risky_rank ctx =
+  let a = pick ctx ctx.mat2 in
+  let out = fresh_mat ctx "badrank" in
+  let st = state ctx in
+  let src = State.add_node st (Node.Access a.data) in
+  let dst = State.add_node st (Node.Access out) in
+  ignore
+    (State.add_edge st
+       ~memlet:(mem a.data "0:N-1") (* 1-D subset on a 2-D container *)
+       ~dst_memlet:(B.full ctx.g out) src dst)
+
+let emit ctx rule =
+  ctx.rules <- rule :: ctx.rules;
+  match (rule : Grammar.rule) with
+  | Grammar.Elementwise -> emit_elementwise ctx
+  | Grammar.Fuse_chain -> emit_fuse_chain ctx
+  | Grammar.Nested_map -> emit_nested_map ctx
+  | Grammar.Reduce_tree -> emit_reduce_tree ctx
+  | Grammar.Wcr_accumulate -> emit_wcr_accumulate ctx
+  | Grammar.Copy_chain -> emit_copy_chain ctx
+  | Grammar.Device_roundtrip -> emit_device_roundtrip ctx
+  | Grammar.Parallel_kernel -> emit_parallel_kernel ctx
+  | Grammar.For_loop -> emit_for_loop ctx
+  | Grammar.Symbol_loop -> emit_symbol_loop ctx
+  | Grammar.State_split -> emit_state_split ctx
+  | Grammar.Risky_read -> emit_risky_read ctx
+  | Grammar.Risky_race -> emit_risky_race ctx
+  | Grammar.Risky_rank -> emit_risky_rank ctx
+
+(* ---- candidate assembly ----------------------------------------------- *)
+
+let base name =
+  let g = Graph.create name in
+  Graph.add_symbol g "N";
+  Graph.add_scalar g "c0" Dtype.F64;
+  Graph.add_array g "x0" Dtype.F64 [ sym "N" ];
+  Graph.add_array g "x1" Dtype.F64 [ sym "N" ];
+  Graph.add_array g "M0" Dtype.F64 [ sym "N"; sym "N" ];
+  let s0 = Graph.add_state g "s0" in
+  (g, s0)
+
+let candidate ?(budget = Grammar.default_budget) ~(style : Styles.t) ~seed index =
+  let name = candidate_name ~style:style.Styles.name ~seed ~index in
+  let g, s0 = base name in
+  let ctx =
+    {
+      g;
+      ns = Ns.of_graph g;
+      rng = Rng.split (Rng.create seed) (fnv1a (Printf.sprintf "%s/%d" style.Styles.name index));
+      cur = s0;
+      vec1 = [ { data = "x0"; written = None }; { data = "x1"; written = None } ];
+      mat2 = [ { data = "M0"; written = None } ];
+      scalars = [ { data = "c0"; written = None } ];
+      last_out = None;
+      rules = [];
+    }
+  in
+  let span = budget.Grammar.max_fragments - budget.Grammar.min_fragments in
+  let fragments = budget.Grammar.min_fragments + if span > 0 then Rng.int ctx.rng (span + 1) else 0 in
+  for _ = 1 to fragments do
+    emit ctx (Rng.weighted ctx.rng style.Styles.weights)
+  done;
+  (* the program must have an externally visible output so differential
+     testing compares non-trivial system state *)
+  (match ctx.last_out with
+  | Some c when (Graph.container g c).Graph.transient -> Graph.set_transient g c false
+  | _ -> ());
+  { name; graph = g; style = style.Styles.name; seed; index; rules = List.rev ctx.rules }
+
+let by_name ?budget n =
+  match parse_name n with
+  | None -> None
+  | Some (style, seed, index) -> (
+      match Styles.by_name style with
+      | None -> None
+      | Some s -> Some (candidate ?budget ~style:s ~seed index))

@@ -1,0 +1,34 @@
+(** Seeded SDFG candidate generation.
+
+    A candidate is fully determined by [(style, seed, index)] — its own name
+    encodes that triple, so any component (campaign registration, faultlab
+    plans, corpus entries) can regenerate the exact graph from the name
+    alone. Determinism is end-to-end: the PRNG is the self-contained
+    {!Rng} splitmix64, fresh names come from {!Builder.Build.Namespace}
+    (counter-based, no global state), and all container/rule pools are
+    ordered lists — the same triple yields a byte-identical
+    {!Sdfg.Serialize.to_string} image on every run and machine. *)
+
+type t = {
+  name : string;  (** [gen_<style>_s<seed>_c<index>] *)
+  graph : Sdfg.Graph.t;
+  style : string;
+  seed : int;
+  index : int;
+  rules : Grammar.rule list;  (** production rules applied, in emission order *)
+}
+
+(** Name of the candidate at [(style, seed, index)]. *)
+val candidate_name : style:string -> seed:int -> index:int -> string
+
+(** [parse_name n] recovers [(style, seed, index)] from a candidate name;
+    [None] if [n] is not a generated-program name. *)
+val parse_name : string -> (string * int * int) option
+
+(** Generate candidate [index] of the [(style, seed)] stream. Candidates are
+    independent: generating index 7 does not require generating 0–6. *)
+val candidate : ?budget:Grammar.budget -> style:Styles.t -> seed:int -> int -> t
+
+(** Regenerate a candidate graph from its name (default budget); [None] if
+    the name does not parse or names an unknown style. *)
+val by_name : ?budget:Grammar.budget -> string -> t option

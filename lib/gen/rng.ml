@@ -1,0 +1,44 @@
+(* splitmix64 (Steele, Lea & Flood 2014): a tiny, well-distributed generator
+   with a trivially portable definition. The state is the seed of the next
+   draw; [split] re-mixes the base seed with a salt so derived streams are
+   independent of consumption order. *)
+
+type t = { mutable s : int64; base : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let base = mix64 (Int64.of_int seed) in
+  { s = base; base }
+
+let split t salt =
+  let base = mix64 (Int64.add t.base (Int64.mul gamma (Int64.of_int (salt + 1)))) in
+  { s = base; base }
+
+let next t =
+  t.s <- Int64.add t.s gamma;
+  mix64 t.s
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choice t xs =
+  match xs with [] -> invalid_arg "Rng.choice: empty list" | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t entries =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 entries in
+  if total <= 0 then invalid_arg "Rng.weighted: total weight must be positive";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Rng.weighted: internal"
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k entries

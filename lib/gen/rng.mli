@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random stream for program generation.
+
+    A self-contained splitmix64 implementation so generated programs are
+    byte-identical across OCaml versions and machines — the generator's
+    determinism contract must not depend on [Stdlib.Random]'s unspecified
+    algorithm. Streams are cheap values; {!split} derives an independent
+    stream so sub-generators (one per candidate) cannot perturb each
+    other's sequences. *)
+
+type t
+
+(** Stream seeded from an integer (any value, including negatives). *)
+val create : int -> t
+
+(** [split t salt] is a fresh stream deterministically derived from [t]'s
+    seed and [salt], independent of how much of [t] has been consumed. *)
+val split : t -> int -> t
+
+(** Next raw 64-bit draw. *)
+val next : t -> int64
+
+(** Uniform draw in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty list. *)
+val choice : t -> 'a list -> 'a
+
+(** Weighted draw: probability of each element is proportional to its
+    (positive) integer weight; zero-weight entries are never drawn.
+    @raise Invalid_argument if the total weight is not positive. *)
+val weighted : t -> (int * 'a) list -> 'a

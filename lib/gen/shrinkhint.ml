@@ -1,0 +1,104 @@
+open Sdfg
+
+type hint = Drop_state of int | Drop_component of { state : int; nodes : int list }
+
+let pp_hint fmt = function
+  | Drop_state s -> Format.fprintf fmt "drop state %d" s
+  | Drop_component { state; nodes } ->
+      Format.fprintf fmt "drop component {%s} of state %d"
+        (String.concat "," (List.map string_of_int nodes))
+        state
+
+let plain (e : Graph.istate_edge) = e.cond = Symbolic.Cond.True && e.assigns = []
+
+let droppable_state g sid =
+  sid <> Graph.start_state g
+  && List.for_all plain (Graph.in_istate_edges g sid)
+  && List.for_all plain (Graph.out_istate_edges g sid)
+
+(* Weakly-connected components of a state's dataflow graph, each sorted,
+   listed by smallest member. *)
+let components st =
+  let ids = State.node_ids st in
+  let adj = Hashtbl.create 32 in
+  let link a b =
+    Hashtbl.replace adj a (b :: Option.value ~default:[] (Hashtbl.find_opt adj a))
+  in
+  List.iter
+    (fun (e : State.edge) ->
+      link e.src e.dst;
+      link e.dst e.src)
+    (State.edges st);
+  let seen = Hashtbl.create 32 in
+  let component root =
+    let acc = ref [] in
+    let rec visit n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        acc := n :: !acc;
+        List.iter visit (Option.value ~default:[] (Hashtbl.find_opt adj n))
+      end
+    in
+    visit root;
+    List.sort compare !acc
+  in
+  List.filter_map (fun n -> if Hashtbl.mem seen n then None else Some (component n)) ids
+
+let hints g =
+  let state_hints =
+    List.filter_map
+      (fun (sid, _) -> if droppable_state g sid then Some (Drop_state sid) else None)
+      (Graph.states g)
+  in
+  let component_hints =
+    List.concat_map
+      (fun (sid, st) ->
+        match components st with
+        | [] | [ _ ] -> []
+        | comps -> List.map (fun nodes -> Drop_component { state = sid; nodes }) comps)
+      (Graph.states g)
+  in
+  state_hints @ component_hints
+
+let apply g hint =
+  match hint with
+  | Drop_state sid ->
+      if Graph.state_opt g sid = None || not (droppable_state g sid) then None
+      else begin
+        let g' = Graph.copy g in
+        let preds = List.map (fun (e : Graph.istate_edge) -> e.src) (Graph.in_istate_edges g' sid) in
+        let succs = List.map (fun (e : Graph.istate_edge) -> e.dst) (Graph.out_istate_edges g' sid) in
+        Graph.remove_state g' sid;
+        List.iter
+          (fun p -> List.iter (fun s -> ignore (Graph.add_istate_edge g' p s)) succs)
+          (List.sort_uniq compare preds);
+        Some g'
+      end
+  | Drop_component { state = sid; nodes } -> (
+      match Graph.state_opt g sid with
+      | None -> None
+      | Some st ->
+          if nodes = [] || not (List.for_all (State.has_node st) nodes) then None
+          else begin
+            let g' = Graph.copy g in
+            let st' = Graph.state g' sid in
+            List.iter
+              (fun (e : State.edge) ->
+                if List.mem e.src nodes || List.mem e.dst nodes then State.remove_edge st' e.e_id)
+              (State.edges st');
+            List.iter (State.remove_node st') nodes;
+            Some g'
+          end)
+
+let shrink ~keep g =
+  let rec go g =
+    let rec try_hints = function
+      | [] -> g
+      | h :: rest -> (
+          match apply g h with
+          | Some g' when keep g' -> go g'
+          | _ -> try_hints rest)
+    in
+    try_hints (hints g)
+  in
+  go g

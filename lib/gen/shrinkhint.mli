@@ -1,0 +1,33 @@
+(** Structural shrink hints for generated programs.
+
+    Generated candidates are built fragment-by-fragment, so their natural
+    reduction steps are structural: drop a whole control-flow state whose
+    edges carry no conditions or assignments, or drop one weakly-connected
+    dataflow component of a state that holds several. {!shrink} applies
+    hints greedily under a caller-supplied invariant ([keep] — typically
+    "the verdict class still reproduces"), the same contract the corpus
+    minimization roadmap item needs. All operations are copy-based; the
+    input graph is never mutated. *)
+
+type hint =
+  | Drop_state of int  (** remove a state whose in/out edges are all plain *)
+  | Drop_component of { state : int; nodes : int list }
+      (** remove one weakly-connected dataflow component (node ids) *)
+
+val pp_hint : Format.formatter -> hint -> unit
+
+(** Applicable hints for a graph, deterministic order: states ascending,
+    then components by smallest member node id. Components are only hinted
+    when their state has more than one, and the start state is never a
+    [Drop_state] candidate. *)
+val hints : Sdfg.Graph.t -> hint list
+
+(** Apply one hint to a copy; [None] when the hint no longer applies (stale
+    ids after earlier shrinks). Dropping a state splices its predecessors to
+    its successors with plain edges. *)
+val apply : Sdfg.Graph.t -> hint -> Sdfg.Graph.t option
+
+(** Greedy fixpoint: repeatedly apply the first hint whose result satisfies
+    [keep]; returns the smallest graph reached. [keep] is never called on
+    the input graph itself. *)
+val shrink : keep:(Sdfg.Graph.t -> bool) -> Sdfg.Graph.t -> Sdfg.Graph.t

@@ -1,0 +1,116 @@
+open Grammar
+
+type t = {
+  name : string;
+  description : string;
+  weights : (int * Grammar.rule) list;
+  targets : string list;
+}
+
+(* Weight profiles sum differently per style; only the ratios matter. Every
+   style carries a small risky-rule weight so the admission gate's rejection
+   path stays exercised (and measured) on every batch. *)
+
+let weigh overrides =
+  List.map (fun r -> ((match List.assoc_opt r overrides with Some w -> w | None -> 0), r)) Grammar.all
+
+let fusion =
+  {
+    name = "fusion";
+    description = "producer-consumer chains and nested scopes for fusion/tiling/collapse";
+    weights =
+      weigh
+        [
+          (Fuse_chain, 6);
+          (Nested_map, 4);
+          (Elementwise, 3);
+          (Copy_chain, 1);
+          (Risky_read, 1);
+        ];
+    targets = [ "MapFusion"; "MapTiling"; "MapCollapse"; "Vectorization" ];
+  }
+
+let gpu =
+  {
+    name = "gpu";
+    description = "host-device copy chains and parallel kernels for GPU extraction";
+    weights =
+      weigh
+        [
+          (Parallel_kernel, 5);
+          (Device_roundtrip, 4);
+          (Elementwise, 2);
+          (Copy_chain, 2);
+          (Risky_race, 1);
+        ];
+    targets = [ "GpuKernelExtraction" ];
+  }
+
+let reduce =
+  {
+    name = "reduce";
+    description = "reduction trees and WCR accumulation for map-reduce fusion";
+    weights =
+      weigh
+        [ (Reduce_tree, 5); (Wcr_accumulate, 4); (Elementwise, 2); (Risky_read, 1) ];
+    targets = [ "MapReduceFusion"; "Vectorization" ];
+  }
+
+let loops =
+  {
+    name = "loops";
+    description = "multi-state constant-trip loops for peeling/unrolling/state fusion";
+    weights =
+      weigh
+        [
+          (For_loop, 5);
+          (State_split, 3);
+          (Symbol_loop, 2);
+          (Elementwise, 3);
+          (Risky_race, 1);
+        ];
+    targets = [ "LoopPeeling"; "LoopUnrolling"; "StateFusion" ];
+  }
+
+let mixed =
+  {
+    name = "mixed";
+    description = "uniform blend of every benign rule plus each defect kind";
+    weights =
+      weigh
+        [
+          (Elementwise, 4);
+          (Fuse_chain, 4);
+          (Nested_map, 4);
+          (Reduce_tree, 4);
+          (Wcr_accumulate, 4);
+          (Copy_chain, 4);
+          (Device_roundtrip, 4);
+          (Parallel_kernel, 4);
+          (For_loop, 4);
+          (Symbol_loop, 4);
+          (State_split, 4);
+          (Risky_read, 1);
+          (Risky_race, 1);
+          (Risky_rank, 1);
+        ];
+    targets = [ "MapFusion"; "Vectorization"; "StateFusion" ];
+  }
+
+let all = [ fusion; gpu; reduce; loops; mixed ]
+let names = List.map (fun s -> s.name) all
+let by_name n = List.find_opt (fun s -> s.name = n) all
+
+let target_catalog () =
+  Transforms.Registry.all_correct ()
+  @ [
+      Transforms.Gpu_kernel_extraction.make Transforms.Gpu_kernel_extraction.Correct;
+      Transforms.Loop_unrolling.make Transforms.Loop_unrolling.Correct;
+    ]
+
+let match_counts g =
+  List.filter_map
+    (fun (x : Transforms.Xform.t) ->
+      match List.length (x.find g) with 0 -> None | n -> Some (x.name, n))
+    (target_catalog ())
+  |> List.sort compare

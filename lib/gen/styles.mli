@@ -1,0 +1,31 @@
+(** Composition styles: named weight profiles over the grammar.
+
+    Following grammar-level composition-style steering (PAPERS.md), a style
+    biases production-rule weights toward the shapes one family of
+    transformations actually matches, turning "generate random programs"
+    into "generate programs this optimization will fire on". Each style
+    names the transformations it targets; the style-effectiveness floor
+    (tests, CI [gen-smoke]) demands that a batch of admitted candidates
+    yields at least one match of each target. *)
+
+type t = {
+  name : string;  (** CLI / campaign identifier; no underscores (parsed names) *)
+  description : string;
+  weights : (int * Grammar.rule) list;  (** production-rule weights, all rules listed *)
+  targets : string list;  (** transformation names this style steers toward *)
+}
+
+(** All styles, in a fixed order: fusion, gpu, reduce, loops, mixed. *)
+val all : t list
+
+val names : string list
+val by_name : string -> t option
+
+(** The transformation catalog styles target: the correct registry set plus
+    the GPU-extraction and loop-unrolling transformations the registry does
+    not carry. Every [targets] entry of every style names a member. *)
+val target_catalog : unit -> Transforms.Xform.t list
+
+(** [match_counts g] counts [find] sites of each catalog transformation on
+    one graph; only non-zero entries are returned, sorted by name. *)
+val match_counts : Sdfg.Graph.t -> (string * int) list

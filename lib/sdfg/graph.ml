@@ -176,10 +176,13 @@ let external_containers t =
 
 module Sset = Set.Make (String)
 
-(* Free symbols: every symbol used anywhere, minus the bound ones (map
-   parameters and interstate-assignment targets), plus explicitly declared
-   symbols. Container names are also excluded: conditions may read scalar
-   containers. *)
+(* Free symbols: every symbol used anywhere — including [Tcode.Ref]s in
+   tasklet code that are not fed by an input connector — minus the bound
+   ones (map parameters and interstate-assignment targets), plus explicitly
+   declared symbols. Container names are also excluded: conditions may read
+   scalar containers. Code refs matter for extracted cutouts: a tasklet may
+   reference a loop variable whose interstate assignment was cut away, and
+   that symbol must surface here so the fuzzer samples it as an input. *)
 let all_free_syms t =
   let used = ref Sset.empty in
   let bound = ref Sset.empty in
@@ -194,7 +197,7 @@ let all_free_syms t =
           | Some m -> add_used (Symbolic.Subset.free_syms m.subset))
         (State.edges st);
       List.iter
-        (fun (_, n) ->
+        (fun (nid, n) ->
           match n with
           | Node.Map_entry { params; ranges; _ } ->
               bound := List.fold_left (fun s p -> Sset.add p s) !bound params;
@@ -205,6 +208,13 @@ let all_free_syms t =
                     @ Symbolic.Expr.free_syms r.hi
                     @ Symbolic.Expr.free_syms r.step))
                 ranges
+          | Node.Tasklet { code; _ } ->
+              let in_conns =
+                List.filter_map
+                  (fun (e : State.edge) -> e.dst_conn)
+                  (State.in_edges st nid)
+              in
+              add_used (List.filter (fun r -> not (List.mem r in_conns)) (Tcode.refs code))
           | _ -> ())
         (State.nodes st))
     t.states_tbl;

@@ -147,6 +147,11 @@ let check_state g sid (st : State.t) =
   | exception Failure _ -> add (err ~state:sid "dataflow graph has a cycle"));
   !errors
 
+(* Graph-wide errors ([state = None]) sort before per-state ones; within a
+   state, errors order by message text. The polymorphic compare on the record
+   gives exactly that (None < Some, then string compare on [what]). *)
+let compare_error (a : error) (b : error) = compare a b
+
 let check g =
   let errors = ref [] in
   if Graph.state_ids g <> [] && Graph.state_opt g (Graph.start_state g) = None then
@@ -157,7 +162,7 @@ let check g =
         errors := err (Printf.sprintf "interstate edge %d references missing state" e.ie_id) :: !errors)
     (Graph.istate_edges g);
   List.iter (fun (sid, st) -> errors := check_state g sid st @ !errors) (Graph.states g);
-  List.rev !errors
+  List.sort_uniq compare_error !errors
 
 let check_exn g =
   match check g with

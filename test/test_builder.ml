@@ -68,4 +68,64 @@ let builder_tests =
         Alcotest.(check int) "vol" 25 (Symbolic.Subset.volume_eval env m.subset));
   ]
 
-let () = Alcotest.run "builder" [ ("builder", builder_tests) ]
+module Ns = Builder.Build.Namespace
+
+let namespace_tests =
+  [
+    Alcotest.test_case "of_graph reserves every existing name" `Quick (fun () ->
+        let g = Workloads.Npbench.atax () in
+        let ns = Ns.of_graph g in
+        List.iter
+          (fun c -> Alcotest.(check bool) ("container " ^ c) true (Ns.mem ns c))
+          (List.map fst (Graph.containers g));
+        List.iter
+          (fun s -> Alcotest.(check bool) ("symbol " ^ s) true (Ns.mem ns s))
+          (Graph.symbols g));
+    Alcotest.test_case "fresh never returns a taken name" `Quick (fun () ->
+        let g = Workloads.Npbench.atax () in
+        let ns = Ns.of_graph g in
+        let seen = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace seen c ()) (List.map fst (Graph.containers g));
+        for _ = 1 to 50 do
+          List.iter
+            (fun base ->
+              let n = Ns.fresh ns base in
+              Alcotest.(check bool) ("unique " ^ n) false (Hashtbl.mem seen n);
+              Hashtbl.replace seen n ())
+            [ "tmp"; "t"; "x"; "i" ]
+        done);
+    Alcotest.test_case "composition under one namespace is collision-free" `Quick (fun () ->
+        (* two rounds of fragment emission over the same graph, all names
+           drawn from one namespace: the result must validate (duplicate
+           container names would fail add_array, duplicate labels confuse
+           nothing but uniqueness is checked above) *)
+        let g = Graph.create "compose" in
+        Graph.add_symbol g "N";
+        Graph.add_array g "x" Dtype.F64 [ se "N" ];
+        let s = Graph.state g (Graph.add_state g "s0") in
+        let ns = Ns.of_graph g in
+        let src = ref "x" in
+        for _ = 1 to 8 do
+          let out = Ns.fresh ns "t" in
+          Graph.add_array g ~transient:false out Dtype.F64 [ se "N" ];
+          let m =
+            Builder.Build.mapped_tasklet g s ~label:(Ns.fresh ns "frag")
+              ~map:[ ("i", "0:N-1") ]
+              ~inputs:[ ("xv", Builder.Build.mem !src "i") ]
+              ~code:"o = xv + 1.0"
+              ~outputs:[ ("o", Builder.Build.mem out "i") ]
+              ()
+          in
+          ignore m;
+          src := out
+        done;
+        Alcotest.(check int) "valid" 0 (List.length (Validate.check g)));
+    Alcotest.test_case "reserve claims a name" `Quick (fun () ->
+        let ns = Ns.create () in
+        Ns.reserve ns "taken";
+        Alcotest.(check bool) "mem" true (Ns.mem ns "taken");
+        Alcotest.(check bool) "fresh avoids it" true (Ns.fresh ns "taken" <> "taken"));
+  ]
+
+let () =
+  Alcotest.run "builder" [ ("builder", builder_tests); ("namespace", namespace_tests) ]

@@ -261,6 +261,30 @@ let validate_tests =
         let c = State.add_node st (Node.Access "C") in
         ignore (State.add_edge st ~src_conn:"C" ~memlet:(Memlet.simple "C" "0:N-1, 0:N-1") l c);
         Alcotest.(check bool) "errors" true (Validate.check g <> []));
+    Alcotest.test_case "all independent failures reported, sorted, deduped" `Quick (fun () ->
+        (* three unrelated defects in one graph: an undeclared container, an
+           unmatched map entry, and a rank-mismatched memlet — check must
+           return every one of them, not stop at the first *)
+        let g = Graph.create "multi" in
+        Graph.add_symbol g "N";
+        Graph.add_array g "A" Dtype.F64 [ se "N"; se "N" ];
+        Graph.add_array g "y" Dtype.F64 [ se "N" ];
+        let sid = Graph.add_state g "s" in
+        let st = Graph.state g sid in
+        ignore (State.add_node st (Node.Access "ghost"));
+        ignore
+          (State.add_node st
+             (Node.Map_entry
+                { label = "orphan"; params = [ "i" ]; ranges = []; schedule = Node.Sequential }));
+        let a = State.add_node st (Node.Access "A") in
+        let t = State.add_node st (Node.tasklet "t" "o = v") in
+        let y = State.add_node st (Node.Access "y") in
+        ignore (State.add_edge st ~dst_conn:"v" ~memlet:(Memlet.simple "A" "0") a t);
+        ignore (State.add_edge st ~src_conn:"o" ~memlet:(Memlet.simple "y" "0") t y);
+        let errors = Validate.check g in
+        Alcotest.(check bool) "at least three failures" true (List.length errors >= 3);
+        let resorted = List.sort_uniq Validate.compare_error errors in
+        Alcotest.(check bool) "already sorted and deduped" true (errors = resorted));
   ]
 
 (* ---------------- structural diff ---------------- *)
