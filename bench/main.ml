@@ -1281,6 +1281,141 @@ let gen_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_gen.json (%d rows)\n" (List.length rows)
 
+(* ------------------------------------------------------------------ *)
+(* Distributed campaign service: wall-clock and recovery cost of remote
+   dispatch — serial local reference, two live workers, and two workers with
+   one SIGKILLed mid-campaign. Every scenario must reproduce the reference
+   verdicts; the chaos row also reports what the recovery cost in retries. *)
+let dist () =
+  header "Distributed service: local vs remote workers vs worker loss";
+  let programs =
+    [ ("scale", Workloads.Npbench.scale ()); ("axpy", Workloads.Npbench.axpy ()) ]
+  in
+  let xforms = Transforms.Registry.as_shipped () in
+  let config =
+    {
+      Fuzzyflow.Difftest.default_config with
+      trials = 100;
+      max_size = 12;
+      concretization = [ ("N", 8) ];
+    }
+  in
+  let instance_lines path =
+    let ic = open_in path in
+    let ls = ref [] in
+    (try
+       while true do
+         let l = input_line ic in
+         if String.length l >= 18 && String.sub l 0 18 = {|{"type":"instance"|} then
+           ls := l :: !ls
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !ls
+  in
+  let footer_of path =
+    List.find_map
+      (function Engine.Journal.Footer f -> Some f | _ -> None)
+      (List.rev (Engine.Journal.load path))
+  in
+  let spawn_worker () =
+    let sock, port = Engine.Supervisor.listen_on ~port:0 () in
+    match Unix.fork () with
+    | 0 ->
+        (try Engine.Supervisor.serve_worker ~catalog:xforms sock with _ -> ());
+        Unix._exit 0
+    | pid ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        (pid, port)
+  in
+  let stop_worker pid =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+  in
+  let run_scenario name ~workers ~kill_after =
+    let path = Filename.temp_file "ffbench_dist" ".jsonl" in
+    let spawned = List.init workers (fun _ -> spawn_worker ()) in
+    let remote =
+      if spawned = [] then None
+      else
+        Some
+          (Engine.Supervisor.executor
+             ~workers:
+               (List.map
+                  (fun (_, port) -> { Engine.Supervisor.host = "127.0.0.1"; port })
+                  spawned)
+             ())
+    in
+    let seen = ref 0 in
+    let sink l =
+      if String.length l >= 18 && String.sub l 0 18 = {|{"type":"instance"|} then begin
+        incr seen;
+        match kill_after with
+        | Some k when !seen = k -> (
+            match spawned with
+            | (pid, _) :: _ -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | [] -> ())
+        | _ -> ()
+      end
+    in
+    let c, t =
+      time (fun () ->
+          Engine.Worker.run_campaign
+            ~options:
+              {
+                Engine.Worker.default_options with
+                journal_path = Some path;
+                remote;
+                journal_sink = (if kill_after = None then None else Some sink);
+              }
+            ~config programs xforms)
+    in
+    List.iter (fun (pid, _) -> stop_worker pid) spawned;
+    (name, c, t, path)
+  in
+  let scenarios =
+    [
+      run_scenario "local-j1" ~workers:0 ~kill_after:None;
+      run_scenario "remote-2w" ~workers:2 ~kill_after:None;
+      run_scenario "remote-2w-kill1" ~workers:2 ~kill_after:(Some 1);
+    ]
+  in
+  let _, _, _, ref_path = List.hd scenarios in
+  let reference = instance_lines ref_path in
+  Printf.printf "%-18s %10s %10s %8s %8s %10s %10s\n" "scenario" "wall (s)" "inst/s"
+    "retries" "lost" "degraded" "verdicts";
+  let rows =
+    List.map
+      (fun (name, (c : Fuzzyflow.Campaign.t), t, path) ->
+        let identical = instance_lines path = reference in
+        (* the whole point of the supervisor: any topology, any failure
+           schedule, byte-identical verdicts *)
+        assert identical;
+        let retries, lost, degraded =
+          match footer_of path with
+          | Some f ->
+              (f.Engine.Journal.retries, f.Engine.Journal.worker_lost, f.Engine.Journal.degraded)
+          | None -> (0, 0, false)
+        in
+        Printf.printf "%-18s %10.2f %10.1f %8d %8d %10s %10s\n" name t
+          (float_of_int c.Fuzzyflow.Campaign.total_instances /. t)
+          retries lost
+          (if degraded then "yes" else "no")
+          (if identical then "identical" else "DIVERGED");
+        Sys.remove path;
+        Printf.sprintf
+          "{\"bench\":\"dist\",\"scenario\":\"%s\",\"wall_s\":%.3f,\"instances\":%d,\"instances_per_s\":%.1f,\"retries\":%d,\"worker_lost\":%d,\"degraded\":%b,\"verdicts_identical\":%b}"
+          name t c.Fuzzyflow.Campaign.total_instances
+          (float_of_int c.Fuzzyflow.Campaign.total_instances /. t)
+          retries lost degraded identical)
+      scenarios
+  in
+  let oc = open_out "BENCH_dist.json" in
+  output_string oc (String.concat "\n" rows);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_dist.json (%d rows)\n" (List.length rows)
+
 let experiments =
   [
     ("table1", table1);
@@ -1297,6 +1432,7 @@ let experiments =
     ("analysis", analysis);
     ("deps", deps);
     ("engine", engine);
+    ("dist", dist);
     ("faultlab", faultlab);
     ("gen", gen_bench);
     ("scaling", scaling);

@@ -330,6 +330,15 @@ let campaign_cmd =
       & info [ "limit-per" ] ~docv:"N"
           ~doc:"Test at most $(docv) sites per (workload, transformation) pair.")
   in
+  let worker_eps_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "worker" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Dispatch instances to a remote worker (repeatable; start one with \
+             $(b,fuzzyflow worker)). Failed or dead workers are retried, quarantined and \
+             finally degraded to the local pool — verdicts stay identical to a local run.")
+  in
   let generated_arg =
     Arg.(
       value
@@ -341,7 +350,7 @@ let campaign_cmd =
              alone.")
   in
   let run ws correct certify static trials seed max_size no_min_cut defines j deadline journal
-      resume corpus progress limit_per generated styles =
+      resume corpus progress limit_per generated styles worker_eps =
     let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
     let config = mk_config trials seed max_size no_min_cut defines in
     let gen_programs =
@@ -365,8 +374,18 @@ let campaign_cmd =
       prerr_endline "campaign: --resume requires --journal";
       exit 2
     end;
+    let workers =
+      List.map
+        (fun s ->
+          try Engine.Supervisor.endpoint_of_string s
+          with Invalid_argument m ->
+            prerr_endline ("campaign: " ^ m);
+            exit 2)
+        worker_eps
+    in
     let engine_needed =
       j > 1 || journal <> None || corpus <> None || progress || limit_per <> None
+      || workers <> []
     in
     let c =
       if engine_needed then
@@ -381,6 +400,11 @@ let campaign_cmd =
             limit_per;
             static_gate = static;
             certify_gate = certify;
+            remote =
+              (if workers = [] then None
+               else Some (Engine.Supervisor.executor ~workers ()));
+            journal_sink = None;
+            on_telemetry = None;
           }
         in
         Engine.Worker.run_campaign ~options ~config ~catalog:(xform_catalog ()) programs xforms
@@ -394,7 +418,7 @@ let campaign_cmd =
       const run $ workloads_arg $ correct_arg $ certify_arg $ static_arg $ trials_arg $ seed_arg
       $ max_size_arg $ no_min_cut_arg $ defines_arg $ j_arg $ deadline_arg $ journal_arg
       $ resume_arg $ corpus_arg
-      $ progress_arg $ limit_per_arg $ generated_arg $ style_arg)
+      $ progress_arg $ limit_per_arg $ generated_arg $ style_arg $ worker_eps_arg)
 
 let corpus_dir_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Corpus directory.")
@@ -885,9 +909,9 @@ let selfcheck_cmd =
   let level_arg =
     Arg.(
       value
-      & opt (some (enum [ ("interp", Faultlab.Plan.L_interp); ("transform", Faultlab.Plan.L_transform); ("mpi", Faultlab.Plan.L_mpi) ])) None
+      & opt (some (enum [ ("interp", Faultlab.Plan.L_interp); ("transform", Faultlab.Plan.L_transform); ("mpi", Faultlab.Plan.L_mpi); ("net", Faultlab.Plan.L_net) ])) None
       & info [ "level" ] ~docv:"LEVEL"
-          ~doc:"Restrict the catalog to one injection level: interp, transform or mpi.")
+          ~doc:"Restrict the catalog to one injection level: interp, transform, mpi or net.")
   in
   let progress_arg =
     Arg.(value & flag & info [ "progress" ] ~doc:"Live per-spec telemetry on stderr.")
@@ -941,6 +965,175 @@ let selfcheck_cmd =
       const run $ j_arg $ deadline_arg $ trials_arg $ seed_arg $ floor_arg $ require_semantics_arg
       $ require_deps_arg $ report_arg $ level_arg $ progress_arg $ generated_arg $ style_arg)
 
+(* ---------------- distributed campaign service ---------------- *)
+
+let port_arg ?(default = 0) names doc =
+  Arg.(value & opt int default & info names ~docv:"PORT" ~doc)
+
+let worker_cmd =
+  let run port once =
+    let sock, actual = Engine.Supervisor.listen_on ~port () in
+    Printf.printf "worker: listening on 127.0.0.1:%d\n%!" actual;
+    Engine.Supervisor.serve_worker ~once ~catalog:(xform_catalog ()) sock
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Exit after the first connection closes.")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a campaign worker: accept assignments from a dispatcher, execute each in a \
+          supervised fork exactly as the local pool would, and reply with the verdict.")
+    Term.(const run $ port_arg [ "port" ] "Listen on $(docv) (0 picks an ephemeral port)." $ once_arg)
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "worker" ] ~docv:"HOST:PORT" ~doc:"Dispatch to this worker (repeatable).")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value & opt string "_service"
+      & info [ "journal-dir" ] ~docv:"DIR" ~doc:"Campaign journals land here.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Persist failing test cases under $(docv).")
+  in
+  let j_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Local pool width for fallback and worker-less runs.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock budget per instance.")
+  in
+  let max_campaigns_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-campaigns" ] ~docv:"N" ~doc:"Exit after $(docv) submissions (smoke tests).")
+  in
+  let run port http workers journal_dir corpus j deadline max_campaigns =
+    let workers =
+      List.map
+        (fun s ->
+          try Engine.Supervisor.endpoint_of_string s
+          with Invalid_argument m ->
+            prerr_endline ("serve: " ^ m);
+            exit 2)
+        workers
+    in
+    let config =
+      {
+        Engine.Service.default_config with
+        port;
+        http_port = (if http < 0 then None else Some http);
+        workers;
+        journal_dir;
+        corpus_dir = corpus;
+        j;
+        deadline_s = deadline;
+        max_campaigns;
+      }
+    in
+    Engine.Service.serve ~config
+      ~resolve:(fun name ->
+        match List.assoc_opt name (workloads ()) with
+        | Some g -> Some g
+        | None -> (
+            try Some (Faultlab.Plan.workload_by_name name) with _ -> None))
+      ~catalog_of:(fun correct ->
+        if correct then Transforms.Registry.all_correct () else Transforms.Registry.as_shipped ())
+      ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: accept submissions, dispatch instances to remote workers \
+          with crash-tolerant supervision, stream journals back, and expose live telemetry \
+          over HTTP.")
+    Term.(
+      const run
+      $ port_arg ~default:7400 [ "port" ] "Control port for submissions (0: ephemeral)."
+      $ port_arg ~default:(-1) [ "http" ] "HTTP telemetry port (0: ephemeral; omit to disable)."
+      $ workers_arg $ journal_dir_arg $ corpus_arg $ j_arg $ deadline_arg $ max_campaigns_arg)
+
+let submit_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Service host.")
+  in
+  let correct_arg =
+    Arg.(value & flag & info [ "correct" ] ~doc:"Use the fixed transformation set.")
+  in
+  let certify_arg =
+    Arg.(value & flag & info [ "certify" ] ~doc:"Skip fuzzing of proven-equivalent instances.")
+  in
+  let static_arg =
+    Arg.(value & flag & info [ "static" ] ~doc:"Run the static evidence channel.")
+  in
+  let limit_per_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-per" ] ~docv:"N" ~doc:"At most $(docv) sites per (workload, transformation).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Do not echo streamed journal lines.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the service to exit instead of submitting.")
+  in
+  let run host port ws correct certify static trials seed max_size defines limit_per quiet
+      shutdown =
+    if shutdown then begin
+      if Engine.Service.shutdown ~host ~port then print_endline "service: shutdown acknowledged"
+      else begin
+        prerr_endline "submit: service did not acknowledge shutdown";
+        exit 1
+      end
+    end
+    else begin
+      let ws = if ws = [] then List.map fst (workloads ()) else ws in
+      let defines = if defines = [] then [ ("N", 8); ("T", 3) ] else defines in
+      let sub =
+        {
+          Engine.Wire.s_workloads = ws;
+          s_correct = correct;
+          s_trials = trials;
+          s_seed = seed;
+          s_max_size = max_size;
+          s_defines = defines;
+          s_limit_per = limit_per;
+          s_static_gate = static;
+          s_certify_gate = certify;
+        }
+      in
+      let on_line l = if not quiet then print_endline l in
+      match Engine.Service.submit ~host ~port ~on_line sub with
+      | Ok (Some table) -> print_string table
+      | Ok None -> ()
+      | Error detail ->
+          prerr_endline ("submit: " ^ detail);
+          exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a running service and stream its journal; print the Table 2 \
+          summary when it completes.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~default:7400 [ "port" ] "Service control port."
+      $ workloads_arg $ correct_arg $ certify_arg $ static_arg $ trials_arg $ seed_arg
+      $ max_size_arg $ defines_arg $ limit_per_arg $ quiet_arg $ shutdown_arg)
+
 let dot_cmd =
   let run w =
     let g = find_workload w in
@@ -967,5 +1160,8 @@ let () =
             optimize_cmd;
             localize_cmd;
             selfcheck_cmd;
+            serve_cmd;
+            worker_cmd;
+            submit_cmd;
             dot_cmd;
           ]))

@@ -212,6 +212,11 @@ type footer = {
   trials_spent : int;
   wall_s : float;
   instances_per_s : float;
+  retries : int;
+  quarantined : int;
+  worker_lost : int;
+  degraded : bool;
+  recovered_records : int;
 }
 
 type record =
@@ -318,6 +323,11 @@ let footer_line (f : footer) =
          ("trials_spent", Json.Num (float_of_int f.trials_spent));
          ("wall_s", Json.Num f.wall_s);
          ("instances_per_s", Json.Num f.instances_per_s);
+         ("retries", Json.Num (float_of_int f.retries));
+         ("quarantined", Json.Num (float_of_int f.quarantined));
+         ("worker_lost", Json.Num (float_of_int f.worker_lost));
+         ("degraded", Json.Bool f.degraded);
+         ("recovered_records", Json.Num (float_of_int f.recovered_records));
        ])
 
 (* ---------------- parse ---------------- *)
@@ -393,6 +403,13 @@ let parse_line line =
           trials_spent = Json.int (Json.field j "trials_spent");
           wall_s = Json.num (Json.field j "wall_s");
           instances_per_s = Json.num (Json.field j "instances_per_s");
+          (* absent in journals written before the distributed service *)
+          retries = (match Json.mem j "retries" with Some v -> Json.int v | None -> 0);
+          quarantined = (match Json.mem j "quarantined" with Some v -> Json.int v | None -> 0);
+          worker_lost = (match Json.mem j "worker_lost" with Some v -> Json.int v | None -> 0);
+          degraded = (match Json.mem j "degraded" with Some v -> Json.bool v | None -> false);
+          recovered_records =
+            (match Json.mem j "recovered_records" with Some v -> Json.int v | None -> 0);
         }
   | s -> failwith ("journal: unknown record type " ^ s)
 
@@ -425,6 +442,74 @@ let load ?(warn = fun (_ : string) -> ()) path =
                    (Printf.sprintf "%s:%d: dropping unparseable record (torn write?): %s" path
                       lineno preview);
                  None)
+  end
+
+(* ---------------- resume with torn-tail recovery ---------------- *)
+
+exception Corrupt of { path : string; lineno : int; detail : string }
+
+type loaded = { records : record list; recovered_records : int }
+
+(* A campaign killed mid-write leaves exactly one damaged record, and it is
+   the file's final line: the journal is append-only and flushed record by
+   record. So recovery may truncate a torn tail, but an unparseable record
+   with valid records after it means the file was damaged by something other
+   than a kill — resuming from it could silently skip (or re-run) work, and
+   is refused with a typed error instead. *)
+let load_resume ?(warn = fun (_ : string) -> ()) ?(repair = true) path =
+  if not (Sys.file_exists path) then { records = []; recovered_records = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    (* split into lines, keeping each line's starting byte offset so a torn
+       tail can be physically truncated *)
+    let lines = ref [] in
+    let start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '\n' then begin
+          lines := (!start, String.sub contents !start (i - !start)) :: !lines;
+          start := i + 1
+        end)
+      contents;
+    if !start < len then lines := (!start, String.sub contents !start (len - !start)) :: !lines;
+    let lines =
+      List.rev !lines
+      |> List.mapi (fun i (off, l) -> (i + 1, off, l))
+      |> List.filter (fun (_, _, l) -> String.trim l <> "")
+    in
+    let parsed =
+      List.map
+        (fun (lineno, off, l) ->
+          match parse_line l with
+          | r -> (lineno, off, l, Ok r)
+          | exception e -> (lineno, off, l, Error (Printexc.to_string e)))
+        lines
+    in
+    let failures = List.filter (fun (_, _, _, r) -> Result.is_error r) parsed in
+    let last_lineno =
+      match List.rev lines with (lineno, _, _) :: _ -> lineno | [] -> 0
+    in
+    match failures with
+    | [] ->
+        {
+          records = List.filter_map (fun (_, _, _, r) -> Result.to_option r) parsed;
+          recovered_records = 0;
+        }
+    | [ (lineno, off, l, Error detail) ] when lineno = last_lineno ->
+        let preview = if String.length l <= 40 then l else String.sub l 0 40 ^ "..." in
+        warn
+          (Printf.sprintf "%s:%d: truncating torn tail record: %s" path lineno preview);
+        ignore detail;
+        if repair then (try Unix.truncate path off with Unix.Unix_error _ -> ());
+        {
+          records = List.filter_map (fun (_, _, _, r) -> Result.to_option r) parsed;
+          recovered_records = 1;
+        }
+    | (lineno, _, _, Error detail) :: _ -> raise (Corrupt { path; lineno; detail })
+    | _ -> assert false
   end
 
 let completed records =

@@ -58,6 +58,11 @@ type footer = {
   trials_spent : int;
   wall_s : float;
   instances_per_s : float;
+  retries : int;  (** worker failures that led to a retry/reconnect *)
+  quarantined : int;  (** remote workers quarantined after repeated failures *)
+  worker_lost : int;  (** mid-instance worker losses (the instance was requeued) *)
+  degraded : bool;  (** the campaign fell back to the local fork pool *)
+  recovered_records : int;  (** torn tail records truncated during resume *)
 }
 
 type record =
@@ -77,6 +82,21 @@ val parse_line : string -> record
     [warn] (default: ignore) with file, line number and a preview. Missing
     file yields []. *)
 val load : ?warn:(string -> unit) -> string -> record list
+
+(** Mid-file (non-tail) corruption found during {!load_resume}: the journal
+    was damaged by something other than a kill mid-write, so resuming from it
+    could silently skip or re-run work. *)
+exception Corrupt of { path : string; lineno : int; detail : string }
+
+type loaded = { records : record list; recovered_records : int }
+
+(** Resume-grade load with torn-tail recovery. A single unparseable record in
+    the file's final line is a torn write from a killed campaign: it is
+    reported through [warn], counted in [recovered_records], and — unless
+    [repair] is [false] — physically truncated from the file. Any unparseable
+    record {e before} the final line raises {!Corrupt}. Missing file yields
+    no records. *)
+val load_resume : ?warn:(string -> unit) -> ?repair:bool -> string -> loaded
 
 (** The journaled instance outcomes keyed by instance id, in file order. *)
 val completed : record list -> (string * Fuzzyflow.Campaign.outcome) list

@@ -1,0 +1,439 @@
+open Fuzzyflow
+
+(* ---------------- endpoints ---------------- *)
+
+type endpoint = { host : string; port : int }
+
+let endpoint_to_string e = Printf.sprintf "%s:%d" e.host e.port
+
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg ("Supervisor.endpoint_of_string: missing port in " ^ s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> { host; port }
+      | _ -> invalid_arg ("Supervisor.endpoint_of_string: bad port in " ^ s))
+
+(* ---------------- failure taxonomy ---------------- *)
+
+type failure_class =
+  | Connect_refused of { detail : string }
+  | Version_mismatch of { ours : int; theirs : int }
+  | Disconnected of { during : string }
+  | Decode_failure of { detail : string }
+  | Hang of { waited_s : float }
+
+let failure_class_name = function
+  | Connect_refused _ -> "connect-refused"
+  | Version_mismatch _ -> "version-mismatch"
+  | Disconnected _ -> "disconnect"
+  | Decode_failure _ -> "decode-failure"
+  | Hang _ -> "hang"
+
+let failure_class_detail = function
+  | Connect_refused { detail } -> Printf.sprintf "connect refused: %s" detail
+  | Version_mismatch { ours; theirs } ->
+      Printf.sprintf "handshake version mismatch: ours %d, theirs %d" ours theirs
+  | Disconnected { during } -> Printf.sprintf "disconnected during %s" during
+  | Decode_failure { detail } -> Printf.sprintf "result decode failure: %s" detail
+  | Hang { waited_s } -> Printf.sprintf "hang: no progress for %.1fs" waited_s
+
+(* ---------------- supervision policy ---------------- *)
+
+type policy = {
+  connect_timeout_s : float;
+  heartbeat_s : float;
+  hang_grace_s : float;
+  max_failures : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+}
+
+let default_policy =
+  {
+    connect_timeout_s = 5.;
+    heartbeat_s = 10.;
+    hang_grace_s = 10.;
+    max_failures = 3;
+    backoff_base_s = 0.05;
+    backoff_max_s = 2.;
+  }
+
+type events = {
+  on_failure : endpoint -> failure_class -> unit;
+  on_quarantine : endpoint -> unit;
+  on_requeue : int -> unit;
+}
+
+let null_events =
+  { on_failure = (fun _ _ -> ()); on_quarantine = (fun _ -> ()); on_requeue = (fun _ -> ()) }
+
+(* Bounded exponential backoff with deterministic jitter: the jitter fraction
+   is FNV-1a over (endpoint, consecutive-failure count, instance seed) — the
+   same seed construction as [Campaign.instance_seed] — so reconnect schedules
+   are reproducible run to run, never synchronized across workers, and free of
+   any wall-clock or PRNG state. *)
+let backoff_delay ~policy ~ep ~failures ~seed =
+  let exp = min (max 0 (failures - 1)) 16 in
+  let base = Float.min (policy.backoff_base_s *. Float.pow 2. (float_of_int exp)) policy.backoff_max_s in
+  let tag = Printf.sprintf "backoff:%s#%d" (endpoint_to_string ep) failures in
+  let jitter = float_of_int (Campaign.instance_seed ~global:seed tag land 0xFFFF) /. 65536. in
+  base *. (1. +. jitter)
+
+(* ---------------- per-worker supervision state ---------------- *)
+
+type wstate = W_disconnected | W_idle | W_busy of int  (** fresh-array index in flight *)
+
+type wrk = {
+  ep : endpoint;
+  slot : int;
+  mutable fd : Unix.file_descr option;
+  mutable state : wstate;
+  mutable failures : int;  (** consecutive; reset by a delivered result *)
+  mutable next_try : float;  (** earliest reconnect attempt (backoff gate) *)
+  mutable quarantined : bool;
+  mutable busy_since : float;
+  mutable last_seed : int;  (** seed of the last assigned instance; jitter source *)
+  mutable idle_since : float;
+  mutable ping_sent : float;  (** 0. = no ping outstanding *)
+}
+
+(* ---------------- the dispatch loop ---------------- *)
+
+let now () = Unix.gettimeofday ()
+
+let dispatch ~(policy : policy) ~(events : events) ~tick ~workers
+    ~(items : Queue.item array) ~(config : Difftest.config) ~static_gate ~certify_gate
+    ~deadline_s ~(telemetry : Telemetry.t) ~on_start ~on_done =
+  let n = Array.length items in
+  let graph_blob =
+    (* one Marshal per distinct program, shared across its instances *)
+    let memo = Hashtbl.create 8 in
+    fun (it : Queue.item) ->
+      match Hashtbl.find_opt memo it.Queue.program_name with
+      | Some b -> b
+      | None ->
+          let b = Marshal.to_string it.Queue.program [] in
+          Hashtbl.add memo it.Queue.program_name b;
+          b
+  in
+  let assignment_of fi =
+    let it = items.(fi) in
+    {
+      Wire.a_idx = fi;
+      a_program = it.Queue.program_name;
+      a_graph = graph_blob it;
+      a_xform = it.Queue.xform.Transforms.Xform.name;
+      a_site = it.Queue.site;
+      a_config = { config with Difftest.seed = it.Queue.seed };
+      a_static_gate = static_gate;
+      a_certify_gate = certify_gate;
+      a_deadline_s = deadline_s;
+    }
+  in
+  let pending = Stdlib.Queue.create () in
+  Array.iteri (fun fi _ -> Stdlib.Queue.push fi pending) items;
+  let done_ = Array.make n false in
+  let remaining = ref n in
+  let ws =
+    List.mapi
+      (fun slot ep ->
+        {
+          ep;
+          slot;
+          fd = None;
+          state = W_disconnected;
+          failures = 0;
+          next_try = 0.;
+          quarantined = false;
+          busy_since = 0.;
+          last_seed = config.Difftest.seed;
+          idle_since = 0.;
+          ping_sent = 0.;
+        })
+      workers
+  in
+  let close_conn w =
+    (match w.fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    w.fd <- None
+  in
+  let requeue fi =
+    if not done_.(fi) then begin
+      Stdlib.Queue.push fi pending;
+      events.on_requeue fi
+    end
+  in
+  (* Every failure is classified, counted, and drives the backoff /
+     quarantine state machine. A failure mid-instance additionally requeues
+     the instance (and counts as a worker loss): the instance itself is never
+     lost, and because its verdict depends only on (instance, seed), a rerun
+     anywhere produces the identical outcome. *)
+  let fail_worker w cls =
+    (match w.state with
+    | W_busy fi ->
+        Telemetry.lost_worker telemetry;
+        requeue fi
+    | _ -> ());
+    close_conn w;
+    w.state <- W_disconnected;
+    w.failures <- w.failures + 1;
+    events.on_failure w.ep cls;
+    Telemetry.retry telemetry;
+    if w.failures >= policy.max_failures then begin
+      w.quarantined <- true;
+      events.on_quarantine w.ep;
+      Telemetry.quarantine telemetry
+    end
+    else
+      w.next_try <-
+        now () +. backoff_delay ~policy ~ep:w.ep ~failures:w.failures ~seed:w.last_seed
+  in
+  let try_connect w =
+    match
+      let fd = Wire.connect ~timeout_s:policy.connect_timeout_s ~host:w.ep.host ~port:w.ep.port in
+      (try
+         Wire.write_message ~timeout_s:policy.connect_timeout_s fd
+           (Wire.Hello { proto = Wire.protocol_version });
+         match Wire.read_message ~timeout_s:policy.connect_timeout_s fd with
+         | Wire.Hello_ack { proto } when proto = Wire.protocol_version -> fd
+         | Wire.Hello_ack { proto } ->
+             raise (Wire.Bad_version { ours = Wire.protocol_version; theirs = proto })
+         | _ -> raise (Wire.Protocol_error "unexpected handshake reply")
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e)
+    with
+    | fd ->
+        w.fd <- Some fd;
+        w.state <- W_idle;
+        w.idle_since <- now ();
+        w.ping_sent <- 0.
+    | exception Unix.Unix_error (err, _, _) ->
+        fail_worker w (Connect_refused { detail = Unix.error_message err })
+    | exception Wire.Bad_version { ours; theirs } ->
+        fail_worker w (Version_mismatch { ours; theirs })
+    | exception Wire.Timeout ->
+        fail_worker w (Hang { waited_s = policy.connect_timeout_s })
+    | exception Wire.Closed -> fail_worker w (Disconnected { during = "handshake" })
+    | exception Wire.Protocol_error detail -> fail_worker w (Decode_failure { detail })
+  in
+  let assign w fi =
+    match w.fd with
+    | None -> requeue fi
+    | Some fd -> (
+        w.last_seed <- items.(fi).Queue.seed;
+        match Wire.write_message ~timeout_s:policy.heartbeat_s fd (Wire.Assign (assignment_of fi)) with
+        | () ->
+            w.state <- W_busy fi;
+            w.busy_since <- now ();
+            on_start fi w.slot
+        | exception (Wire.Closed | Unix.Unix_error _) ->
+            requeue fi;
+            fail_worker w (Disconnected { during = "assign" })
+        | exception Wire.Timeout ->
+            requeue fi;
+            fail_worker w (Hang { waited_s = policy.heartbeat_s }))
+  in
+  let deliver w fi result =
+    done_.(fi) <- true;
+    decr remaining;
+    w.state <- W_idle;
+    w.idle_since <- now ();
+    w.ping_sent <- 0.;
+    w.failures <- 0;
+    on_done fi result
+  in
+  let handle_message w =
+    match w.fd with
+    | None -> ()
+    | Some fd -> (
+        match Wire.read_message ~timeout_s:policy.heartbeat_s fd with
+        | Wire.Result { r_idx; r_status; r_payload } -> (
+            match w.state with
+            | W_busy fi when fi = r_idx && not done_.(fi) -> (
+                match (r_status, r_payload) with
+                | Campaign.Completed, Some ir -> deliver w fi (Ok ir)
+                | Campaign.Timed_out { deadline_s }, _ ->
+                    deliver w fi (Error (Worker.Timed_out { deadline_s }))
+                | Campaign.Crashed { detail }, _ ->
+                    deliver w fi (Error (Worker.Crashed { detail }))
+                | Campaign.Completed, None ->
+                    fail_worker w
+                      (Decode_failure { detail = "completed result carried no payload" }))
+            | _ ->
+                fail_worker w
+                  (Decode_failure
+                     { detail = Printf.sprintf "result for unexpected instance %d" r_idx }))
+        | Wire.Refused { r_idx; r_detail } -> (
+            match w.state with
+            | W_busy fi when fi = r_idx ->
+                (* the worker is alive but cannot run this assignment; the
+                   instance goes back to the queue and the worker is treated
+                   as failing (repeated refusals quarantine it) *)
+                fail_worker w (Decode_failure { detail = "assignment refused: " ^ r_detail })
+            | _ -> fail_worker w (Decode_failure { detail = "unsolicited refusal" }))
+        | Wire.Pong _ ->
+            w.ping_sent <- 0.;
+            w.idle_since <- now ()
+        | _ -> fail_worker w (Decode_failure { detail = "unexpected message" })
+        | exception Wire.Closed ->
+            fail_worker w
+              (Disconnected
+                 { during = (match w.state with W_busy _ -> "instance" | _ -> "idle") })
+        | exception Wire.Timeout -> fail_worker w (Hang { waited_s = policy.heartbeat_s })
+        | exception Wire.Bad_version { ours; theirs } ->
+            fail_worker w (Version_mismatch { ours; theirs })
+        | exception Wire.Protocol_error detail -> fail_worker w (Decode_failure { detail })
+        | exception Unix.Unix_error _ -> fail_worker w (Disconnected { during = "read" }))
+  in
+  let health_check w =
+    let t = now () in
+    match (w.fd, w.state) with
+    | Some _, W_busy fi ->
+        if t -. w.busy_since > deadline_s +. policy.hang_grace_s then begin
+          ignore fi;
+          fail_worker w (Hang { waited_s = t -. w.busy_since })
+        end
+    | Some fd, W_idle ->
+        if w.ping_sent > 0. then begin
+          if t -. w.ping_sent > policy.heartbeat_s then
+            fail_worker w (Hang { waited_s = t -. w.ping_sent })
+        end
+        else if t -. w.idle_since > policy.heartbeat_s then begin
+          match Wire.write_message ~timeout_s:1.0 fd (Wire.Ping 0) with
+          | () -> w.ping_sent <- t
+          | exception (Wire.Closed | Unix.Unix_error _) ->
+              fail_worker w (Disconnected { during = "heartbeat" })
+          | exception Wire.Timeout -> fail_worker w (Hang { waited_s = 1.0 })
+        end
+    | _ -> ()
+  in
+  let alive () = List.exists (fun w -> not w.quarantined) ws in
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun w ->
+          (match w.fd with
+          | Some fd -> ( try Wire.write_message ~timeout_s:0.5 fd Wire.Shutdown with _ -> ())
+          | None -> ());
+          close_conn w)
+        ws;
+      Sys.set_signal Sys.sigpipe prev_sigpipe)
+  @@ fun () ->
+  while !remaining > 0 && alive () do
+    tick ();
+    let t = now () in
+    (* reconnect + assign pass *)
+    List.iter
+      (fun w ->
+        if (not w.quarantined) && w.fd = None && t >= w.next_try
+           && not (Stdlib.Queue.is_empty pending)
+        then try_connect w)
+      ws;
+    List.iter
+      (fun w ->
+        if w.fd <> None && w.state = W_idle && not (Stdlib.Queue.is_empty pending) then
+          assign w (Stdlib.Queue.pop pending))
+      ws;
+    (* wait for traffic *)
+    let fds = List.filter_map (fun w -> if w.quarantined then None else w.fd) ws in
+    (if fds = [] then Unix.sleepf 0.02
+     else
+       match Unix.select fds [] [] 0.05 with
+       | readable, _, _ ->
+           List.iter
+             (fun w ->
+               match w.fd with
+               | Some fd when List.memq fd readable -> handle_message w
+               | _ -> ())
+             ws
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    List.iter (fun w -> if w.fd <> None then health_check w) ws
+  done;
+  tick ();
+  (* whatever is left (every worker quarantined) goes to the local fallback *)
+  let leftovers = ref [] in
+  for fi = n - 1 downto 0 do
+    if not done_.(fi) then leftovers := fi :: !leftovers
+  done;
+  !leftovers
+
+let executor ?(policy = default_policy) ?(events = null_events) ?(tick = fun () -> ()) ~workers
+    () =
+  {
+    Worker.dispatch =
+      (fun ~items ~config ~static_gate ~certify_gate ~deadline_s ~telemetry ~on_start ~on_done ->
+        if workers = [] then List.init (Array.length items) Fun.id
+        else
+          dispatch ~policy ~events ~tick ~workers ~items ~config ~static_gate ~certify_gate
+            ~deadline_s ~telemetry ~on_start ~on_done);
+  }
+
+(* ---------------- the worker side ---------------- *)
+
+let listen_on ?host ~port () = Wire.listen_on ?host ~port ()
+
+(* One assignment: recompile the plan and run the instance exactly as the
+   local fork pool does — inside a supervised fork with the same deadline
+   semantics, plan cache created in the child — so a remote verdict is the
+   same bytes a local one would be. *)
+let run_assignment ~catalog (a : Wire.assignment) =
+  match
+    List.find_opt (fun (x : Transforms.Xform.t) -> x.Transforms.Xform.name = a.Wire.a_xform) catalog
+  with
+  | None -> Wire.Refused { r_idx = a.Wire.a_idx; r_detail = "unknown transformation " ^ a.Wire.a_xform }
+  | Some xform -> (
+      match (Marshal.from_string a.Wire.a_graph 0 : Sdfg.Graph.t) with
+      | exception _ -> Wire.Refused { r_idx = a.Wire.a_idx; r_detail = "undecodable program graph" }
+      | graph -> (
+          let thunk () =
+            let plan_cache = Interp.Plan.Cache.create () in
+            Campaign.run_instance ~plan_cache ~config:a.Wire.a_config
+              ~static_gate:a.Wire.a_static_gate ~certify_gate:a.Wire.a_certify_gate
+              ~program:(a.Wire.a_program, graph) xform a.Wire.a_site
+          in
+          match Worker.supervise ~deadline_s:a.Wire.a_deadline_s thunk with
+          | Ok ir ->
+              Wire.Result { r_idx = a.Wire.a_idx; r_status = Campaign.Completed; r_payload = Some ir }
+          | Error (Worker.Timed_out { deadline_s }) ->
+              Wire.Result
+                { r_idx = a.Wire.a_idx; r_status = Campaign.Timed_out { deadline_s }; r_payload = None }
+          | Error (Worker.Crashed { detail }) ->
+              Wire.Result
+                { r_idx = a.Wire.a_idx; r_status = Campaign.Crashed { detail }; r_payload = None }))
+
+let handle_session ~catalog fd =
+  let stop = ref false in
+  while not !stop do
+    match Wire.read_message fd with
+    | Wire.Ping x -> Wire.write_message fd (Wire.Pong x)
+    | Wire.Shutdown -> stop := true
+    | Wire.Assign a -> Wire.write_message fd (run_assignment ~catalog a)
+    | _ -> ()
+  done
+
+let serve_worker ?(once = false) ~catalog sock =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let continue = ref true in
+  while !continue do
+    (match Unix.accept sock with
+    | client, _ ->
+        (try
+           match Wire.read_message ~timeout_s:30. client with
+           | Wire.Hello { proto } when proto = Wire.protocol_version ->
+               Wire.write_message client (Wire.Hello_ack { proto = Wire.protocol_version });
+               handle_session ~catalog client
+           | _ -> ()
+         with
+        | Wire.Closed | Wire.Timeout | Wire.Protocol_error _ | Wire.Bad_version _
+        | Unix.Unix_error _
+        ->
+          ());
+        (try Unix.close client with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    if once then continue := false
+  done

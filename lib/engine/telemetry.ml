@@ -14,6 +14,11 @@ type t = {
   mutable dep_decided : int;
   mutable cases_saved : int;
   mutable resumed_n : int;
+  mutable retries : int;
+  mutable quarantined_n : int;
+  mutable worker_lost : int;
+  mutable degraded_f : bool;
+  mutable recovered : int;
   mutable last_render : float;
   workers : string option array;  (** instance id currently on each slot *)
 }
@@ -33,6 +38,11 @@ let create ?(progress = true) ~total ~j () =
     dep_decided = 0;
     cases_saved = 0;
     resumed_n = 0;
+    retries = 0;
+    quarantined_n = 0;
+    worker_lost = 0;
+    degraded_f = false;
+    recovered = 0;
     last_render = 0.;
     workers = Array.make (max 1 j) None;
   }
@@ -54,10 +64,17 @@ let render t =
     if t.dep_pairs = 0 then ""
     else Printf.sprintf "  deps %d/%d" t.dep_decided t.dep_pairs
   in
+  let dist_note =
+    if t.retries = 0 && t.quarantined_n = 0 && t.worker_lost = 0 && not t.degraded_f then ""
+    else
+      Printf.sprintf "  retries %d  quarantined %d  lost %d%s" t.retries t.quarantined_n
+        t.worker_lost
+        (if t.degraded_f then "  DEGRADED" else "")
+  in
   Printf.sprintf
-    "[%d/%d] %.1f inst/s  failed %d  proved %d  killed %d  trials %d  cases %d  resumed %d%s%s"
+    "[%d/%d] %.1f inst/s  failed %d  proved %d  killed %d  trials %d  cases %d  resumed %d%s%s%s"
     t.completed t.total rate t.failed t.proved t.killed t.trials t.cases_saved t.resumed_n
-    dep_note worker_note
+    dep_note dist_note worker_note
 
 let emit ?(force = false) t =
   if t.progress then begin
@@ -91,6 +108,26 @@ let resumed t =
   t.completed <- t.completed + 1;
   emit t
 
+let retry t =
+  t.retries <- t.retries + 1;
+  emit t
+
+let quarantine t =
+  t.quarantined_n <- t.quarantined_n + 1;
+  emit t
+
+let lost_worker t =
+  t.worker_lost <- t.worker_lost + 1;
+  emit t
+
+let set_degraded t =
+  t.degraded_f <- true;
+  emit t
+
+let degraded t = t.degraded_f
+
+let recovered_records t n = t.recovered <- t.recovered + n
+
 let summary t : Journal.footer =
   let wall = wall_s t in
   {
@@ -101,6 +138,33 @@ let summary t : Journal.footer =
     trials_spent = t.trials;
     wall_s = wall;
     instances_per_s = (if wall > 0. then float_of_int t.completed /. wall else 0.);
+    retries = t.retries;
+    quarantined = t.quarantined_n;
+    worker_lost = t.worker_lost;
+    degraded = t.degraded_f;
+    recovered_records = t.recovered;
   }
+
+(* Live JSON snapshot for the service's HTTP telemetry endpoint. *)
+let snapshot t =
+  let f = summary t in
+  Journal.Json.Obj
+    [
+      ("completed", Journal.Json.Num (float_of_int t.completed));
+      ("total", Journal.Json.Num (float_of_int t.total));
+      ("failed", Journal.Json.Num (float_of_int t.failed));
+      ("proved", Journal.Json.Num (float_of_int t.proved));
+      ("killed", Journal.Json.Num (float_of_int t.killed));
+      ("trials_spent", Journal.Json.Num (float_of_int t.trials));
+      ("cases_saved", Journal.Json.Num (float_of_int t.cases_saved));
+      ("resumed", Journal.Json.Num (float_of_int t.resumed_n));
+      ("retries", Journal.Json.Num (float_of_int f.Journal.retries));
+      ("quarantined", Journal.Json.Num (float_of_int f.Journal.quarantined));
+      ("worker_lost", Journal.Json.Num (float_of_int f.Journal.worker_lost));
+      ("degraded", Journal.Json.Bool f.Journal.degraded);
+      ("recovered_records", Journal.Json.Num (float_of_int f.Journal.recovered_records));
+      ("wall_s", Journal.Json.Num f.Journal.wall_s);
+      ("instances_per_s", Journal.Json.Num f.Journal.instances_per_s);
+    ]
 
 let finish t = if t.progress then Printf.eprintf "\r\027[K%s\n%!" (render t)

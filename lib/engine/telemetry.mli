@@ -21,6 +21,26 @@ val case_saved : t -> unit
 (** An instance was satisfied from the journal instead of being re-fuzzed. *)
 val resumed : t -> unit
 
+(** A remote worker failed and will be retried (with backoff). *)
+val retry : t -> unit
+
+(** A remote worker was quarantined after repeated failures. *)
+val quarantine : t -> unit
+
+(** A worker was lost mid-instance; the instance was requeued. *)
+val lost_worker : t -> unit
+
+(** The campaign fell back to the local fork pool (degraded mode). *)
+val set_degraded : t -> unit
+
+val degraded : t -> bool
+
+(** [recovered_records t n]: [n] torn tail records were truncated on resume. *)
+val recovered_records : t -> int -> unit
+
+(** Live counters as JSON — the service's HTTP telemetry payload. *)
+val snapshot : t -> Journal.Json.t
+
 (** One-line status snapshot (also what [record] prints to stderr). *)
 val render : t -> string
 

@@ -88,6 +88,34 @@ let map_pool ~j ~deadline_s ?on_start ?on_done thunks =
     let rec go i = if i >= j then 0 else if not slots.(i) then i else go (i + 1) in
     go 0
   in
+  (* Sleep-wait reaping via the self-pipe trick: a SIGCHLD handler writes a
+     byte to a non-blocking pipe and the loop selects on it, with the timeout
+     bounded by the nearest child deadline. An idle pool sleeps instead of
+     burning a core, a child exit wakes the loop immediately (a signal
+     between the waitpid sweep and the select leaves its byte in the pipe,
+     so the wakeup is never lost), and deadline kills keep their precision
+     because the select never outsleeps the next deadline. *)
+  let rp, wp = Unix.pipe () in
+  Unix.set_nonblock rp;
+  Unix.set_nonblock wp;
+  let prev_sigchld =
+    Sys.signal Sys.sigchld
+      (Sys.Signal_handle
+         (fun _ -> try ignore (Unix.write wp (Bytes.make 1 '\000') 0 1) with _ -> ()))
+  in
+  let drain () =
+    let buf = Bytes.create 64 in
+    try
+      while Unix.read rp buf 0 64 > 0 do
+        ()
+      done
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Sys.set_signal Sys.sigchld prev_sigchld;
+      (try Unix.close rp with Unix.Unix_error _ -> ());
+      try Unix.close wp with Unix.Unix_error _ -> ())
+  @@ fun () ->
   let running = ref [] in
   let next = ref 0 in
   while !next < n || !running <> [] do
@@ -117,13 +145,45 @@ let map_pool ~j ~deadline_s ?on_start ?on_done thunks =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> still := c :: !still)
       !running;
     running := !still;
-    if !running <> [] then Unix.sleepf 0.001
+    if !running <> [] then begin
+      let now = Unix.gettimeofday () in
+      let next_deadline =
+        List.fold_left
+          (fun acc c -> if c.killed then acc else Float.min acc (c.started +. deadline_s))
+          infinity !running
+      in
+      (* killed children have no deadline left to honor; cap the sleep as a
+         safety net against a lost signal either way *)
+      let tmo = Float.max 0. (Float.min (next_deadline -. now) 0.5) in
+      match Unix.select [ rp ] [] [] tmo with
+      | [ _ ], _, _ -> drain ()
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
   done;
   Array.map Option.get results
 
 let supervise ~deadline_s f = (map_pool ~j:1 ~deadline_s [| f |]).(0)
 
 (* ---------------- the campaign driver ---------------- *)
+
+(* A remote execution strategy, plugged in by [Supervisor.executor]: run the
+   fresh items on remote workers, report through the same on_start/on_done
+   callbacks as the local pool, and return the indices it could NOT complete
+   (every remote worker dead or quarantined) for the local-pool fallback.
+   Defined here as plain data so [Worker] never depends on the supervisor. *)
+type remote_executor = {
+  dispatch :
+    items:Queue.item array ->
+    config:Difftest.config ->
+    static_gate:bool ->
+    certify_gate:bool ->
+    deadline_s:float ->
+    telemetry:Telemetry.t ->
+    on_start:(int -> int -> unit) ->
+    on_done:(int -> (Campaign.instance_result, failure) result -> unit) ->
+    int list;
+}
 
 type options = {
   j : int;
@@ -135,6 +195,9 @@ type options = {
   limit_per : int option;
   static_gate : bool;
   certify_gate : bool;
+  remote : remote_executor option;
+  journal_sink : (string -> unit) option;
+  on_telemetry : (Telemetry.t -> unit) option;
 }
 
 let default_options =
@@ -148,6 +211,9 @@ let default_options =
     limit_per = None;
     static_gate = false;
     certify_gate = false;
+    remote = None;
+    journal_sink = None;
+    on_telemetry = None;
   }
 
 let rec mkdir_p dir =
@@ -179,13 +245,18 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
     Array.of_list (Queue.build ~limit_per:options.limit_per ~seed:config.Difftest.seed programs xforms)
   in
   let n = Array.length items in
-  (* --resume: journaled outcomes are replayed, not re-fuzzed *)
-  let resumed_map =
+  (* --resume: journaled outcomes are replayed, not re-fuzzed. A torn tail
+     record (campaign killed mid-write) is truncated and counted; mid-file
+     corruption raises [Journal.Corrupt] — resuming from it would silently
+     skip or re-run work. *)
+  let resumed_map, recovered_records =
     if options.resume then
       match options.journal_path with
       | Some path ->
-          let records =
-            Journal.load ~warn:(fun msg -> Printf.eprintf "engine: resume: %s\n%!" msg) path
+          let { Journal.records; recovered_records } =
+            Journal.load_resume
+              ~warn:(fun msg -> Printf.eprintf "engine: resume: %s\n%!" msg)
+              path
           in
           (match Journal.header_of records with
           | Some h when h.Journal.seed <> config.Difftest.seed ->
@@ -194,9 +265,9 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
                    "engine: journal %s was written with --seed %d; this campaign runs with %d"
                    path h.Journal.seed config.Difftest.seed)
           | _ -> ());
-          Journal.completed records
-      | None -> []
-    else []
+          (Journal.completed records, recovered_records)
+      | None -> ([], 0)
+    else ([], 0)
   in
   let outcomes : Campaign.outcome option array = Array.make n None in
   let from_journal = Array.make n false in
@@ -211,42 +282,51 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
   (* the journal is rewritten from scratch even on resume: parsed outcomes are
      re-emitted in queue order, so the file is always a clean, deterministic
      prefix of the campaign (a torn tail from a kill never accumulates) *)
+  let sink line = match options.journal_sink with Some f -> f line | None -> () in
   let journal_oc =
     match options.journal_path with
     | None -> None
     | Some path ->
         (match Filename.dirname path with "." -> () | d -> mkdir_p d);
-        let oc = open_out path in
-        output_string oc
-          (Journal.header_line
-             {
-               Journal.seed = config.Difftest.seed;
-               trials = config.Difftest.trials;
-               j = options.j;
-               deadline_s = options.deadline_s;
-               programs = List.map fst programs;
-               xforms = List.map (fun (x : Transforms.Xform.t) -> x.name) xforms;
-             });
-        output_char oc '\n';
-        flush oc;
-        Some oc
+        Some (open_out path)
   in
+  let emit_line line =
+    (match journal_oc with
+    | Some oc ->
+        output_string oc line;
+        output_char oc '\n'
+    | None -> ());
+    sink line
+  in
+  (match (journal_oc, options.journal_sink) with
+  | None, None -> ()
+  | _ ->
+      emit_line
+        (Journal.header_line
+           {
+             Journal.seed = config.Difftest.seed;
+             trials = config.Difftest.trials;
+             j = options.j;
+             deadline_s = options.deadline_s;
+             programs = List.map fst programs;
+             xforms = List.map (fun (x : Transforms.Xform.t) -> x.name) xforms;
+           });
+      (match journal_oc with Some oc -> flush oc | None -> ()));
   let next_flush = ref 0 in
   let flush_journal () =
-    match journal_oc with
-    | None -> ()
-    | Some oc ->
-        while !next_flush < n && outcomes.(!next_flush) <> None do
-          (match outcomes.(!next_flush) with
-          | Some o ->
-              output_string oc (Journal.instance_line o);
-              output_char oc '\n'
-          | None -> ());
-          incr next_flush
-        done;
-        flush oc
+    if journal_oc <> None || options.journal_sink <> None then begin
+      while !next_flush < n && outcomes.(!next_flush) <> None do
+        (match outcomes.(!next_flush) with
+        | Some o -> emit_line (Journal.instance_line o)
+        | None -> ());
+        incr next_flush
+      done;
+      match journal_oc with Some oc -> flush oc | None -> ()
+    end
   in
   let telemetry = Telemetry.create ~progress:options.progress ~total:n ~j:options.j () in
+  Telemetry.recovered_records telemetry recovered_records;
+  (match options.on_telemetry with Some f -> f telemetry | None -> ());
   Array.iteri (fun i resumed -> if resumed then begin ignore i; Telemetry.resumed telemetry end) from_journal;
   flush_journal ();
   (* fresh work: everything the journal did not cover *)
@@ -254,22 +334,19 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
   Array.iteri (fun i o -> if o = None then fresh_idx := i :: !fresh_idx) outcomes;
   let fresh = Array.of_list (List.rev !fresh_idx) in
   let results : (int * Campaign.instance_result) list ref = ref [] in
-  let thunks =
-    Array.map
-      (fun i ->
-        let it = items.(i) in
-        fun () ->
-          let config = { config with Difftest.seed = it.Queue.seed } in
-          (* the plan cache is created here, inside the forked child: compiled
-             plans hold closures, which must never cross the Marshal channel
-             back to the parent, and a per-process cache keeps workers
-             deterministic regardless of scheduling *)
-          let plan_cache = Interp.Plan.Cache.create () in
-          Campaign.run_instance ~plan_cache ~config ~static_gate:options.static_gate
-            ~certify_gate:options.certify_gate
-            ~program:(it.program_name, it.program)
-            it.xform it.site)
-      fresh
+  let thunk_of fi =
+    let it = items.(fresh.(fi)) in
+    fun () ->
+      let config = { config with Difftest.seed = it.Queue.seed } in
+      (* the plan cache is created here, inside the forked child: compiled
+         plans hold closures, which must never cross the Marshal channel
+         back to the parent, and a per-process cache keeps workers
+         deterministic regardless of scheduling *)
+      let plan_cache = Interp.Plan.Cache.create () in
+      Campaign.run_instance ~plan_cache ~config ~static_gate:options.static_gate
+        ~certify_gate:options.certify_gate
+        ~program:(it.program_name, it.program)
+        it.xform it.site
   in
   let slot_of = Hashtbl.create 16 in
   let on_start fi slot =
@@ -316,14 +393,34 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
     Telemetry.record telemetry o;
     flush_journal ()
   in
-  ignore (map_pool ~j:options.j ~deadline_s:options.deadline_s ~on_start ~on_done thunks);
+  let run_local fis =
+    ignore
+      (map_pool ~j:options.j ~deadline_s:options.deadline_s
+         ~on_start:(fun k slot -> on_start fis.(k) slot)
+         ~on_done:(fun k r -> on_done fis.(k) r)
+         (Array.map thunk_of fis))
+  in
+  (match options.remote with
+  | None -> run_local (Array.init (Array.length fresh) Fun.id)
+  | Some r ->
+      (* remote dispatch reports through the same callbacks as the local
+         pool; whatever it could not complete (every worker dead or
+         quarantined) degrades to the local fork pool — a campaign never
+         hangs or loses an instance because its workers died *)
+      let leftovers =
+        r.dispatch
+          ~items:(Array.map (fun i -> items.(i)) fresh)
+          ~config ~static_gate:options.static_gate ~certify_gate:options.certify_gate
+          ~deadline_s:options.deadline_s ~telemetry ~on_start ~on_done
+      in
+      if leftovers <> [] then begin
+        Telemetry.set_degraded telemetry;
+        run_local (Array.of_list leftovers)
+      end);
   flush_journal ();
-  (match journal_oc with
-  | Some oc ->
-      output_string oc (Journal.footer_line (Telemetry.summary telemetry));
-      output_char oc '\n';
-      close_out oc
-  | None -> ());
+  (if journal_oc <> None || options.journal_sink <> None then
+     emit_line (Journal.footer_line (Telemetry.summary telemetry)));
+  (match journal_oc with Some oc -> close_out oc | None -> ());
   if options.progress then Telemetry.finish telemetry;
   let all_outcomes = Array.to_list outcomes |> List.filter_map (fun o -> o) in
   let results = List.sort compare (List.map fst !results) |> List.map (fun i -> List.assoc i !results) in

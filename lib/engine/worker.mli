@@ -26,7 +26,9 @@ val supervise : deadline_s:float -> (unit -> 'a) -> ('a, failure) result
 (** [map_pool ~j ~deadline_s thunks] runs every thunk in a forked child, at
     most [j] alive at once, killing any child past [deadline_s]. Results are
     in input order. [on_done i r] fires as each thunk settles (completion
-    order); [on_start i slot] fires as each is forked. *)
+    order); [on_start i slot] fires as each is forked. The reap loop
+    sleep-waits on a SIGCHLD self-pipe (bounded by the nearest child
+    deadline), so an idle or blocked pool does not burn a core. *)
 val map_pool :
   j:int ->
   deadline_s:float ->
@@ -34,6 +36,24 @@ val map_pool :
   ?on_done:(int -> ('a, failure) result -> unit) ->
   (unit -> 'a) array ->
   ('a, failure) result array
+
+(** A pluggable remote execution strategy (see [Supervisor.executor]): run
+    the fresh queue items on remote workers, reporting through the same
+    [on_start]/[on_done] callbacks (keyed by fresh-array index) as the local
+    pool, and return the indices it could not complete — those degrade to
+    the local fork pool. *)
+type remote_executor = {
+  dispatch :
+    items:Queue.item array ->
+    config:Fuzzyflow.Difftest.config ->
+    static_gate:bool ->
+    certify_gate:bool ->
+    deadline_s:float ->
+    telemetry:Telemetry.t ->
+    on_start:(int -> int -> unit) ->
+    on_done:(int -> (Fuzzyflow.Campaign.instance_result, failure) result -> unit) ->
+    int list;
+}
 
 type options = {
   j : int;  (** worker pool size *)
@@ -45,6 +65,15 @@ type options = {
   limit_per : int option;
   static_gate : bool;
   certify_gate : bool;
+  remote : remote_executor option;
+      (** run fresh instances on remote workers first; unfinished work falls
+          back to the local pool with the [degraded] telemetry flag set *)
+  journal_sink : (string -> unit) option;
+      (** observes every journal line as it is flushed (streaming clients,
+          chaos hooks); fires even when [journal_path] is [None] *)
+  on_telemetry : (Telemetry.t -> unit) option;
+      (** receives the live telemetry handle once, before execution starts
+          (the service's HTTP endpoint reads it) *)
 }
 
 val default_options : options
@@ -55,9 +84,12 @@ val default_options : options
     journal is a clean prefix), persist failing cases to the corpus, and
     assemble the Table 2 summary from engine outcomes.
 
-    Verdicts are identical for any [j] — and to the serial
-    {!Fuzzyflow.Campaign.run} — because per-instance seeds derive from the
-    campaign seed and instance identity only. *)
+    Verdicts are identical for any [j], any remote worker topology — and the
+    serial {!Fuzzyflow.Campaign.run} — because per-instance seeds derive
+    from the campaign seed and instance identity only.
+
+    @raise Journal.Corrupt on resume from a journal with mid-file (non-tail)
+    corruption; a torn tail is truncated and counted in the footer instead. *)
 val run_campaign :
   ?options:options ->
   ?config:Fuzzyflow.Difftest.config ->

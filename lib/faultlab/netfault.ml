@@ -1,0 +1,137 @@
+(* A fault-injecting TCP proxy for chaos-testing the distributed campaign
+   service. Mirrors the Mpi_sim policy design: one deterministic policy names
+   the victim (connection index, server->client chunk index), whether the
+   fault is persistent, and a seed for corruption — so a chaos run is
+   replayable bit-for-bit.
+
+   The proxy is deliberately protocol-blind: it forwards raw bytes and
+   damages them at the transport level, exactly the faults the Wire layer's
+   checksums, version checks and timeouts exist to catch. *)
+
+type kind = Refuse | Corrupt | Disconnect | Stall
+
+let kind_to_string = function
+  | Refuse -> "refuse"
+  | Corrupt -> "corrupt"
+  | Disconnect -> "disconnect"
+  | Stall -> "stall"
+
+type policy = {
+  kind : kind;
+  victim_conn : int;  (* 0-based accepted-connection index *)
+  victim_chunk : int;  (* 0-based server->client read index within the conn *)
+  persistent : bool;  (* fault every conn from victim_conn on *)
+  seed : int;
+}
+
+type t = { pid : int; port : int }
+
+let applies policy conn =
+  conn = policy.victim_conn || (policy.persistent && conn > policy.victim_conn)
+
+let write_all fd buf n =
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write fd buf !off (n - !off)
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  ()
+
+(* Flip one seed-chosen bit near the tail of the victim chunk. The tail is
+   always payload (the frame header leads), so the damage must surface as a
+   checksum mismatch — a typed decode failure, never a verdict. Damaging the
+   header instead would also be caught, but as a length/timeout failure,
+   which would make the observed failure class depend on the seed. *)
+let corrupt_chunk ~seed buf n =
+  if n > 0 then begin
+    let off = n - 1 - (abs seed mod min n 8) in
+    let bit = abs (seed / 8) mod 8 in
+    Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor (1 lsl bit)))
+  end
+
+let relay ~policy ~conn client server =
+  let faulted = match policy with Some p -> applies p conn | None -> false in
+  let buf = Bytes.create 65536 in
+  let chunk = ref 0 in
+  let stalled = ref false in
+  let live = ref true in
+  while !live do
+    (match Unix.select [ client; server ] [] [] 1.0 with
+    | [], _, _ -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            let n = try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+            if n = 0 then live := false
+            else if !stalled then () (* black-hole both directions *)
+            else if fd == server then begin
+              let c = !chunk in
+              incr chunk;
+              match policy with
+              | Some p when faulted && c = p.victim_chunk -> (
+                  match p.kind with
+                  | Corrupt ->
+                      corrupt_chunk ~seed:p.seed buf n;
+                      write_all client buf n
+                  | Disconnect -> live := false
+                  | Stall -> stalled := true
+                  | Refuse -> write_all client buf n)
+              | _ -> write_all client buf n
+            end
+            else write_all server buf n)
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done
+
+let proxy_loop ~policy ~target_port sock =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let conn = ref 0 in
+  while true do
+    (match Unix.accept sock with
+    | client, _ ->
+        let c = !conn in
+        incr conn;
+        let refuse =
+          match policy with Some p -> p.kind = Refuse && applies p c | None -> false
+        in
+        if refuse then (try Unix.close client with Unix.Unix_error _ -> ())
+        else begin
+          (match
+             let server = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+             (try
+                Unix.connect server
+                  (Unix.ADDR_INET (Unix.inet_addr_loopback, target_port))
+              with e ->
+                (try Unix.close server with Unix.Unix_error _ -> ());
+                raise e);
+             server
+           with
+          | server ->
+              (try relay ~policy ~conn:c client server with _ -> ());
+              (try Unix.close server with Unix.Unix_error _ -> ())
+          | exception _ -> ());
+          try Unix.close client with Unix.Unix_error _ -> ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done
+
+let start ?policy ~target_port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen sock 16;
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  match Unix.fork () with
+  | 0 ->
+      (try proxy_loop ~policy ~target_port sock with _ -> ());
+      Unix._exit 0
+  | pid ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      { pid; port }
+
+let stop t =
+  (try Unix.kill t.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] t.pid) with Unix.Unix_error _ -> ()

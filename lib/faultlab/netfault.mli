@@ -1,0 +1,39 @@
+(** A fault-injecting TCP proxy for chaos-testing the distributed campaign
+    service.
+
+    Interposed between the supervisor and a worker, the proxy forwards raw
+    bytes and injects exactly one family of transport fault, chosen by a
+    deterministic {!policy} in the style of [Mpi_sim.Mpi.policy]: the victim
+    is named by accepted-connection index and by server-to-client chunk
+    index, [persistent] repeats the fault on every later connection, and
+    [seed] picks the corrupted bit — so a chaos run replays bit-for-bit.
+
+    The proxy never parses the wire protocol; the faults it injects are the
+    ones {!Engine.Wire}'s magic/version/checksum/timeout machinery owes
+    detection for, and the selfcheck net level scores that debt. *)
+
+type kind =
+  | Refuse  (** close the victim connection at accept, before any bytes *)
+  | Corrupt  (** flip one seed-chosen bit in the victim chunk *)
+  | Disconnect  (** drop both directions at the victim chunk *)
+  | Stall  (** black-hole all traffic from the victim chunk on *)
+
+val kind_to_string : kind -> string
+
+type policy = {
+  kind : kind;
+  victim_conn : int;  (** 0-based accepted-connection index *)
+  victim_chunk : int;  (** 0-based server-to-client read index *)
+  persistent : bool;  (** also fault every connection after the victim *)
+  seed : int;  (** corruption bit selector *)
+}
+
+type t = { pid : int; port : int }
+
+(** Fork a proxy in front of [127.0.0.1:target_port]; connect to
+    [127.0.0.1:(start ...).port] instead. [policy = None] relays
+    transparently. *)
+val start : ?policy:policy -> target_port:int -> unit -> t
+
+(** Kill the proxy process and reap it. Idempotent. *)
+val stop : t -> unit

@@ -1,14 +1,16 @@
-type level = L_interp | L_transform | L_mpi
+type level = L_interp | L_transform | L_mpi | L_net
 
 let level_to_string = function
   | L_interp -> "interp"
   | L_transform -> "transform"
   | L_mpi -> "mpi"
+  | L_net -> "net"
 
 let level_of_string = function
   | "interp" -> L_interp
   | "transform" -> L_transform
   | "mpi" -> L_mpi
+  | "net" -> L_net
   | s -> invalid_arg ("Plan.level_of_string: " ^ s)
 
 type expect = Must_semantics | Must_detect | Must_heal | Must_fault
@@ -30,6 +32,11 @@ type payload =
       expected_containers : string list;
     }
   | Mpi_disturbance of { policy : Mpi_sim.Mpi.policy; ranks : int; payload_len : int }
+  | Net_disturbance of {
+      net : Netfault.policy option;
+      kill_worker_after : int option;
+      workloads : string list;
+    }
 
 type spec = { id : string; level : level; expect : expect; descr : string; payload : payload }
 
@@ -178,6 +185,45 @@ let mpi_specs ~seed =
     mk "corrupt-persistent" Mpi_sim.Mpi.Corrupt 5 true Must_fault;
   ]
 
+(* ---- network / distributed-service specs ---------------------------------- *)
+
+(* Small workloads keep each chaos probe (one reference campaign + one
+   chaotic campaign, each forking per instance) inside the probe deadline. *)
+let net_workloads = [ "scale"; "axpy" ]
+
+(* Every spec is Must_heal: whatever the proxy or the worker's death does,
+   the supervised campaign must finish with a journal whose instance lines
+   are byte-identical to the same-seed [-j 1] run. Transient faults heal by
+   retry on the same worker; persistent ones by quarantine and degradation
+   to the local pool — both count, and the footer says which happened. *)
+let net_specs ~seed =
+  let mk name descr ?net ?kill () =
+    {
+      id = "net/" ^ name;
+      level = L_net;
+      expect = Must_heal;
+      descr;
+      payload = Net_disturbance { net; kill_worker_after = kill; workloads = net_workloads };
+    }
+  in
+  [
+    mk "refuse-first-connect" "first connect refused at the proxy (transient)"
+      ~net:{ Netfault.kind = Refuse; victim_conn = 0; victim_chunk = 0; persistent = false; seed }
+      ();
+    mk "corrupt-result-transient" "one bit of one worker reply flipped (transient)"
+      ~net:{ Netfault.kind = Corrupt; victim_conn = 0; victim_chunk = 1; persistent = false; seed }
+      ();
+    mk "disconnect-mid-result" "connection dropped at the first worker reply (transient)"
+      ~net:
+        { Netfault.kind = Disconnect; victim_conn = 0; victim_chunk = 1; persistent = false; seed }
+      ();
+    mk "stall-persistent" "all traffic black-holed from the first reply on, every connection"
+      ~net:{ Netfault.kind = Stall; victim_conn = 0; victim_chunk = 0; persistent = true; seed }
+      ();
+    mk "kill-worker-mid-campaign" "the only worker SIGKILLed after the first journaled instance"
+      ~kill:1 ();
+  ]
+
 (* ---- generated-workload specs -------------------------------------------- *)
 
 (* Same probing discipline as [transform_specs], but over an admitted batch
@@ -235,5 +281,7 @@ let catalog ?level ?generated ~seed () =
     | None -> []
     | Some (style, n) -> generated_specs ~seed ~style ~n
   in
-  let all = interp_specs () @ transform_specs ~seed @ gen_specs @ mpi_specs ~seed in
+  let all =
+    interp_specs () @ transform_specs ~seed @ gen_specs @ mpi_specs ~seed @ net_specs ~seed
+  in
   match level with None -> all | Some l -> List.filter (fun s -> s.level = l) all

@@ -6,7 +6,7 @@
     applicability before inclusion), so each one is a concrete detection
     obligation the selfcheck campaign scores. *)
 
-type level = L_interp | L_transform | L_mpi
+type level = L_interp | L_transform | L_mpi | L_net
 
 val level_to_string : level -> string
 
@@ -33,6 +33,12 @@ type payload =
       expected_containers : string list;  (** localization ground truth *)
     }
   | Mpi_disturbance of { policy : Mpi_sim.Mpi.policy; ranks : int; payload_len : int }
+  | Net_disturbance of {
+      net : Netfault.policy option;  (** proxy fault between supervisor and worker *)
+      kill_worker_after : int option;
+          (** SIGKILL the worker after this many journaled instances *)
+      workloads : string list;  (** the campaign both runs execute *)
+    }  (** chaos probe for the distributed campaign service; always [Must_heal] *)
 
 type spec = { id : string; level : level; expect : expect; descr : string; payload : payload }
 
@@ -43,7 +49,8 @@ type spec = { id : string; level : level; expect : expect; descr : string; paylo
 val workload_by_name : string -> Sdfg.Graph.t
 
 (** The full deterministic catalog for a campaign seed, optionally filtered
-    to one level. Spec order is stable: interp, transform, generated, mpi.
+    to one level. Spec order is stable: interp, transform, generated, mpi,
+    net.
     [generated:(style, n)] additionally probes transform mutations over the
     first [n] admitted generated programs of [(style, seed)] — the generator
     as a selfcheck subject; those specs carry level [L_transform]. *)

@@ -27,6 +27,15 @@ type probe_result =
       retransmits : int;
       backoff : int;
     }
+  | R_net of {
+      identical : bool;
+          (** chaos journal's instance lines byte-identical to the same-seed
+              serial reference *)
+      degraded : bool;  (** campaign fell back to the local pool *)
+      evidence : string list;
+          (** sorted distinct failure-class names the supervisor observed —
+              qualitative only, so reruns stay byte-identical *)
+    }
 
 type outcome =
   | Detected of { got : string; first_trial : int }
@@ -240,6 +249,114 @@ let mpi_probe ~policy ~ranks ~len =
           backoff = 0;
         }
 
+(* ---- network / distributed-service chaos probe --------------------------- *)
+
+let instance_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.length l >= 18 && String.sub l 0 18 = {|{"type":"instance"|} then
+         lines := l :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+(* Two campaigns over the same tiny workload set and seed: a serial local
+   reference, then a remote run through one worker process — fronted by the
+   fault-injecting proxy and/or SIGKILLed mid-campaign per the spec. The
+   probe's only quantitative claim is byte-identity of the journals' instance
+   lines; everything else (which failure classes fired, whether the run
+   degraded to the local pool) is qualitative evidence, so the report stays
+   deterministic across reruns. *)
+let net_probe ~trials ~spec_seed ~net ~kill_worker_after ~workloads =
+  let programs = List.map (fun w -> (w, Plan.workload_by_name w)) workloads in
+  let xforms =
+    match Transforms.Registry.all_correct () with
+    | a :: b :: _ -> [ a; b ]
+    | l -> l
+  in
+  let config = { Difftest.default_config with trials; seed = spec_seed } in
+  let base =
+    {
+      Engine.Worker.default_options with
+      deadline_s = 20.;
+      limit_per = Some 2;
+    }
+  in
+  let journal_a = Filename.temp_file "ffnet_ref" ".jsonl" in
+  let journal_b = Filename.temp_file "ffnet_chaos" ".jsonl" in
+  let worker_sock, worker_port = Engine.Supervisor.listen_on ~port:0 () in
+  let worker_pid =
+    match Unix.fork () with
+    | 0 ->
+        (try Engine.Supervisor.serve_worker ~catalog:xforms worker_sock with _ -> ());
+        Unix._exit 0
+    | pid ->
+        (try Unix.close worker_sock with Unix.Unix_error _ -> ());
+        pid
+  in
+  let proxy = Option.map (fun p -> Netfault.start ~policy:p ~target_port:worker_port ()) net in
+  let cleanup () =
+    (try Unix.kill worker_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] worker_pid) with Unix.Unix_error _ -> ());
+    Option.iter Netfault.stop proxy;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ journal_a; journal_b ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  ignore
+    (Engine.Worker.run_campaign
+       ~options:{ base with journal_path = Some journal_a }
+       ~config programs xforms);
+  let evidence = ref [] in
+  let events =
+    {
+      Engine.Supervisor.null_events with
+      on_failure =
+        (fun _ cls -> evidence := Engine.Supervisor.failure_class_name cls :: !evidence);
+    }
+  in
+  let policy =
+    {
+      Engine.Supervisor.connect_timeout_s = 2.;
+      heartbeat_s = 2.;
+      hang_grace_s = 2.;
+      max_failures = 2;
+      backoff_base_s = 0.05;
+      backoff_max_s = 0.2;
+    }
+  in
+  let port = match proxy with Some p -> p.Netfault.port | None -> worker_port in
+  let seen = ref 0 in
+  let sink line =
+    if String.length line >= 18 && String.sub line 0 18 = {|{"type":"instance"|} then begin
+      incr seen;
+      match kill_worker_after with
+      | Some k when !seen = k -> (
+          try Unix.kill worker_pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | _ -> ()
+    end
+  in
+  let remote =
+    Engine.Supervisor.executor ~policy ~events
+      ~workers:[ { Engine.Supervisor.host = "127.0.0.1"; port } ]
+      ()
+  in
+  ignore
+    (Engine.Worker.run_campaign
+       ~options:
+         { base with journal_path = Some journal_b; remote = Some remote; journal_sink = Some sink }
+       ~config programs xforms);
+  let identical = instance_lines journal_a = instance_lines journal_b in
+  let degraded =
+    List.exists
+      (function Engine.Journal.Footer f -> f.Engine.Journal.degraded | _ -> false)
+      (Engine.Journal.load journal_b)
+  in
+  R_net { identical; degraded; evidence = List.sort_uniq compare !evidence }
+
 let probe_spec ~trials ~seed (spec : Plan.spec) =
   let spec_seed = Campaign.instance_seed ~global:seed spec.Plan.id in
   match spec.Plan.payload with
@@ -249,6 +366,8 @@ let probe_spec ~trials ~seed (spec : Plan.spec) =
         ~expected_containers
   | Plan.Mpi_disturbance { policy; ranks; payload_len } ->
       mpi_probe ~policy ~ranks ~len:payload_len
+  | Plan.Net_disturbance { net; kill_worker_after; workloads } ->
+      net_probe ~trials ~spec_seed ~net ~kill_worker_after ~workloads
 
 (* ---- classification ------------------------------------------------------ *)
 
@@ -288,22 +407,38 @@ let classify (spec : Plan.spec) (r : probe_result) =
           detail =
             (if data_ok then "persistent fault healed silently" else "no typed fault; data corrupted");
         }
+  (* chaos probes: healing means the supervised campaign absorbed a fault it
+     provably saw (typed failure classes fired) and still produced instance
+     lines byte-identical to the serial reference *)
+  | Plan.Must_heal, R_net { identical = true; degraded; evidence = _ :: _ as ev } ->
+      Detected
+        {
+          got =
+            Printf.sprintf "healed (%s%s)" (String.concat "," ev)
+              (if degraded then "; degraded to local pool" else "");
+          first_trial = 0;
+        }
+  | Plan.Must_heal, R_net { identical = true; evidence = []; _ } ->
+      Missed { detail = "fault never armed: no worker failure observed" }
+  | Plan.Must_heal, R_net { identical = false; _ } ->
+      Missed { detail = "journal instance lines diverged from the serial reference" }
   | (Plan.Must_heal | Plan.Must_fault), R_verdict _
-  | (Plan.Must_semantics | Plan.Must_detect), R_mpi _ ->
+  | (Plan.Must_semantics | Plan.Must_detect), (R_mpi _ | R_net _)
+  | Plan.Must_fault, R_net _ ->
       Quarantined { detail = "probe returned a mismatched result shape" }
 
 let localized_of = function
   | R_verdict { localized; _ } -> localized
-  | R_mpi _ -> None
+  | R_mpi _ | R_net _ -> None
 
 let audit_of = function
   | R_verdict { audit_flagged; _ } -> audit_flagged
-  | R_mpi _ -> None
+  | R_mpi _ | R_net _ -> None
 
 let dep_of = function
   | R_verdict { dep_witness = Some _; dep_confirmed; _ } ->
       Some (dep_confirmed = Some true)
-  | R_verdict { dep_witness = None; _ } | R_mpi _ -> None
+  | R_verdict { dep_witness = None; _ } | R_mpi _ | R_net _ -> None
 
 (* ---- campaign ------------------------------------------------------------ *)
 
@@ -388,6 +523,8 @@ type totals = {
   semantics_detected : int;
   mpi_total : int;
   mpi_detected : int;
+  net_total : int;  (** distributed-service chaos specs, quarantined excluded *)
+  net_detected : int;
   loc_checked : int;
   loc_accurate : int;
   dep_expected : int;
@@ -412,6 +549,8 @@ let totals (r : report) =
       semantics_detected = 0;
       mpi_total = 0;
       mpi_detected = 0;
+      net_total = 0;
+      net_detected = 0;
       loc_checked = 0;
       loc_accurate = 0;
       dep_expected = 0;
@@ -429,6 +568,7 @@ let totals (r : report) =
         && (spec.Plan.level = Plan.L_interp || spec.Plan.level = Plan.L_transform)
       in
       let mpi = (not quarantined) && spec.Plan.level = Plan.L_mpi in
+      let net = (not quarantined) && spec.Plan.level = Plan.L_net in
       let sem = spec.Plan.expect = Plan.Must_semantics in
       let dep_spec =
         (not quarantined)
@@ -449,6 +589,8 @@ let totals (r : report) =
         semantics_detected = (t.semantics_detected + if sem then hit else 0);
         mpi_total = (t.mpi_total + if mpi then 1 else 0);
         mpi_detected = (t.mpi_detected + if mpi then hit else 0);
+        net_total = (t.net_total + if net then 1 else 0);
+        net_detected = (t.net_detected + if net then hit else 0);
         loc_checked = (t.loc_checked + match localized with Some _ -> 1 | None -> 0);
         loc_accurate = (t.loc_accurate + match localized with Some true -> 1 | _ -> 0);
         dep_expected = (t.dep_expected + if dep_spec then 1 else 0);
@@ -512,10 +654,12 @@ let render r =
            (if attempts > 1 then Printf.sprintf " · %d attempts" attempts else "")))
     r.rows;
   Buffer.add_string b
-    (Printf.sprintf "detection: %d/%d core (%.1f%%) · %d/%d mpi · semantics gate %d/%d\n"
+    (Printf.sprintf
+       "detection: %d/%d core (%.1f%%) · %d/%d mpi · %d/%d net · semantics gate %d/%d\n"
        t.core_detected t.core_total
        (100. *. detection_rate r)
-       t.mpi_detected t.mpi_total t.semantics_detected t.semantics_total);
+       t.mpi_detected t.mpi_total t.net_detected t.net_total t.semantics_detected
+       t.semantics_total);
   Buffer.add_string b
     (Printf.sprintf
        "misclassified: %d · quarantined: %d · localization: %d/%d accurate · extra attempts: %d\n"
@@ -600,6 +744,8 @@ let to_jsonl r =
             ("semantics_total", Json.Num (float_of_int t.semantics_total));
             ("mpi_detected", Json.Num (float_of_int t.mpi_detected));
             ("mpi_total", Json.Num (float_of_int t.mpi_total));
+            ("net_detected", Json.Num (float_of_int t.net_detected));
+            ("net_total", Json.Num (float_of_int t.net_total));
             ("localization_checked", Json.Num (float_of_int t.loc_checked));
             ("localization_accurate", Json.Num (float_of_int t.loc_accurate));
             ("dep_expected", Json.Num (float_of_int t.dep_expected));

@@ -39,6 +39,17 @@ type probe_result =
       retransmits : int;
       backoff : int;
     }
+  | R_net of {
+      identical : bool;
+          (** the chaos campaign's journal instance lines are byte-identical
+              to the same-seed serial reference *)
+      degraded : bool;  (** the campaign fell back to the local pool *)
+      evidence : string list;
+          (** sorted distinct {!Engine.Supervisor.failure_class} names the
+              supervisor observed; empty means the fault never armed *)
+    }
+      (** distributed-service chaos probe: a serial reference campaign versus
+          the same campaign through a proxied/killed remote worker *)
 
 type outcome =
   | Detected of { got : string; first_trial : int }
@@ -100,6 +111,8 @@ type totals = {
   semantics_detected : int;
   mpi_total : int;
   mpi_detected : int;
+  net_total : int;  (** distributed-service chaos specs, quarantined excluded *)
+  net_detected : int;
   loc_checked : int;
   loc_accurate : int;
   dep_expected : int;

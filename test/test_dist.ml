@@ -1,0 +1,489 @@
+(* The distributed campaign service: wire-protocol integrity, the supervisor's
+   typed failure taxonomy (each failure forced by a hostile fake worker), and
+   the chaos gates — whatever the fleet does, verdicts match the serial run. *)
+
+open Fuzzyflow
+
+let config =
+  { Difftest.default_config with trials = 5; max_size = 8; concretization = [ ("N", 8) ] }
+
+let good () = Transforms.Map_tiling.make ~tile_size:4 Transforms.Map_tiling.Correct
+let bad () = Transforms.Vectorization.make ~width:4 Transforms.Vectorization.Assume_divisible
+
+let programs () =
+  [ ("scale", Workloads.Npbench.scale ()); ("axpy", Workloads.Npbench.axpy ()) ]
+
+let verdict_key (o : Campaign.outcome) =
+  (o.o_program, o.o_xform, Transforms.Xform.site_slug o.o_site, o.o_verdict, o.o_seed)
+
+let keys (c : Campaign.t) = List.map verdict_key c.Campaign.outcomes
+
+(* quick-failing supervision so taxonomy tests stay fast *)
+let fast_policy =
+  {
+    Engine.Supervisor.connect_timeout_s = 1.0;
+    heartbeat_s = 0.4;
+    hang_grace_s = 0.3;
+    max_failures = 2;
+    backoff_base_s = 0.02;
+    backoff_max_s = 0.1;
+  }
+
+(* ---------------- wire protocol ---------------- *)
+
+let pipe_pair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let raw_write fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let wire_tests =
+  [
+    Alcotest.test_case "messages round-trip through a socketpair" `Quick (fun () ->
+        let a, b = pipe_pair () in
+        let sub =
+          {
+            Engine.Wire.s_workloads = [ "scale"; "axpy" ];
+            s_correct = true;
+            s_trials = 7;
+            s_seed = 99;
+            s_max_size = 16;
+            s_defines = [ ("N", 8) ];
+            s_limit_per = Some 2;
+            s_static_gate = false;
+            s_certify_gate = true;
+          }
+        in
+        Engine.Wire.write_message a (Engine.Wire.Submit sub);
+        (match Engine.Wire.read_message ~timeout_s:5. b with
+        | Engine.Wire.Submit sub' -> Alcotest.(check bool) "submission" true (sub' = sub)
+        | _ -> Alcotest.fail "expected Submit");
+        Engine.Wire.write_message b (Engine.Wire.Pong 42);
+        (match Engine.Wire.read_message ~timeout_s:5. a with
+        | Engine.Wire.Pong 42 -> ()
+        | _ -> Alcotest.fail "expected Pong 42");
+        Unix.close a;
+        Unix.close b);
+    Alcotest.test_case "a flipped payload byte is a Protocol_error, not a message" `Quick
+      (fun () ->
+        let a, b = pipe_pair () in
+        let frame = Bytes.of_string (Engine.Wire.encode (Engine.Wire.Ping 7)) in
+        let off = Engine.Wire.header_len in
+        Bytes.set frame off (Char.chr (Char.code (Bytes.get frame off) lxor 0x10));
+        raw_write a (Bytes.to_string frame);
+        (match Engine.Wire.read_message ~timeout_s:5. b with
+        | _ -> Alcotest.fail "corrupt frame decoded"
+        | exception Engine.Wire.Protocol_error d ->
+            Alcotest.(check bool) "checksum named" true
+              (String.length d > 0 && String.sub d 0 8 = "checksum"));
+        Unix.close a;
+        Unix.close b);
+    Alcotest.test_case "a forged protocol version is Bad_version before any decode" `Quick
+      (fun () ->
+        let a, b = pipe_pair () in
+        raw_write a (Engine.Wire.encode ~proto:99 (Engine.Wire.Ping 1));
+        (match Engine.Wire.read_message ~timeout_s:5. b with
+        | _ -> Alcotest.fail "mismatched frame decoded"
+        | exception Engine.Wire.Bad_version { ours; theirs } ->
+            Alcotest.(check int) "ours" Engine.Wire.protocol_version ours;
+            Alcotest.(check int) "theirs" 99 theirs);
+        Unix.close a;
+        Unix.close b);
+    Alcotest.test_case "EOF mid-frame is Closed" `Quick (fun () ->
+        let a, b = pipe_pair () in
+        let frame = Engine.Wire.encode (Engine.Wire.Ping 1) in
+        raw_write a (String.sub frame 0 (Engine.Wire.header_len + 1));
+        Unix.close a;
+        (match Engine.Wire.read_message ~timeout_s:5. b with
+        | _ -> Alcotest.fail "truncated frame decoded"
+        | exception Engine.Wire.Closed -> ());
+        Unix.close b);
+    Alcotest.test_case "endpoints parse and print" `Quick (fun () ->
+        let ep = Engine.Supervisor.endpoint_of_string "10.0.0.5:7411" in
+        Alcotest.(check string) "host" "10.0.0.5" ep.Engine.Supervisor.host;
+        Alcotest.(check int) "port" 7411 ep.Engine.Supervisor.port;
+        Alcotest.(check string) "default host" "127.0.0.1"
+          (Engine.Supervisor.endpoint_of_string ":8000").Engine.Supervisor.host;
+        (match Engine.Supervisor.endpoint_of_string "nonsense" with
+        | _ -> Alcotest.fail "parsed a portless endpoint"
+        | exception Invalid_argument _ -> ()));
+    Alcotest.test_case "backoff is deterministic, positive and bounded" `Quick (fun () ->
+        let ep = { Engine.Supervisor.host = "127.0.0.1"; port = 7411 } in
+        let d n =
+          Engine.Supervisor.backoff_delay ~policy:fast_policy ~ep ~failures:n ~seed:1234
+        in
+        Alcotest.(check (float 1e-12)) "deterministic" (d 3) (d 3);
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) "positive" true (d n > 0.);
+            Alcotest.(check bool) "bounded" true
+              (d n <= fast_policy.Engine.Supervisor.backoff_max_s *. 2.))
+          [ 1; 2; 3; 8 ]);
+  ]
+
+(* ---------------- fake workers forcing each failure class ---------------- *)
+
+(* Fork a server whose per-connection behaviour is [behave]; returns its pid
+   and port. The child never returns into the test runner. *)
+let fake_server behave =
+  let sock, port = Engine.Supervisor.listen_on ~port:0 () in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      (try
+         while true do
+           let client, _ = Unix.accept sock in
+           (try behave client with _ -> ());
+           try Unix.close client with Unix.Unix_error _ -> ()
+         done
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (pid, port)
+
+let stop_server pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let handshake client =
+  match Engine.Wire.read_message ~timeout_s:5. client with
+  | Engine.Wire.Hello _ ->
+      Engine.Wire.write_message ~timeout_s:5. client
+        (Engine.Wire.Hello_ack { proto = Engine.Wire.protocol_version })
+  | _ -> ()
+
+(* an ephemeral port with nothing behind it: real ECONNREFUSED *)
+let dead_port () =
+  let sock, port = Engine.Supervisor.listen_on ~port:0 () in
+  Unix.close sock;
+  port
+
+(* Run a small campaign against [port], collecting observed failure classes
+   and the telemetry handle; returns (campaign, classes, degraded). *)
+let run_against ?(deadline_s = 10.) port =
+  let classes = ref [] in
+  let events =
+    {
+      Engine.Supervisor.null_events with
+      on_failure =
+        (fun _ cls -> classes := Engine.Supervisor.failure_class_name cls :: !classes);
+    }
+  in
+  let remote =
+    Engine.Supervisor.executor ~policy:fast_policy ~events
+      ~workers:[ { Engine.Supervisor.host = "127.0.0.1"; port } ]
+      ()
+  in
+  let handle = ref None in
+  let c =
+    Engine.Worker.run_campaign
+      ~options:
+        {
+          Engine.Worker.default_options with
+          deadline_s;
+          remote = Some remote;
+          on_telemetry = Some (fun t -> handle := Some t);
+        }
+      ~config
+      [ ("scale", Workloads.Npbench.scale ()) ]
+      [ good () ]
+  in
+  let degraded =
+    match !handle with Some t -> Engine.Telemetry.degraded t | None -> false
+  in
+  (c, List.sort_uniq compare !classes, degraded)
+
+let reference () =
+  Engine.Worker.run_campaign ~options:Engine.Worker.default_options ~config
+    [ ("scale", Workloads.Npbench.scale ()) ]
+    [ good () ]
+
+let check_heals ~expect_class (c, classes, degraded) =
+  Alcotest.(check bool) "verdicts match the local run" true (keys c = keys (reference ()));
+  Alcotest.(check bool)
+    (Printf.sprintf "observed %s (got: %s)" expect_class (String.concat "," classes))
+    true (List.mem expect_class classes);
+  Alcotest.(check bool) "degraded to local pool" true degraded
+
+let taxonomy_tests =
+  [
+    Alcotest.test_case "dead endpoint: connect-refused, then local fallback" `Quick (fun () ->
+        check_heals ~expect_class:"connect-refused" (run_against (dead_port ())));
+    Alcotest.test_case "version-mismatched worker is rejected before payload decode" `Quick
+      (fun () ->
+        let pid, port =
+          fake_server (fun client ->
+              match Engine.Wire.read_message ~timeout_s:5. client with
+              | Engine.Wire.Hello _ ->
+                  raw_write client
+                    (Engine.Wire.encode ~proto:99
+                       (Engine.Wire.Hello_ack { proto = 99 }));
+                  ignore (Unix.select [] [] [] 0.2)
+              | _ -> ())
+        in
+        Fun.protect ~finally:(fun () -> stop_server pid) @@ fun () ->
+        check_heals ~expect_class:"version-mismatch" (run_against port));
+    Alcotest.test_case "disconnect mid-instance is typed, requeued, never a verdict" `Quick
+      (fun () ->
+        let pid, port =
+          fake_server (fun client ->
+              handshake client;
+              (* accept the assignment, then die without answering *)
+              ignore (Engine.Wire.read_message ~timeout_s:5. client))
+        in
+        Fun.protect ~finally:(fun () -> stop_server pid) @@ fun () ->
+        check_heals ~expect_class:"disconnect" (run_against port));
+    Alcotest.test_case "undecodable reply is a decode failure, not a verdict" `Quick (fun () ->
+        let pid, port =
+          fake_server (fun client ->
+              handshake client;
+              match Engine.Wire.read_message ~timeout_s:5. client with
+              | Engine.Wire.Assign _ ->
+                  (* valid header and checksum around garbage: only the
+                     payload decode can catch this one *)
+                  raw_write client (Engine.Wire.encode_frame "not a marshalled message");
+                  ignore (Unix.select [] [] [] 0.2)
+              | _ -> ())
+        in
+        Fun.protect ~finally:(fun () -> stop_server pid) @@ fun () ->
+        check_heals ~expect_class:"decode-failure" (run_against port));
+    Alcotest.test_case "a worker that hangs past the deadline is failed as a hang" `Quick
+      (fun () ->
+        let pid, port =
+          fake_server (fun client ->
+              handshake client;
+              match Engine.Wire.read_message ~timeout_s:5. client with
+              | Engine.Wire.Assign _ -> ignore (Unix.select [] [] [] 30.)
+              | _ -> ())
+        in
+        Fun.protect ~finally:(fun () -> stop_server pid) @@ fun () ->
+        check_heals ~expect_class:"hang" (run_against ~deadline_s:0.7 port));
+    Alcotest.test_case "worker refusing an assignment: campaign still completes" `Quick
+      (fun () ->
+        let pid, port =
+          fake_server (fun client ->
+              handshake client;
+              let rec serve () =
+                match Engine.Wire.read_message ~timeout_s:5. client with
+                | Engine.Wire.Assign { Engine.Wire.a_idx; _ } ->
+                    Engine.Wire.write_message ~timeout_s:5. client
+                      (Engine.Wire.Refused { r_idx = a_idx; r_detail = "not today" });
+                    serve ()
+                | _ -> ()
+              in
+              serve ())
+        in
+        Fun.protect ~finally:(fun () -> stop_server pid) @@ fun () ->
+        check_heals ~expect_class:"decode-failure" (run_against port));
+  ]
+
+(* ---------------- real workers: happy path and chaos ---------------- *)
+
+let spawn_worker xforms =
+  let sock, port = Engine.Supervisor.listen_on ~port:0 () in
+  match Unix.fork () with
+  | 0 ->
+      (try Engine.Supervisor.serve_worker ~catalog:xforms sock with _ -> ());
+      Unix._exit 0
+  | pid ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (pid, port)
+
+let dist_tests =
+  [
+    Alcotest.test_case "two live workers produce the serial verdicts, no degradation" `Quick
+      (fun () ->
+        let xforms = [ good (); bad () ] in
+        let p1, port1 = spawn_worker xforms in
+        let p2, port2 = spawn_worker xforms in
+        Fun.protect
+          ~finally:(fun () ->
+            stop_server p1;
+            stop_server p2)
+        @@ fun () ->
+        let handle = ref None in
+        let remote =
+          Engine.Supervisor.executor ~policy:fast_policy
+            ~workers:
+              [
+                { Engine.Supervisor.host = "127.0.0.1"; port = port1 };
+                { Engine.Supervisor.host = "127.0.0.1"; port = port2 };
+              ]
+            ()
+        in
+        let c =
+          Engine.Worker.run_campaign
+            ~options:
+              {
+                Engine.Worker.default_options with
+                remote = Some remote;
+                on_telemetry = Some (fun t -> handle := Some t);
+              }
+            ~config (programs ()) xforms
+        in
+        let serial = Campaign.run ~config (programs ()) xforms in
+        Alcotest.(check bool) "remote = serial" true (keys c = keys serial);
+        Alcotest.(check int) "failures found" 2 c.Campaign.total_failed;
+        (match !handle with
+        | Some t -> Alcotest.(check bool) "not degraded" false (Engine.Telemetry.degraded t)
+        | None -> Alcotest.fail "telemetry handle never arrived"));
+    Alcotest.test_case "proxy-corrupted reply heals by retry on the same worker" `Quick
+      (fun () ->
+        let xforms = [ good () ] in
+        let wpid, wport = spawn_worker xforms in
+        let proxy =
+          Faultlab.Netfault.start
+            ~policy:
+              {
+                Faultlab.Netfault.kind = Faultlab.Netfault.Corrupt;
+                victim_conn = 0;
+                victim_chunk = 1;
+                persistent = false;
+                seed = 7;
+              }
+            ~target_port:wport ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Faultlab.Netfault.stop proxy;
+            stop_server wpid)
+        @@ fun () ->
+        let c, classes, degraded = run_against proxy.Faultlab.Netfault.port in
+        Alcotest.(check bool) "verdicts match" true (keys c = keys (reference ()));
+        Alcotest.(check bool)
+          (Printf.sprintf "decode failure observed (got: %s)" (String.concat "," classes))
+          true
+          (List.mem "decode-failure" classes);
+        Alcotest.(check bool) "healed remotely, no degradation" false degraded);
+    Alcotest.test_case "worker SIGKILLed mid-campaign: byte-identical journal, degraded" `Quick
+      (fun () ->
+        let xforms = [ good (); bad () ] in
+        let wpid, wport = spawn_worker xforms in
+        Fun.protect ~finally:(fun () -> stop_server wpid) @@ fun () ->
+        let mk_journal () = Filename.temp_file "ffdistkill" ".jsonl" in
+        let ref_path = mk_journal () and chaos_path = mk_journal () in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ ref_path; chaos_path ])
+        @@ fun () ->
+        ignore
+          (Engine.Worker.run_campaign
+             ~options:{ Engine.Worker.default_options with journal_path = Some ref_path }
+             ~config (programs ()) xforms);
+        let is_instance l =
+          String.length l >= 18 && String.sub l 0 18 = {|{"type":"instance"|}
+        in
+        let seen = ref 0 in
+        let sink l =
+          if is_instance l then begin
+            incr seen;
+            if !seen = 1 then try Unix.kill wpid Sys.sigkill with Unix.Unix_error _ -> ()
+          end
+        in
+        let handle = ref None in
+        let remote =
+          Engine.Supervisor.executor ~policy:fast_policy
+            ~workers:[ { Engine.Supervisor.host = "127.0.0.1"; port = wport } ]
+            ()
+        in
+        ignore
+          (Engine.Worker.run_campaign
+             ~options:
+               {
+                 Engine.Worker.default_options with
+                 journal_path = Some chaos_path;
+                 remote = Some remote;
+                 journal_sink = Some sink;
+                 on_telemetry = Some (fun t -> handle := Some t);
+               }
+             ~config (programs ()) xforms);
+        let lines path =
+          let ic = open_in path in
+          let ls = ref [] in
+          (try
+             while true do
+               let l = input_line ic in
+               if is_instance l then ls := l :: !ls
+             done
+           with End_of_file -> ());
+          close_in ic;
+          List.rev !ls
+        in
+        Alcotest.(check bool) "instance lines byte-identical" true
+          (lines ref_path = lines chaos_path);
+        Alcotest.(check bool) "instance lines nonempty" true (lines ref_path <> []);
+        match !handle with
+        | Some t ->
+            Alcotest.(check bool) "degraded after losing the only worker" true
+              (Engine.Telemetry.degraded t)
+        | None -> Alcotest.fail "telemetry handle never arrived");
+  ]
+
+(* ---------------- torn-result robustness on the worker side -------------- *)
+
+let assignment_tests =
+  [
+    Alcotest.test_case "an assignment naming an unknown transform is Refused" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let x = good () in
+        let site = List.hd (x.Transforms.Xform.find g) in
+        let a =
+          {
+            Engine.Wire.a_idx = 3;
+            a_program = "scale";
+            a_graph = Marshal.to_string g [];
+            a_xform = "NoSuchTransform";
+            a_site = site;
+            a_config = config;
+            a_static_gate = false;
+            a_certify_gate = false;
+            a_deadline_s = 10.;
+          }
+        in
+        match Engine.Supervisor.run_assignment ~catalog:[ x ] a with
+        | Engine.Wire.Refused { r_idx = 3; r_detail } ->
+            Alcotest.(check bool) "detail names the transform" true
+              (String.length r_detail > 0)
+        | _ -> Alcotest.fail "expected Refused");
+    Alcotest.test_case "a well-formed assignment executes like the local pool" `Quick (fun () ->
+        let g = Workloads.Npbench.scale () in
+        let x = good () in
+        let site = List.hd (x.Transforms.Xform.find g) in
+        let seed = Campaign.instance_seed ~global:config.Difftest.seed "whatever" in
+        let iconfig = { config with Difftest.seed } in
+        let a =
+          {
+            Engine.Wire.a_idx = 0;
+            a_program = "scale";
+            a_graph = Marshal.to_string g [];
+            a_xform = x.Transforms.Xform.name;
+            a_site = site;
+            a_config = iconfig;
+            a_static_gate = false;
+            a_certify_gate = false;
+            a_deadline_s = 10.;
+          }
+        in
+        match Engine.Supervisor.run_assignment ~catalog:[ x ] a with
+        | Engine.Wire.Result { r_idx = 0; r_status = Campaign.Completed; r_payload = Some r } ->
+            let local = Campaign.run_instance ~config:iconfig ~program:("scale", g) x site in
+            (* everything verdict-bearing must agree; only wall-clock fields
+               ([report.elapsed_s]) may differ between the two executions *)
+            let key (r : Campaign.instance_result) =
+              ( r.Campaign.program,
+                r.Campaign.xform_name,
+                Transforms.Xform.site_slug r.Campaign.site,
+                Option.map (fun (rep : Difftest.report) -> rep.Difftest.verdict) r.Campaign.report
+              )
+            in
+            Alcotest.(check bool) "same verdict-bearing result" true (key r = key local)
+        | _ -> Alcotest.fail "expected a completed Result");
+  ]
+
+let () =
+  Alcotest.run "dist"
+    [
+      ("wire", wire_tests);
+      ("taxonomy", taxonomy_tests);
+      ("dist", dist_tests);
+      ("assignment", assignment_tests);
+    ]

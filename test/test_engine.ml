@@ -111,6 +111,11 @@ let journal_tests =
             trials_spent = 15;
             wall_s = 1.5;
             instances_per_s = 2.6666;
+            retries = 3;
+            quarantined = 1;
+            worker_lost = 2;
+            degraded = true;
+            recovered_records = 1;
           }
         in
         Alcotest.(check bool) "footer" true
@@ -174,6 +179,41 @@ let journal_tests =
         Alcotest.(check bool) "warning names the file" true (contains w path);
         Alcotest.(check bool) "warning carries the line number" true (contains w ":2:");
         Alcotest.(check bool) "warning previews the torn line" true (contains w "torn-mid-wri"));
+    Alcotest.test_case "load_resume repairs a torn tail and counts the recovery" `Quick
+      (fun () ->
+        let path = Filename.temp_file "ffresume" ".jsonl" in
+        let oc = open_out path in
+        output_string oc
+          (Engine.Journal.instance_line (sample_outcome Campaign.O_passed Campaign.Completed));
+        output_char oc '\n';
+        output_string oc
+          (Engine.Journal.instance_line (sample_outcome Campaign.O_proved Campaign.Completed));
+        output_char oc '\n';
+        output_string oc "{\"type\":\"instance\",\"id\":\"torn";
+        close_out oc;
+        let loaded = Engine.Journal.load_resume path in
+        Alcotest.(check int) "clean records kept" 2 (List.length loaded.Engine.Journal.records);
+        Alcotest.(check int) "tear counted" 1 loaded.Engine.Journal.recovered_records;
+        (* repair truncated the torn record on disk: a second load is clean *)
+        let again = Engine.Journal.load_resume path in
+        Sys.remove path;
+        Alcotest.(check int) "repaired on disk" 0 again.Engine.Journal.recovered_records;
+        Alcotest.(check int) "records stable" 2 (List.length again.Engine.Journal.records));
+    Alcotest.test_case "load_resume refuses mid-file corruption with a typed error" `Quick
+      (fun () ->
+        let path = Filename.temp_file "ffcorrupt" ".jsonl" in
+        let oc = open_out path in
+        output_string oc "{\"type\":\"instance\",\"id\":\"damaged-in-place\n";
+        output_string oc
+          (Engine.Journal.instance_line (sample_outcome Campaign.O_passed Campaign.Completed));
+        output_char oc '\n';
+        close_out oc;
+        (match Engine.Journal.load_resume path with
+        | _ -> Alcotest.fail "mid-file corruption accepted"
+        | exception Engine.Journal.Corrupt { lineno; path = p; _ } ->
+            Alcotest.(check int) "corrupt line identified" 1 lineno;
+            Alcotest.(check string) "path carried" path p);
+        Sys.remove path);
   ]
 
 (* ---------------- worker supervision ---------------- *)
@@ -260,6 +300,32 @@ let worker_tests =
             | Ok v -> Alcotest.(check int) "ordered" (i * 10) v
             | Error _ -> Alcotest.fail "unexpected failure")
           rs);
+    Alcotest.test_case "sleep-waiting pool still kills close to the deadline" `Quick (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let rs =
+          Engine.Worker.map_pool ~j:2 ~deadline_s:0.5
+            [|
+              (fun () ->
+                Unix.sleep 30;
+                0);
+              (fun () -> 1);
+            |]
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (match rs.(0) with
+        | Error (Engine.Worker.Timed_out { deadline_s }) ->
+            Alcotest.(check (float 1e-9)) "deadline recorded" 0.5 deadline_s
+        | _ -> Alcotest.fail "expected Timed_out");
+        (match rs.(1) with
+        | Ok 1 -> ()
+        | _ -> Alcotest.fail "fast sibling unaffected");
+        (* the reap loop sleeps on the SIGCHLD self-pipe bounded by the next
+           child deadline — overrun must stay close to the 0.5s budget, not
+           drift to the old busy-poll granularity or a full select cap *)
+        Alcotest.(check bool)
+          (Printf.sprintf "killed near the deadline (%.2fs elapsed)" elapsed)
+          true
+          (elapsed >= 0.5 && elapsed < 1.5));
   ]
 
 (* ---------------- engine campaigns ---------------- *)
@@ -409,6 +475,37 @@ let engine_tests =
         | _ -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
         Sys.remove path);
+    Alcotest.test_case "resume across a torn tail completes and counts the recovery" `Quick
+      (fun () ->
+        let xforms = [ good (); bad () ] in
+        let path = Filename.temp_file "fftear" ".jsonl" in
+        let options = { Engine.Worker.default_options with journal_path = Some path } in
+        let full = Engine.Worker.run_campaign ~options ~config (programs ()) xforms in
+        (* simulate a crash mid-append: a partial record with no newline *)
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "{\"type\":\"instance\",\"id\":\"crashed-mid-wri";
+        close_out oc;
+        let resumed =
+          Engine.Worker.run_campaign
+            ~options:{ options with resume = true }
+            ~config (programs ()) xforms
+        in
+        Alcotest.(check int) "all instances accounted for" full.Campaign.total_instances
+          resumed.Campaign.total_instances;
+        Alcotest.(check int) "verdict totals preserved" full.Campaign.total_failed
+          resumed.Campaign.total_failed;
+        (* the repair is journaled: the resumed run's footer records it *)
+        let footers =
+          List.filter_map
+            (function Engine.Journal.Footer f -> Some f | _ -> None)
+            (Engine.Journal.load path)
+        in
+        Sys.remove path;
+        match List.rev footers with
+        | last :: _ ->
+            Alcotest.(check int) "recovered record counted" 1
+              last.Engine.Journal.recovered_records
+        | [] -> Alcotest.fail "no footer after resume");
   ]
 
 (* ---------------- corpus ---------------- *)

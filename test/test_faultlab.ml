@@ -142,7 +142,8 @@ let selfcheck_tests =
         match Selfcheck.probe_spec ~trials:4 ~seed:11 spec with
         | Selfcheck.R_verdict { klass = Some Fuzzyflow.Difftest.Semantics; _ } -> ()
         | Selfcheck.R_verdict { detail; _ } -> Alcotest.fail ("not semantics: " ^ detail)
-        | Selfcheck.R_mpi _ -> Alcotest.fail "unexpected mpi result");
+        | Selfcheck.R_mpi _ | Selfcheck.R_net _ ->
+            Alcotest.fail "unexpected non-verdict result");
     Alcotest.test_case "mpi campaign level: every disturbance detected, report deterministic"
       `Slow (fun () ->
         let run () = Selfcheck.run ~j:2 ~trials:2 ~level:Plan.L_mpi ~seed:42 () in
