@@ -87,8 +87,9 @@ let instance_seed ~global id =
 
 (* ---------------- per-instance execution ---------------- *)
 
-let run_instance ?plan_cache ?(config = Difftest.default_config) ?(static_gate = false)
-    ?(certify_gate = false) ~program:(pname, g) (x : Transforms.Xform.t) site =
+let run_instance ?plan_cache ?kernel_cache ?(config = Difftest.default_config)
+    ?(static_gate = false) ?(certify_gate = false) ~program:(pname, g) (x : Transforms.Xform.t)
+    site =
   (* translation validation first: a proved-equivalent instance skips all its
      fuzz trials (report = None) *)
   let verdict =
@@ -98,7 +99,7 @@ let run_instance ?plan_cache ?(config = Difftest.default_config) ?(static_gate =
   let report =
     match verdict with
     | Some (Analysis.Equiv.Equivalent _) -> None
-    | _ -> Some (Difftest.test_instance ?plan_cache ~config g x site)
+    | _ -> Some (Difftest.test_instance ?plan_cache ?kernel_cache ~config g x site)
   in
   (* second evidence channel: what the static oracle would have said about
      this instance, independent of the fuzz verdict — the change-set audit

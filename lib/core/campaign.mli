@@ -99,11 +99,13 @@ val instance_seed : global:int -> string -> int
 (** The per-instance campaign body: translation validation (optional), then
     differential testing, then the static oracle evidence channel. Both the
     serial [run] loop and the engine's forked workers execute exactly this.
-    [plan_cache] shares compiled execution plans across instances; verdicts
-    are cache-oblivious (plans are keyed by program digest and symbol
-    valuation), so serial and parallel runs stay byte-identical. *)
+    [plan_cache] / [kernel_cache] share compiled execution plans and batched
+    kernels across instances; verdicts are cache-oblivious (both caches key
+    by program digest and symbol valuation), so serial and parallel runs
+    stay byte-identical. *)
 val run_instance :
   ?plan_cache:Interp.Plan.Cache.t ->
+  ?kernel_cache:Interp.Kernel.Cache.t ->
   ?config:Difftest.config ->
   ?static_gate:bool ->
   ?certify_gate:bool ->

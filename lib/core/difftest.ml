@@ -50,6 +50,7 @@ type config = {
   concretization : (string * int) list;
   custom_constraints : (string * (int * int)) list;
   inject_transformed : Interp.Exec.injection option;
+  batch : int;
 }
 
 let default_config =
@@ -65,6 +66,7 @@ let default_config =
     concretization = [];
     custom_constraints = [];
     inject_transformed = None;
+    batch = 1;
   }
 
 type report = {
@@ -154,49 +156,135 @@ let compare_outcomes ~threshold ~system_state orig xformed =
         system_state
 
 (* The fuzzing loop shared by cutout-level and whole-program testing. Both
-   programs are compiled to execution plans at most once per sampled symbol
-   valuation — injection and step limits are execution-time configuration,
-   so the clean and perturbed runs share one plan — and the cache carries
-   plans across trials (and, when the caller passes one, across instances). *)
-let run_trials ?plan_cache ~config ~constraints ~(cut : Cutout.t) ~original_prog ~transformed_prog
-    () =
+   programs are compiled at most once per sampled symbol valuation —
+   injection and step limits are execution-time configuration, so the clean
+   and perturbed runs share one compilation — and the caches carry compiled
+   artifacts across trials (and, when the caller passes them, across
+   instances).
+
+   With [config.batch > 1] the loop runs on the kernel tier: trials are
+   presampled in the exact serial RNG order, grouped by symbol valuation
+   (kernels are compiled per valuation), executed in batched sweeps of at
+   most [batch] lanes, and the per-trial comparisons are then folded in the
+   original trial order. Each lane's outcome is bit-identical to the serial
+   plan path's, so the verdict — class, first failing trial, failing count,
+   fault-inducing symbols — is byte-for-byte the serial one. *)
+let run_trials ?plan_cache ?kernel_cache ~config ~constraints ~(cut : Cutout.t) ~original_prog
+    ~transformed_prog () =
   let icfg =
     { Interp.Exec.default_config with step_limit = config.step_limit; collect_coverage = false }
   in
   (* faultlab: injected faults perturb only the transformed run, so any
      detection is attributable to the seeded fault *)
   let icfg_x = { icfg with Interp.Exec.inject = config.inject_transformed } in
-  let cache =
-    match plan_cache with Some c -> c | None -> Interp.Plan.Cache.create ()
-  in
-  (* serialize each program once, not once per trial *)
-  let dig_o = Interp.Plan.Cache.digest_of original_prog in
-  let dig_x = Interp.Plan.Cache.digest_of transformed_prog in
-  let exec ~config:icfg ~digest prog ~symbols ~inputs =
-    match Interp.Plan.Cache.compile ~digest cache prog ~symbols with
-    | Error f -> Error f
-    | Ok p -> Interp.Plan.execute ~config:icfg p ~inputs
-  in
-  let rng = Sampler.create config.seed in
-  let failures = ref 0 in
-  let first = ref None in
-  for trial = 1 to config.trials do
-    let r = Sampler.split rng in
-    let symbols = Sampler.sample_symbols r constraints in
-    let inputs = Sampler.sample_inputs r constraints cut ~symbols in
-    let o1 = exec ~config:icfg ~digest:dig_o original_prog ~symbols ~inputs in
-    let o2 = exec ~config:icfg_x ~digest:dig_x transformed_prog ~symbols ~inputs in
-    match compare_outcomes ~threshold:config.threshold ~system_state:cut.system_state o1 o2 with
-    | None -> ()
-    | Some kind ->
-        incr failures;
-        if !first = None then first := Some (trial, kind, symbols)
-  done;
-  match !first with
-  | None -> Pass
-  | Some (first_trial, kind, symbols) ->
-      let klass = if !failures = config.trials then Semantics else Input_dependent in
-      Fail { klass; first_trial; failing_trials = !failures; kind; symbols }
+  if config.batch <= 1 then begin
+    let cache = match plan_cache with Some c -> c | None -> Interp.Plan.Cache.create () in
+    (* serialize each program once, not once per trial *)
+    let dig_o = Interp.Plan.Cache.digest_of original_prog in
+    let dig_x = Interp.Plan.Cache.digest_of transformed_prog in
+    let exec ~config:icfg ~digest prog ~symbols ~inputs =
+      match Interp.Plan.Cache.compile ~digest cache prog ~symbols with
+      | Error f -> Error f
+      | Ok p -> Interp.Plan.execute ~config:icfg p ~inputs
+    in
+    let rng = Sampler.create config.seed in
+    let failures = ref 0 in
+    let first = ref None in
+    for trial = 1 to config.trials do
+      let r = Sampler.split rng in
+      let symbols = Sampler.sample_symbols r constraints in
+      let inputs = Sampler.sample_inputs r constraints cut ~symbols in
+      let o1 = exec ~config:icfg ~digest:dig_o original_prog ~symbols ~inputs in
+      let o2 = exec ~config:icfg_x ~digest:dig_x transformed_prog ~symbols ~inputs in
+      match compare_outcomes ~threshold:config.threshold ~system_state:cut.system_state o1 o2 with
+      | None -> ()
+      | Some kind ->
+          incr failures;
+          if !first = None then first := Some (trial, kind, symbols)
+    done;
+    match !first with
+    | None -> Pass
+    | Some (first_trial, kind, symbols) ->
+        let klass = if !failures = config.trials then Semantics else Input_dependent in
+        Fail { klass; first_trial; failing_trials = !failures; kind; symbols }
+  end
+  else begin
+    let kcache =
+      match kernel_cache with Some c -> c | None -> Interp.Kernel.Cache.create ()
+    in
+    let dig_o = Interp.Kernel.Cache.digest_of original_prog in
+    let dig_x = Interp.Kernel.Cache.digest_of transformed_prog in
+    (* presample every trial in the serial RNG order: the descriptors, not
+       the execution schedule, carry all the randomness *)
+    let rng = Sampler.create config.seed in
+    let descs =
+      Array.init config.trials (fun _ ->
+          let r = Sampler.split rng in
+          let symbols = Sampler.sample_symbols r constraints in
+          let inputs = Sampler.sample_inputs r constraints cut ~symbols in
+          (symbols, inputs))
+    in
+    (* group trial indices by symbol valuation, preserving first-seen order *)
+    let groups : ((string * int) list, int list ref) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    Array.iteri
+      (fun i (symbols, _) ->
+        let key = List.sort compare symbols in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := i :: !l
+        | None ->
+            Hashtbl.add groups key (ref [ i ]);
+            order := key :: !order)
+      descs;
+    (* per-trial comparison results; the outcomes themselves are dropped
+       chunk by chunk, so memory stays bounded by one batch sweep *)
+    let kinds : failure_kind option array = Array.make config.trials None in
+    let compile ~digest prog ~symbols = Interp.Kernel.Cache.compile ~digest kcache prog ~symbols in
+    let exec ~config:icfg kres lanes inputs =
+      match kres with
+      | Error f -> Array.map (fun _ -> Error f) lanes
+      | Ok k -> Interp.Kernel.execute_batch ~config:icfg k ~inputs
+    in
+    List.iter
+      (fun key ->
+        let idxs = Array.of_list (List.rev !(Hashtbl.find groups key)) in
+        let symbols, _ = descs.(idxs.(0)) in
+        let k_o = compile ~digest:dig_o original_prog ~symbols in
+        let k_x = compile ~digest:dig_x transformed_prog ~symbols in
+        let n = Array.length idxs in
+        let chunk = ref 0 in
+        while !chunk < n do
+          let w = min config.batch (n - !chunk) in
+          let lanes = Array.sub idxs !chunk w in
+          let inputs = Array.map (fun i -> snd descs.(i)) lanes in
+          let outs_o = exec ~config:icfg k_o lanes inputs in
+          let outs_x = exec ~config:icfg_x k_x lanes inputs in
+          Array.iteri
+            (fun j i ->
+              kinds.(i) <-
+                compare_outcomes ~threshold:config.threshold ~system_state:cut.system_state
+                  outs_o.(j) outs_x.(j))
+            lanes;
+          chunk := !chunk + w
+        done)
+      (List.rev !order);
+    (* fold the per-trial results in the original trial order *)
+    let failures = ref 0 in
+    let first = ref None in
+    Array.iteri
+      (fun i kind ->
+        match kind with
+        | None -> ()
+        | Some kind ->
+            incr failures;
+            if !first = None then first := Some (i + 1, kind, fst descs.(i)))
+      kinds;
+    match !first with
+    | None -> Pass
+    | Some (first_trial, kind, symbols) ->
+        let klass = if !failures = config.trials then Semantics else Input_dependent in
+        Fail { klass; first_trial; failing_trials = !failures; kind; symbols }
+  end
 
 let apply_to_copy g (x : Transforms.Xform.t) site =
   let g' = Graph.copy g in
@@ -227,7 +315,7 @@ let invalid_report ~xform_name ~site ~cut ~elapsed msg =
     elapsed_s = elapsed;
   }
 
-let test_instance ?plan_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
+let test_instance ?plan_cache ?kernel_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
   let t0 = Unix.gettimeofday () in
   (* 1. change isolation: white-box change set from applying T to a copy *)
   match apply_to_copy g x site with
@@ -299,7 +387,7 @@ let test_instance ?plan_cache ?(config = default_config) g (x : Transforms.Xform
                   ~custom:config.custom_constraints ~original:g cut
               in
               let verdict =
-                run_trials ?plan_cache ~config ~constraints ~cut ~original_prog:cut.program
+                run_trials ?plan_cache ?kernel_cache ~config ~constraints ~cut ~original_prog:cut.program
                   ~transformed_prog:transformed ()
               in
               {
@@ -313,7 +401,7 @@ let test_instance ?plan_cache ?(config = default_config) g (x : Transforms.Xform
                 elapsed_s = Unix.gettimeofday () -. t0;
               }))
 
-let test_whole_program ?plan_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
+let test_whole_program ?plan_cache ?kernel_cache ?(config = default_config) g (x : Transforms.Xform.t) site =
   let t0 = Unix.gettimeofday () in
   match apply_to_copy g x site with
   | Error msg ->
@@ -344,7 +432,7 @@ let test_whole_program ?plan_cache ?(config = default_config) g (x : Transforms.
           ~original:g cut
       in
       let verdict =
-        run_trials ?plan_cache ~config ~constraints ~cut ~original_prog:g
+        run_trials ?plan_cache ?kernel_cache ~config ~constraints ~cut ~original_prog:g
           ~transformed_prog:transformed ()
       in
       (verdict, Unix.gettimeofday () -. t0)

@@ -57,6 +57,12 @@ type config = {
       (** faultlab: deterministic fault injected into the transformed run
           only, so the self-validation campaign can attribute any divergence
           to the seeded fault *)
+  batch : int;
+      (** trial-loop batch width. 1 (the default) runs the serial plan path;
+          [> 1] presamples trials in the same RNG order, groups them by
+          symbol valuation and executes up to [batch] trials per sweep on
+          the batched kernel tier ({!Interp.Kernel}). Verdicts are
+          byte-identical at every width. *)
 }
 
 val default_config : config
@@ -77,11 +83,13 @@ val pp_report : Format.formatter -> report -> unit
 (** Test one transformation instance through the full FuzzyFlow pipeline:
     apply-to-copy for the change set, cutout extraction, optional input
     minimization, constraint derivation, differential fuzzing. The trial
-    loop compiles each program to an execution plan once per sampled symbol
-    valuation; pass [plan_cache] to reuse plans across instances (e.g. the
-    same cutout re-tested under many seeds). *)
+    loop compiles each program once per sampled symbol valuation — to an
+    execution plan at [config.batch <= 1], to a batched kernel otherwise;
+    pass [plan_cache] / [kernel_cache] to reuse compiled artifacts across
+    instances (e.g. the same cutout re-tested under many seeds). *)
 val test_instance :
   ?plan_cache:Interp.Plan.Cache.t ->
+  ?kernel_cache:Interp.Kernel.Cache.t ->
   ?config:config ->
   Sdfg.Graph.t ->
   Transforms.Xform.t ->
@@ -93,6 +101,7 @@ val test_instance :
     verdict and elapsed seconds. *)
 val test_whole_program :
   ?plan_cache:Interp.Plan.Cache.t ->
+  ?kernel_cache:Interp.Kernel.Cache.t ->
   ?config:config ->
   Sdfg.Graph.t ->
   Transforms.Xform.t ->

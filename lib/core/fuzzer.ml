@@ -11,10 +11,18 @@ type config = {
   threshold : float;
   step_limit : int;
   corpus_init : int;
+  batch : int;
 }
 
 let default_config =
-  { max_trials = 200; seed = 7; threshold = 1e-5; step_limit = 5_000_000; corpus_init = 4 }
+  {
+    max_trials = 200;
+    seed = 7;
+    threshold = 1e-5;
+    step_limit = 5_000_000;
+    corpus_init = 4;
+    batch = 1;
+  }
 
 type result = {
   trials_to_failure : int option;
@@ -27,7 +35,8 @@ type result = {
 
 module ISet = Set.Make (Int)
 
-let run ?plan_cache ?(config = default_config) mode ~original ~(cutout : Cutout.t) ~transformed =
+let run ?plan_cache ?kernel_cache ?(config = default_config) mode ~original ~(cutout : Cutout.t)
+    ~transformed =
   let constraints =
     match mode with
     | Uniform -> Constraints.uniform cutout
@@ -88,11 +97,82 @@ let run ?plan_cache ?(config = default_config) mode ~original ~(cutout : Cutout.
     let inputs = Sampler.sample_inputs r constraints cutout ~symbols in
     (symbols, inputs)
   in
+  (* Batched trial processing for the stateless modes: a sweep's descriptors
+     are presampled in serial RNG order, executed on the kernel tier (lanes
+     grouped by symbol valuation), then examined one by one with exactly the
+     serial loop's bookkeeping — so counters, the failing trial number and
+     the failing symbols are byte-identical at every batch width. RNG draws
+     past the failing trial are simply discarded, as the serial loop never
+     observes them either. *)
+  let run_batched () =
+    let kcache =
+      match kernel_cache with Some c -> c | None -> Interp.Kernel.Cache.create ()
+    in
+    let kdig_o = Interp.Kernel.Cache.digest_of cutout.program in
+    let kdig_x = Interp.Kernel.Cache.digest_of transformed in
+    let exec_batch ~config:icfg ~digest prog ~symbols inputs =
+      match Interp.Kernel.Cache.compile ~digest kcache prog ~symbols with
+      | Error f -> Array.map (fun _ -> Error f) inputs
+      | Ok k -> Interp.Kernel.execute_batch ~config:icfg k ~inputs
+    in
+    while !outcome = None && !trials < config.max_trials do
+      let w = min config.batch (config.max_trials - !trials) in
+      let entries = Array.init w (fun _ -> sample ()) in
+      let outs_o = Array.make w (Error (Interp.Exec.Invalid_graph "lane not executed")) in
+      let outs_x = Array.make w (Error (Interp.Exec.Invalid_graph "lane not executed")) in
+      (* group sweep lanes by symbol valuation: kernels compile per valuation *)
+      let groups : ((string * int) list, int list ref) Hashtbl.t = Hashtbl.create 4 in
+      let order = ref [] in
+      Array.iteri
+        (fun i (symbols, _) ->
+          let key = List.sort compare symbols in
+          match Hashtbl.find_opt groups key with
+          | Some l -> l := i :: !l
+          | None ->
+              Hashtbl.add groups key (ref [ i ]);
+              order := key :: !order)
+        entries;
+      List.iter
+        (fun key ->
+          let lanes = Array.of_list (List.rev !(Hashtbl.find groups key)) in
+          let symbols, _ = entries.(lanes.(0)) in
+          let inputs = Array.map (fun i -> snd entries.(i)) lanes in
+          let o = exec_batch ~config:(icfg false) ~digest:kdig_o cutout.program ~symbols inputs in
+          let x = exec_batch ~config:(icfg false) ~digest:kdig_x transformed ~symbols inputs in
+          Array.iteri
+            (fun j i ->
+              outs_o.(i) <- o.(j);
+              outs_x.(i) <- x.(j))
+            lanes)
+        (List.rev !order);
+      let j = ref 0 in
+      while !outcome = None && !j < w do
+        let symbols, _ = entries.(!j) in
+        let o1 = outs_o.(!j) and o2 = outs_x.(!j) in
+        incr trials;
+        (match o1 with
+        | Ok o -> coverage := ISet.union (ISet.of_list o.Interp.Exec.coverage) !coverage
+        | Error _ -> ());
+        (match (o1, o2) with
+        | Error _, Error _ -> incr crashes
+        | _ -> ());
+        (match
+           Difftest.compare_outcomes ~threshold:config.threshold
+             ~system_state:cutout.system_state o1 o2
+         with
+        | Some kind -> outcome := Some (!trials, kind, symbols)
+        | None -> ());
+        incr j
+      done
+    done
+  in
   (match mode with
   | Uniform | Graybox ->
-      while !outcome = None && !trials < config.max_trials do
-        ignore (one_trial (sample ()))
-      done
+      if config.batch > 1 then run_batched ()
+      else
+        while !outcome = None && !trials < config.max_trials do
+          ignore (one_trial (sample ()))
+        done
   | Coverage ->
       (* seed the corpus *)
       let i = ref 0 in

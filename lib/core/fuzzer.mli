@@ -17,6 +17,11 @@ type config = {
   threshold : float;
   step_limit : int;
   corpus_init : int;  (** initial corpus size for [Coverage] *)
+  batch : int;
+      (** trial batch width for [Uniform] / [Graybox]: sweeps of up to
+          [batch] trials run on the batched kernel tier, with results
+          byte-identical to the serial loop at every width. [Coverage]
+          evolves its corpus trial by trial and always runs serially. *)
 }
 
 val default_config : config
@@ -36,9 +41,11 @@ type result = {
     trial budget is exhausted. [original] is the full program (used for
     constraint derivation); [transformed] is T(cutout.program). Both programs
     are compiled to execution plans at most once per symbol valuation; pass
-    [plan_cache] to share compiled plans across calls. *)
+    [plan_cache] / [kernel_cache] to share compiled artifacts across
+    calls. *)
 val run :
   ?plan_cache:Interp.Plan.Cache.t ->
+  ?kernel_cache:Interp.Kernel.Cache.t ->
   ?config:config ->
   mode ->
   original:Sdfg.Graph.t ->

@@ -119,55 +119,100 @@ let read_meta path =
   close_in ic;
   meta_of_json (Journal.Json.of_string content)
 
+(* ---------------- layout ----------------
+
+   Entries live under [dir/<p>/<signature>/], where [p] is the first two hex
+   characters of the signature — so no single directory's entry count grows
+   with the corpus. Corpora written by earlier versions used a flat
+   [dir/<signature>/] layout; both are readable, and a flat entry is renamed
+   into its shard the first time it is touched (lazy migration), so old
+   corpora converge to the sharded layout through normal use. *)
+
+let shard_of signature =
+  if String.length signature >= 2 then String.sub signature 0 2 else signature
+
+let sharded_dir dir signature =
+  Filename.concat (Filename.concat dir (shard_of signature)) signature
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let is_shard_name s = String.length s = 2 && String.for_all is_hex s
+
+(* Where the entry lives, in either layout; migrates a legacy flat entry
+   into its shard (best-effort: if the rename fails, the flat path still
+   works). [None] when the signature has no entry at all. *)
+let find_entry_dir dir signature =
+  let sharded = sharded_dir dir signature in
+  if Sys.file_exists sharded then Some sharded
+  else
+    let flat = Filename.concat dir signature in
+    if not (Sys.file_exists flat) then None
+    else begin
+      mkdir_p (Filename.dirname sharded);
+      match Unix.rename flat sharded with
+      | () -> Some sharded
+      | exception Unix.Unix_error _ -> Some flat
+    end
+
 (* ---------------- save / load / replay ---------------- *)
 
 let save ~dir ~catalog ~program ~xform ~klass ~site (tc : Testcase.t) =
   let signature = signature ~xform ~klass tc.cutout in
-  let entry_dir = Filename.concat dir signature in
-  if Sys.file_exists entry_dir then Duplicate entry_dir
-  else begin
-    let m = { signature; name = tc.name; program; xform; klass = class_name klass; site } in
-    let ok, _detail = check_reproduces ~catalog m tc in
-    if not ok then Not_reproducing
-    else begin
-      mkdir_p entry_dir;
-      ignore (Testcase.save entry_dir tc);
-      let oc = open_out (meta_file entry_dir) in
-      output_string oc (Journal.Json.to_string (meta_to_json m));
-      output_char oc '\n';
-      close_out oc;
-      Saved entry_dir
-    end
-  end
+  match find_entry_dir dir signature with
+  | Some entry_dir -> Duplicate entry_dir
+  | None ->
+      let entry_dir = sharded_dir dir signature in
+      let m = { signature; name = tc.name; program; xform; klass = class_name klass; site } in
+      let ok, _detail = check_reproduces ~catalog m tc in
+      if not ok then Not_reproducing
+      else begin
+        mkdir_p entry_dir;
+        ignore (Testcase.save entry_dir tc);
+        let oc = open_out (meta_file entry_dir) in
+        output_string oc (Journal.Json.to_string (meta_to_json m));
+        output_char oc '\n';
+        close_out oc;
+        Saved entry_dir
+      end
+
+let entry_of_dir entry_dir =
+  let mf = meta_file entry_dir in
+  if Sys.is_directory entry_dir && Sys.file_exists mf then
+    match read_meta mf with m -> Some m | exception _ -> None
+  else None
 
 let entries dir =
   if not (Sys.file_exists dir) then []
   else
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.filter_map (fun sub ->
-           let entry_dir = Filename.concat dir sub in
-           let mf = meta_file entry_dir in
-           if Sys.is_directory entry_dir && Sys.file_exists mf then
-             match read_meta mf with m -> Some m | exception _ -> None
-           else None)
+    Sys.readdir dir |> Array.to_list
+    |> List.concat_map (fun sub ->
+           let path = Filename.concat dir sub in
+           if is_shard_name sub && Sys.is_directory path && not (Sys.file_exists (meta_file path))
+           then
+             Sys.readdir path |> Array.to_list
+             |> List.filter_map (fun e -> entry_of_dir (Filename.concat path e))
+           else Option.to_list (entry_of_dir path))
+    |> List.sort (fun a b -> compare a.signature b.signature)
 
 type replay_outcome = { meta : meta; reproduced : bool; detail : string }
 
 let replay_entry ~catalog ~dir (m : meta) =
-  let entry_dir = Filename.concat dir m.signature in
-  let dat =
-    Sys.readdir entry_dir |> Array.to_list
-    |> List.find_opt (fun f -> Filename.check_suffix f ".case.dat")
-  in
-  match dat with
-  | None -> { meta = m; reproduced = false; detail = "no .case.dat in entry" }
-  | Some f -> (
-      match Testcase.load (Filename.concat entry_dir f) with
-      | Ok tc ->
-          let ok, detail = check_reproduces ~catalog m tc in
-          { meta = m; reproduced = ok; detail }
-      | Error { Testcase.reason; _ } ->
-          { meta = m; reproduced = false; detail = "load failed: " ^ reason })
+  match find_entry_dir dir m.signature with
+  | None -> { meta = m; reproduced = false; detail = "entry directory missing" }
+  | Some entry_dir -> (
+      let dat =
+        Sys.readdir entry_dir |> Array.to_list
+        |> List.find_opt (fun f -> Filename.check_suffix f ".case.dat")
+      in
+      match dat with
+      | None -> { meta = m; reproduced = false; detail = "no .case.dat in entry" }
+      | Some f -> (
+          match Testcase.load (Filename.concat entry_dir f) with
+          | Ok tc ->
+              let ok, detail = check_reproduces ~catalog m tc in
+              { meta = m; reproduced = ok; detail }
+          | Error { Testcase.reason; _ } ->
+              { meta = m; reproduced = false; detail = "load failed: " ^ reason }))
 
 let replay ~catalog dir =
   List.map (fun m -> replay_entry ~catalog ~dir m) (entries dir)

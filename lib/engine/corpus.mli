@@ -2,11 +2,16 @@
     replayed as regression tests).
 
     Every failing instance's {!Fuzzyflow.Testcase.t} is saved under
-    [dir/<signature>/], where the signature hashes (transformation, failure
-    class, cutout shape) — so structurally identical findings from different
-    workloads deduplicate to one entry. A case is only admitted if it
-    reproduces at save time under the same replay procedure [replay] uses,
-    making the corpus a self-consistent regression gate. *)
+    [dir/<prefix>/<signature>/], where [prefix] is the first two hex
+    characters of the signature (so no directory's entry count grows with
+    the corpus) and the signature hashes (transformation, failure class,
+    cutout shape) — structurally identical findings from different
+    workloads deduplicate to one entry. Corpora written by earlier versions
+    used a flat [dir/<signature>/] layout; {!entries} and {!replay} read
+    both, and a flat entry is renamed into its shard the first time it is
+    touched. A case is only admitted if it reproduces at save time under
+    the same replay procedure [replay] uses, making the corpus a
+    self-consistent regression gate. *)
 
 type meta = {
   signature : string;

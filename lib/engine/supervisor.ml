@@ -252,7 +252,8 @@ let dispatch ~(policy : policy) ~(events : events) ~tick ~workers
     | None -> ()
     | Some fd -> (
         match Wire.read_message ~timeout_s:policy.heartbeat_s fd with
-        | Wire.Result { r_idx; r_status; r_payload } -> (
+        | Wire.Result { r_idx; r_status; r_payload; r_cache_hits; r_cache_misses } -> (
+            Telemetry.worker_cache telemetry ~hits:r_cache_hits ~misses:r_cache_misses;
             match w.state with
             | W_busy fi when fi = r_idx && not done_.(fi) -> (
                 match (r_status, r_payload) with
@@ -377,11 +378,73 @@ let executor ?(policy = default_policy) ?(events = null_events) ?(tick = fun () 
 
 let listen_on ?host ~port () = Wire.listen_on ?host ~port ()
 
-(* One assignment: recompile the plan and run the instance exactly as the
-   local fork pool does — inside a supervised fork with the same deadline
-   semantics, plan cache created in the child — so a remote verdict is the
-   same bytes a local one would be. *)
-let run_assignment ~catalog (a : Wire.assignment) =
+(* Worker-side compilation cache, persistent across assignments: both caches
+   key by cutout digest and symbol valuation, so a requeued, re-seeded or
+   structurally shared instance skips recompilation entirely. Per-assignment
+   hit/miss deltas travel back in the Result frame and surface as a cache
+   hit rate in the dispatcher's telemetry. *)
+type wcache = {
+  wc_plans : Interp.Plan.Cache.t;
+  wc_kernels : Interp.Kernel.Cache.t;
+}
+
+let wcache_create () =
+  {
+    wc_plans = Interp.Plan.Cache.create ~capacity:256 ();
+    wc_kernels = Interp.Kernel.Cache.create ~capacity:256 ();
+  }
+
+let wcache_stats c =
+  let ph, pm = Interp.Plan.Cache.stats c.wc_plans in
+  let kh, km = Interp.Kernel.Cache.stats c.wc_kernels in
+  (ph + kh, pm + km)
+
+exception Deadline_exceeded
+
+(* In-process deadline enforcement: SIGALRM raises out of the running
+   instance. Compiled plans and kernels hold closures, which cannot cross a
+   Marshal boundary — so keeping the cache warm across assignments requires
+   running in-process rather than in a supervised fork. The interpreter's
+   own step limit bounds each trial; the alarm bounds everything else, and
+   any escape (including Stack_overflow) is contained as a Crashed result. *)
+let with_deadline ~deadline_s f =
+  let prev =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Deadline_exceeded))
+  in
+  let disarm () =
+    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm prev
+  in
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = deadline_s });
+  match f () with
+  | v ->
+      disarm ();
+      Ok v
+  | exception Deadline_exceeded ->
+      disarm ();
+      Error (Worker.Timed_out { deadline_s })
+  | exception e ->
+      disarm ();
+      Error (Worker.Crashed { detail = Printexc.to_string e })
+
+(* One assignment: compile through the session cache and run the instance
+   in-process under the alarm-based deadline. A remote verdict is the same
+   bytes a local one would be — verdicts are cache-oblivious (both caches
+   key by program digest and symbol valuation). *)
+let run_assignment ?caches ~catalog (a : Wire.assignment) =
+  let caches = match caches with Some c -> c | None -> wcache_create () in
+  let h0, m0 = wcache_stats caches in
+  let result r_status r_payload =
+    let h1, m1 = wcache_stats caches in
+    Wire.Result
+      {
+        r_idx = a.Wire.a_idx;
+        r_status;
+        r_payload;
+        r_cache_hits = h1 - h0;
+        r_cache_misses = m1 - m0;
+      }
+  in
   match
     List.find_opt (fun (x : Transforms.Xform.t) -> x.Transforms.Xform.name = a.Wire.a_xform) catalog
   with
@@ -391,33 +454,33 @@ let run_assignment ~catalog (a : Wire.assignment) =
       | exception _ -> Wire.Refused { r_idx = a.Wire.a_idx; r_detail = "undecodable program graph" }
       | graph -> (
           let thunk () =
-            let plan_cache = Interp.Plan.Cache.create () in
-            Campaign.run_instance ~plan_cache ~config:a.Wire.a_config
-              ~static_gate:a.Wire.a_static_gate ~certify_gate:a.Wire.a_certify_gate
-              ~program:(a.Wire.a_program, graph) xform a.Wire.a_site
+            Campaign.run_instance ~plan_cache:caches.wc_plans ~kernel_cache:caches.wc_kernels
+              ~config:a.Wire.a_config ~static_gate:a.Wire.a_static_gate
+              ~certify_gate:a.Wire.a_certify_gate ~program:(a.Wire.a_program, graph) xform
+              a.Wire.a_site
           in
-          match Worker.supervise ~deadline_s:a.Wire.a_deadline_s thunk with
-          | Ok ir ->
-              Wire.Result { r_idx = a.Wire.a_idx; r_status = Campaign.Completed; r_payload = Some ir }
+          match with_deadline ~deadline_s:a.Wire.a_deadline_s thunk with
+          | Ok ir -> result Campaign.Completed (Some ir)
           | Error (Worker.Timed_out { deadline_s }) ->
-              Wire.Result
-                { r_idx = a.Wire.a_idx; r_status = Campaign.Timed_out { deadline_s }; r_payload = None }
-          | Error (Worker.Crashed { detail }) ->
-              Wire.Result
-                { r_idx = a.Wire.a_idx; r_status = Campaign.Crashed { detail }; r_payload = None }))
+              result (Campaign.Timed_out { deadline_s }) None
+          | Error (Worker.Crashed { detail }) -> result (Campaign.Crashed { detail }) None))
 
-let handle_session ~catalog fd =
+let handle_session ?caches ~catalog fd =
+  let caches = match caches with Some c -> c | None -> wcache_create () in
   let stop = ref false in
   while not !stop do
     match Wire.read_message fd with
     | Wire.Ping x -> Wire.write_message fd (Wire.Pong x)
     | Wire.Shutdown -> stop := true
-    | Wire.Assign a -> Wire.write_message fd (run_assignment ~catalog a)
+    | Wire.Assign a -> Wire.write_message fd (run_assignment ~caches ~catalog a)
     | _ -> ()
   done
 
 let serve_worker ?(once = false) ~catalog sock =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* one cache for the whole worker process: assignments across sessions
+     share compiled plans and kernels *)
+  let caches = wcache_create () in
   let continue = ref true in
   while !continue do
     (match Unix.accept sock with
@@ -426,7 +489,7 @@ let serve_worker ?(once = false) ~catalog sock =
            match Wire.read_message ~timeout_s:30. client with
            | Wire.Hello { proto } when proto = Wire.protocol_version ->
                Wire.write_message client (Wire.Hello_ack { proto = Wire.protocol_version });
-               handle_session ~catalog client
+               handle_session ~caches ~catalog client
            | _ -> ()
          with
         | Wire.Closed | Wire.Timeout | Wire.Protocol_error _ | Wire.Bad_version _

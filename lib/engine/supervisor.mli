@@ -12,10 +12,11 @@
     remote worker dies.
 
     Verdict determinism survives all of it: an instance's verdict depends
-    only on (instance, seed), worker-side execution recompiles the plan and
-    forks exactly as the local pool does, and a requeued instance re-runs
-    under the same seed — so any topology, any failure schedule, yields
-    journals byte-identical to [-j 1].
+    only on (instance, seed), worker-side execution compiles through a
+    cache keyed by program digest and symbol valuation (cache-oblivious
+    verdicts), and a requeued instance re-runs under the same seed — so any
+    topology, any failure schedule, yields journals byte-identical to
+    [-j 1].
 
     The worker side ({!serve_worker}) is the matching accept loop. *)
 
@@ -81,9 +82,23 @@ val executor :
     port, returned alongside the socket. *)
 val listen_on : ?host:Unix.inet_addr -> port:int -> unit -> Unix.file_descr * int
 
-(** Run one assignment exactly as the local pool would (supervised fork,
-    plan recompiled in the child) and build the reply. Exposed for tests. *)
-val run_assignment : catalog:Transforms.Xform.t list -> Wire.assignment -> Wire.message
+(** Worker-side plan/kernel compilation cache, persistent across assignments
+    (and, in {!serve_worker}, across sessions). Keys are cutout digest plus
+    symbol valuation; per-assignment hit/miss deltas ride back in every
+    [Result] frame and surface as a hit rate in dispatcher telemetry. *)
+type wcache
+
+val wcache_create : unit -> wcache
+
+(** Cumulative [(hits, misses)] over both caches. *)
+val wcache_stats : wcache -> int * int
+
+(** Run one assignment in-process under an alarm-based deadline, compiling
+    through [caches] (a fresh throwaway cache when omitted), and build the
+    reply. Verdicts are cache-oblivious, so a remote verdict is byte-identical
+    to a local one. Exposed for tests. *)
+val run_assignment :
+  ?caches:wcache -> catalog:Transforms.Xform.t list -> Wire.assignment -> Wire.message
 
 (** The worker accept loop: handshake, then serve assignments until the peer
     disconnects; transformations are resolved by registry name in [catalog].

@@ -30,6 +30,10 @@ val quarantine : t -> unit
 (** A worker was lost mid-instance; the instance was requeued. *)
 val lost_worker : t -> unit
 
+(** Fold a remote worker's per-assignment plan/kernel cache traffic into the
+    campaign totals; the hit rate appears in {!render} and {!snapshot}. *)
+val worker_cache : t -> hits:int -> misses:int -> unit
+
 (** The campaign fell back to the local fork pool (degraded mode). *)
 val set_degraded : t -> unit
 

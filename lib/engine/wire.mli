@@ -10,8 +10,9 @@
     decoded.
 
     Closures never cross this wire: assignments name transformations by
-    registry name and carry the program graph as marshalled data; plans are
-    recompiled worker-side, exactly as in the fork-pool temp-file protocol. *)
+    registry name and carry the program graph as marshalled data; plans and
+    kernels are compiled worker-side into a per-session cache keyed by
+    cutout digest and symbol valuation. *)
 
 val protocol_version : int
 
@@ -63,6 +64,7 @@ type submission = {
   s_limit_per : int option;
   s_static_gate : bool;
   s_certify_gate : bool;
+  s_batch : int;  (** trial-loop batch width (1 = serial plan path) *)
 }
 
 type message =
@@ -76,6 +78,10 @@ type message =
       r_status : Fuzzyflow.Campaign.exec_status;
       r_payload : Fuzzyflow.Campaign.instance_result option;
           (** [Some] iff [r_status] is [Completed] *)
+      r_cache_hits : int;
+      r_cache_misses : int;
+          (** worker-side plan/kernel cache traffic while running this
+              assignment; the dispatcher folds them into telemetry *)
     }
   | Refused of { r_idx : int; r_detail : string }
       (** the worker cannot run this assignment (unknown transformation,

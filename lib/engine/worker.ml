@@ -185,6 +185,13 @@ type remote_executor = {
     int list;
 }
 
+(* How the trial loop's batch width is chosen. [Auto] derives it from the
+   per-instance trial budget: wide enough to amortize instruction dispatch,
+   capped so one sweep's buffers stay cache-resident. *)
+type batching = Inherit | Fixed of int | Auto
+
+let auto_batch ~trials = min 64 (max 1 trials)
+
 type options = {
   j : int;
   deadline_s : float;
@@ -198,6 +205,7 @@ type options = {
   remote : remote_executor option;
   journal_sink : (string -> unit) option;
   on_telemetry : (Telemetry.t -> unit) option;
+  batching : batching;
 }
 
 let default_options =
@@ -214,6 +222,7 @@ let default_options =
     remote = None;
     journal_sink = None;
     on_telemetry = None;
+    batching = Inherit;
   }
 
 let rec mkdir_p dir =
@@ -241,6 +250,15 @@ let killed_outcome ~(item : Queue.item) ~status ~elapsed_s =
 let run_campaign ?(options = default_options) ?(config = Difftest.default_config) ?catalog
     programs xforms =
   let catalog = match catalog with Some c -> c | None -> xforms in
+  (* resolve the batch width once: it flows into local children and remote
+     assignments alike through the one config value, and verdicts are
+     width-oblivious, so this cannot perturb journals *)
+  let config =
+    match options.batching with
+    | Inherit -> config
+    | Fixed b -> { config with Difftest.batch = max 1 b }
+    | Auto -> { config with Difftest.batch = auto_batch ~trials:config.Difftest.trials }
+  in
   let items =
     Array.of_list (Queue.build ~limit_per:options.limit_per ~seed:config.Difftest.seed programs xforms)
   in
@@ -343,7 +361,8 @@ let run_campaign ?(options = default_options) ?(config = Difftest.default_config
          back to the parent, and a per-process cache keeps workers
          deterministic regardless of scheduling *)
       let plan_cache = Interp.Plan.Cache.create () in
-      Campaign.run_instance ~plan_cache ~config ~static_gate:options.static_gate
+      let kernel_cache = Interp.Kernel.Cache.create () in
+      Campaign.run_instance ~plan_cache ~kernel_cache ~config ~static_gate:options.static_gate
         ~certify_gate:options.certify_gate
         ~program:(it.program_name, it.program)
         it.xform it.site

@@ -55,6 +55,17 @@ type remote_executor = {
     int list;
 }
 
+(** How the difftest trial loop's batch width is chosen for the campaign. *)
+type batching =
+  | Inherit  (** keep [config.batch] as passed (default 1: serial plan path) *)
+  | Fixed of int  (** force this width (clamped to at least 1) *)
+  | Auto  (** derive from the per-instance trial budget ({!auto_batch}) *)
+
+(** The [Auto] policy: wide enough to amortize instruction dispatch over the
+    instance's trial budget, capped at 64 so one sweep's buffers stay
+    cache-resident. *)
+val auto_batch : trials:int -> int
+
 type options = {
   j : int;  (** worker pool size *)
   deadline_s : float;  (** per-instance wall-clock budget *)
@@ -74,6 +85,10 @@ type options = {
   on_telemetry : (Telemetry.t -> unit) option;
       (** receives the live telemetry handle once, before execution starts
           (the service's HTTP endpoint reads it) *)
+  batching : batching;
+      (** batch-width policy for the trial loop; the resolved width travels
+          inside the per-instance config to local children and remote
+          workers alike, and journals stay byte-identical at every width *)
 }
 
 val default_options : options

@@ -7,12 +7,21 @@
     step-limit "hangs" and invalid-graph conditions — that differential
     testing classifies (Sec. 5).
 
-    [run] is the one-shot interface: it lowers the graph to an execution
-    plan ({!Plan}) and runs it once. Loops that execute the same graph many
-    times (the difftest trial loop, the fuzzer) should instead compile once
-    — {!Plan.compile} or a {!Plan.Cache} — and call {!Plan.execute} per
-    trial; the plan path and the reference tree-walk ({!run_tree}) produce
-    bit-identical outcomes. *)
+    Execution has three tiers, all with bit-identical observable semantics:
+
+    - {!tier.Tree} — the reference tree-walk ({!Tree}), re-deriving all
+      structure per run; the differential baseline.
+    - {!tier.Plan} — compile-once closure plans ({!Plan}); the default.
+    - {!tier.Kernel} — batched imperative kernels ({!Kernel}): plans lowered
+      one level further to a flat instruction array over [Bigarray] buffers
+      carrying a batch axis, so one sweep evaluates N input sets
+      structure-of-arrays style ({!run_batch}).
+
+    [run] is the one-shot interface: it lowers the graph for the selected
+    tier and runs it once. Loops that execute the same graph many times (the
+    difftest trial loop, the fuzzer) should instead compile once — a
+    {!Plan.Cache} or {!Kernel.Cache} — and call [execute] /
+    [execute_batch] per trial. *)
 
 type fault = Defs.fault =
   | Out_of_bounds of { container : string; index : int array; shape : int array; context : string }
@@ -61,12 +70,17 @@ type outcome = Defs.outcome = {
   subsets : int;  (** dimensioned memlet subsets concretized (injection sites) *)
 }
 
-(** [run g ~symbols ~inputs] validates and executes [g]. All free symbols must
-    be bound in [symbols]. [inputs] initializes non-transient containers;
-    missing ones are zero-filled, and each provided array must match the
-    concretized element count. *)
+(** Which execution machinery runs the graph. All three produce bit-identical
+    outcomes; they differ only in throughput. *)
+type tier = Tree | Plan | Kernel
+
+(** [run g ~symbols ~inputs] validates and executes [g] on [tier] (default
+    [Plan]). All free symbols must be bound in [symbols]. [inputs]
+    initializes non-transient containers; missing ones are zero-filled, and
+    each provided array must match the concretized element count. *)
 val run :
   ?config:config ->
+  ?tier:tier ->
   Sdfg.Graph.t ->
   symbols:(string * int) list ->
   inputs:(string * float array) list ->
@@ -81,3 +95,15 @@ val run_tree :
   symbols:(string * int) list ->
   inputs:(string * float array) list ->
   (outcome, fault) result
+
+(** One-shot batched execution on the kernel tier: compile once, then run
+    every element of [inputs] as one lane of a single batched sweep. Result
+    [i] is bit-identical to [run ~tier:Kernel] over [inputs.(i)] (a compile
+    failure is replicated to every lane). Trial loops should prefer a
+    {!Kernel.Cache} plus {!Kernel.execute_batch}. *)
+val run_batch :
+  ?config:config ->
+  Sdfg.Graph.t ->
+  symbols:(string * int) list ->
+  inputs:(string * float array) list array ->
+  (outcome, fault) result array

@@ -50,6 +50,7 @@ let wire_tests =
             s_limit_per = Some 2;
             s_static_gate = false;
             s_certify_gate = true;
+            s_batch = 1;
           }
         in
         Engine.Wire.write_message a (Engine.Wire.Submit sub);
@@ -464,7 +465,8 @@ let assignment_tests =
           }
         in
         match Engine.Supervisor.run_assignment ~catalog:[ x ] a with
-        | Engine.Wire.Result { r_idx = 0; r_status = Campaign.Completed; r_payload = Some r } ->
+        | Engine.Wire.Result { r_idx = 0; r_status = Campaign.Completed; r_payload = Some r; _ }
+          ->
             let local = Campaign.run_instance ~config:iconfig ~program:("scale", g) x site in
             (* everything verdict-bearing must agree; only wall-clock fields
                ([report.elapsed_s]) may differ between the two executions *)

@@ -558,6 +558,59 @@ let corpus_tests =
         | [ o ] -> Alcotest.(check bool) "reproduced" true o.Engine.Corpus.reproduced
         | os -> Alcotest.fail (Printf.sprintf "expected one outcome, got %d" (List.length os)));
         rm_rf dir);
+    Alcotest.test_case "entries are sharded by signature prefix" `Quick (fun () ->
+        let dir = temp_dir "ffshard" in
+        let x, site, klass, tc = failing_testcase () in
+        let catalog = [ good (); bad () ] in
+        let entry_dir =
+          match
+            Engine.Corpus.save ~dir ~catalog ~program:"scale" ~xform:x.Transforms.Xform.name
+              ~klass ~site tc
+          with
+          | Engine.Corpus.Saved d -> d
+          | _ -> Alcotest.fail "expected Saved"
+        in
+        let sig_ = (List.hd (Engine.Corpus.entries dir)).Engine.Corpus.signature in
+        let shard = String.sub sig_ 0 2 in
+        Alcotest.(check string) "entry under dir/<prefix>/<signature>"
+          (Filename.concat (Filename.concat dir shard) sig_)
+          entry_dir;
+        Alcotest.(check bool) "shard dir exists" true
+          (Sys.is_directory (Filename.concat dir shard));
+        rm_rf dir);
+    Alcotest.test_case "legacy flat layout is read and lazily migrated" `Quick (fun () ->
+        let dir = temp_dir "fflegacy" in
+        let x, site, klass, tc = failing_testcase () in
+        let catalog = [ good (); bad () ] in
+        (match
+           Engine.Corpus.save ~dir ~catalog ~program:"scale" ~xform:x.Transforms.Xform.name
+             ~klass ~site tc
+         with
+        | Engine.Corpus.Saved _ -> ()
+        | _ -> Alcotest.fail "expected Saved");
+        (* demote the sharded entry to the flat layout an older version wrote *)
+        let m = List.hd (Engine.Corpus.entries dir) in
+        let sig_ = m.Engine.Corpus.signature in
+        let shard = Filename.concat dir (String.sub sig_ 0 2) in
+        Unix.rename (Filename.concat shard sig_) (Filename.concat dir sig_);
+        Unix.rmdir shard;
+        Alcotest.(check int) "flat entry listed" 1 (List.length (Engine.Corpus.entries dir));
+        (* a duplicate save must see the flat entry, not resave it *)
+        (match
+           Engine.Corpus.save ~dir ~catalog ~program:"scale" ~xform:x.Transforms.Xform.name
+             ~klass ~site tc
+         with
+        | Engine.Corpus.Duplicate _ -> ()
+        | _ -> Alcotest.fail "expected Duplicate against flat entry");
+        (* touching the entry migrated it into its shard *)
+        Alcotest.(check bool) "entry migrated into shard" true
+          (Sys.is_directory (Filename.concat shard sig_));
+        Alcotest.(check bool) "flat path gone" false
+          (Sys.file_exists (Filename.concat dir sig_));
+        (match Engine.Corpus.replay ~catalog dir with
+        | [ o ] -> Alcotest.(check bool) "replay after migration" true o.Engine.Corpus.reproduced
+        | os -> Alcotest.fail (Printf.sprintf "expected one outcome, got %d" (List.length os)));
+        rm_rf dir);
     Alcotest.test_case "signature ignores workload identity but not the bug" `Quick (fun () ->
         let x = bad () in
         let g = Workloads.Npbench.scale () in
